@@ -1,0 +1,249 @@
+(* Bechamel timing benchmarks, one group per regenerated table plus a
+   substrate group.  Each benchmark times the (exact) acceptance
+   computation the tables harness relies on, so the wall-clock cost of
+   every experiment in EXPERIMENTS.md is tracked here. *)
+
+open Bechamel
+open Toolkit
+open Qdp_codes
+open Qdp_network
+open Qdp_commcc
+open Qdp_core
+
+let st = Random.State.make [| 0xbe9c |]
+
+let distinct_pair n =
+  let x = Gf2.random st n in
+  let rec other () =
+    let y = Gf2.random st n in
+    if Gf2.equal x y then other () else y
+  in
+  (x, other ())
+
+(* --- substrate --- *)
+
+let bench_substrate =
+  let open Qdp_linalg in
+  let gaussian () =
+    let u1 = Float.max 1e-12 (Random.State.float st 1.) in
+    let u2 = Random.State.float st 1. in
+    Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+  in
+  let runit n = Vec.normalize (Vec.init n (fun _ -> Cx.re (gaussian ()))) in
+  let a256 = runit 256 and b256 = runit 256 in
+  let regs = List.init 4 (fun _ -> runit 64) in
+  let herm =
+    let m = Mat.init 24 24 (fun _ _ -> Cx.make (gaussian ()) (gaussian ())) in
+    Mat.scale (Cx.re 0.5) (Mat.add m (Mat.adjoint m))
+  in
+  let chain =
+    let l = runit 128 in
+    Sim.two_state_chain ~r:64 ~left:l ~right:(runit 128)
+      ~final:(fun reg -> Cx.norm2 (Vec.dot l reg.(0)))
+      Sim.Geodesic
+  in
+  Test.make_grouped ~name:"substrate"
+    [
+      Test.make ~name:"swap_test_dim256" (Staged.stage (fun () ->
+          ignore (Qdp_quantum.Swap_test.accept_prob_product a256 b256)));
+      Test.make ~name:"perm_test_k4" (Staged.stage (fun () ->
+          ignore (Qdp_quantum.Permutation_test.accept_prob_product regs)));
+      Test.make ~name:"path_dp_r64" (Staged.stage (fun () ->
+          ignore (Sim.path_accept chain)));
+      Test.make ~name:"eig_hermitian_24" (Staged.stage (fun () ->
+          ignore (Eig.hermitian herm)));
+      Test.make ~name:"fingerprint_n256" (Staged.stage (fun () ->
+          let fp = Qdp_fingerprint.Fingerprint.standard ~seed:1 ~n:256 in
+          ignore (Qdp_fingerprint.Fingerprint.state fp (Gf2.random st 256))));
+    ]
+
+(* --- Table 1 --- *)
+
+let bench_table1 =
+  let n = 32 in
+  let x, y = distinct_pair n in
+  let g = Graph.star 4 in
+  let terminals = [ 1; 2; 3; 4 ] in
+  let inputs = [| Gf2.copy x; Gf2.copy x; Gf2.copy x; y |] in
+  let fgnp = Eq_tree.make ~repetitions:1 ~use_permutation_test:false ~seed:1 ~n ~r:2 () in
+  let proto = Oneway.ham ~seed:2 ~n:48 ~d:2 in
+  let xh = Gf2.random st 48 in
+  let yh = Gf2.xor xh (Gf2.random_weight st 48 2) in
+  let dma = Lower_bounds.truncation_protocol ~n:16 ~r:6 ~c:6 in
+  Test.make_grouped ~name:"table1"
+    [
+      Test.make ~name:"fgnp_eq_tree_t4" (Staged.stage (fun () ->
+          ignore (Eq_tree.best_attack_accept fgnp g ~terminals ~inputs)));
+      Test.make ~name:"ham_oneway_accept" (Staged.stage (fun () ->
+          ignore (Oneway.accept_on_inputs proto xh yh)));
+      Test.make ~name:"dma_fooling_splice" (Staged.stage (fun () ->
+          ignore (Lower_bounds.fooling_splice dma ~n:16 ~limit:8192)));
+    ]
+
+(* --- Table 2 --- *)
+
+let bench_table2 =
+  let n = 64 in
+  let x, y = distinct_pair n in
+  let eq = Eq_path.make ~repetitions:1 ~seed:3 ~n ~r:8 () in
+  let tree_g = Graph.balanced_tree ~arity:2 ~depth:3 in
+  let tree_terms = [ 7; 8; 11; 14 ] in
+  let tree_inputs = [| Gf2.copy x; Gf2.copy x; y; Gf2.copy x |] in
+  let eqt = Eq_tree.make ~repetitions:1 ~seed:4 ~n ~r:6 () in
+  let relay = Relay.make ~seed:5 ~n:216 ~r:24 () in
+  let xr, yr = distinct_pair 216 in
+  let gt = Gt.make ~repetitions:1 ~seed:6 ~n:32 ~r:6 () in
+  let a, b = distinct_pair 32 in
+  let xg, yg = if Gf2.compare_big_endian a b > 0 then (a, b) else (b, a) in
+  let rv = Rv.make ~repetitions:1 ~seed:7 ~n:16 ~r:2 () in
+  let rv_g = Graph.star 4 in
+  let rv_terms = [ 1; 2; 3; 4 ] in
+  let rv_inputs = Array.init 4 (fun i -> Gf2.of_int ~width:16 ((i * 37) + 5)) in
+  let cham = Oneway.ham ~seed:8 ~n:48 ~d:2 in
+  let cparams = Oneway_compiler.make ~repetitions:1 ~amplification:1 ~r:2 ~t:3 ~n:48 () in
+  let c_g = Graph.star 3 in
+  let c_terms = [ 1; 2; 3 ] in
+  let xc = Gf2.random st 48 in
+  let c_inputs =
+    Array.init 3 (fun i ->
+        if i = 0 then Gf2.copy xc else Gf2.xor xc (Gf2.random_weight st 48 1))
+  in
+  let lsd_inst = Lsd.random_close st ~ambient:64 ~dim:2 in
+  let lsd_params = Qmacc_compiler.make ~repetitions:1 ~r:4 () in
+  Test.make_grouped ~name:"table2"
+    [
+      Test.make ~name:"eq_path_attack_r8" (Staged.stage (fun () ->
+          ignore (Eq_path.best_attack_accept eq x y)));
+      Test.make ~name:"eq_tree_perm_attack" (Staged.stage (fun () ->
+          ignore
+            (Eq_tree.best_attack_accept eqt tree_g ~terminals:tree_terms
+               ~inputs:tree_inputs)));
+      Test.make ~name:"relay_attack_n216" (Staged.stage (fun () ->
+          ignore (Relay.best_attack_accept relay xr yr)));
+      Test.make ~name:"gt_honest" (Staged.stage (fun () ->
+          ignore (Gt.accept gt xg yg (Gt.honest_prover xg yg))));
+      Test.make ~name:"gt_best_attack" (Staged.stage (fun () ->
+          ignore (Gt.best_attack_accept gt yg xg)));
+      Test.make ~name:"rv_honest" (Staged.stage (fun () ->
+          ignore
+            (Rv.honest_accept rv rv_g ~terminals:rv_terms ~inputs:rv_inputs ~i:3
+               ~j:1)));
+      Test.make ~name:"forall_ham_t3" (Staged.stage (fun () ->
+          ignore
+            (Oneway_compiler.single_accept cparams cham c_g ~terminals:c_terms
+               ~inputs:c_inputs Oneway_compiler.Honest)));
+      Test.make ~name:"lsd_pipeline_m64" (Staged.stage (fun () ->
+          ignore
+            (Qmacc_compiler.run_lsd_pipeline lsd_params ~ambient:64 ~inst:lsd_inst)));
+    ]
+
+(* --- Table 3 --- *)
+
+let bench_table3 =
+  let x, y = distinct_pair 24 in
+  let pc =
+    Qma_star_reduction.uniform ~r:16 ~intermediate_proof:40 ~end_proof:0
+      ~edge_message:8
+  in
+  let cfg = { Exact.r = 3; qubits = 1 } in
+  let xs = Exact.toy_state ~qubits:1 5 and ys = Exact.toy_state ~qubits:1 11 in
+  Test.make_grouped ~name:"table3"
+    [
+      Test.make ~name:"gap_splice_accept" (Staged.stage (fun () ->
+          ignore (Lower_bounds.gap_splice_accept ~seed:9 ~n:24 ~r:8 ~gap:4 x y)));
+      Test.make ~name:"state_packing_b2" (Staged.stage (fun () ->
+          let st' = Random.State.make [| 7 |] in
+          ignore (Lower_bounds.max_pairwise_overlap_random st' ~qubits:2 ~count:16)));
+      Test.make ~name:"ip_spectral_disc_n5" (Staged.stage (fun () ->
+          ignore (Discrepancy.spectral_discrepancy_bound (Problems.ip 5))));
+      Test.make ~name:"node_split_best_cut" (Staged.stage (fun () ->
+          ignore (Qma_star_reduction.best_cut pc)));
+      Test.make ~name:"exact_entangled_opt_r3" (Staged.stage (fun () ->
+          ignore (Exact.optimal_entangled_attack cfg ~x_state:xs ~y_state:ys)));
+    ]
+
+(* --- extensions: variants, sets, runtime executions --- *)
+
+let bench_extensions =
+  let open Qdp_linalg in
+  let xs = Exact.toy_state ~qubits:1 5 and ys = Exact.toy_state ~qubits:1 11 in
+  let set_params = Set_eq.make ~repetitions:1 ~seed:10 ~n:48 ~k:4 ~r:5 () in
+  let sa = Array.init 4 (fun _ -> Gf2.random st 48) in
+  let sb = Array.init 4 (fun _ -> Gf2.random st 48) in
+  let rpls_params = { Rpls.n = 64; r = 8; parity_checks = 4 } in
+  let xr = Gf2.random st 64 in
+  let dq = Variants.make ~repetitions:1 ~seed:11 ~n:32 ~r:6 () in
+  let xd, yd = distinct_pair 32 in
+  let tree_params = Eq_tree.make ~repetitions:1 ~seed:12 ~n:24 ~r:2 () in
+  let tree_graph = Graph.star 4 in
+  let tree_terms = [ 1; 2; 3; 4 ] in
+  let tree_inputs = Array.make 4 (Gf2.random st 24) in
+  let smp = Smp.repeat_and 4 (Smp.eq ~seed:13 ~n:32) in
+  let xsmp, ysmp = distinct_pair 32 in
+  Test.make_grouped ~name:"extensions"
+    [
+      Test.make ~name:"sep_optimize_r3" (Staged.stage (fun () ->
+          let st' = Random.State.make [| 5 |] in
+          ignore
+            (Sep_sim.optimize st' ~d:2 ~r:3 ~left:xs ~final:(Mat.of_vec ys)
+               ~sweeps:4)));
+      Test.make ~name:"sep_optimize_product_r3" (Staged.stage (fun () ->
+          let st' = Random.State.make [| 6 |] in
+          ignore
+            (Sep_sim.optimize_product st' ~d:2 ~r:3 ~left:xs
+               ~final:(Mat.of_vec ys) ~sweeps:4)));
+      Test.make ~name:"set_eq_attack" (Staged.stage (fun () ->
+          ignore (Set_eq.best_attack_accept set_params sa sb)));
+      Test.make ~name:"rpls_run" (Staged.stage (fun () ->
+          let st' = Random.State.make [| 7 |] in
+          ignore (Rpls.run_once st' rpls_params xr xr (Rpls.Write xr))));
+      Test.make ~name:"dqcma_attack" (Staged.stage (fun () ->
+          ignore (Variants.best_attack_accept dq xd yd)));
+      Test.make ~name:"runtime_tree_run" (Staged.stage (fun () ->
+          let st' = Random.State.make [| 8 |] in
+          ignore
+            (Runtime_tree.run_once st' tree_params tree_graph
+               ~terminals:tree_terms ~inputs:tree_inputs Eq_tree.Honest)));
+      Test.make ~name:"schur_projector_d2k4" (Staged.stage (fun () ->
+          ignore (Qdp_quantum.Schur.projector ~d:2 [ 3; 1 ])));
+      Test.make ~name:"smp_eq_x4" (Staged.stage (fun () ->
+          ignore (Smp.accept_on_inputs smp xsmp ysmp)));
+    ]
+
+let tests =
+  Test.make_grouped ~name:"qdp"
+    [ bench_substrate; bench_table1; bench_table2; bench_table3; bench_extensions ]
+
+let benchmark () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~stabilize:true ~quota:(Time.second 0.25) ()
+  in
+  Benchmark.all cfg instances tests
+
+let analyze results =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock results in
+  Analyze.merge ols Instance.[ monotonic_clock ] [ results ]
+
+let () =
+  Bechamel_notty.Unit.add Instance.monotonic_clock
+    (Measure.unit Instance.monotonic_clock)
+
+let img (window, results) =
+  Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+    ~predictor:Measure.run results
+
+open Notty_unix
+
+let () =
+  let window =
+    match winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 120; h = 1 }
+  in
+  let results = benchmark () in
+  let results = analyze results in
+  img (window, results) |> eol |> output_image

@@ -1,0 +1,1 @@
+examples/entangled_prover.ml: Array Cx Eq_path Exact Float List Printf Qdp_core Qdp_linalg Qdp_quantum Random Schmidt String Vec

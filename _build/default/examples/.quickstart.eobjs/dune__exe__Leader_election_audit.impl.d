@@ -1,0 +1,1 @@
+examples/leader_election_audit.ml: Array Format Gf2 Graph List Printf Qdp_codes Qdp_core Qdp_network Random Report Rv Spanning_tree

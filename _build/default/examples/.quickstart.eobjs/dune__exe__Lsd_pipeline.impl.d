@@ -1,0 +1,1 @@
+examples/lsd_pipeline.ml: Eq_path Float Format Gf2 Lsd Printf Qdp_codes Qdp_commcc Qdp_core Qma_comm Qma_star_reduction Qmacc_compiler Random Report

@@ -1,0 +1,1 @@
+examples/lsd_pipeline.mli:

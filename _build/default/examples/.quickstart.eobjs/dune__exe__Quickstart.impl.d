@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eq_path Format Gf2 Printf Qdp_codes Qdp_core Random Report Runtime_eq Sim

@@ -1,0 +1,1 @@
+examples/replicated_ledger.ml: Array Eq_tree Format Gf2 Graph List Printf Qdp_codes Qdp_core Qdp_network Random Report Sim Spanning_tree

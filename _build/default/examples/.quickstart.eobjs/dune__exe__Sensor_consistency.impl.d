@@ -1,0 +1,1 @@
+examples/sensor_consistency.ml: Array Float Format Gf2 Graph List Oneway Oneway_compiler Printf Qdp_codes Qdp_commcc Qdp_core Qdp_network Random Report Sim

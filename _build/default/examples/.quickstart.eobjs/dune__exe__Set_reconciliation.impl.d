@@ -1,0 +1,1 @@
+examples/set_reconciliation.ml: Array Format Gf2 Printf Qdp_codes Qdp_core Random Report Set_eq Sim

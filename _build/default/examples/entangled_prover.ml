@@ -1,0 +1,71 @@
+(* How much does entanglement help a cheating prover?
+
+   Definition 6 (dQMA) lets the prover entangle the proof registers
+   across nodes; Definition 8 (dQMA^sep,sep) does not.  On toy
+   instances the exact state-vector simulator computes the *optimal*
+   entangled attack in closed form — "all nodes accept" is a single
+   projector, so the best proof is the top eigenvector of the
+   acceptance quadratic form — and we can put exact numbers on the gap
+   the paper's Theorems 46/51/52 relate.
+
+   Run with: dune exec examples/entangled_prover.exe *)
+
+open Qdp_linalg
+open Qdp_quantum
+open Qdp_core
+
+let () =
+  let x_state = Exact.toy_state ~qubits:1 5 in
+  let y_state = Exact.toy_state ~qubits:1 11 in
+  Printf.printf "toy EQ instance: 1-qubit fingerprints with overlap %.4f\n\n"
+    (Cx.abs (Vec.dot x_state y_state));
+
+  Printf.printf "%4s %16s %18s %16s %14s\n" "r" "best product"
+    "optimal entangled" "advantage" "Lemma 17 cap";
+  Printf.printf "%s\n" (String.make 72 '-');
+  List.iter
+    (fun r ->
+      let cfg = { Exact.r; qubits = 1 } in
+      let product = Exact.best_product_attack cfg ~x_state ~y_state in
+      let entangled, _ = Exact.optimal_entangled_attack cfg ~x_state ~y_state in
+      Printf.printf "%4d %16.6f %18.6f %15.4f%% %14.6f\n" r product entangled
+        ((entangled -. product) /. product *. 100.)
+        (Eq_path.soundness_bound_single ~r))
+    [ 2; 3; 4; 5 ];
+
+  (* Inspect the optimal proof: how entangled is it actually? *)
+  Printf.printf "\nstructure of the optimal entangled proof (r = 3):\n";
+  let cfg = { Exact.r = 3; qubits = 1 } in
+  let _, proof = Exact.optimal_entangled_attack cfg ~x_state ~y_state in
+  let proof = Vec.normalize proof in
+  (* split the 4-qubit proof between node 1 (first 2 qubits) and node 2 *)
+  let dec = Schmidt.decompose ~d_a:4 ~d_b:4 proof in
+  Printf.printf "  Schmidt rank across the node-1 / node-2 cut: %d\n"
+    (Schmidt.schmidt_rank ~eps:1e-6 dec);
+  Printf.printf "  entanglement entropy: %.4f bits\n"
+    (Schmidt.entanglement_entropy dec);
+  Printf.printf "  Schmidt coefficients:";
+  Array.iter (fun c -> if c > 1e-6 then Printf.printf " %.4f" c)
+    dec.Schmidt.coefficients;
+  print_newline ();
+
+  (* Sanity: the optimal entangled value is achieved by the returned
+     proof, and a random entangled proof does much worse. *)
+  let achieved = Exact.accept_prob cfg ~x_state ~y_state ~proof in
+  Printf.printf "\nacceptance of the optimal proof: %.6f\n" achieved;
+  let st = Random.State.make [| 9 |] in
+  let gaussian () =
+    let u1 = Float.max 1e-12 (Random.State.float st 1.) in
+    let u2 = Random.State.float st 1. in
+    Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+  in
+  let random_proof =
+    Vec.normalize (Vec.init 16 (fun _ -> Cx.make (gaussian ()) (gaussian ())))
+  in
+  Printf.printf "acceptance of a random entangled proof: %.6f\n"
+    (Exact.accept_prob cfg ~x_state ~y_state ~proof:random_proof);
+  Printf.printf
+    "\nTakeaway: entanglement buys the prover only a few percent over the best\n\
+     separable proof and never approaches the dQMA soundness cap -- the gap\n\
+     between Definitions 6 and 8 is real but small, which is why the paper\n\
+     can simulate dQMA by dQMA^sep at polynomial cost (Theorem 46).\n"

@@ -1,0 +1,79 @@
+(* Sensor-fleet consistency within a Hamming tolerance (Section 6).
+
+   Four sensors spread over a network each hold a 96-bit quantized
+   reading; the fleet is healthy when every pair of readings differs in
+   at most d positions.  The HAM^{<= d}_{t,n} protocol (Theorem 30)
+   certifies this with O(t^2 r^2 d log n) qubits by compiling the
+   block-fingerprint one-way protocol through Algorithm 9's
+   root-to-leaves spanning-tree floods.
+
+   Run with: dune exec examples/sensor_consistency.exe *)
+
+open Qdp_codes
+open Qdp_network
+open Qdp_commcc
+open Qdp_core
+
+let () =
+  let rng = Random.State.make [| 31337 |] in
+  let n = 96 and d = 3 in
+  let g = Graph.cycle 8 in
+  let terminals = [ 0; 2; 4; 6 ] in
+  let t = List.length terminals in
+  let base = Gf2.random rng n in
+  Printf.printf
+    "ring network of 8 nodes; %d sensors with %d-bit readings, tolerance d = %d\n\n"
+    t n d;
+
+  let proto = Oneway.ham ~seed:9 ~n ~d in
+  Printf.printf
+    "one-way HAM protocol: %d qubits/message (LZ13 formula: %d qubits)\n"
+    proto.Oneway.message_qubits
+    (Oneway.lz13_cost ~n ~d);
+  let params =
+    Oneway_compiler.make ~repetitions:8 ~amplification:1 ~r:(Graph.radius g) ~t
+      ~n ()
+  in
+  Format.printf "compiled dQMA costs: %a@.@."
+    Report.pp_costs
+    (Oneway_compiler.costs params proto g ~terminals);
+
+  (* Healthy fleet: every sensor within distance 1 of the base reading,
+     so pairwise distances are at most 2 <= d. *)
+  let healthy =
+    Array.init t (fun i ->
+        if i = 0 then Gf2.copy base else Gf2.xor base (Gf2.random_weight rng n 1))
+  in
+  Printf.printf "healthy fleet (pairwise distance <= 2):\n";
+  let p_healthy =
+    Oneway_compiler.accept params proto g ~terminals ~inputs:healthy
+      Oneway_compiler.Honest
+  in
+  Printf.printf "  Pr[all accept] = %.6f\n\n" p_healthy;
+
+  (* A drifting sensor: far beyond the tolerance. *)
+  let drifted = Array.copy healthy in
+  drifted.(2) <- Gf2.xor base (Gf2.random_weight rng n (8 * d));
+  Printf.printf "sensor 3 drifted to distance %d:\n"
+    (Gf2.hamming_distance base drifted.(2));
+  let single, attack =
+    Oneway_compiler.best_attack_accept params proto g ~terminals ~inputs:drifted
+  in
+  Printf.printf "  best prover attack (%s): single round %.4f\n" attack single;
+  Printf.printf "  amplified Pr[all accept] = %.3e  (drift exposed)\n"
+    (Sim.repeat_accept params.Oneway_compiler.repetitions single);
+
+  (* The same machinery covers the l1-distance corollaries: quantized
+     analog values via thermometer encoding (Corollary 37). *)
+  Printf.printf "\nanalog variant (Corollary 37): thermometer-encoded readings\n";
+  let resolution = 16 in
+  let analog1 = [| 0.25; -0.5; 0.75 |] in
+  let analog2 = [| 0.25; -0.375; 0.75 |] in
+  let e1 = Oneway.thermometer ~resolution analog1 in
+  let e2 = Oneway.thermometer ~resolution analog2 in
+  Printf.printf
+    "  l1 distance %.3f encoded as Hamming distance %d (resolution %d)\n"
+    (Array.fold_left ( +. ) 0.
+       (Array.mapi (fun i v -> Float.abs (v -. analog2.(i))) analog1))
+    (Gf2.hamming_distance e1 e2)
+    resolution

@@ -1,0 +1,53 @@
+(* Distributed set reconciliation audit via Set Equality (the
+   Naor-Parter-Yogev problem; Section 1.4's GMN23a application).
+
+   Two mirrors at the ends of a 6-hop path each hold a set of k
+   64-bit content digests.  An untrusted coordinator certifies that
+   the mirrors carry the same set — order-independent — using set
+   fingerprints: superpositions of element fingerprints, costing the
+   same registers as a single-string certificate.
+
+   Run with: dune exec examples/set_reconciliation.exe *)
+
+open Qdp_codes
+open Qdp_core
+
+let () =
+  let rng = Random.State.make [| 90210 |] in
+  let n = 64 and k = 5 and r = 6 in
+  let params = Set_eq.make ~seed:11 ~n ~k ~r () in
+  Printf.printf
+    "set reconciliation: %d digests of %d bits, %d-hop path, amplify=%d\n\n" k n
+    r params.Set_eq.amplify;
+
+  let mirror_a = Array.init k (fun _ -> Gf2.random rng n) in
+  (* same set, different order *)
+  let mirror_b = Array.init k (fun i -> Gf2.copy mirror_a.((i + 2) mod k)) in
+  Printf.printf "identical sets (different order): overlap %.6f\n"
+    (Set_eq.set_overlap params mirror_a mirror_b);
+  Printf.printf "  honest certificate accepted: %.6f\n\n"
+    (Set_eq.accept params mirror_a mirror_b Sim.All_left);
+
+  (* one digest replaced *)
+  let drifted = Array.map Gf2.copy mirror_a in
+  drifted.(3) <- Gf2.random rng n;
+  Printf.printf "one replaced digest: overlap %.6f\n"
+    (Set_eq.set_overlap params mirror_a drifted);
+  let single, name = Set_eq.best_attack_accept params mirror_a drifted in
+  Printf.printf "  best attack (%s): single round %.6f\n" name single;
+  Printf.printf "  amplified: %.3e  (drift exposed)\n\n"
+    (Sim.repeat_accept params.Set_eq.repetitions single);
+
+  (* completely different sets *)
+  let other = Array.init k (fun _ -> Gf2.random rng n) in
+  Printf.printf "disjoint sets: overlap %.6f\n"
+    (Set_eq.set_overlap params mirror_a other);
+  let single', name' = Set_eq.best_attack_accept params mirror_a other in
+  Printf.printf "  best attack (%s): single round %.6f, amplified %.3e\n\n" name'
+    single'
+    (Sim.repeat_accept params.Set_eq.repetitions single');
+
+  Format.printf "certificate cost: %a@." Report.pp_costs (Set_eq.costs params);
+  Printf.printf
+    "(a classical certificate would ship all %d digests = %d bits per node)\n"
+    k (k * n)

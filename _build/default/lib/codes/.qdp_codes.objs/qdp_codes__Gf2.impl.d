@@ -1,0 +1,1 @@
+lib/codes/gf2.ml: Array Random String

@@ -1,0 +1,1 @@
+lib/codes/gf2.mli: Random

@@ -1,0 +1,1 @@
+lib/codes/linear_code.ml: Array Gf2 Random

@@ -1,0 +1,1 @@
+lib/codes/linear_code.mli: Gf2 Random

@@ -1,0 +1,122 @@
+let word_bits = 62
+
+type t = { len : int; words : int array }
+
+let nwords len = (len + word_bits - 1) / word_bits
+let zero len = { len; words = Array.make (max 1 (nwords len)) 0 }
+let length v = v.len
+
+let check_index v i =
+  if i < 0 || i >= v.len then invalid_arg "Gf2: index out of range"
+
+let get v i =
+  check_index v i;
+  (v.words.(i / word_bits) lsr (i mod word_bits)) land 1 = 1
+
+let set v i b =
+  check_index v i;
+  let w = i / word_bits and o = i mod word_bits in
+  if b then v.words.(w) <- v.words.(w) lor (1 lsl o)
+  else v.words.(w) <- v.words.(w) land lnot (1 lsl o)
+
+let copy v = { v with words = Array.copy v.words }
+
+let of_string s =
+  let v = zero (String.length s) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set v i true
+      | _ -> invalid_arg "Gf2.of_string: expected 0/1")
+    s;
+  v
+
+let to_string v = String.init v.len (fun i -> if get v i then '1' else '0')
+
+let of_int ~width k =
+  let v = zero width in
+  for i = 0 to width - 1 do
+    if (k lsr (width - 1 - i)) land 1 = 1 then set v i true
+  done;
+  v
+
+let to_int v =
+  if v.len > 62 then invalid_arg "Gf2.to_int: too wide";
+  let acc = ref 0 in
+  for i = 0 to v.len - 1 do
+    acc := (!acc lsl 1) lor (if get v i then 1 else 0)
+  done;
+  !acc
+
+let xor a b =
+  if a.len <> b.len then invalid_arg "Gf2.xor: length mismatch";
+  { len = a.len; words = Array.mapi (fun i w -> w lxor b.words.(i)) a.words }
+
+(* Kernighan's trick: one iteration per set bit. *)
+let popcount_word w =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 w
+
+let weight v = Array.fold_left (fun acc w -> acc + popcount_word w) 0 v.words
+
+let dot a b =
+  if a.len <> b.len then invalid_arg "Gf2.dot: length mismatch";
+  let parity = ref 0 in
+  Array.iteri
+    (fun i w -> parity := !parity lxor (popcount_word (w land b.words.(i)) land 1))
+    a.words;
+  !parity = 1
+
+let hamming_distance a b = weight (xor a b)
+
+let equal a b =
+  a.len = b.len && Array.for_all2 (fun x y -> x = y) a.words b.words
+
+let prefix v k =
+  if k < 0 || k > v.len then invalid_arg "Gf2.prefix: bad length";
+  let out = zero k in
+  for i = 0 to k - 1 do
+    if get v i then set out i true
+  done;
+  out
+
+let random st n =
+  let v = zero n in
+  for i = 0 to n - 1 do
+    if Random.State.bool st then set v i true
+  done;
+  v
+
+let random_weight st n w =
+  if w < 0 || w > n then invalid_arg "Gf2.random_weight";
+  let v = zero n in
+  (* reservoir-style: choose w distinct positions *)
+  let chosen = Array.init n (fun i -> i) in
+  for i = 0 to n - 2 do
+    let j = i + Random.State.int st (n - i) in
+    let tmp = chosen.(i) in
+    chosen.(i) <- chosen.(j);
+    chosen.(j) <- tmp
+  done;
+  for k = 0 to w - 1 do
+    set v chosen.(k) true
+  done;
+  v
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i (get v i)
+  done
+
+let compare_big_endian a b =
+  if a.len <> b.len then invalid_arg "Gf2.compare_big_endian: length mismatch";
+  let rec go i =
+    if i >= a.len then 0
+    else
+      match (get a i, get b i) with
+      | true, false -> 1
+      | false, true -> -1
+      | _ -> go (i + 1)
+  in
+  go 0

@@ -1,0 +1,69 @@
+(** Bit vectors over GF(2), packed into 62-bit words.
+
+    These represent the inputs [x in {0,1}^n] of the distributed
+    problems and the codewords of the fingerprinting codes. *)
+
+type t
+
+(** [zero n] is the all-zero vector of length [n]. *)
+val zero : int -> t
+
+(** [length v] is the number of bits. *)
+val length : t -> int
+
+(** [get v i] / [set v i b] access bit [i] ([0 <= i < length v]). *)
+val get : t -> int -> bool
+
+val set : t -> int -> bool -> unit
+
+(** [copy v] is a fresh copy. *)
+val copy : t -> t
+
+(** [of_string s] parses a string of ['0']/['1'] characters.
+    @raise Invalid_argument on other characters. *)
+val of_string : string -> t
+
+(** [to_string v] renders as ['0']/['1'] characters, index 0 first. *)
+val to_string : t -> string
+
+(** [of_int ~width k] is the big-endian binary expansion of [k] on
+    [width] bits (bit 0 is the most significant), matching the paper's
+    integer encoding for the greater-than problem. *)
+val of_int : width:int -> int -> t
+
+(** [to_int v] reads the big-endian value (lengths up to 62 bits). *)
+val to_int : t -> int
+
+(** [xor a b] is the bitwise sum.
+    @raise Invalid_argument on length mismatch. *)
+val xor : t -> t -> t
+
+(** [dot a b] is the GF(2) inner product (parity of the AND). *)
+val dot : t -> t -> bool
+
+(** [weight v] is the Hamming weight. *)
+val weight : t -> int
+
+(** [hamming_distance a b] is [weight (xor a b)]. *)
+val hamming_distance : t -> t -> int
+
+(** [equal a b] is bitwise equality. *)
+val equal : t -> t -> bool
+
+(** [prefix v k] is the first [k] bits [v_0 .. v_{k-1}] (the [x\[i\]]
+    notation of Section 5.1). *)
+val prefix : t -> int -> t
+
+(** [random st n] samples a uniform vector of length [n]. *)
+val random : Random.State.t -> int -> t
+
+(** [random_weight st n w] samples a uniform vector of length [n] and
+    Hamming weight exactly [w]. *)
+val random_weight : Random.State.t -> int -> int -> t
+
+(** [iteri f v] applies [f i b] to every bit. *)
+val iteri : (int -> bool -> unit) -> t -> unit
+
+(** [compare_big_endian a b] orders equal-length vectors as big-endian
+    integers (the order used by GT). *)
+val compare_big_endian : t -> t -> int

@@ -1,0 +1,72 @@
+(* A code is stored as its generator rows: row i is the parity mask of
+   codeword bit i, so encoding is m inner products over packed words. *)
+type t = { n : int; m : int; rows : Gf2.t array }
+
+let random ~seed ~n ~m =
+  if n <= 0 || m < n then invalid_arg "Linear_code.random: need m >= n >= 1";
+  let st = Random.State.make [| seed; n; m |] in
+  (* Force the first n rows to the identity so the code is injective. *)
+  let rows =
+    Array.init m (fun i ->
+        if i < n then (
+          let row = Gf2.zero n in
+          Gf2.set row i true;
+          row)
+        else Gf2.random st n)
+  in
+  { n; m; rows }
+
+let identity n =
+  {
+    n;
+    m = n;
+    rows =
+      Array.init n (fun i ->
+          let row = Gf2.zero n in
+          Gf2.set row i true;
+          row);
+  }
+
+let repetition ~n ~times =
+  if times < 1 then invalid_arg "Linear_code.repetition";
+  {
+    n;
+    m = n * times;
+    rows =
+      Array.init (n * times) (fun i ->
+          let row = Gf2.zero n in
+          Gf2.set row (i / times) true;
+          row);
+  }
+
+let message_length c = c.n
+let block_length c = c.m
+
+let encode c x =
+  if Gf2.length x <> c.n then invalid_arg "Linear_code.encode: length";
+  let out = Gf2.zero c.m in
+  Array.iteri (fun i row -> if Gf2.dot row x then Gf2.set out i true) c.rows;
+  out
+
+let min_distance_exhaustive c =
+  if c.n > 20 then invalid_arg "Linear_code.min_distance_exhaustive: n too large";
+  let best = ref c.m in
+  for k = 1 to (1 lsl c.n) - 1 do
+    let x = Gf2.of_int ~width:c.n k in
+    let w = Gf2.weight (encode c x) in
+    if w < !best then best := w
+  done;
+  !best
+
+let min_distance_sampled st ~trials c =
+  let best = ref c.m in
+  for _ = 1 to trials do
+    let x = Gf2.random st c.n in
+    if Gf2.weight x > 0 then begin
+      let w = Gf2.weight (encode c x) in
+      if w < !best then best := w
+    end
+  done;
+  !best
+
+let relative_distance_of d c = float_of_int d /. float_of_int c.m

@@ -1,0 +1,43 @@
+(** Binary linear codes for quantum fingerprinting.
+
+    The BCWdW01 fingerprint of [x in {0,1}^n] is built from a code
+    [E : {0,1}^n -> {0,1}^m] with constant rate and constant relative
+    distance: two distinct inputs then have fingerprint overlap
+    [1 - d_H(E x, E y) / m <= 1 - delta].  A uniformly random generator
+    matrix achieves relative distance close to 1/2 - epsilon with high
+    probability at rate below the GV bound; the constructor below is
+    seeded so codes are reproducible. *)
+
+type t
+
+(** [random ~seed ~n ~m] samples an [m x n] generator matrix uniformly
+    ([m >= n]; the usual choice is [m = c * n] for a constant [c]). *)
+val random : seed:int -> n:int -> m:int -> t
+
+(** [identity n] is the trivial code [E x = x] — distance 1, used only
+    by toy exact-simulation instances. *)
+val identity : int -> t
+
+(** [repetition ~n ~times] repeats every bit [times] times: distance
+    [times], length [n * times]. *)
+val repetition : n:int -> times:int -> t
+
+(** [message_length c] is [n]; [block_length c] is [m]. *)
+val message_length : t -> int
+
+val block_length : t -> int
+
+(** [encode c x] is the codeword [E x].
+    @raise Invalid_argument if [Gf2.length x <> message_length c]. *)
+val encode : t -> Gf2.t -> Gf2.t
+
+(** [min_distance_exhaustive c] enumerates all nonzero messages —
+    exponential in [n], intended for [n <= 16]. *)
+val min_distance_exhaustive : t -> int
+
+(** [min_distance_sampled st ~trials c] is an upper-bound estimate of
+    the minimum distance from random nonzero messages. *)
+val min_distance_sampled : Random.State.t -> trials:int -> t -> int
+
+(** [relative_distance_of d c] is [float d /. float (block_length c)]. *)
+val relative_distance_of : int -> t -> float

@@ -1,0 +1,1 @@
+lib/commcc/discrepancy.ml: Array Eig Float Gf2 Problems Qdp_codes Qdp_linalg Random

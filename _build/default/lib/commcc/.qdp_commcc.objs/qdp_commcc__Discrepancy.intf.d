@@ -1,0 +1,1 @@
+lib/commcc/discrepancy.mli: Problems Random

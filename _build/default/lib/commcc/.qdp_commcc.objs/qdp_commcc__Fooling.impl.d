@@ -1,0 +1,1 @@
+lib/commcc/fooling.ml: Array Float Gf2 List Problems Qdp_codes

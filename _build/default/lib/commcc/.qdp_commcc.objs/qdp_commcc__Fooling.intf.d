@@ -1,0 +1,1 @@
+lib/commcc/fooling.mli: Gf2 Problems Qdp_codes

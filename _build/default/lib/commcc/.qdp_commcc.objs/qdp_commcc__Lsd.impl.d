@@ -1,0 +1,1 @@
+lib/commcc/lsd.ml: Array Complex Cx Float Gf2 Hashtbl List Printf Qdp_codes Qdp_linalg Random Subspace Vec

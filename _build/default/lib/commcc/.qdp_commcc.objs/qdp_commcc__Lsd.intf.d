@@ -1,0 +1,1 @@
+lib/commcc/lsd.mli: Gf2 Qdp_codes Qdp_linalg Random Subspace Vec

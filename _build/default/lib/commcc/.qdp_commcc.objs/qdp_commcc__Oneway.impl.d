@@ -1,0 +1,1 @@
+lib/commcc/oneway.ml: Array Cx Fingerprint Float Gf2 List Printf Problems Qdp_codes Qdp_fingerprint Qdp_linalg Random Vec

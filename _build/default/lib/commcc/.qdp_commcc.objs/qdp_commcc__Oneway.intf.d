@@ -1,0 +1,1 @@
+lib/commcc/oneway.mli: Cx Gf2 Problems Qdp_codes Qdp_linalg Vec

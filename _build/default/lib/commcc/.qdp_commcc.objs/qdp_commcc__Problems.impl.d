@@ -1,0 +1,1 @@
+lib/commcc/problems.ml: Array Gf2 Printf Qdp_codes

@@ -1,0 +1,1 @@
+lib/commcc/problems.mli: Gf2 Qdp_codes

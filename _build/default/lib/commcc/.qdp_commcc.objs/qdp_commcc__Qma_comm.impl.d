@@ -1,0 +1,1 @@
+lib/commcc/qma_comm.ml: Lsd Qdp_linalg Vec

@@ -1,0 +1,1 @@
+lib/commcc/qma_comm.mli: Qdp_linalg Vec

@@ -1,0 +1,1 @@
+lib/commcc/smp.ml: Array Fingerprint Gf2 List Oneway Printf Problems Qdp_codes Qdp_fingerprint Qdp_linalg

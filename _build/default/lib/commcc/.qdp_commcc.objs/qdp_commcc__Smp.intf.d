@@ -1,0 +1,1 @@
+lib/commcc/smp.mli: Gf2 Oneway Problems Qdp_codes

@@ -1,0 +1,1 @@
+lib/commcc/xor_functions.ml: Array Float Gf2 Oneway Printf Problems Qdp_codes

@@ -1,0 +1,1 @@
+lib/commcc/xor_functions.mli: Gf2 Oneway Problems Qdp_codes

@@ -1,0 +1,61 @@
+open Qdp_linalg
+open Qdp_codes
+
+let sign_matrix (p : Problems.t) =
+  let n = p.Problems.n in
+  if n > 8 then invalid_arg "Discrepancy.sign_matrix: n <= 8";
+  let size = 1 lsl n in
+  Array.init size (fun i ->
+      let x = Gf2.of_int ~width:n i in
+      Array.init size (fun j ->
+          let y = Gf2.of_int ~width:n j in
+          if p.Problems.f x y then 1. else -1.))
+
+let spectral_norm m =
+  let rows = Array.length m in
+  let mmt =
+    Array.init rows (fun i ->
+        Array.init rows (fun j ->
+            let s = ref 0. in
+            for k = 0 to Array.length m.(0) - 1 do
+              s := !s +. (m.(i).(k) *. m.(j).(k))
+            done;
+            !s))
+  in
+  let evals, _ = Eig.symmetric mmt in
+  Float.sqrt (Float.max 0. evals.(rows - 1))
+
+let spectral_discrepancy_bound p =
+  let m = sign_matrix p in
+  let size = float_of_int (Array.length m) in
+  spectral_norm m *. size /. (size *. size)
+
+let rectangle_search st ~trials p =
+  let m = sign_matrix p in
+  let size = Array.length m in
+  let best = ref 0. in
+  for _ = 1 to trials do
+    let rows = Array.init size (fun _ -> Random.State.bool st) in
+    let cols = Array.init size (fun _ -> Random.State.bool st) in
+    let s = ref 0. in
+    for i = 0 to size - 1 do
+      if rows.(i) then
+        for j = 0 to size - 1 do
+          if cols.(j) then s := !s +. m.(i).(j)
+        done
+    done;
+    let corr = Float.abs !s /. (float_of_int size *. float_of_int size) in
+    if corr > !best then best := corr
+  done;
+  !best
+
+let qmacc_lower_bound_formula (p : Problems.t) =
+  let n = float_of_int p.Problems.n in
+  match p.Problems.name with
+  | "DISJ" | "P_AND" -> Some (Float.pow n (1. /. 3.))
+  | "IP" -> Some (Float.sqrt n)
+  | _ -> None
+
+let sqrt_log_inv_disc p =
+  let disc = Float.max 1e-300 (spectral_discrepancy_bound p) in
+  Float.sqrt (Float.log (1. /. disc) /. Float.log 2.)

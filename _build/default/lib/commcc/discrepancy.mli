@@ -1,0 +1,39 @@
+(** Discrepancy estimates for the QMA-communication lower bounds of
+    Section 8.2.
+
+    Klauck's bounds (Lemmas 57-60) are stated through the one-sided
+    smooth discrepancy; computing that quantity exactly is itself hard,
+    so — as recorded in DESIGN.md — we regenerate Table 3's lower-bound
+    rows from (i) the paper's asymptotic formulas and (ii) numerically
+    certified plain-discrepancy upper bounds on small instances, via
+    the spectral inequality
+    [disc_U(M) <= sqrt(|X| |Y|) * ||M|| / (|X| |Y|)]. *)
+
+(** [sign_matrix p] is the [2^n x 2^n] +/-1 communication matrix of a
+    problem ([n <= 8]). *)
+val sign_matrix : Problems.t -> float array array
+
+(** [spectral_norm m] is the largest singular value (via the symmetric
+    eigensolver on [M M^T]). *)
+val spectral_norm : float array array -> float
+
+(** [spectral_discrepancy_bound p] is the spectral upper bound on the
+    uniform-distribution discrepancy of the problem's sign matrix. *)
+val spectral_discrepancy_bound : Problems.t -> float
+
+(** [rectangle_search st ~trials p] samples random rectangles and
+    returns the best (largest) normalized rectangle correlation found —
+    an empirical lower bound on the uniform discrepancy. *)
+val rectangle_search : Random.State.t -> trials:int -> Problems.t -> float
+
+(** [qmacc_lower_bound_formula p] is the paper's Table 3 asymptotic
+    lower bound on total dQMA proof + communication for the problem, as
+    a function of [n] evaluated concretely: [n^{1/3}] for DISJ and
+    P_AND, [n^{1/2}] for IP, and [None] for problems (like EQ) with
+    constant-cost randomized protocols. *)
+val qmacc_lower_bound_formula : Problems.t -> float option
+
+(** [sqrt_log_inv_disc p] is [sqrt (log2 (1 / disc))] with the spectral
+    bound standing in for the (one-sided smooth) discrepancy — the
+    shape of Theorem 63's bound on a concrete small instance. *)
+val sqrt_log_inv_disc : Problems.t -> float

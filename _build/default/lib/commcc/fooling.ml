@@ -1,0 +1,41 @@
+open Qdp_codes
+
+let is_one_fooling_set (p : Problems.t) pairs =
+  List.for_all (fun (x, y) -> p.Problems.f x y) pairs
+  &&
+  let arr = Array.of_list pairs in
+  let ok = ref true in
+  Array.iteri
+    (fun i (x1, y1) ->
+      Array.iteri
+        (fun j (x2, y2) ->
+          if i < j then
+            if p.Problems.f x1 y2 && p.Problems.f x2 y1 then ok := false)
+        arr)
+    arr;
+  !ok
+
+let check_small n =
+  if n > 20 then invalid_arg "Fooling: materializing 2^n pairs needs n <= 20"
+
+let eq_fooling_pair n k =
+  let x = Gf2.of_int ~width:n k in
+  (x, Gf2.copy x)
+
+let eq_fooling_set n =
+  check_small n;
+  List.init (1 lsl n) (eq_fooling_pair n)
+
+let gt_fooling_pair n k =
+  (Gf2.of_int ~width:n (k + 1), Gf2.of_int ~width:n k)
+
+let gt_fooling_set n =
+  check_small n;
+  List.init ((1 lsl n) - 1) (gt_fooling_pair n)
+
+let log2_fooling_size (p : Problems.t) =
+  match p.Problems.name with
+  | "EQ" -> Some (float_of_int p.Problems.n)
+  | "GT" | "GT>=" | "GT<" | "GT<=" ->
+      Some (Float.log ((Float.pow 2. (float_of_int p.Problems.n)) -. 1.) /. Float.log 2.)
+  | _ -> None

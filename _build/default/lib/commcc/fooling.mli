@@ -1,0 +1,30 @@
+(** 1-fooling sets (Section 2.2.1) — the combinatorial engine of the
+    classical lower bound (Lemma 23 / Proposition 24) and of the
+    quantum state-counting bound (Proposition 50). *)
+
+open Qdp_codes
+
+(** [is_one_fooling_set p pairs] checks the definition: [f (x, y) = 1]
+    on every pair, and for any two distinct pairs at least one cross
+    application is 0.  Quadratic in the set size. *)
+val is_one_fooling_set : Problems.t -> (Gf2.t * Gf2.t) list -> bool
+
+(** [eq_fooling_set n] is the canonical size-[2^n] fooling set
+    [{(x, x)}] for EQ — materialized only for [n <= 20]; use
+    {!eq_fooling_pair} for sampling. *)
+val eq_fooling_set : int -> (Gf2.t * Gf2.t) list
+
+(** [eq_fooling_pair n k] is the [k]-th element [(x_k, x_k)]. *)
+val eq_fooling_pair : int -> int -> Gf2.t * Gf2.t
+
+(** [gt_fooling_set n] is the size-[2^n - 1] fooling set
+    [{(x, x - 1) : x >= 1}] for GT ([n <= 20]). *)
+val gt_fooling_set : int -> (Gf2.t * Gf2.t) list
+
+(** [gt_fooling_pair n k] is [(k + 1, k)] as [n]-bit integers. *)
+val gt_fooling_pair : int -> int -> Gf2.t * Gf2.t
+
+(** [log2_fooling_size p] is [log2] of the size of the canonical
+    fooling set we know for the problem, or [None] when the problem
+    has no registered set.  EQ and GT report [~ n]. *)
+val log2_fooling_size : Problems.t -> float option

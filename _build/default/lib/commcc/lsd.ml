@@ -1,0 +1,141 @@
+open Qdp_linalg
+open Qdp_codes
+
+type instance = { v1 : Subspace.t; v2 : Subspace.t }
+type promise = Close | Far | Outside_promise
+
+let close_bound = 0.1 *. Float.sqrt 2.
+let far_bound = 0.9 *. Float.sqrt 2.
+let delta inst = Subspace.distance inst.v1 inst.v2
+
+let promise_of inst =
+  let d = delta inst in
+  if d <= close_bound then Close
+  else if d >= far_bound then Far
+  else Outside_promise
+
+let ceil_log2 d =
+  let rec bits acc k = if k <= 1 then acc else bits (acc + 1) ((k + 1) / 2) in
+  bits 0 d
+
+let qubits inst = ceil_log2 (Subspace.ambient inst.v1)
+
+let gaussian st =
+  let u1 = Float.max 1e-12 (Random.State.float st 1.) in
+  let u2 = Random.State.float st 1. in
+  Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+
+let random_unit st ambient =
+  let v = Array.init ambient (fun _ -> gaussian st) in
+  let n = Float.sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0. v) in
+  Array.map (fun x -> x /. n) v
+
+let random_close st ~ambient ~dim =
+  let shared = random_unit st ambient in
+  let eps = 0.05 in
+  let perturbed =
+    let g = random_unit st ambient in
+    Array.mapi (fun i x -> x +. (eps *. g.(i))) shared
+  in
+  let fill k = List.init k (fun _ -> random_unit st ambient) in
+  {
+    v1 = Subspace.of_spanning (shared :: fill (dim - 1));
+    v2 = Subspace.of_spanning (perturbed :: fill (dim - 1));
+  }
+
+let random_far st ~ambient ~dim =
+  let rec go attempts =
+    if attempts > 50 then
+      failwith "Lsd.random_far: could not certify the far promise (ambient too small)";
+    let make () =
+      Subspace.of_spanning (List.init dim (fun _ -> random_unit st ambient))
+    in
+    let inst = { v1 = make (); v2 = make () } in
+    if promise_of inst = Far then inst else go (attempts + 1)
+  in
+  go 0
+
+(* Seeded random unit vector hash: the same key always produces the
+   same vector, distinct keys produce (nearly orthogonal) independent
+   vectors. *)
+let hashed_unit ~seed ~ambient key =
+  let st = Random.State.make [| seed; Hashtbl.hash key; ambient |] in
+  random_unit st ambient
+
+let of_eq_inputs ~seed ~ambient x y =
+  let g v = hashed_unit ~seed ~ambient ("eq:" ^ Gf2.to_string v) in
+  let inst =
+    { v1 = Subspace.of_spanning [ g x ]; v2 = Subspace.of_spanning [ g y ] }
+  in
+  let expected = if Gf2.equal x y then Close else Far in
+  if promise_of inst <> expected then
+    failwith "Lsd.of_eq_inputs: promise not certified; increase ambient";
+  inst
+
+let of_gt_inputs ~seed ~ambient x y =
+  let n = Gf2.length x in
+  let gen side i prefix =
+    hashed_unit ~seed ~ambient
+      (Printf.sprintf "gt:%s:%d:%s" side i (Gf2.to_string prefix))
+  in
+  let a_vecs = ref [] and b_vecs = ref [] in
+  for i = 0 to n - 1 do
+    if Gf2.get x i then a_vecs := gen "w" i (Gf2.prefix x i) :: !a_vecs;
+    if not (Gf2.get y i) then b_vecs := gen "w" i (Gf2.prefix y i) :: !b_vecs
+  done;
+  let pad side l =
+    if l = [] then [ hashed_unit ~seed ~ambient ("gt:empty:" ^ side) ] else l
+  in
+  let inst =
+    {
+      v1 = Subspace.of_spanning (pad "a" !a_vecs);
+      v2 = Subspace.of_spanning (pad "b" !b_vecs);
+    }
+  in
+  let expected = if Gf2.compare_big_endian x y > 0 then Close else Far in
+  if promise_of inst <> expected then
+    failwith "Lsd.of_gt_inputs: promise not certified; increase ambient";
+  inst
+
+(* Project the real and imaginary parts of a complex state separately;
+   the projector is a real matrix so this is exact. *)
+let project_vec sub psi =
+  let d = Vec.dim psi in
+  let pre = Subspace.project sub (Array.copy (Vec.raw_re psi)) in
+  let pim = Subspace.project sub (Array.copy (Vec.raw_im psi)) in
+  let out = Vec.create d in
+  for k = 0 to d - 1 do
+    Vec.set out k { Complex.re = pre.(k); im = pim.(k) }
+  done;
+  out
+
+let real_to_vec arr =
+  Vec.init (Array.length arr) (fun k -> Cx.re arr.(k))
+
+let honest_proof inst =
+  let v1, _ = Subspace.closest_unit_vectors inst.v1 inst.v2 in
+  real_to_vec v1
+
+let accept_prob_onto sub psi =
+  let p = project_vec sub psi in
+  let n = Vec.norm p in
+  n *. n
+
+let post_onto sub psi =
+  let p = project_vec sub psi in
+  if Vec.norm p <= 1e-12 then invalid_arg "Lsd.post_onto: zero acceptance";
+  Vec.normalize p
+
+let alice_accept_prob inst psi = accept_prob_onto inst.v1 psi
+let alice_post inst psi = post_onto inst.v1 psi
+let bob_accept_prob inst psi = accept_prob_onto inst.v2 psi
+
+let protocol_accept_prob inst psi =
+  let p = project_vec inst.v2 (project_vec inst.v1 psi) in
+  let n = Vec.norm p in
+  n *. n
+
+let best_proof_accept_prob inst =
+  let cosines = Subspace.principal_cosines inst.v1 inst.v2 in
+  let smax = Float.min 1. cosines.(0) in
+  smax *. smax

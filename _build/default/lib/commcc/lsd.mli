@@ -1,0 +1,94 @@
+(** The Linear Subspace Distance problem (Raz–Shpilka), the complete
+    problem for QMA communication protocols (Definition 16, Lemmas
+    44/45 of the paper).
+
+    An instance is a pair of subspaces of [R^m] promised to satisfy
+    [Delta <= 0.1 sqrt 2] (close / yes) or [Delta >= 0.9 sqrt 2]
+    (far / no).  The QMA one-way protocol of cost [O(log m)]: Merlin
+    sends the unit vector of [V1] closest to [V2] as a [log m]-qubit
+    state; Alice measures [{P_V1, I - P_V1}] and forwards on success;
+    Bob measures [{P_V2, I - P_V2}].  On yes instances an honest proof
+    passes with probability [>= 0.98]; on no instances every proof
+    passes with probability at most [sigma_max^2 <= 0.0361]. *)
+
+open Qdp_linalg
+open Qdp_codes
+
+type instance = { v1 : Subspace.t; v2 : Subspace.t }
+
+type promise = Close | Far | Outside_promise
+
+(** [promise_of inst] classifies by the actual distance. *)
+val promise_of : instance -> promise
+
+(** [delta inst] is [Subspace.distance v1 v2]. *)
+val delta : instance -> float
+
+(** [qubits inst] is the charged message/proof size
+    [ceil (log2 ambient)]. *)
+val qubits : instance -> int
+
+(** [random_close st ~ambient ~dim] samples a yes instance (two
+    [dim]-dimensional subspaces sharing a near-common direction). *)
+val random_close : Random.State.t -> ambient:int -> dim:int -> instance
+
+(** [random_far st ~ambient ~dim] samples a no instance (independent
+    random subspaces; resampled until the far promise certifies,
+    which requires [ambient >> dim^2]). *)
+val random_far : Random.State.t -> ambient:int -> dim:int -> instance
+
+(** [of_eq_inputs ~seed ~ambient x y] maps an EQ input pair to an LSD
+    instance in the spirit of Lemma 44: [A_x = span (g x)],
+    [B_y = span (g y)] for a seeded random unit-vector hash [g].
+    [x = y] gives [Delta = 0]; [x <> y] gives [Delta ~ sqrt 2], checked
+    against the far promise.
+    @raise Failure if the promise fails to certify (ambient too
+    small). *)
+val of_eq_inputs : seed:int -> ambient:int -> Gf2.t -> Gf2.t -> instance
+
+(** [of_gt_inputs ~seed ~ambient x y] maps a GT input pair:
+    [A_x = span (g (i, x\[i\]) : x_i = 1)] and
+    [B_y = span (g (i, y\[i\]) : y_i = 0)].  [GT (x, y) = 1] yields a
+    shared generator and [Delta = 0]; otherwise the spans are
+    independent and far.  Requires [ambient] on the order of
+    [100 * n]. *)
+val of_gt_inputs : seed:int -> ambient:int -> Gf2.t -> Gf2.t -> instance
+
+(** {2 The QMA one-way protocol (Lemma 45)} *)
+
+(** [honest_proof inst] is Merlin's state: the unit vector of [v1]
+    closest to [v2], embedded as real amplitudes. *)
+val honest_proof : instance -> Vec.t
+
+(** [accept_prob_onto sub psi] is the acceptance probability of the
+    projective measurement [{P_sub, I - P_sub}] on the (unit) state
+    [psi] — the primitive both parties' checks are built from. *)
+val accept_prob_onto : Subspace.t -> Vec.t -> float
+
+(** [post_onto sub psi] is the renormalized post-measurement state.
+    @raise Invalid_argument on (numerically) zero acceptance. *)
+val post_onto : Subspace.t -> Vec.t -> Vec.t
+
+(** [alice_accept_prob inst psi] is the probability Alice's projective
+    check onto [v1] passes on the (unit) proof [psi]. *)
+val alice_accept_prob : instance -> Vec.t -> float
+
+(** [alice_post inst psi] is the renormalized post-check state Alice
+    forwards.
+    @raise Invalid_argument if the check passes with (numerically)
+    zero probability. *)
+val alice_post : instance -> Vec.t -> Vec.t
+
+(** [bob_accept_prob inst psi] is Bob's projective check onto [v2]. *)
+val bob_accept_prob : instance -> Vec.t -> float
+
+(** [protocol_accept_prob inst psi] is the end-to-end acceptance
+    [P(Alice passes) * P(Bob passes | forwarded state)]. *)
+val protocol_accept_prob : instance -> Vec.t -> float
+
+(** [best_proof_accept_prob inst] is the maximum of
+    {!protocol_accept_prob} over all proofs — [sigma_max^2] with
+    [sigma_max] the top principal cosine — realized by the top
+    principal vector.  This is the quantity the soundness bound
+    controls. *)
+val best_proof_accept_prob : instance -> float

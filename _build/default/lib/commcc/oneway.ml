@@ -1,0 +1,171 @@
+open Qdp_linalg
+open Qdp_codes
+open Qdp_fingerprint
+
+type bundle = Vec.t array
+
+let bundle_overlap a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Oneway.bundle_overlap: bundle length mismatch";
+  let acc = ref Cx.one in
+  Array.iteri (fun i va -> acc := Cx.mul !acc (Vec.dot va b.(i))) a;
+  !acc
+
+let ceil_log2 d =
+  let rec bits acc k = if k <= 1 then acc else bits (acc + 1) ((k + 1) / 2) in
+  bits 0 d
+
+let bundle_qubits b =
+  Array.fold_left (fun acc v -> acc + ceil_log2 (Vec.dim v)) 0 b
+
+type t = {
+  name : string;
+  problem : Problems.t;
+  message_qubits : int;
+  alice : Gf2.t -> bundle;
+  accept_prob : Gf2.t -> bundle -> float;
+}
+
+let accept_on_inputs p x y = p.accept_prob y (p.alice x)
+
+let eq ~seed ~n =
+  let fp = Fingerprint.standard ~seed ~n in
+  {
+    name = "EQ-fingerprint";
+    problem = Problems.eq n;
+    message_qubits = Fingerprint.qubits fp;
+    alice = (fun x -> [| Fingerprint.state fp x |]);
+    accept_prob =
+      (fun y bundle ->
+        if Array.length bundle <> 1 then
+          invalid_arg "Oneway.eq: expected a single register";
+        Fingerprint.accept_prob fp y bundle.(0));
+  }
+
+(* P[X >= threshold] for X a sum of independent Bernoullis. *)
+let poisson_binomial_tail probs threshold =
+  let k = Array.length probs in
+  let dp = Array.make (k + 1) 0. in
+  dp.(0) <- 1.;
+  Array.iteri
+    (fun i p ->
+      for c = i + 1 downto 1 do
+        dp.(c) <- (dp.(c) *. (1. -. p)) +. (dp.(c - 1) *. p)
+      done;
+      dp.(0) <- dp.(0) *. (1. -. p))
+    probs;
+  let acc = ref 0. in
+  for c = max 0 threshold to k do
+    acc := !acc +. dp.(c)
+  done;
+  !acc
+
+(* Fixed seeded permutation of [0 .. n-1]. *)
+let seeded_permutation ~seed n =
+  let st = Random.State.make [| seed; n; 0x9e3779b9 |] in
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  perm
+
+let block_bounds ~blocks ~n j =
+  let lo = j * n / blocks and hi = (j + 1) * n / blocks in
+  (lo, hi)
+
+let ham ~seed ~n ~d =
+  if d < 0 || d > n then invalid_arg "Oneway.ham: bad distance bound";
+  let blocks = max 1 (min n (8 * d)) in
+  let perm = seeded_permutation ~seed n in
+  let block_fp =
+    Array.init blocks (fun j ->
+        let lo, hi = block_bounds ~blocks ~n j in
+        Fingerprint.standard ~seed:(seed + (31 * (j + 1))) ~n:(max 1 (hi - lo)))
+  in
+  let block_of x j =
+    let lo, hi = block_bounds ~blocks ~n j in
+    let len = max 1 (hi - lo) in
+    let b = Gf2.zero len in
+    for i = lo to hi - 1 do
+      if Gf2.get x perm.(i) then Gf2.set b (i - lo) true
+    done;
+    b
+  in
+  let threshold = blocks - d in
+  let qubits =
+    Array.fold_left (fun acc fp -> acc + Fingerprint.qubits fp) 0 block_fp
+  in
+  {
+    name = Printf.sprintf "HAM<=%d-blocks" d;
+    problem = Problems.ham ~d n;
+    message_qubits = qubits;
+    alice =
+      (fun x -> Array.init blocks (fun j -> Fingerprint.state block_fp.(j) (block_of x j)));
+    accept_prob =
+      (fun y bundle ->
+        if Array.length bundle <> blocks then
+          invalid_arg "Oneway.ham: bundle size mismatch";
+        let probs =
+          Array.init blocks (fun j ->
+              Fingerprint.accept_prob block_fp.(j) (block_of y j) bundle.(j))
+        in
+        poisson_binomial_tail probs threshold);
+  }
+
+let lz13_cost ~n ~d =
+  let c' = 4 in
+  max 1 (c' * max 1 d * ceil_log2 (max 2 n))
+
+let split_copies k bundle =
+  let total = Array.length bundle in
+  if total mod k <> 0 then invalid_arg "Oneway.repeat: bundle not divisible";
+  let per = total / k in
+  Array.init k (fun i -> Array.sub bundle (i * per) per)
+
+let repeat k p =
+  if k < 1 then invalid_arg "Oneway.repeat: k >= 1";
+  {
+    name = Printf.sprintf "%s x%d(maj)" p.name k;
+    problem = p.problem;
+    message_qubits = k * p.message_qubits;
+    alice = (fun x -> Array.concat (List.init k (fun _ -> p.alice x)));
+    accept_prob =
+      (fun y bundle ->
+        let copies = split_copies k bundle in
+        let probs = Array.map (fun c -> p.accept_prob y c) copies in
+        poisson_binomial_tail probs ((k / 2) + 1));
+  }
+
+let repeat_and k p =
+  if k < 1 then invalid_arg "Oneway.repeat_and: k >= 1";
+  {
+    name = Printf.sprintf "%s x%d(and)" p.name k;
+    problem = p.problem;
+    message_qubits = k * p.message_qubits;
+    alice = (fun x -> Array.concat (List.init k (fun _ -> p.alice x)));
+    accept_prob =
+      (fun y bundle ->
+        let copies = split_copies k bundle in
+        Array.fold_left (fun acc c -> acc *. p.accept_prob y c) 1. copies);
+  }
+
+let thermometer ~resolution values =
+  let n = Array.length values in
+  let out = Gf2.zero (n * resolution) in
+  Array.iteri
+    (fun i v ->
+      if v < -1. || v > 1. then invalid_arg "Oneway.thermometer: out of range";
+      let level =
+        int_of_float (Float.round ((v +. 1.) /. 2. *. float_of_int resolution))
+      in
+      let level = max 0 (min resolution level) in
+      for k = 0 to level - 1 do
+        Gf2.set out ((i * resolution) + k) true
+      done)
+    values;
+  out
+
+let hypercube_label ~bits v = Gf2.of_int ~width:bits v

@@ -1,0 +1,79 @@
+(** One-way quantum communication protocols, the raw material of the
+    dQMA compilers (Theorems 30 and 32).
+
+    A protocol is described by Alice's message — a {e bundle} of
+    independent pure-state registers, so that a k-fold repeated
+    protocol keeps per-copy states separate instead of materializing a
+    [d^k]-dimensional tensor — and Bob's acceptance probability on a
+    received bundle.  The charged cost {!message_qubits} is what the
+    dQMA compiler accounts as [BQP1(f)].
+
+    The Hamming-distance instance substitutes the LZ13 protocol (see
+    DESIGN.md): inputs are permuted by a fixed seeded permutation and
+    cut into [2 d] blocks; Alice sends one equality fingerprint per
+    block ([O(d log n)] qubits) and Bob accepts when at least half the
+    block fingerprints match his own.  Random placement separates
+    [<= d] from [>= (1 + eps) d] mismatches with constant probability,
+    amplified by {!repeat}. *)
+
+open Qdp_linalg
+open Qdp_codes
+
+(** A bundle: the tensor product of listed registers, kept factored. *)
+type bundle = Vec.t array
+
+(** [bundle_overlap a b] is the inner product of the two product
+    states: [prod_i <a_i|b_i>].
+    @raise Invalid_argument on length or dimension mismatch. *)
+val bundle_overlap : bundle -> bundle -> Cx.t
+
+(** [bundle_qubits b] charges [ceil (log2 dim)] per register. *)
+val bundle_qubits : bundle -> int
+
+type t = {
+  name : string;
+  problem : Problems.t;
+  message_qubits : int;  (** charged size of one message *)
+  alice : Gf2.t -> bundle;  (** Alice's (pure) message on input [x] *)
+  accept_prob : Gf2.t -> bundle -> float;
+      (** Bob's acceptance probability on input [y] and a received
+          bundle whose registers are independent pure states *)
+}
+
+(** [accept_on_inputs p x y] is the acceptance of the honest run. *)
+val accept_on_inputs : t -> Gf2.t -> Gf2.t -> float
+
+(** [eq ~seed ~n] is the fingerprint protocol for [EQ_n]: one-sided
+    error, [O(log n)] qubits (Section 2.2.1's protocol [pi]). *)
+val eq : seed:int -> n:int -> t
+
+(** [ham ~seed ~n ~d] is the block-fingerprint protocol for
+    [HAM_n^{<= d}] described above, of [O(d log n)] qubits. *)
+val ham : seed:int -> n:int -> d:int -> t
+
+(** [lz13_cost ~n ~d] is the paper-formula cost [c' d log n] the LZ13
+    protocol would charge — reported alongside the simulated cost. *)
+val lz13_cost : n:int -> d:int -> int
+
+(** [repeat k p] runs [k] independent copies and takes a majority vote
+    (strict majority accepts).  Message bundles concatenate; the cost
+    multiplies by [k]. *)
+val repeat : int -> t -> t
+
+(** [repeat_and k p] runs [k] independent copies and accepts only if
+    all accept — the error reduction used for one-sided protocols such
+    as {!eq}. *)
+val repeat_and : int -> t -> t
+
+(** [thermometer ~resolution v] encodes a vector of floats in
+    [[-1, 1]] into bits by thermometer (unary) code with the given
+    resolution per coordinate, so that the l1 distance of two vectors
+    is [hamming distance / resolution * 2] up to quantization — the
+    reduction behind Corollary 37. *)
+val thermometer : resolution:int -> float array -> Gf2.t
+
+(** [hypercube_label ~bits v] is an [l_1]-graph vertex label (already a
+    hypercube embedding): graph distance equals Hamming distance of
+    labels, the reduction behind Corollary 35.  Provided as the
+    identity packaging for documentation purposes. *)
+val hypercube_label : bits:int -> int -> Gf2.t

@@ -1,0 +1,77 @@
+open Qdp_codes
+
+type t = { name : string; n : int; f : Gf2.t -> Gf2.t -> bool }
+
+let eq n = { name = "EQ"; n; f = Gf2.equal }
+let gt n = { name = "GT"; n; f = (fun x y -> Gf2.compare_big_endian x y > 0) }
+
+let gt_ge n =
+  { name = "GT>="; n; f = (fun x y -> Gf2.compare_big_endian x y >= 0) }
+
+let gt_lt n =
+  { name = "GT<"; n; f = (fun x y -> Gf2.compare_big_endian x y < 0) }
+
+let gt_le n =
+  { name = "GT<="; n; f = (fun x y -> Gf2.compare_big_endian x y <= 0) }
+
+let ham ~d n =
+  {
+    name = Printf.sprintf "HAM<=%d" d;
+    n;
+    f = (fun x y -> Gf2.hamming_distance x y <= d);
+  }
+
+let disj n =
+  {
+    name = "DISJ";
+    n;
+    f =
+      (fun x y ->
+        let intersecting = ref false in
+        Gf2.iteri (fun i b -> if b && Gf2.get y i then intersecting := true) x;
+        not !intersecting);
+  }
+
+let ip n =
+  { name = "IP"; n; f = (fun x y -> Gf2.dot x y) }
+
+let pattern_and n =
+  {
+    name = "P_AND";
+    n = 2 * n;
+    f =
+      (fun x yz ->
+        if Gf2.length x <> 2 * n || Gf2.length yz <> 2 * n then
+          invalid_arg "pattern_and: inputs must have length 2n";
+        (* Bob's input packs y (first n bits) and z (last n bits);
+           the selected string has x_{2i - y_i} (1-indexed per the
+           paper) in position i, i.e. x.(2*i + (1 - y_i)) 0-indexed. *)
+        let all = ref true in
+        for i = 0 to n - 1 do
+          let yi = if Gf2.get yz i then 1 else 0 in
+          let zi = Gf2.get yz (n + i) in
+          let sel = Gf2.get x ((2 * i) + (1 - yi)) in
+          if not (sel <> zi) then all := false
+        done;
+        !all);
+  }
+
+let gt_witness x y =
+  let n = Gf2.length x in
+  let rec go i =
+    if i >= n then None
+    else
+      match (Gf2.get x i, Gf2.get y i) with
+      | true, false -> Some i
+      | a, b when a = b -> go (i + 1)
+      | _ -> None
+  in
+  go 0
+
+let forall_t p inputs =
+  let ok = ref true in
+  Array.iteri
+    (fun i xi ->
+      Array.iteri (fun j xj -> if i <> j && not (p.f xi xj) then ok := false) inputs)
+    inputs;
+  !ok

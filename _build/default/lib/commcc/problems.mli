@@ -1,0 +1,48 @@
+(** The two-party Boolean functions studied in the paper, as executable
+    predicates on bit vectors. *)
+
+open Qdp_codes
+
+(** A two-party problem: a name, the input length [n] (per party), and
+    the predicate. *)
+type t = { name : string; n : int; f : Gf2.t -> Gf2.t -> bool }
+
+(** [eq n] is the equality function [EQ_n]. *)
+val eq : int -> t
+
+(** [gt n] is the greater-than function on big-endian [n]-bit
+    integers: [GT (x, y) = 1] iff [x > y]. *)
+val gt : int -> t
+
+(** [gt_ge n], [gt_lt n], [gt_le n] are the [>=], [<], [<=] variants
+    (Corollary 28). *)
+val gt_ge : int -> t
+
+val gt_lt : int -> t
+val gt_le : int -> t
+
+(** [ham ~d n] is [HAM_n^{<= d}]: 1 iff the Hamming distance is at most
+    [d]. *)
+val ham : d:int -> int -> t
+
+(** [disj n] is set disjointness (Definition 17). *)
+val disj : int -> t
+
+(** [ip n] is the inner product mod 2 (Definition 18). *)
+val ip : int -> t
+
+(** [pattern_and n] is the pattern matrix [P_AND] of the AND function
+    (Definition 19): Alice holds [x] of length [2 n], Bob holds
+    [(y, z)] of length [n] each packed as [y ^ z] in a [2 n]-bit
+    vector; the output is [AND (x(y) xor z)]. *)
+val pattern_and : int -> t
+
+(** [gt_witness x y] is [Some i] for the witnessing index of
+    [GT (x, y) = 1] — the unique [i] with [x_i = 1], [y_i = 0] and
+    [x\[i\] = y\[i\]] — and [None] when [x <= y].  This is the index an
+    honest GT prover sends (Section 5.1). *)
+val gt_witness : Gf2.t -> Gf2.t -> int option
+
+(** [forall_t p inputs] is the multi-input lift [forall_t f] of
+    Theorem 32: 1 iff [p.f x_i x_j] holds for all ordered pairs. *)
+val forall_t : t -> Gf2.t array -> bool

@@ -1,0 +1,42 @@
+open Qdp_linalg
+
+type ('a, 'b) oneway = {
+  name : string;
+  proof_qubits : int;
+  message_qubits : int;
+  honest_proof : 'a -> 'b -> Vec.t;
+  alice_accept : 'a -> Vec.t -> float;
+  alice_message : 'a -> Vec.t -> Vec.t;
+  bob_accept : 'b -> Vec.t -> float;
+}
+
+let cost p = p.proof_qubits + p.message_qubits
+
+let accept_prob p xa xb proof =
+  let pa = p.alice_accept xa proof in
+  if pa <= 1e-15 then 0.
+  else pa *. p.bob_accept xb (p.alice_message xa proof)
+
+let honest_accept_prob p xa xb = accept_prob p xa xb (p.honest_proof xa xb)
+
+let ceil_log2 d =
+  let rec bits acc k = if k <= 1 then acc else bits (acc + 1) ((k + 1) / 2) in
+  bits 0 d
+
+let lsd_oneway ~ambient =
+  let q = ceil_log2 ambient in
+  {
+    name = "LSD";
+    proof_qubits = q;
+    message_qubits = q;
+    honest_proof =
+      (fun va vb -> Lsd.honest_proof { Lsd.v1 = va; v2 = vb });
+    alice_accept = (fun va psi -> Lsd.accept_prob_onto va psi);
+    alice_message = (fun va psi -> Lsd.post_onto va psi);
+    bob_accept = (fun vb psi -> Lsd.accept_prob_onto vb psi);
+  }
+
+type star_costs = { proof_alice : int; proof_bob : int; communication : int }
+
+let star_total c = c.proof_alice + c.proof_bob + c.communication
+let qma_of_star c = c.proof_alice + (2 * c.proof_bob) + c.communication

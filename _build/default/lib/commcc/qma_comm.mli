@@ -1,0 +1,55 @@
+(** QMA communication protocols and their variants (Definitions 2-4):
+    cost accounting plus a concrete executable QMA one-way protocol
+    type instantiated by the LSD problem.
+
+    The generic protocol record fixes the shape shared by the Theorem
+    42 compiler and the Algorithm 11 reduction: Merlin hands Alice a
+    proof, Alice runs a local check and forwards a state, Bob runs a
+    local check. *)
+
+open Qdp_linalg
+
+(** A QMA one-way protocol with Alice-side input ['a] and Bob-side
+    input ['b]. *)
+type ('a, 'b) oneway = {
+  name : string;
+  proof_qubits : int;  (** gamma: Merlin -> Alice *)
+  message_qubits : int;  (** mu: Alice -> Bob *)
+  honest_proof : 'a -> 'b -> Vec.t;
+      (** Merlin's optimal proof (he knows both inputs) *)
+  alice_accept : 'a -> Vec.t -> float;  (** Alice's local check *)
+  alice_message : 'a -> Vec.t -> Vec.t;
+      (** the state Alice forwards conditioned on her check passing *)
+  bob_accept : 'b -> Vec.t -> float;  (** Bob's local check *)
+}
+
+(** [cost p] is [QMAcc^1 = gamma + mu]. *)
+val cost : ('a, 'b) oneway -> int
+
+(** [accept_prob p xa xb proof] is the end-to-end acceptance on a given
+    proof. *)
+val accept_prob : ('a, 'b) oneway -> 'a -> 'b -> Vec.t -> float
+
+(** [honest_accept_prob p xa xb] runs the honest proof. *)
+val honest_accept_prob : ('a, 'b) oneway -> 'a -> 'b -> float
+
+(** [lsd_oneway ~ambient] is the Lemma 45 protocol: both parties hold
+    subspaces of [R^ambient]; cost [2 ceil (log2 ambient)]. *)
+val lsd_oneway :
+  ambient:int -> (Qdp_linalg.Subspace.t, Qdp_linalg.Subspace.t) oneway
+
+(** {2 QMA* accounting (Definition 4 and inequality (1))} *)
+
+type star_costs = {
+  proof_alice : int;  (** gamma_1 *)
+  proof_bob : int;  (** gamma_2 *)
+  communication : int;  (** mu *)
+}
+
+(** [star_total c] is [QMAcc* = gamma_1 + gamma_2 + mu]. *)
+val star_total : star_costs -> int
+
+(** [qma_of_star c] is the inequality-(1) simulation cost
+    [gamma_1 + 2 gamma_2 + mu] of turning a QMA* protocol into a plain
+    QMA protocol (Alice receives both proofs and re-sends Bob's). *)
+val qma_of_star : star_costs -> int

@@ -1,0 +1,59 @@
+open Qdp_codes
+open Qdp_fingerprint
+
+type t = {
+  name : string;
+  problem : Problems.t;
+  total_qubits : int;
+  alice : Gf2.t -> Oneway.bundle;
+  bob : Gf2.t -> Oneway.bundle;
+  referee : Oneway.bundle -> Oneway.bundle -> float;
+}
+
+let accept_on_inputs p x y = p.referee (p.alice x) (p.bob y)
+
+let eq ~seed ~n =
+  let fp = Fingerprint.standard ~seed ~n in
+  let message x = [| Fingerprint.state fp x |] in
+  {
+    name = "EQ-SMP-fingerprint";
+    problem = Problems.eq n;
+    total_qubits = 2 * Fingerprint.qubits fp;
+    alice = message;
+    bob = message;
+    referee =
+      (fun ma mb ->
+        (* the referee's SWAP test on the two single-register messages *)
+        let ov = Qdp_linalg.Cx.norm2 (Oneway.bundle_overlap ma mb) in
+        (1. +. ov) /. 2.);
+  }
+
+let to_oneway p =
+  {
+    Oneway.name = p.name ^ "->oneway";
+    problem = p.problem;
+    message_qubits = p.total_qubits;
+    alice = p.alice;
+    accept_prob = (fun y bundle -> p.referee bundle (p.bob y));
+  }
+
+let repeat_and k p =
+  if k < 1 then invalid_arg "Smp.repeat_and: k >= 1";
+  let split bundle =
+    let total = Array.length bundle in
+    let per = total / k in
+    Array.init k (fun i -> Array.sub bundle (i * per) per)
+  in
+  {
+    name = Printf.sprintf "%s x%d(and)" p.name k;
+    problem = p.problem;
+    total_qubits = k * p.total_qubits;
+    alice = (fun x -> Array.concat (List.init k (fun _ -> p.alice x)));
+    bob = (fun y -> Array.concat (List.init k (fun _ -> p.bob y)));
+    referee =
+      (fun ma mb ->
+        let mas = split ma and mbs = split mb in
+        let acc = ref 1. in
+        Array.iteri (fun i a -> acc := !acc *. p.referee a mbs.(i)) mas;
+        !acc);
+  }

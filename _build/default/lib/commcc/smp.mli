@@ -1,0 +1,36 @@
+(** The simultaneous message passing (SMP) model of Section 2.2.1:
+    Alice and Bob each send one quantum message to a referee, who
+    outputs the function value.  [BQP||(f)] upper-bounds [BQP1(f)],
+    and the Hamming-distance instances of Section 6 are all stated as
+    SMP protocols in their sources (Yao03, LZ13, DM18). *)
+
+open Qdp_codes
+
+type t = {
+  name : string;
+  problem : Problems.t;
+  total_qubits : int;  (** charged size of both messages *)
+  alice : Gf2.t -> Oneway.bundle;
+  bob : Gf2.t -> Oneway.bundle;
+  referee : Oneway.bundle -> Oneway.bundle -> float;
+      (** acceptance probability on the two received bundles *)
+}
+
+(** [accept_on_inputs p x y] runs the honest protocol. *)
+val accept_on_inputs : t -> Gf2.t -> Gf2.t -> float
+
+(** [eq ~seed ~n] is the quantum-fingerprint SMP protocol for EQ
+    (Buhrman-Cleve-Watrous-de Wolf): the referee SWAP tests the two
+    fingerprints; one-sided towards acceptance, error
+    [(1 + (1 - delta)^2) / 2] on unequal inputs before repetition. *)
+val eq : seed:int -> n:int -> t
+
+(** [to_oneway p] realizes the simulation [BQP1(f) <= BQP||(f)] of
+    Section 2.2.1: Bob plays the referee, preparing his own SMP
+    message locally and running the referee's test on it together with
+    the message received from Alice. *)
+val to_oneway : t -> Oneway.t
+
+(** [repeat_and k p] amplifies a one-sided SMP protocol by [k]
+    independent copies, accepting only if all accept. *)
+val repeat_and : int -> t -> t

@@ -1,0 +1,138 @@
+open Qdp_codes
+
+let via_encoding ~name ~problem encode inner =
+  {
+    Oneway.name;
+    problem;
+    message_qubits = inner.Oneway.message_qubits;
+    alice = (fun x -> inner.Oneway.alice (encode x));
+    accept_prob = (fun y bundle -> inner.Oneway.accept_prob (encode y) bundle);
+  }
+
+let expand_weights weights x =
+  let total = Array.fold_left ( + ) 0 weights in
+  let out = Gf2.zero (max 1 total) in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i w ->
+      for _ = 1 to w do
+        if Gf2.get x i then Gf2.set out !pos true;
+        incr pos
+      done)
+    weights;
+  out
+
+let ltf ~seed ~weights ~theta =
+  Array.iter
+    (fun w -> if w < 0 then invalid_arg "Xor_functions.ltf: negative weight")
+    weights;
+  let n = Array.length weights in
+  let total = max 1 (Array.fold_left ( + ) 0 weights) in
+  let inner = Oneway.ham ~seed ~n:total ~d:(min theta total) in
+  let problem =
+    {
+      Problems.name = Printf.sprintf "LTF<=%d" theta;
+      n;
+      f =
+        (fun x y ->
+          let s = ref 0 in
+          Array.iteri
+            (fun i w -> if Gf2.get x i <> Gf2.get y i then s := !s + w)
+            weights;
+          !s <= theta);
+    }
+  in
+  via_encoding
+    ~name:(Printf.sprintf "LTF(theta=%d)" theta)
+    ~problem (expand_weights weights) inner
+
+let hypercube_distance ~seed ~bits ~d =
+  let inner = Oneway.ham ~seed ~n:bits ~d in
+  {
+    inner with
+    Oneway.name = Printf.sprintf "hypercube-dist<=%d" d;
+    problem =
+      {
+        Problems.name = Printf.sprintf "HCUBE<=%d" d;
+        n = bits;
+        f = (fun u v -> Gf2.hamming_distance u v <= d);
+      };
+  }
+
+let bits_per_symbol alphabet =
+  let rec go acc k = if k <= 1 then max 1 acc else go (acc + 1) ((k + 1) / 2) in
+  go 0 alphabet
+
+let encode_hamming_vertex ~coords ~alphabet symbols =
+  if Array.length symbols <> coords then
+    invalid_arg "Xor_functions.encode_hamming_vertex: coordinate count";
+  let b = bits_per_symbol alphabet in
+  let out = Gf2.zero (coords * b) in
+  Array.iteri
+    (fun c s ->
+      if s < 0 || s >= alphabet then
+        invalid_arg "Xor_functions.encode_hamming_vertex: symbol range";
+      for k = 0 to b - 1 do
+        if (s lsr (b - 1 - k)) land 1 = 1 then Gf2.set out ((c * b) + k) true
+      done)
+    symbols;
+  out
+
+(* one-hot re-encoding: the Hamming graph distance (number of differing
+   coordinates) becomes half the Hamming distance of the one-hot
+   strings -- the 2-scale hypercube embedding of Lemma 33. *)
+let one_hot ~coords ~alphabet packed =
+  let b = bits_per_symbol alphabet in
+  let out = Gf2.zero (coords * alphabet) in
+  for c = 0 to coords - 1 do
+    let s = ref 0 in
+    for k = 0 to b - 1 do
+      s := (!s lsl 1) lor (if Gf2.get packed ((c * b) + k) then 1 else 0)
+    done;
+    if !s < alphabet then Gf2.set out ((c * alphabet) + !s) true
+  done;
+  out
+
+let hamming_graph_distance ~seed ~coords ~alphabet ~d =
+  let b = bits_per_symbol alphabet in
+  let inner = Oneway.ham ~seed ~n:(coords * alphabet) ~d:(2 * d) in
+  let problem =
+    {
+      Problems.name = Printf.sprintf "HGRAPH<=%d" d;
+      n = coords * b;
+      f =
+        (fun u v ->
+          let diff = ref 0 in
+          for c = 0 to coords - 1 do
+            let differs = ref false in
+            for k = 0 to b - 1 do
+              if Gf2.get u ((c * b) + k) <> Gf2.get v ((c * b) + k) then
+                differs := true
+            done;
+            if !differs then incr diff
+          done;
+          !diff <= d);
+    }
+  in
+  via_encoding
+    ~name:(Printf.sprintf "H(%d,%d)-dist<=%d" coords alphabet d)
+    ~problem
+    (one_hot ~coords ~alphabet)
+    inner
+
+let l1_distance ~seed ~coords ~resolution ~d =
+  let hamming_bound =
+    int_of_float (Float.floor (d *. float_of_int resolution /. 2.))
+  in
+  let n = coords * resolution in
+  let inner = Oneway.ham ~seed ~n ~d:hamming_bound in
+  {
+    inner with
+    Oneway.name = Printf.sprintf "l1-dist<=%.3f" d;
+    problem =
+      {
+        Problems.name = Printf.sprintf "L1<=%.3f" d;
+        n;
+        f = (fun u v -> Gf2.hamming_distance u v <= hamming_bound);
+      };
+  }

@@ -1,0 +1,50 @@
+(** One-way protocol instances behind the Section 6.2 corollaries.
+
+    Each is an exact reduction to the Hamming-distance protocol through
+    an input re-encoding, so plugging them into the
+    {!Qdp_core.Oneway_compiler} yields the dQMA protocols of
+    Corollaries 35 (l1-graph distances), 37 (l1 distances of quantized
+    vectors) and 39 (linear threshold functions of [x xor y]). *)
+
+open Qdp_codes
+
+(** [via_encoding ~name ~problem encode inner] lifts a one-way protocol
+    through an input encoding: Alice and Bob apply [encode] before
+    running [inner].  The cost is [inner]'s. *)
+val via_encoding :
+  name:string -> problem:Problems.t -> (Gf2.t -> Gf2.t) -> Oneway.t -> Oneway.t
+
+(** [ltf ~seed ~weights ~theta] decides the linear threshold function
+    [sum_i w_i (x_i xor y_i) <= theta] (Corollary 39 with non-negative
+    integer weights): coordinate [i] is repeated [w_i] times, turning
+    the weighted sum into a plain Hamming distance. *)
+val ltf : seed:int -> weights:int array -> theta:int -> Oneway.t
+
+(** [hypercube_distance ~seed ~bits ~d] decides
+    [dist_H(u, v) <= d] on the [bits]-dimensional hypercube, whose path
+    metric {e is} the Hamming distance of the vertex labels — the
+    simplest [l_1]-graph of Corollary 35.  Inputs are labels as
+    [bits]-bit vectors. *)
+val hypercube_distance : seed:int -> bits:int -> d:int -> Oneway.t
+
+(** [hamming_graph_distance ~seed ~coords ~alphabet ~d] decides the
+    path distance on the Hamming graph [H(coords, alphabet)] (vertices:
+    strings of [coords] symbols; edges: differ in one coordinate) —
+    a 2-scale embedding into the hypercube by one-hot coordinate
+    encoding (Lemma 33's scale embedding made concrete).  Inputs pack
+    each coordinate as [ceil (log2 alphabet)] bits. *)
+val hamming_graph_distance :
+  seed:int -> coords:int -> alphabet:int -> d:int -> Oneway.t
+
+(** [encode_hamming_vertex ~coords ~alphabet symbols] packs a Hamming
+    graph vertex for {!hamming_graph_distance}. *)
+val encode_hamming_vertex : coords:int -> alphabet:int -> int array -> Gf2.t
+
+(** [l1_distance ~seed ~coords ~resolution ~d] decides
+    [||x - y||_1 <= d] for vectors in [[-1,1]^coords] quantized at
+    [resolution] levels per coordinate (Corollary 37), via the
+    thermometer encoding: l1 distance [2 h / resolution] for Hamming
+    distance [h].  Inputs are thermometer encodings
+    (see {!Oneway.thermometer}); the distance bound [d] is in l1
+    units. *)
+val l1_distance : seed:int -> coords:int -> resolution:int -> d:float -> Oneway.t

@@ -1,0 +1,1 @@
+lib/core/dqma.ml: Array Eq_path Eq_tree Float Format Gf2 Graph Gt List Printf Qdp_codes Qdp_network Random Relay Report Rpls Runtime_dma Set_eq Sim Variants

@@ -1,0 +1,1 @@
+lib/core/dqma.mli: Eq_path Eq_tree Format Gf2 Graph Gt Qdp_codes Qdp_network Relay Report Rpls Runtime_dma Set_eq Sim Variants

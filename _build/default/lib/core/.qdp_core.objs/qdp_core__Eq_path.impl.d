@@ -1,0 +1,1 @@
+lib/core/eq_path.ml: Array Fingerprint Float Gf2 List Printf Qdp_codes Qdp_fingerprint Qdp_log Report Sim States

@@ -1,0 +1,1 @@
+lib/core/eq_path.mli: Gf2 Qdp_codes Report

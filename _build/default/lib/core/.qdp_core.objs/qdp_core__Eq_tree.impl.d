@@ -1,0 +1,1 @@
+lib/core/eq_tree.ml: Array Eq_path Fingerprint Gf2 List Printf Qdp_codes Qdp_fingerprint Qdp_network Random Report Sim Spanning_tree States

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Cx Eig Float Gates List Mat Printf Pure Qdp_linalg Qdp_quantum Random States Vec

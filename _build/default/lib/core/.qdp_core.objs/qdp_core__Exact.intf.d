@@ -1,0 +1,1 @@
+lib/core/exact.mli: Qdp_linalg Random Vec

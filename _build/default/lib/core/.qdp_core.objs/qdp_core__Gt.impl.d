@@ -1,0 +1,1 @@
+lib/core/gt.ml: Eq_path Fingerprint Float Gf2 List Printf Qdp_codes Qdp_commcc Qdp_fingerprint Qdp_linalg Qdp_log Report Sim Vec

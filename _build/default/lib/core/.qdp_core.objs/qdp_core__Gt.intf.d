@@ -1,0 +1,1 @@
+lib/core/gt.mli: Gf2 Qdp_codes Qdp_linalg Report Sim

@@ -1,0 +1,1 @@
+lib/core/lower_bounds.ml: Array Cx Fingerprint Float Gf2 Hashtbl Qdp_codes Qdp_fingerprint Qdp_linalg Random Sim String Vec

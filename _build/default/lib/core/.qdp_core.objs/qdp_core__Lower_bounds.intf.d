@@ -1,0 +1,1 @@
+lib/core/lower_bounds.mli: Gf2 Qdp_codes Random

@@ -1,0 +1,1 @@
+lib/core/oneway_compiler.ml: Array Float Gf2 Graph List Oneway Printf Qdp_codes Qdp_commcc Qdp_network Report Sim Spanning_tree States

@@ -1,0 +1,1 @@
+lib/core/oneway_compiler.mli: Gf2 Graph Oneway Qdp_codes Qdp_commcc Qdp_network Report

@@ -1,0 +1,1 @@
+lib/core/qdp_log.mli: Logs

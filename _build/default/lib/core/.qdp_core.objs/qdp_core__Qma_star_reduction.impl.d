@@ -1,0 +1,1 @@
+lib/core/qma_star_reduction.ml: Array Qdp_commcc

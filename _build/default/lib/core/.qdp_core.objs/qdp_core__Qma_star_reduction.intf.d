@@ -1,0 +1,1 @@
+lib/core/qma_star_reduction.mli: Qdp_commcc

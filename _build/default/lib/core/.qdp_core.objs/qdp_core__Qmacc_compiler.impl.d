@@ -1,0 +1,1 @@
+lib/core/qmacc_compiler.ml: Array Eq_path Float List Lsd Printf Qdp_commcc Qdp_linalg Qma_comm Report Sim Vec

@@ -1,0 +1,1 @@
+lib/core/qmacc_compiler.mli: Lsd Qdp_commcc Qdp_linalg Qma_comm Report Vec

@@ -1,0 +1,1 @@
+lib/core/relay.ml: Array Fingerprint Float Gf2 List Printf Qdp_codes Qdp_fingerprint Report Sim

@@ -1,0 +1,1 @@
+lib/core/relay.mli: Gf2 Qdp_codes Report Sim

@@ -1,0 +1,1 @@
+lib/core/rpls.ml: Array Float Gf2 Graph List Qdp_codes Qdp_network Report Runtime

@@ -1,0 +1,1 @@
+lib/core/rpls.mli: Gf2 Qdp_codes Qdp_network Random Report

@@ -1,0 +1,1 @@
+lib/core/runtime_dma.ml: Array Gf2 Graph List Qdp_codes Qdp_network Runtime String

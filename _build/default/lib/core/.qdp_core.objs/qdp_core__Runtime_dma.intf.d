@@ -1,0 +1,1 @@
+lib/core/runtime_dma.mli: Gf2 Qdp_codes Qdp_network Runtime

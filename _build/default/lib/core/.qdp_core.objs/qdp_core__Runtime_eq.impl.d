@@ -1,0 +1,1 @@
+lib/core/runtime_eq.ml: Fingerprint Graph Qdp_fingerprint Qdp_linalg Qdp_network Random Runtime Sim States Vec

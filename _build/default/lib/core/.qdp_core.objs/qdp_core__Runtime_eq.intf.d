@@ -1,0 +1,1 @@
+lib/core/runtime_eq.mli: Gf2 Qdp_codes Qdp_network Random Runtime Sim

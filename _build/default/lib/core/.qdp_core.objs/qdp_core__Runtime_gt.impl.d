@@ -1,0 +1,1 @@
+lib/core/runtime_gt.ml: Gf2 Graph Gt Qdp_codes Qdp_commcc Qdp_linalg Qdp_network Random Runtime Sim States Vec

@@ -1,0 +1,1 @@
+lib/core/runtime_gt.mli: Gf2 Gt Qdp_codes Qdp_network Random Runtime Sim

@@ -1,0 +1,1 @@
+lib/core/runtime_tree.ml: Array Eq_tree Fingerprint Graph List Qdp_fingerprint Qdp_linalg Qdp_network Random Runtime Sim Spanning_tree States Vec

@@ -1,0 +1,1 @@
+lib/core/runtime_tree.mli: Eq_tree Gf2 Graph Qdp_codes Qdp_network Random Runtime

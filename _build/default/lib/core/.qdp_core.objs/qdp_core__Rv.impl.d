@@ -1,0 +1,1 @@
+lib/core/rv.ml: Array Eq_path Float Gf2 Gt List Printf Qdp_codes Qdp_network Report Sim Spanning_tree String

@@ -1,0 +1,1 @@
+lib/core/rv.mli: Gf2 Graph Qdp_codes Qdp_network Report Spanning_tree

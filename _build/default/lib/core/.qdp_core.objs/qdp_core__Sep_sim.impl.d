@@ -1,0 +1,1 @@
+lib/core/sep_sim.ml: Array Complex Cx Eig Float Mat Qdp_linalg Random Vec

@@ -1,0 +1,1 @@
+lib/core/sep_sim.mli: Mat Qdp_linalg Random Vec

@@ -1,0 +1,1 @@
+lib/core/set_eq.ml: Array Complex Cx Eig Eq_path Fingerprint Float List Mat Printf Qdp_fingerprint Qdp_linalg Report Sim Vec

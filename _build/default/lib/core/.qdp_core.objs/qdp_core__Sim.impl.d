@@ -1,0 +1,1 @@
+lib/core/sim.ml: Array Complex Cx Float Hashtbl List Oneway Qdp_commcc Qdp_linalg Qdp_network Qdp_quantum Random States

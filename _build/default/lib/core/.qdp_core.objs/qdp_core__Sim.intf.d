@@ -1,0 +1,1 @@
+lib/core/sim.mli: Oneway Qdp_commcc Qdp_linalg Qdp_network Random

@@ -1,0 +1,1 @@
+lib/core/states.ml: Complex Cx Float Qdp_linalg Vec

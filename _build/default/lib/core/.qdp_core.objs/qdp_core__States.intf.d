@@ -1,0 +1,1 @@
+lib/core/states.mli: Qdp_linalg Vec

@@ -1,0 +1,1 @@
+lib/core/variants.ml: Array Eq_path Fingerprint Float Gf2 List Printf Qdp_codes Qdp_fingerprint Report Sim

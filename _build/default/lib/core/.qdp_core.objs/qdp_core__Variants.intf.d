@@ -1,0 +1,1 @@
+lib/core/variants.mli: Gf2 Qdp_codes Report

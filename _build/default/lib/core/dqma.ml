@@ -1,0 +1,283 @@
+open Qdp_codes
+open Qdp_network
+
+type model = DMA | DQMA | DQMA_sep | DQMA_sep_sep | DQCMA
+
+let pp_model fmt m =
+  Format.pp_print_string fmt
+    (match m with
+    | DMA -> "dMA"
+    | DQMA -> "dQMA"
+    | DQMA_sep -> "dQMA^sep"
+    | DQMA_sep_sep -> "dQMA^sep,sep"
+    | DQCMA -> "dQCMA")
+
+type ('i, 'p) protocol = {
+  name : string;
+  model : model;
+  rounds : int;
+  repetitions : int;
+  value : 'i -> bool;
+  honest : 'i -> 'p option;
+  accept : 'i -> 'p -> float;
+  attacks : 'i -> (string * 'p) list;
+  costs : 'i -> Report.costs;
+}
+
+type evaluation = {
+  instance_is_yes : bool;
+  honest_accept : float;
+  best_attack : float;
+  best_attack_name : string;
+  meets_spec : bool;
+}
+
+let evaluate p inst =
+  let amplify v = Sim.repeat_accept p.repetitions v in
+  let instance_is_yes = p.value inst in
+  let honest_accept =
+    match p.honest inst with
+    | Some prover -> amplify (p.accept inst prover)
+    | None -> 0.
+  in
+  let best_attack, best_attack_name =
+    List.fold_left
+      (fun (best, name) (n, prover) ->
+        let a = amplify (p.accept inst prover) in
+        if a > best then (a, n) else (best, name))
+      (0., "none") (p.attacks inst)
+  in
+  let meets_spec =
+    if instance_is_yes then honest_accept >= 2. /. 3.
+    else Float.max best_attack honest_accept <= 1. /. 3.
+  in
+  { instance_is_yes; honest_accept; best_attack; best_attack_name; meets_spec }
+
+let pp_evaluation fmt (name, e) =
+  Format.fprintf fmt
+    "%-28s %-3s honest %.4f | best attack %9.3e (%s) | %s" name
+    (if e.instance_is_yes then "YES" else "NO")
+    e.honest_accept e.best_attack e.best_attack_name
+    (if e.meets_spec then "spec OK" else "SPEC VIOLATED")
+
+type pair_instance = Gf2.t * Gf2.t
+
+type multi_instance = {
+  graph : Graph.t;
+  terminals : int list;
+  inputs : Gf2.t array;
+}
+
+let eq_path (params : Eq_path.params) =
+  {
+    name = Printf.sprintf "EQ path (r=%d)" params.Eq_path.r;
+    model = DQMA_sep;
+    rounds = 1;
+    repetitions = params.Eq_path.repetitions;
+    value = (fun (x, y) -> Gf2.equal x y);
+    honest =
+      (fun (x, y) -> if Gf2.equal x y then Some Eq_path.Honest else None);
+    accept = (fun (x, y) s -> Eq_path.single_round_accept params x y s);
+    attacks = (fun (x, y) -> Eq_path.attack_library params x y);
+    costs = (fun _ -> Eq_path.costs params);
+  }
+
+let eq_tree (params : Eq_tree.params) =
+  {
+    name = "EQ^t tree";
+    model = DQMA_sep;
+    rounds = 1;
+    repetitions = params.Eq_tree.repetitions;
+    value =
+      (fun mi -> Array.for_all (fun v -> Gf2.equal v mi.inputs.(0)) mi.inputs);
+    honest =
+      (fun mi ->
+        if Array.for_all (fun v -> Gf2.equal v mi.inputs.(0)) mi.inputs then
+          Some Eq_tree.Honest
+        else None);
+    accept =
+      (fun mi s ->
+        Eq_tree.single_round_accept params mi.graph ~terminals:mi.terminals
+          ~inputs:mi.inputs s);
+    attacks = (fun mi -> Eq_tree.attack_library ~inputs:mi.inputs);
+    costs =
+      (fun mi ->
+        Eq_tree.costs params (Eq_tree.tree_of mi.graph ~terminals:mi.terminals));
+  }
+
+let gt (params : Gt.params) =
+  {
+    name = Printf.sprintf "GT path (r=%d)" params.Gt.r;
+    model = DQMA_sep;
+    rounds = 1;
+    repetitions = params.Gt.repetitions;
+    value = (fun (x, y) -> Gf2.compare_big_endian x y > 0);
+    honest =
+      (fun (x, y) ->
+        if Gf2.compare_big_endian x y > 0 then Some (Gt.honest_prover x y)
+        else None);
+    accept = (fun (x, y) p -> Gt.single_round_accept params x y p);
+    attacks = (fun (x, y) -> Gt.attack_library params x y);
+    costs = (fun _ -> Gt.costs params);
+  }
+
+let relay (params : Relay.params) =
+  {
+    name = Printf.sprintf "EQ relay (r=%d)" params.Relay.r;
+    model = DQMA_sep;
+    rounds = 1;
+    (* relay segments amplify internally; no outer repetition *)
+    repetitions = 1;
+    value = (fun (x, y) -> Gf2.equal x y);
+    honest =
+      (fun (x, y) ->
+        if Gf2.equal x y then Some (Relay.honest_prover params x) else None);
+    accept = (fun (x, y) p -> Relay.accept params x y p);
+    attacks = (fun (x, y) -> Relay.attack_library params x y);
+    costs = (fun _ -> Relay.costs params);
+  }
+
+let dqcma (params : Variants.params) =
+  {
+    name = Printf.sprintf "dQCMA EQ (r=%d)" params.Variants.r;
+    model = DQCMA;
+    rounds = 1;
+    repetitions = params.Variants.repetitions;
+    value = (fun (x, y) -> Gf2.equal x y);
+    honest =
+      (fun (x, y) ->
+        if Gf2.equal x y then Some Variants.Honest_strings else None);
+    accept = (fun (x, y) p -> Variants.single_accept params x y p);
+    attacks =
+      (fun (x, y) ->
+        let r = params.Variants.r in
+        let all v = Variants.Strings (Array.make (r - 1) v) in
+        [ ("all-x", all x); ("all-y", all y) ]
+        @ List.init (r - 1) (fun j ->
+              ( Printf.sprintf "switch@%d" (j + 1),
+                Variants.Strings
+                  (Array.init (r - 1) (fun i -> if i < j then x else y)) )));
+    costs = (fun _ -> Variants.costs params);
+  }
+
+let dma_trivial ~n ~r =
+  {
+    name = Printf.sprintf "dMA trivial (r=%d)" r;
+    model = DMA;
+    rounds = 1;
+    repetitions = 1;
+    value = (fun (x, y) -> Gf2.equal x y);
+    honest =
+      (fun (x, y) -> if Gf2.equal x y then Some (Runtime_dma.Honest x) else None);
+    accept =
+      (fun (x, y) p -> if fst (Runtime_dma.run ~r x y p) then 1.0 else 0.0);
+    attacks =
+      (fun (x, y) ->
+        [ ("write-x", Runtime_dma.Honest x); ("write-y", Runtime_dma.Honest y) ]);
+    costs =
+      (fun _ ->
+        {
+          Report.local_proof_qubits = Runtime_dma.bits_per_node ~n;
+          total_proof_qubits = (r + 1) * n;
+          local_message_qubits = 2 * n;
+          total_message_qubits = 2 * r * n;
+          rounds = 1;
+        });
+  }
+
+let rpls (params : Rpls.params) =
+  {
+    name = Printf.sprintf "RPLS EQ (r=%d)" params.Rpls.r;
+    model = DMA;
+    rounds = 1;
+    repetitions = 1;
+    value = (fun (x, y) -> Gf2.equal x y);
+    honest =
+      (fun (x, y) -> if Gf2.equal x y then Some (Rpls.Write x) else None);
+    accept = (fun (x, y) p -> Rpls.accept_probability params x y p);
+    attacks =
+      (fun (x, y) ->
+        let r = params.Rpls.r in
+        [ ("write-x", Rpls.Write x); ("write-y", Rpls.Write y);
+          ( "split",
+            Rpls.Write_each
+              (Array.init (r + 1) (fun j -> if j <= r / 2 then x else y)) ) ]);
+    costs = (fun _ -> Rpls.costs params);
+  }
+
+let set_eq (params : Set_eq.params) =
+  let sorted s =
+    let l = List.map Gf2.to_string (Array.to_list s) in
+    List.sort compare l
+  in
+  {
+    name = Printf.sprintf "SetEq (k=%d, r=%d)" params.Set_eq.k params.Set_eq.r;
+    model = DQMA_sep;
+    rounds = 1;
+    repetitions = params.Set_eq.repetitions;
+    value = (fun (s, t) -> sorted s = sorted t);
+    honest =
+      (fun (s, t) -> if sorted s = sorted t then Some Sim.All_left else None);
+    accept = (fun (s, t) strat -> Set_eq.single_round_accept params s t strat);
+    attacks =
+      (fun _ ->
+        [ ("all-left", Sim.All_left); ("all-right", Sim.All_right);
+          ("geodesic", Sim.Geodesic) ]);
+    costs = (fun _ -> Set_eq.costs params);
+  }
+
+type packed = Packed : ('i, 'p) protocol * 'i -> packed
+
+let demo_suite ~seed =
+  let st = Random.State.make [| seed; 0xd9a |] in
+  let n = 24 and r = 4 in
+  let x = Gf2.random st n in
+  let y =
+    let rec go () =
+      let y = Gf2.random st n in
+      if Gf2.equal x y then go () else y
+    in
+    go ()
+  in
+  let big, small =
+    if Gf2.compare_big_endian x y > 0 then (x, y) else (y, x)
+  in
+  let k = Eq_path.paper_repetitions ~r in
+  let eqp = Eq_path.make ~repetitions:k ~seed ~n ~r () in
+  let gtp = Gt.make ~repetitions:k ~seed ~n ~r () in
+  let rel = Relay.make ~seed ~n ~r:12 () in
+  let dqc = Variants.make ~repetitions:64 ~seed ~n ~r () in
+  let tree_params = Eq_tree.make ~repetitions:k ~seed ~n ~r:2 () in
+  let star = Graph.star 4 in
+  let terminals = [ 1; 2; 3; 4 ] in
+  let mk_multi inputs = { graph = star; terminals; inputs } in
+  [
+    Packed (eq_path eqp, (Gf2.copy x, Gf2.copy x));
+    Packed (eq_path eqp, (Gf2.copy x, Gf2.copy y));
+    Packed (eq_tree tree_params, mk_multi (Array.make 4 (Gf2.copy x)));
+    Packed
+      ( eq_tree tree_params,
+        mk_multi [| Gf2.copy x; Gf2.copy x; Gf2.copy x; Gf2.copy y |] );
+    Packed (gt gtp, (Gf2.copy big, Gf2.copy small));
+    Packed (gt gtp, (Gf2.copy small, Gf2.copy big));
+    Packed (relay rel, (Gf2.copy x, Gf2.copy x));
+    Packed (relay rel, (Gf2.copy x, Gf2.copy y));
+    Packed (dqcma dqc, (Gf2.copy x, Gf2.copy x));
+    Packed (dqcma dqc, (Gf2.copy x, Gf2.copy y));
+    Packed (dma_trivial ~n ~r, (Gf2.copy x, Gf2.copy x));
+    Packed (dma_trivial ~n ~r, (Gf2.copy x, Gf2.copy y));
+    (let rp = { Rpls.n; r; parity_checks = 4 } in
+     Packed (rpls rp, (Gf2.copy x, Gf2.copy x)));
+    (let rp = { Rpls.n; r; parity_checks = 4 } in
+     Packed (rpls rp, (Gf2.copy x, Gf2.copy y)));
+    (let sp = Set_eq.make ~repetitions:k ~seed ~n ~k:3 ~r () in
+     let set = Array.init 3 (fun i -> Gf2.of_int ~width:n (i + 5)) in
+     let perm = [| set.(2); set.(0); set.(1) |] in
+     Packed (set_eq sp, (set, perm)));
+    (let sp = Set_eq.make ~repetitions:k ~seed ~n ~k:3 ~r () in
+     let set = Array.init 3 (fun i -> Gf2.of_int ~width:n (i + 5)) in
+     let other = Array.init 3 (fun i -> Gf2.of_int ~width:n (i + 900)) in
+     Packed (set_eq sp, (set, other)));
+  ]
+
+let evaluate_packed (Packed (p, inst)) = (p.name, evaluate p inst)

@@ -1,0 +1,109 @@
+(** Distributed Merlin-Arthur verification as a first-class value —
+    Definitions 5-8 of the paper as code.
+
+    A protocol packages the predicate, the honest prover, the exact
+    acceptance function, a library of cheating provers, the repetition
+    count and the cost accounting.  The generic harness then evaluates
+    completeness and (attack-library) soundness uniformly, which is
+    what the conformance runner ([bin/tables.exe check]) and the CLI
+    iterate over.
+
+    Every protocol module in this library is exposed here as an
+    adapter, so downstream users can treat "a dQMA protocol" as a
+    value: pick one, hand it instances, read off acceptance numbers
+    and costs. *)
+
+open Qdp_codes
+open Qdp_network
+
+(** Which proof/communication model the protocol lives in
+    (Definitions 5, 6, 7, 8 — plus the classical-proof dQCMA variant
+    of Section 1.5). *)
+type model = DMA | DQMA | DQMA_sep | DQMA_sep_sep | DQCMA
+
+(** [pp_model] prints e.g. ["dQMA^sep"]. *)
+val pp_model : Format.formatter -> model -> unit
+
+(** A verification protocol over instances ['i] with prover strategies
+    ['p]. *)
+type ('i, 'p) protocol = {
+  name : string;
+  model : model;
+  rounds : int;
+  repetitions : int;  (** parallel repetitions applied by {!evaluate} *)
+  value : 'i -> bool;  (** the predicate being verified *)
+  honest : 'i -> 'p option;
+      (** the completeness prover ([None] on no instances) *)
+  accept : 'i -> 'p -> float;  (** exact single-repetition acceptance *)
+  attacks : 'i -> (string * 'p) list;  (** cheating-prover library *)
+  costs : 'i -> Report.costs;
+}
+
+(** The uniform evaluation of a protocol on an instance. *)
+type evaluation = {
+  instance_is_yes : bool;
+  honest_accept : float;  (** amplified; 0 when [honest] is [None] *)
+  best_attack : float;  (** amplified best of the attack library *)
+  best_attack_name : string;
+  meets_spec : bool;
+      (** yes instances: honest acceptance >= 2/3; no instances: best
+          attack <= 1/3 *)
+}
+
+(** [evaluate p inst] runs the harness. *)
+val evaluate : ('i, 'p) protocol -> 'i -> evaluation
+
+(** [pp_evaluation] prints a one-line summary. *)
+val pp_evaluation : Format.formatter -> string * evaluation -> unit
+
+(** {2 Adapters for the protocols in this library} *)
+
+(** Instances of the two-party problems on a path: [(x, y)]. *)
+type pair_instance = Gf2.t * Gf2.t
+
+(** Instances of the multi-terminal problems: the network, terminal
+    vertices, and per-terminal inputs. *)
+type multi_instance = {
+  graph : Graph.t;
+  terminals : int list;
+  inputs : Gf2.t array;
+}
+
+(** [eq_path params] — Algorithm 3/4 (Theorem 19, path case). *)
+val eq_path : Eq_path.params -> (pair_instance, Eq_path.strategy) protocol
+
+(** [eq_tree params] — Algorithm 5 (Theorem 19). *)
+val eq_tree : Eq_tree.params -> (multi_instance, Eq_tree.strategy) protocol
+
+(** [gt params] — Algorithm 7 (Theorem 26). *)
+val gt : Gt.params -> (pair_instance, Gt.prover) protocol
+
+(** [relay params] — Algorithm 6 (Theorem 22). *)
+val relay : Relay.params -> (pair_instance, Relay.prover) protocol
+
+(** [dqcma params] — the classical-proof variant of Section 1.5. *)
+val dqcma : Variants.params -> (pair_instance, Variants.prover) protocol
+
+(** [dma_trivial ~n ~r] — the trivial classical baseline (full string
+    at every node). *)
+val dma_trivial : n:int -> r:int -> (pair_instance, Runtime_dma.prover) protocol
+
+(** [rpls params] — the randomized proof-labeling scheme (FPSP19). *)
+val rpls : Rpls.params -> (pair_instance, Rpls.prover) protocol
+
+(** [set_eq params] — Set Equality via set fingerprints; instances are
+    pairs of element arrays. *)
+val set_eq :
+  Set_eq.params -> (Gf2.t array * Gf2.t array, Sim.chain_strategy) protocol
+
+(** {2 Conformance suite} *)
+
+(** A protocol packaged with a concrete instance, existentially. *)
+type packed = Packed : ('i, 'p) protocol * 'i -> packed
+
+(** [demo_suite ~seed] builds one yes and one no instance of each
+    adapter above (small, fast parameters). *)
+val demo_suite : seed:int -> packed list
+
+(** [evaluate_packed p] runs {!evaluate} under the existential. *)
+val evaluate_packed : packed -> string * evaluation

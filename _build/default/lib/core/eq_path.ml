@@ -1,0 +1,151 @@
+open Qdp_codes
+open Qdp_fingerprint
+
+type params = { n : int; r : int; seed : int; repetitions : int }
+
+let paper_repetitions ~r =
+  int_of_float (Float.ceil (2. *. 81. *. float_of_int (r * r) /. 4.))
+
+let make ?repetitions ~seed ~n ~r () =
+  if r < 1 then invalid_arg "Eq_path.make: r >= 1";
+  let repetitions =
+    match repetitions with Some k -> k | None -> paper_repetitions ~r
+  in
+  { n; r; seed; repetitions }
+
+type strategy = Honest | Constant of Gf2.t | Interpolate | Step of int
+
+let fingerprint params = Fingerprint.standard ~seed:params.seed ~n:params.n
+
+let instance params x y strategy =
+  let fp = fingerprint params in
+  let hx = Fingerprint.state fp x in
+  let node_state =
+    match strategy with
+    | Honest -> fun _ -> hx
+    | Constant z ->
+        let hz = Fingerprint.state fp z in
+        fun _ -> hz
+    | Interpolate ->
+        let hy = Fingerprint.state fp y in
+        fun j ->
+          States.geodesic hx hy (float_of_int j /. float_of_int params.r)
+    | Step cut ->
+        let hy = Fingerprint.state fp y in
+        fun j -> if j <= cut then hx else hy
+  in
+  {
+    Sim.length = params.r;
+    left_accept = 1.0;
+    left_send = [| hx |];
+    pairs =
+      Array.init (params.r - 1) (fun i ->
+          let s = node_state (i + 1) in
+          ([| s |], [| s |]));
+    final_accept =
+      (fun reg ->
+        if Array.length reg <> 1 then
+          invalid_arg "Eq_path: register shape mismatch";
+        Fingerprint.accept_prob fp y reg.(0));
+  }
+
+let single_round_accept params x y strategy =
+  Sim.path_accept (instance params x y strategy)
+
+let accept params x y strategy =
+  Sim.repeat_accept params.repetitions (single_round_accept params x y strategy)
+
+let attack_library params x y =
+  let mid = max 0 (params.r / 2) in
+  [
+    ("constant-x", Constant x);
+    ("constant-y", Constant y);
+    ("interpolate", Interpolate);
+    (Printf.sprintf "step@%d" mid, Step mid);
+  ]
+
+let best_attack_accept params x y =
+  List.fold_left
+    (fun (best, best_name) (name, s) ->
+      let p = single_round_accept params x y s in
+      Qdp_log.Log.debug (fun m ->
+          m "eq_path attack %s: single-round accept %.6f" name p);
+      if p > best then (p, name) else (best, best_name))
+    (0., "none")
+    (attack_library params x y)
+
+let soundness_bound_single ~r =
+  1. -. (4. /. (81. *. float_of_int (r * r)))
+
+let fingerprint_qubits params = Fingerprint.qubits_of_n params.n
+
+let costs params =
+  let q = fingerprint_qubits params in
+  let k = params.repetitions in
+  {
+    Report.local_proof_qubits = (if params.r >= 2 then 2 * k * q else 0);
+    total_proof_qubits = (params.r - 1) * 2 * k * q;
+    local_message_qubits = k * q;
+    total_message_qubits = params.r * k * q;
+    rounds = 1;
+  }
+
+(* FGNP21 forwarding variant: coins f_j in {keep, forward} per node
+   (f_0 = forward for v_0, which always sends its own fingerprint).
+   Node j's test against the arriving register fires iff f_{j-1} =
+   forward and f_j = keep (a forwarding node has already given its
+   register away); v_r's POVM fires iff f_{r-1} = forward.  A
+   2-state transfer DP marginalizes the coins exactly. *)
+let fgnp_forwarding_accept params x y strategy =
+  let fp = fingerprint params in
+  let hx = Fingerprint.state fp x in
+  let node_state =
+    match strategy with
+    | Honest -> fun _ -> hx
+    | Constant z ->
+        let hz = Fingerprint.state fp z in
+        fun _ -> hz
+    | Interpolate ->
+        let hy = Fingerprint.state fp y in
+        fun j -> States.geodesic hx hy (float_of_int j /. float_of_int params.r)
+    | Step cut ->
+        let hy = Fingerprint.state fp y in
+        fun j -> if j <= cut then hx else hy
+  in
+  let r = params.r in
+  if r = 1 then Fingerprint.accept_prob fp y hx
+  else begin
+    let state j = if j = 0 then hx else node_state j in
+    let swap j j' =
+      Sim.swap_accept [| state j |] [| state j' |]
+    in
+    (* v.(f) = E[prod of tests among v_1..v_j | coin of node j = f];
+       f = 1 means "forward". *)
+    let v = ref [| 1.0; 1.0 |] in
+    (* node 1: its test fires iff v_0 forwarded (always) and f_1 = keep *)
+    v := [| swap 0 1; 1.0 |];
+    for j = 2 to r - 1 do
+      let test f_prev f_cur =
+        if f_prev = 1 && f_cur = 0 then swap (j - 1) j else 1.0
+      in
+      let next =
+        Array.init 2 (fun f_cur ->
+            0.5 *. ((!v.(0) *. test 0 f_cur) +. (!v.(1) *. test 1 f_cur)))
+      in
+      v := next
+    done;
+    let final = Fingerprint.accept_prob fp y (state (r - 1)) in
+    (* v_r tests only when v_{r-1} forwarded *)
+    0.5 *. ((!v.(0) *. 1.0) +. (!v.(1) *. final))
+  end
+
+let fgnp_costs params =
+  let q = fingerprint_qubits params in
+  let k = params.repetitions in
+  {
+    Report.local_proof_qubits = (if params.r >= 2 then k * q else 0);
+    total_proof_qubits = (params.r - 1) * k * q;
+    local_message_qubits = k * q;
+    total_message_qubits = params.r * k * q;
+    rounds = 1;
+  }

@@ -1,0 +1,83 @@
+(** The improved dQMA protocol for EQ on a path (Section 3.2,
+    Algorithms 3 and 4).
+
+    Nodes [v_0 .. v_r] hold [x] at [v_0] and [y] at [v_r].  The prover
+    hands each intermediate node two fingerprint registers; each node
+    symmetrizes its pair, forwards one register rightward, SWAP tests
+    the arriving register against the kept one, and [v_r] runs the
+    fingerprint POVM of the one-way EQ protocol [pi].
+
+    Completeness is perfect; a single round has soundness
+    [1 - 4 / (81 r^2)] (Lemma 17), driven below [1/3] by
+    [k = ceil (2 * 81 r^2 / 4)] parallel repetitions. *)
+
+open Qdp_codes
+
+type params = {
+  n : int;  (** input length *)
+  r : int;  (** path length: nodes [v_0 .. v_r], [r >= 1] *)
+  seed : int;  (** fingerprint-code seed *)
+  repetitions : int;  (** parallel repetitions [k] *)
+}
+
+(** [paper_repetitions ~r] is the paper's [k = ceil (2 * 81 r^2 / 4)]. *)
+val paper_repetitions : r:int -> int
+
+(** [make ?repetitions ~seed ~n ~r ()] fills in
+    [repetitions = paper_repetitions ~r] by default. *)
+val make : ?repetitions:int -> seed:int -> n:int -> r:int -> unit -> params
+
+(** A product prover strategy: what the intermediate nodes receive. *)
+type strategy =
+  | Honest  (** all registers [|h_x>] — the completeness prover *)
+  | Constant of Gf2.t  (** all registers the fingerprint of a fixed string *)
+  | Interpolate
+      (** node [j] receives the geodesic point [j / r] of the arc from
+          [|h_x>] to [|h_y>] — the strongest known product attack, with
+          single-round acceptance [1 - Theta(1/r)] matching the Lemma
+          17 bound's shape *)
+  | Step of int  (** [|h_x>] up to node [j], [|h_y>] after — an abrupt switch *)
+
+(** [single_round_accept params x y strategy] is the exact acceptance
+    probability of one repetition (all nodes accept). *)
+val single_round_accept : params -> Gf2.t -> Gf2.t -> strategy -> float
+
+(** [accept params x y strategy] is the [k]-repetition acceptance
+    [single^k]. *)
+val accept : params -> Gf2.t -> Gf2.t -> strategy -> float
+
+(** [attack_library params x y] names the built-in cheating strategies
+    evaluated by {!best_attack_accept}. *)
+val attack_library : params -> Gf2.t -> Gf2.t -> (string * strategy) list
+
+(** [best_attack_accept params x y] is the max single-round acceptance
+    over the attack library — an empirical lower bound on the
+    protocol's soundness error (after taking the [k]-th power). *)
+val best_attack_accept : params -> Gf2.t -> Gf2.t -> float * string
+
+(** [soundness_bound_single ~r] is the paper's single-round bound
+    [1 - 4 / (81 r^2)]. *)
+val soundness_bound_single : r:int -> float
+
+(** [fgnp_forwarding_accept params x y strategy] is the exact
+    acceptance of the FGNP21-style variant {e without} the
+    symmetrization step: each intermediate node holds a single
+    fingerprint register and forwards it rightward with probability
+    1/2; the SWAP test at node [j + 1] fires only when node [j]
+    forwarded and node [j + 1] kept, and [v_r]'s POVM fires only when
+    [v_{r-1}] forwarded.  Halves the proof registers but weakens the
+    per-round soundness — the ablation behind the paper's
+    symmetrization step (Section 1.3). *)
+val fgnp_forwarding_accept : params -> Gf2.t -> Gf2.t -> strategy -> float
+
+(** [fgnp_costs params] accounts the forwarding variant: one register
+    per intermediate node per repetition. *)
+val fgnp_costs : params -> Report.costs
+
+(** [costs params] accounts Algorithm 4: each intermediate node
+    receives [2 k] fingerprint registers; each node forwards [k]. *)
+val costs : params -> Report.costs
+
+(** [fingerprint_qubits params] is the size of one fingerprint
+    register. *)
+val fingerprint_qubits : params -> int

@@ -1,0 +1,101 @@
+open Qdp_codes
+open Qdp_fingerprint
+open Qdp_network
+
+type params = {
+  n : int;
+  seed : int;
+  repetitions : int;
+  use_permutation_test : bool;
+}
+
+let make ?repetitions ?(use_permutation_test = true) ~seed ~n ~r () =
+  let repetitions =
+    match repetitions with
+    | Some k -> k
+    | None -> Eq_path.paper_repetitions ~r
+  in
+  { n; seed; repetitions; use_permutation_test }
+
+type strategy = Honest | Constant of Gf2.t | Depth_interpolate of int
+
+let tree_of g ~terminals = Spanning_tree.build g ~terminals
+
+let instance params tr ~inputs strategy =
+  let fp = Fingerprint.standard ~seed:params.seed ~n:params.n in
+  let states = Array.map (Fingerprint.state fp) inputs in
+  let height = max 1 (Spanning_tree.height tr) in
+  let internal_state =
+    match strategy with
+    | Honest -> fun _ -> states.(0)
+    | Constant z ->
+        let hz = Fingerprint.state fp z in
+        fun _ -> hz
+    | Depth_interpolate target ->
+        let hr = states.(0) and ht = states.(target) in
+        fun v ->
+          (* deeper nodes sit closer to the leaves, hence closer to the
+             target terminal's fingerprint *)
+          let t =
+            float_of_int (Spanning_tree.depth tr v) /. float_of_int height
+          in
+          States.geodesic hr ht t
+  in
+  {
+    Sim.tree = tr;
+    root_state = [| states.(0) |];
+    leaf_state =
+      (fun v ->
+        match Spanning_tree.terminal_of tr v with
+        | Some i -> [| states.(i) |]
+        | None -> invalid_arg "Eq_tree: leaf_state on non-terminal");
+    internal_pair =
+      (fun v ->
+        let s = internal_state v in
+        ([| s |], [| s |]));
+    use_permutation_test = params.use_permutation_test;
+  }
+
+let single_round_accept params g ~terminals ~inputs strategy =
+  let tr = tree_of g ~terminals in
+  let st = Random.State.make [| params.seed; 0x5ee; Spanning_tree.size tr |] in
+  Sim.tree_accept st (instance params tr ~inputs strategy)
+
+let accept params g ~terminals ~inputs strategy =
+  Sim.repeat_accept params.repetitions
+    (single_round_accept params g ~terminals ~inputs strategy)
+
+let attack_library ~inputs =
+  let t = Array.length inputs in
+  ("constant-x1", Constant inputs.(0))
+  :: List.concat
+       (List.init (t - 1) (fun i ->
+            [
+              (Printf.sprintf "constant-x%d" (i + 2), Constant inputs.(i + 1));
+              ( Printf.sprintf "interpolate->%d" (i + 2),
+                Depth_interpolate (i + 1) );
+            ]))
+
+let best_attack_accept params g ~terminals ~inputs =
+  let attacks = attack_library ~inputs in
+  List.fold_left
+    (fun (best, best_name) (name, s) ->
+      let p = single_round_accept params g ~terminals ~inputs s in
+      if p > best then (p, name) else (best, best_name))
+    (0., "none") attacks
+
+let costs params tr =
+  let q = Fingerprint.qubits_of_n params.n in
+  let k = params.repetitions in
+  let internal = List.length (Spanning_tree.internal_nodes tr) in
+  let non_root = Spanning_tree.size tr - 1 in
+  let cert = 2 * Report.ceil_log2 (Spanning_tree.size tr) in
+  {
+    Report.local_proof_qubits =
+      (if internal > 0 then (2 * k * q) + cert else cert);
+    total_proof_qubits =
+      (internal * 2 * k * q) + (Spanning_tree.size tr * cert);
+    local_message_qubits = k * q;
+    total_message_qubits = non_root * k * q;
+    rounds = 1;
+  }

@@ -1,0 +1,76 @@
+(** The dQMA protocol for [EQ^t_n] on general graphs (Section 3.3,
+    Algorithm 5, Theorem 19).
+
+    The network first agrees on the Section 3.3 spanning tree (checked
+    by the Lemma 18 certificate); every non-terminal tree node receives
+    two fingerprint registers, symmetrizes, forwards one to its parent
+    and permutation-tests the kept one together with everything
+    arriving from its children; the root tests its own fingerprint
+    against its children's registers.
+
+    Setting [use_permutation_test = false] reproduces the FGNP21
+    baseline in which every node SWAP tests against one uniformly
+    random child — the ablation behind the paper's improvement from
+    [O(t r^2 log n)] to [O(r^2 log n)]. *)
+
+open Qdp_codes
+open Qdp_network
+
+type params = {
+  n : int;
+  seed : int;
+  repetitions : int;
+  use_permutation_test : bool;
+}
+
+(** [make ?repetitions ?use_permutation_test ~seed ~n ~r ()] defaults
+    to the paper's protocol with [Eq_path.paper_repetitions ~r]
+    repetitions ([r] should be the tree height). *)
+val make :
+  ?repetitions:int ->
+  ?use_permutation_test:bool ->
+  seed:int ->
+  n:int ->
+  r:int ->
+  unit ->
+  params
+
+type strategy =
+  | Honest  (** every register is the fingerprint of terminal 1's input *)
+  | Constant of Gf2.t
+  | Depth_interpolate of int
+      (** geodesic from the root terminal's fingerprint toward the
+          fingerprint of the given terminal's input, parameterized by
+          tree depth — the tree analogue of the path interpolation
+          attack *)
+
+(** [single_round_accept params g ~terminals ~inputs strategy] builds
+    the Section 3.3 spanning tree of [g] and returns the exact
+    acceptance probability of one repetition. *)
+val single_round_accept :
+  params -> Graph.t -> terminals:int list -> inputs:Gf2.t array -> strategy -> float
+
+(** [accept params g ~terminals ~inputs strategy] is the
+    [repetitions]-fold power. *)
+val accept :
+  params -> Graph.t -> terminals:int list -> inputs:Gf2.t array -> strategy -> float
+
+(** [attack_library ~inputs] names the built-in cheating strategies:
+    constant fingerprints of each input and depth interpolations toward
+    each non-root terminal. *)
+val attack_library : inputs:Gf2.t array -> (string * strategy) list
+
+(** [best_attack_accept params g ~terminals ~inputs] maximizes the
+    single-round acceptance over the built-in attack library. *)
+val best_attack_accept :
+  params -> Graph.t -> terminals:int list -> inputs:Gf2.t array -> float * string
+
+(** [costs params tr] accounts Algorithm 5 over the given tree: every
+    internal node receives [2 k] fingerprint registers, every non-root
+    node forwards [k]; adds the Lemma 18 certificate bits (counted as
+    qubits) to the local proof. *)
+val costs : params -> Spanning_tree.t -> Report.costs
+
+(** [tree_of params g ~terminals] exposes the spanning tree the
+    protocol runs on. *)
+val tree_of : Graph.t -> terminals:int list -> Spanning_tree.t

@@ -1,0 +1,225 @@
+open Qdp_linalg
+open Qdp_quantum
+
+type config = { r : int; qubits : int }
+
+let proof_qubits cfg = 2 * cfg.qubits * (cfg.r - 1)
+
+let toy_state ~qubits k =
+  let dim = 1 lsl qubits in
+  let st = Random.State.make [| k; qubits; 0x707 |] in
+  let gaussian () =
+    let u1 = Float.max 1e-12 (Random.State.float st 1.) in
+    let u2 = Random.State.float st 1. in
+    Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+  in
+  (* real amplitudes: fingerprint-like, so the geodesic interpolation
+     attack is the natural product benchmark *)
+  Vec.normalize (Vec.init dim (fun _ -> Cx.re (gaussian ())))
+
+let layout cfg =
+  let b = cfg.qubits in
+  let regs = ref [ ("L", b) ] in
+  for j = 1 to cfg.r - 1 do
+    regs := !regs @ [ (Printf.sprintf "R%d0" j, b); (Printf.sprintf "R%d1" j, b) ]
+  done;
+  for j = 1 to cfg.r - 1 do
+    regs := !regs @ [ (Printf.sprintf "C%d" j, 1) ]
+  done;
+  Pure.layout !regs
+
+(* The pipeline is linear in the proof: build the final (unnormalized)
+   global state for a given proof filling the intermediate registers. *)
+let final_state cfg ~x_state ~y_state ~proof =
+  let r = cfg.r in
+  let lay = layout cfg in
+  let coins = Vec.basis (1 lsl (r - 1)) 0 in
+  let global = Vec.tensor x_state (Vec.tensor proof coins) in
+  let s = ref (Pure.of_global lay global) in
+  for j = 1 to r - 1 do
+    let c = Printf.sprintf "C%d" j in
+    s := Pure.apply_on !s [ c ] Gates.hadamard;
+    s :=
+      Pure.controlled_swap !s ~control:c (Printf.sprintf "R%d0" j)
+        (Printf.sprintf "R%d1" j)
+  done;
+  (* SWAP test at node j compares the register arriving from the left
+     with the kept one: pairs (L, R10), (R11, R20), ... *)
+  s := Pure.project_sym !s [ "L"; "R10" ];
+  for j = 1 to r - 2 do
+    s :=
+      Pure.project_sym !s
+        [ Printf.sprintf "R%d1" j; Printf.sprintf "R%d0" (j + 1) ]
+  done;
+  (* v_r's POVM on the arriving register *)
+  s :=
+    Pure.apply_on !s
+      [ Printf.sprintf "R%d1" (r - 1) ]
+      (Mat.of_vec y_state);
+  !s
+
+let accept_prob cfg ~x_state ~y_state ~proof =
+  if cfg.r < 2 then Cx.norm2 (Vec.dot y_state x_state)
+  else Pure.norm2 (final_state cfg ~x_state ~y_state ~proof)
+
+let product_proof cfg pairs =
+  if Array.length pairs <> cfg.r - 1 then
+    invalid_arg "Exact.product_proof: need r - 1 pairs";
+  let parts =
+    Array.to_list pairs
+    |> List.concat_map (fun (a, b) -> [ a; b ])
+  in
+  Vec.tensor_list parts
+
+let honest_proof cfg state =
+  product_proof cfg (Array.init (cfg.r - 1) (fun _ -> (state, state)))
+
+let optimal_entangled_attack cfg ~x_state ~y_state =
+  if cfg.r < 2 then (Cx.norm2 (Vec.dot y_state x_state), Vec.basis 1 0)
+  else begin
+    let pdim = 1 lsl proof_qubits cfg in
+    let outs =
+      Array.init pdim (fun i ->
+          Pure.global_vector
+            (final_state cfg ~x_state ~y_state ~proof:(Vec.basis pdim i)))
+    in
+    let gram = Mat.init pdim pdim (fun i j -> Vec.dot outs.(i) outs.(j)) in
+    let evals, evecs = Eig.hermitian gram in
+    let top = evals.(pdim - 1) in
+    let opt = Vec.init pdim (fun i -> Mat.get evecs i (pdim - 1)) in
+    (Float.max 0. top, opt)
+  end
+
+type star_config = { t : int; star_qubits : int }
+
+let star_layout cfg =
+  let b = cfg.star_qubits in
+  let regs =
+    [ ("X", b) ]
+    @ List.init (cfg.t - 1) (fun i -> (Printf.sprintf "L%d" (i + 1), b))
+    @ [ ("R0", b); ("R1", b); ("C", 1) ]
+  in
+  Pure.layout regs
+
+let star_final_state cfg ~root_state ~leaf_states ~proof =
+  if Array.length leaf_states <> cfg.t - 1 then
+    invalid_arg "Exact.star_accept_prob: need t - 1 leaf states";
+  let lay = star_layout cfg in
+  let global =
+    Vec.tensor_list
+      ([ root_state ] @ Array.to_list leaf_states @ [ proof; Vec.basis 2 0 ])
+  in
+  let s = ref (Pure.of_global lay global) in
+  s := Pure.apply_on !s [ "C" ] Gates.hadamard;
+  s := Pure.controlled_swap !s ~control:"C" "R0" "R1";
+  (* internal node: permutation test on its kept register and all the
+     leaf registers *)
+  s :=
+    Pure.project_sym !s
+      ("R0" :: List.init (cfg.t - 1) (fun i -> Printf.sprintf "L%d" (i + 1)));
+  (* root: SWAP test between its own state and the forwarded register *)
+  s := Pure.project_sym !s [ "X"; "R1" ];
+  !s
+
+let star_accept_prob cfg ~root_state ~leaf_states ~proof =
+  Pure.norm2 (star_final_state cfg ~root_state ~leaf_states ~proof)
+
+let optimal_entangled_star_attack cfg ~root_state ~leaf_states =
+  let pdim = 1 lsl (2 * cfg.star_qubits) in
+  let outs =
+    Array.init pdim (fun i ->
+        Pure.global_vector
+          (star_final_state cfg ~root_state ~leaf_states
+             ~proof:(Vec.basis pdim i)))
+  in
+  let gram = Mat.init pdim pdim (fun i j -> Vec.dot outs.(i) outs.(j)) in
+  let evals, evecs = Eig.hermitian gram in
+  let top = evals.(pdim - 1) in
+  (Float.max 0. top, Vec.init pdim (fun i -> Mat.get evecs i (pdim - 1)))
+
+let optimal_split_attack st cfg ~x_state ~y_state ~cut_qubits ~sweeps =
+  let pq = proof_qubits cfg in
+  if cut_qubits <= 0 || cut_qubits >= pq then
+    invalid_arg "Exact.optimal_split_attack: cut inside the proof";
+  if cfg.r < 2 then Cx.norm2 (Vec.dot y_state x_state)
+  else begin
+    let pdim = 1 lsl pq in
+    let d1 = 1 lsl cut_qubits and d2 = 1 lsl (pq - cut_qubits) in
+    let outs =
+      Array.init pdim (fun i ->
+          Pure.global_vector
+            (final_state cfg ~x_state ~y_state ~proof:(Vec.basis pdim i)))
+    in
+    let gram = Mat.init pdim pdim (fun i j -> Vec.dot outs.(i) outs.(j)) in
+    let gaussian () =
+      let u1 = Float.max 1e-12 (Random.State.float st 1.) in
+      let u2 = Random.State.float st 1. in
+      Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+    in
+    let xi1 =
+      ref (Vec.normalize (Vec.init d1 (fun _ -> Cx.make (gaussian ()) (gaussian ()))))
+    in
+    let xi2 =
+      ref (Vec.normalize (Vec.init d2 (fun _ -> Cx.make (gaussian ()) (gaussian ()))))
+    in
+    let top_eigvec g =
+      let evals, evecs = Eig.hermitian g in
+      let n = Mat.rows g in
+      (evals.(n - 1), Vec.init n (fun i -> Mat.get evecs i (n - 1)))
+    in
+    let value = ref 0. in
+    for _ = 1 to sweeps do
+      (* optimize xi1 with xi2 fixed *)
+      let g1 =
+        Mat.init d1 d1 (fun i i' ->
+            let acc = ref Cx.zero in
+            for j = 0 to d2 - 1 do
+              for j' = 0 to d2 - 1 do
+                acc :=
+                  Cx.add !acc
+                    (Cx.mul
+                       (Cx.mul (Cx.conj (Vec.get !xi2 j))
+                          (Mat.get gram ((i * d2) + j) ((i' * d2) + j')))
+                       (Vec.get !xi2 j'))
+              done
+            done;
+            !acc)
+      in
+      let _, v1 = top_eigvec g1 in
+      xi1 := v1;
+      (* optimize xi2 with xi1 fixed *)
+      let g2 =
+        Mat.init d2 d2 (fun j j' ->
+            let acc = ref Cx.zero in
+            for i = 0 to d1 - 1 do
+              for i' = 0 to d1 - 1 do
+                acc :=
+                  Cx.add !acc
+                    (Cx.mul
+                       (Cx.mul (Cx.conj (Vec.get !xi1 i))
+                          (Mat.get gram ((i * d2) + j) ((i' * d2) + j')))
+                       (Vec.get !xi1 i'))
+              done
+            done;
+            !acc)
+      in
+      let lambda, v2 = top_eigvec g2 in
+      xi2 := v2;
+      value := Float.max 0. lambda
+    done;
+    !value
+  end
+
+let best_product_attack cfg ~x_state ~y_state =
+  if cfg.r < 2 then Cx.norm2 (Vec.dot y_state x_state)
+  else begin
+    let pairs =
+      Array.init (cfg.r - 1) (fun i ->
+          let s =
+            States.geodesic x_state y_state
+              (float_of_int (i + 1) /. float_of_int cfg.r)
+          in
+          (s, s))
+    in
+    accept_prob cfg ~x_state ~y_state ~proof:(product_proof cfg pairs)
+  end

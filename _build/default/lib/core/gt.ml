@@ -1,0 +1,130 @@
+open Qdp_linalg
+open Qdp_codes
+open Qdp_fingerprint
+
+type params = { n : int; r : int; seed : int; repetitions : int }
+
+let make ?repetitions ~seed ~n ~r () =
+  if r < 1 then invalid_arg "Gt.make: r >= 1";
+  let repetitions =
+    match repetitions with
+    | Some k -> k
+    | None -> Eq_path.paper_repetitions ~r
+  in
+  { n; r; seed; repetitions }
+
+type prover = { index : int; eq_strategy : Sim.chain_strategy }
+
+let honest_prover x y =
+  match Qdp_commcc.Problems.gt_witness x y with
+  | Some i -> { index = i; eq_strategy = Sim.All_left }
+  | None -> invalid_arg "Gt.honest_prover: GT (x, y) = 0"
+
+(* v_0 sends the fingerprint of its prefix; v_r closes with a SWAP
+   test against the fingerprint of its own prefix. *)
+let chain_accept ~r ~hx ~hy strategy =
+  Sim.path_accept
+    (Sim.two_state_chain ~r ~left:hx ~right:hy
+       ~final:(fun reg -> Sim.swap_accept reg [| hy |])
+       strategy)
+
+let prefix_states params i x y =
+  if i = 0 then
+    let bot = Vec.basis 2 1 in
+    (bot, Vec.copy bot)
+  else begin
+    let fp = Fingerprint.standard ~seed:(params.seed + (7919 * i)) ~n:i in
+    (Fingerprint.state fp (Gf2.prefix x i), Fingerprint.state fp (Gf2.prefix y i))
+  end
+
+let single_round_accept params x y prover =
+  let i = prover.index in
+  if i < 0 || i >= params.n then 0.
+  else if not (Gf2.get x i) then 0.
+  else if Gf2.get y i then 0.
+  else begin
+    let hx, hy = prefix_states params i x y in
+    chain_accept ~r:params.r ~hx ~hy prover.eq_strategy
+  end
+
+let accept params x y prover =
+  Sim.repeat_accept params.repetitions (single_round_accept params x y prover)
+
+let eq_strategies r =
+  [
+    ("all-left", Sim.All_left);
+    ("all-right", Sim.All_right);
+    ("geodesic", Sim.Geodesic);
+    (Printf.sprintf "switch@%d" (r / 2), Sim.Switch (r / 2));
+  ]
+
+let attack_library params x y =
+  let out = ref [] in
+  for i = params.n - 1 downto 0 do
+    if Gf2.get x i && not (Gf2.get y i) then
+      List.iter
+        (fun (name, s) ->
+          out :=
+            ( Printf.sprintf "i=%d %s" i name,
+              { index = i; eq_strategy = s } )
+            :: !out)
+        (eq_strategies params.r)
+  done;
+  !out
+
+let best_attack_accept params x y =
+  List.fold_left
+    (fun (best, best_name) (name, p) ->
+      let a = single_round_accept params x y p in
+      Qdp_log.Log.debug (fun m -> m "gt attack %s: accept %.6f" name a);
+      if a > best then (a, name) else (best, best_name))
+    (0., "none")
+    (attack_library params x y)
+
+type comparison = Gt | Ge | Lt | Le
+
+(* EQ-on-a-path with a closing SWAP test: the "equal" branch of the
+   [>=] protocol. *)
+let eq_branch_accept params x y strategy =
+  let fp = Fingerprint.standard ~seed:params.seed ~n:params.n in
+  let hx = Fingerprint.state fp x and hy = Fingerprint.state fp y in
+  chain_accept ~r:params.r ~hx ~hy strategy
+
+let best_eq_branch_attack params x y =
+  List.fold_left
+    (fun best (_, s) -> Float.max best (eq_branch_accept params x y s))
+    0. (eq_strategies params.r)
+
+let variant_honest_accept params cmp x y =
+  let gt_honest x y = single_round_accept params x y (honest_prover x y) in
+  match cmp with
+  | Gt -> gt_honest x y
+  | Lt -> gt_honest y x
+  | Ge ->
+      if Gf2.equal x y then eq_branch_accept params x y Sim.All_left
+      else gt_honest x y
+  | Le ->
+      if Gf2.equal x y then eq_branch_accept params x y Sim.All_left
+      else gt_honest y x
+
+let variant_best_attack params cmp x y =
+  let gt_attack x y = fst (best_attack_accept params x y) in
+  match cmp with
+  | Gt -> gt_attack x y
+  | Lt -> gt_attack y x
+  | Ge -> Float.max (gt_attack x y) (best_eq_branch_attack params x y)
+  | Le -> Float.max (gt_attack y x) (best_eq_branch_attack params x y)
+
+let costs params =
+  let q_fp = Fingerprint.qubits_of_n params.n in
+  let q_idx = Report.ceil_log2 params.n in
+  let k = params.repetitions in
+  {
+    Report.local_proof_qubits =
+      (if params.r >= 2 then k * ((2 * q_fp) + q_idx) else k * q_idx);
+    total_proof_qubits =
+      ((params.r - 1) * k * ((2 * q_fp) + q_idx)) + (2 * k * q_idx);
+    local_message_qubits = k * (q_fp + q_idx);
+    total_message_qubits = params.r * k * (q_fp + q_idx);
+    rounds = 1;
+  }

@@ -1,0 +1,73 @@
+(** The dQMA protocol for the greater-than problem on a path
+    (Section 5.1, Algorithm 7, Theorem 26) and its [>=], [<], [<=]
+    variants (Corollary 28).
+
+    [GT (x, y) = 1] iff there is an index [i] with [x_i = 1],
+    [y_i = 0] and equal prefixes [x\[i\] = y\[i\]].  The prover sends
+    that index classically to every node (inconsistent indices are
+    caught deterministically by the neighbour comparisons, so a
+    cheating prover is modelled as committing to one index) plus
+    fingerprint registers for the EQ subprotocol on the prefixes;
+    [v_0] rejects when [x_i = 0], [v_r] rejects when [y_i = 1], and
+    [v_r] closes with a SWAP test against its own prefix
+    fingerprint. *)
+
+open Qdp_codes
+
+type params = { n : int; r : int; seed : int; repetitions : int }
+
+val make : ?repetitions:int -> seed:int -> n:int -> r:int -> unit -> params
+
+(** A prover strategy: the committed index plus the EQ-subprotocol
+    strategy played on the prefixes. *)
+type prover = { index : int; eq_strategy : Sim.chain_strategy }
+
+(** [honest_prover x y] is the witness index with honest fingerprints
+    ([GT (x, y) = 1] required).
+    @raise Invalid_argument when [x <= y]. *)
+val honest_prover : Gf2.t -> Gf2.t -> prover
+
+(** [prefix_states params i x y] exposes the prefix-fingerprint pair
+    [(|h_{x[i]}>, |h_{y[i]}>)] the protocol uses at index [i] (the
+    shared [|bot>] pair when [i = 0]) — needed by the message-passing
+    execution in {!Runtime_gt}. *)
+val prefix_states :
+  params -> int -> Gf2.t -> Gf2.t -> Qdp_linalg.Vec.t * Qdp_linalg.Vec.t
+
+(** [single_round_accept params x y prover] is the exact one-repetition
+    acceptance; 0 whenever an end node's classical check fires. *)
+val single_round_accept : params -> Gf2.t -> Gf2.t -> prover -> float
+
+(** [accept params x y prover] is the [k]-fold power. *)
+val accept : params -> Gf2.t -> Gf2.t -> prover -> float
+
+(** [attack_library params x y] enumerates the cheating provers the
+    soundness experiments evaluate: every committed index passing the
+    end checks, crossed with the chain-strategy library. *)
+val attack_library : params -> Gf2.t -> Gf2.t -> (string * prover) list
+
+(** [best_attack_accept params x y] maximizes the single-round
+    acceptance over {!attack_library} — the measured soundness error
+    base for [GT (x, y) = 0]. *)
+val best_attack_accept : params -> Gf2.t -> Gf2.t -> float * string
+
+(** {2 Corollary 28 variants}
+
+    Each is served by the same machinery: [>=] lets the prover claim
+    either "greater" (run GT) or "equal" (run the EQ path protocol);
+    [<] and [<=] swap the roles of the two ends. *)
+
+type comparison = Gt | Ge | Lt | Le
+
+(** [variant_honest_accept params cmp x y] is the honest acceptance
+    (1 on yes instances). *)
+val variant_honest_accept : params -> comparison -> Gf2.t -> Gf2.t -> float
+
+(** [variant_best_attack params cmp x y] is the best single-round
+    attack on a no instance. *)
+val variant_best_attack : params -> comparison -> Gf2.t -> Gf2.t -> float
+
+(** [costs params] accounts Algorithm 7: index registers of
+    [ceil (log2 n)] qubits at every node plus [2 k] prefix-fingerprint
+    registers at intermediates. *)
+val costs : params -> Report.costs

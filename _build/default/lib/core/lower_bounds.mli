@@ -1,0 +1,104 @@
+(** Executable versions of the paper's lower-bound arguments
+    (Sections 4.2 and 8).
+
+    Lower bounds do not run as protocols; they run as {e attacks}: a
+    protocol whose resources sit below the bound is presented with the
+    constructed fooling instance and measurably loses soundness.  This
+    module implements the three constructions the paper's bounds rest
+    on, plus the closed-form bounds for the Table 3 rows. *)
+
+open Qdp_codes
+
+(** {2 Lemma 23 / Proposition 24: the classical fooling-set splice}
+
+    A 1-round dMA protocol on a path, abstracted by how the honest
+    prover computes per-node proofs on fooling inputs [(x, x)] and how
+    the nodes verify.  When the two middle nodes see at most
+    [2 proof_bits < n] proof bits, two fooling inputs collide there and
+    the spliced proof breaks soundness. *)
+
+type dma_path_protocol = {
+  dma_r : int;
+  proof_bits : int;  (** per-node proof size in bits *)
+  honest_proofs : Gf2.t -> string array;
+      (** the honest prover's per-node proofs on the fooling input
+          [(x, x)] *)
+  dma_accepts : x:Gf2.t -> y:Gf2.t -> proofs:string array -> bool;
+      (** one deterministic verification round: do all nodes accept? *)
+}
+
+(** [truncation_protocol ~n ~r ~c] is the natural dMA protocol for EQ
+    with budget [c] bits per node: the prover writes the first
+    [min c n] bits of [x] everywhere; neighbours compare, ends check
+    their own strings.  Complete, and sound exactly when [c >= n]. *)
+val truncation_protocol : n:int -> r:int -> c:int -> dma_path_protocol
+
+(** [hash_protocol ~seed ~n ~r ~c] replaces truncation by a seeded
+    [c]-bit hash — sound against random pairs but broken by the
+    collision splice. *)
+val hash_protocol : seed:int -> n:int -> r:int -> c:int -> dma_path_protocol
+
+(** The output of a successful splice: two distinct fooling inputs
+    whose middle proofs collide, and the spliced proof assignment. *)
+type splice = {
+  splice_x : Gf2.t;
+  splice_y : Gf2.t;
+  spliced_proofs : string array;
+}
+
+(** [fooling_splice proto ~n ~limit] searches fooling inputs
+    [(k, k)] for [k < limit] for a middle-proof collision and returns
+    the Lemma 23 splice, or [None] if all middle proofs are distinct
+    (which requires [2 * proof_bits >= log2 limit]). *)
+val fooling_splice : dma_path_protocol -> n:int -> limit:int -> splice option
+
+(** [splice_breaks_soundness proto s] checks that the protocol accepts
+    the spliced no-instance — the soundness violation itself. *)
+val splice_breaks_soundness : dma_path_protocol -> splice -> bool
+
+(** {2 Lemma 48 / Claim 49: packing states into few qubits} *)
+
+(** [max_pairwise_overlap_random st ~qubits ~count] samples [count]
+    Haar-ish random pure states on [qubits] qubits and returns the
+    maximum pairwise overlap [|<a|b>|] — which provably approaches 1
+    once [count >> 2^(2^qubits)]-ish, and empirically rises as
+    [qubits] drops below [log2 (log2 count)] scale. *)
+val max_pairwise_overlap_random :
+  Random.State.t -> qubits:int -> count:int -> float
+
+(** [fingerprint_family_max_overlap ~seed ~n] is the exact maximum
+    overlap over all [2^n] fingerprint pairs of the standard family
+    ([n <= 12]). *)
+val fingerprint_family_max_overlap : seed:int -> n:int -> float
+
+(** {2 Lemma 53 / Corollary 55: the proof-free-gap splice}
+
+    In a 1-round protocol where nodes [gap] and [gap + 1] receive no
+    proof, no information crosses the gap, so gluing the left marginal
+    of an accepting [(x, x)] proof to the right marginal of an
+    accepting [(y, y)] proof is accepted on the no-instance [(x, y)]
+    with the product of the two completeness values. *)
+
+(** [gap_splice_accept ~seed ~n ~r ~gap x y] evaluates exactly the
+    acceptance of the spliced product proof on the gapped EQ chain
+    ([1.0] whenever both halves are honest-complete), against
+    [Problems.eq x y = false]. *)
+val gap_splice_accept :
+  seed:int -> n:int -> r:int -> gap:int -> Gf2.t -> Gf2.t -> float
+
+(** {2 Table 3 closed forms} *)
+
+(** [thm51_total_bound ~r ~n] is [r log2 n] — the dQMA^sep,sep total
+    proof bound for EQ/GT. *)
+val thm51_total_bound : r:int -> n:int -> float
+
+(** [thm52_bound ~r ~n ~eps ~eps'] is
+    [(log2 n)^{1/2 - eps} / r^{1 + eps'}]. *)
+val thm52_bound : r:int -> n:int -> eps:float -> eps':float -> float
+
+(** [cor55_bound ~r] is [r] — the total proof bound for any
+    non-constant function. *)
+val cor55_bound : r:int -> float
+
+(** [thm56_bound ~n ~eps] is [(log2 n)^{1/4 - eps}]. *)
+val thm56_bound : n:int -> eps:float -> float

@@ -1,0 +1,85 @@
+(** The compiler from one-way quantum communication protocols to dQMA
+    protocols on general graphs (Section 6, Algorithm 9, Theorems 30
+    and 32).
+
+    For a function [f] with a one-way protocol of cost [s], the
+    compiled protocol decides [forall_t f] on a network of radius [r]
+    with [t] terminals using local proofs of size
+    [O(t^2 r^2 s log(n + t + r))]: for every terminal [u_j] a spanning
+    tree [T_j] rooted at [u_j] is built, the root's message state is
+    flooded toward the leaves (each internal node receiving [delta + 1]
+    prover copies, randomly permuting them, keeping one for a SWAP test
+    against its parent's register and forwarding the rest), and each
+    leaf runs Bob's measurement.  Messages flow from root to leaves —
+    the reverse of the EQ protocol — because Bob's operation must run
+    at every leaf. *)
+
+open Qdp_codes
+open Qdp_network
+open Qdp_commcc
+
+type params = {
+  repetitions : int;  (** per-tree parallel repetitions, paper: [42 r^2] *)
+  amplification : int;
+      (** [O(log (n + t + r))] repetitions of the underlying one-way
+          protocol (the [pi''] of Theorem 30) *)
+}
+
+(** [make ?repetitions ?amplification ~r ~t ~n ()] fills in the paper's
+    choices. *)
+val make : ?repetitions:int -> ?amplification:int -> r:int -> t:int -> n:int -> unit -> params
+
+(** A product prover strategy for the compiled protocol. *)
+type prover =
+  | Honest  (** every register carries the respective root's message *)
+  | Constant_input of Gf2.t
+      (** every register carries the message of a fixed input [z] *)
+  | Constant_of_terminal of int
+      (** every register carries terminal [k]'s message, in all trees *)
+  | Depth_geodesic of int
+      (** registers interpolate (register-wise geodesics) from the
+          root's message toward terminal [k]'s message as depth grows —
+          the down-tree analogue of the path interpolation attack *)
+
+(** [single_accept params proto g ~terminals ~inputs prover] is the
+    exact acceptance of one repetition: the product over the [t]
+    spanning trees of the down-tree acceptance. *)
+val single_accept :
+  params ->
+  Oneway.t ->
+  Graph.t ->
+  terminals:int list ->
+  inputs:Gf2.t array ->
+  prover ->
+  float
+
+(** [accept] is the [repetitions]-fold power of {!single_accept}. *)
+val accept :
+  params ->
+  Oneway.t ->
+  Graph.t ->
+  terminals:int list ->
+  inputs:Gf2.t array ->
+  prover ->
+  float
+
+(** [best_attack_accept params proto g ~terminals ~inputs] maximizes
+    the single-repetition acceptance over the built-in prover
+    library. *)
+val best_attack_accept :
+  params ->
+  Oneway.t ->
+  Graph.t ->
+  terminals:int list ->
+  inputs:Gf2.t array ->
+  float * string
+
+(** [costs params proto g ~terminals] accounts Theorem 30/32 over the
+    actual trees: per tree and repetition, an internal node with
+    [delta] children receives [(delta + 1) * amplification * s]
+    qubits. *)
+val costs : params -> Oneway.t -> Graph.t -> terminals:int list -> Report.costs
+
+(** [paper_local_bound ~t ~r ~s ~n] is
+    [t^2 r^2 s log2 (n + t + r)] with constant 1 (Theorem 32's shape). *)
+val paper_local_bound : t:int -> r:int -> s:int -> n:int -> float

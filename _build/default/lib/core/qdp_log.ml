@@ -1,0 +1,5 @@
+(* Shared Logs source for the protocol engines; enable with
+   Logs.Src.set_level (debug traces of the attack searches). *)
+let src = Logs.Src.create "qdp.core" ~doc:"dQMA protocol engines"
+
+module Log = (val Logs.src_log src : Logs.LOG)

@@ -1,0 +1,6 @@
+(** Shared {!Logs} source for the protocol engines.  Set its level to
+    [Debug] to trace attack-library searches. *)
+
+val src : Logs.src
+
+module Log : Logs.LOG

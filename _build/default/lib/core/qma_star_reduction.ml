@@ -1,0 +1,38 @@
+type path_costs = { node_proofs : int array; edge_messages : int array }
+
+let uniform ~r ~intermediate_proof ~end_proof ~edge_message =
+  {
+    node_proofs =
+      Array.init (r + 1) (fun j ->
+          if j = 0 || j = r then end_proof else intermediate_proof);
+    edge_messages = Array.make r edge_message;
+  }
+
+let reduce pc ~cut =
+  let r = Array.length pc.edge_messages in
+  if cut < 0 || cut >= r then invalid_arg "Qma_star_reduction.reduce: bad cut";
+  let left = ref 0 and right = ref 0 in
+  Array.iteri
+    (fun j c -> if j <= cut then left := !left + c else right := !right + c)
+    pc.node_proofs;
+  {
+    Qdp_commcc.Qma_comm.proof_alice = !left;
+    proof_bob = !right;
+    communication = pc.edge_messages.(cut);
+  }
+
+let best_cut pc =
+  let r = Array.length pc.edge_messages in
+  let best = ref 0 and best_total = ref max_int in
+  for cut = 0 to r - 1 do
+    let c = reduce pc ~cut in
+    let total = Qdp_commcc.Qma_comm.star_total c in
+    if total < !best_total then begin
+      best := cut;
+      best_total := total
+    end
+  done;
+  (!best, reduce pc ~cut:!best)
+
+let theorem63_bound ~problem =
+  Qdp_commcc.Discrepancy.qmacc_lower_bound_formula problem

@@ -1,0 +1,42 @@
+(** The node-splitting reduction from dQMA protocols to QMA*
+    communication protocols (Section 8.2, Algorithm 11).
+
+    Cutting the path between [v_i] and [v_{i+1}] and letting Alice
+    simulate the left group and Bob the right turns any dQMA protocol
+    into a QMA* protocol whose cost is the total proof size plus the
+    traffic on the cut edge; minimizing over cuts gives Theorem 63's
+    reduction, and combining with Klauck's discrepancy bounds gives the
+    Table 3 rows for DISJ, IP and P_AND. *)
+
+(** Per-node proof sizes and per-edge message sizes of a dQMA protocol
+    on a path [v_0 .. v_r] ([edge j] joins [v_j] and [v_{j+1}]). *)
+type path_costs = {
+  node_proofs : int array;  (** length [r + 1] *)
+  edge_messages : int array;  (** length [r] *)
+}
+
+(** [of_report r ~costs] expands a uniform {!Report.costs} into
+    per-node / per-edge arrays (end nodes receive no proof when
+    [local_proof_qubits] accounts only intermediates — the convention
+    used by the protocol modules — so this takes explicit arrays
+    instead; see {!uniform}). *)
+val uniform : r:int -> intermediate_proof:int -> end_proof:int -> edge_message:int -> path_costs
+
+(** [reduce pc ~cut] is the QMA* cost triple of the Algorithm 11
+    reduction at the given cut edge: Alice's proof is the sum of the
+    left group's proofs, Bob's the right's, and the communication is
+    the cut edge's traffic. *)
+val reduce : path_costs -> cut:int -> Qdp_commcc.Qma_comm.star_costs
+
+(** [best_cut pc] minimizes the QMA* total over cuts and returns
+    [(cut, costs)]. *)
+val best_cut : path_costs -> int * Qdp_commcc.Qma_comm.star_costs
+
+(** [theorem63_bound ~total ~problem] evaluates the Theorem 63 chain on
+    a concrete problem: the reduction says any dQMA protocol of total
+    proof+communication [total] yields a QMA* protocol of cost
+    [<= total]; Klauck's bound then requires
+    [total = Omega (sqrt (log sdisc1 f))].  Returns the concrete lower
+    bound from {!Qdp_commcc.Discrepancy.qmacc_lower_bound_formula}
+    (None when the problem has no registered bound). *)
+val theorem63_bound : problem:Qdp_commcc.Problems.t -> float option

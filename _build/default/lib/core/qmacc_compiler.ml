@@ -1,0 +1,79 @@
+open Qdp_linalg
+open Qdp_commcc
+
+type params = { r : int; repetitions : int }
+
+let make ?repetitions ~r () =
+  if r < 1 then invalid_arg "Qmacc_compiler.make: r >= 1";
+  let repetitions =
+    match repetitions with
+    | Some k -> k
+    | None -> Eq_path.paper_repetitions ~r
+  in
+  { r; repetitions }
+
+type prover = Honest | Proof of Vec.t
+
+let single_accept params (proto : ('a, 'b) Qma_comm.oneway) xa xb prover =
+  let proof =
+    match prover with Honest -> proto.honest_proof xa xb | Proof p -> p
+  in
+  let pa = proto.alice_accept xa proof in
+  if pa <= 1e-15 then 0.
+  else begin
+    let msg = proto.alice_message xa proof in
+    Sim.path_accept
+      (Sim.two_state_chain ~r:params.r ~left:msg ~right:msg
+         ~final:(fun reg ->
+           if Array.length reg <> 1 then
+             invalid_arg "Qmacc_compiler: register shape";
+           proto.bob_accept xb reg.(0))
+         Sim.All_left)
+    *. pa
+  end
+
+let accept params proto xa xb prover =
+  Sim.repeat_accept params.repetitions (single_accept params proto xa xb prover)
+
+let best_attack_accept params proto xa xb ~candidate_proofs =
+  List.fold_left
+    (fun (best, best_name) (name, p) ->
+      let a = single_accept params proto xa xb (Proof p) in
+      if a > best then (a, name) else (best, best_name))
+    (0., "none") candidate_proofs
+
+let costs params (proto : ('a, 'b) Qma_comm.oneway) =
+  let gamma = proto.proof_qubits and mu = proto.message_qubits in
+  let k = params.repetitions in
+  {
+    Report.local_proof_qubits =
+      (if params.r >= 2 then 2 * k * (gamma + mu) else k * gamma);
+    total_proof_qubits =
+      (k * gamma) + ((params.r - 1) * 2 * k * (gamma + mu));
+    local_message_qubits = k * (gamma + mu);
+    total_message_qubits = params.r * k * (gamma + mu);
+    rounds = 1;
+  }
+
+let pipeline_c ~total_proof ~min_edge_message = total_proof + min_edge_message
+
+let sep_costs ~r ~c =
+  let cf = float_of_int c in
+  float_of_int (r * r) *. cf *. cf
+  *. (Float.log (Float.max 2. cf) /. Float.log 2.)
+
+let run_lsd_pipeline params ~ambient ~inst =
+  let proto = Qma_comm.lsd_oneway ~ambient in
+  let honest = single_accept params proto inst.Lsd.v1 inst.Lsd.v2 Honest in
+  let candidates =
+    ("principal", Lsd.honest_proof inst)
+    :: List.mapi
+         (fun i b ->
+           (Printf.sprintf "basis-%d" i, Lsd.honest_proof { inst with Lsd.v2 = Qdp_linalg.Subspace.of_spanning [ b ] }))
+         (Qdp_linalg.Subspace.basis inst.Lsd.v1)
+  in
+  let best, _ =
+    best_attack_accept params proto inst.Lsd.v1 inst.Lsd.v2
+      ~candidate_proofs:candidates
+  in
+  (honest, best)

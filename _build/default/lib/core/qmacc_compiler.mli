@@ -1,0 +1,71 @@
+(** The compiler from QMA one-way communication protocols to dQMA
+    protocols on a path (Section 7, Algorithm 10, Theorem 42), and the
+    Theorem 46 / Proposition 47 pipeline that turns {e any} dQMA
+    protocol into a dQMA^sep one by routing through the LSD problem.
+
+    Algorithm 10: the prover hands [v_0] the [gamma]-qubit Merlin
+    proof; [v_0] applies Alice's (purified) operation and launches the
+    resulting message state down the symmetrize-and-SWAP-test chain;
+    [v_r] applies Bob's measurement [M'].  In the concrete LSD
+    instantiation Alice's operation is the projective check onto her
+    subspace, so [v_0] itself can reject. *)
+
+open Qdp_linalg
+open Qdp_commcc
+
+type params = { r : int; repetitions : int }
+
+val make : ?repetitions:int -> r:int -> unit -> params
+
+(** A prover strategy. [Honest] plays Merlin's optimal proof and loads
+    every intermediate register with the honest forwarded message;
+    [Proof psi] hands [v_0] an arbitrary proof and loads the
+    intermediates with the message Alice's operation produces from it
+    (the consistent product strategy — inconsistent registers only
+    lower the SWAP-test acceptance). *)
+type prover = Honest | Proof of Vec.t
+
+(** [single_accept params proto xa xb prover] is the exact acceptance
+    of one repetition of the compiled protocol. *)
+val single_accept :
+  params -> ('a, 'b) Qma_comm.oneway -> 'a -> 'b -> prover -> float
+
+(** [accept] is the [repetitions]-fold power. *)
+val accept :
+  params -> ('a, 'b) Qma_comm.oneway -> 'a -> 'b -> prover -> float
+
+(** [best_attack_accept params proto xa xb ~candidate_proofs] maximizes
+    over the supplied Merlin proofs (e.g. the honest proofs of nearby
+    yes instances). *)
+val best_attack_accept :
+  params ->
+  ('a, 'b) Qma_comm.oneway ->
+  'a ->
+  'b ->
+  candidate_proofs:(string * Vec.t) list ->
+  float * string
+
+(** [costs params proto] accounts Theorem 42:
+    [c(v_0) = k gamma], intermediate [c(v_j) = 2 k (gamma + mu)],
+    messages [k (gamma + mu)] per edge. *)
+val costs : params -> ('a, 'b) Qma_comm.oneway -> Report.costs
+
+(** {2 The Theorem 46 pipeline} *)
+
+(** Costs of a dQMA protocol to be simulated: total proof plus the
+    cheapest edge cut of its communication (the [C] of Theorem 46). *)
+val pipeline_c : total_proof:int -> min_edge_message:int -> int
+
+(** [sep_costs ~r ~c] is the Theorem 46 bound [r^2 c^2 log c] on the
+    local proof size of the simulating dQMA^sep protocol (constant 1),
+    via QMA* -> QMA (inequality (1)) -> LSD (Lemma 44) -> Algorithm
+    10. *)
+val sep_costs : r:int -> c:int -> float
+
+(** [run_lsd_pipeline params ~ambient ~inst] executes the tail of the
+    pipeline concretely: the LSD one-way protocol compiled onto the
+    path, returning (honest acceptance, best-attack acceptance over
+    the principal-vector proofs).  On close instances the first number
+    is near 1; on far instances both are small. *)
+val run_lsd_pipeline :
+  params -> ambient:int -> inst:Lsd.instance -> float * float

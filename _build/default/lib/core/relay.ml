@@ -1,0 +1,124 @@
+open Qdp_codes
+open Qdp_fingerprint
+
+type params = {
+  n : int;
+  r : int;
+  seed : int;
+  spacing : int;
+  inner_repetitions : int;
+}
+
+let make ?spacing ?inner_repetitions ~seed ~n ~r () =
+  let spacing =
+    match spacing with
+    | Some s -> s
+    | None ->
+        int_of_float (Float.ceil (Float.pow (float_of_int n) (1. /. 3.)))
+  in
+  if spacing < 1 then invalid_arg "Relay.make: spacing >= 1";
+  let inner_repetitions =
+    match inner_repetitions with
+    | Some k -> k
+    | None -> 42 * spacing * spacing
+  in
+  { n; r; seed; spacing; inner_repetitions }
+
+let relay_positions params =
+  let rec go acc p =
+    if p >= params.r then List.rev acc else go (p :: acc) (p + params.spacing)
+  in
+  go [] params.spacing
+
+type prover = {
+  relay_strings : Gf2.t array;
+  segment_strategy : Sim.chain_strategy;
+}
+
+let honest_prover params x =
+  {
+    relay_strings =
+      Array.make (List.length (relay_positions params)) (Gf2.copy x);
+    segment_strategy = Sim.All_left;
+  }
+
+(* Endpoint strings of the segments: x, relays..., y; and segment edge
+   counts from the positions. *)
+let segments params x y relay_strings =
+  let positions = Array.of_list (relay_positions params) in
+  if Array.length relay_strings <> Array.length positions then
+    invalid_arg "Relay: one relay string per relay position";
+  let endpoints =
+    Array.concat [ [| x |]; relay_strings; [| y |] ]
+  in
+  let bounds = Array.concat [ [| 0 |]; positions; [| params.r |] ] in
+  List.init
+    (Array.length endpoints - 1)
+    (fun s ->
+      (endpoints.(s), endpoints.(s + 1), bounds.(s + 1) - bounds.(s)))
+
+let segment_accept params (u, w, len) strategy =
+  if len = 0 then 1.
+  else begin
+    let fp = Fingerprint.standard ~seed:params.seed ~n:params.n in
+    let hu = Fingerprint.state fp u and hw = Fingerprint.state fp w in
+    let single =
+      Sim.path_accept
+        (Sim.two_state_chain ~r:len ~left:hu ~right:hw
+           ~final:(fun reg -> Sim.swap_accept reg [| hw |])
+           strategy)
+    in
+    Sim.repeat_accept params.inner_repetitions single
+  end
+
+let accept params x y prover =
+  List.fold_left
+    (fun acc seg -> acc *. segment_accept params seg prover.segment_strategy)
+    1.
+    (segments params x y prover.relay_strings)
+
+let attack_library params x y =
+  let n_relays = List.length (relay_positions params) in
+  let splits =
+    (* relay strings all-x up to split s (exclusive), all-y after: the
+       unique mismatched segment is segment s *)
+    List.init (n_relays + 1) (fun s ->
+        ( Printf.sprintf "split@%d" s,
+          Array.init n_relays (fun i -> if i < s then x else y) ))
+  in
+  let strategies =
+    [ ("geodesic", Sim.Geodesic); ("all-left", Sim.All_left) ]
+  in
+  List.concat_map
+    (fun (sname, rs) ->
+      List.map
+        (fun (cname, cs) ->
+          (sname ^ "/" ^ cname, { relay_strings = rs; segment_strategy = cs }))
+        strategies)
+    splits
+
+let best_attack_accept params x y =
+  List.fold_left
+    (fun (best, best_name) (name, p) ->
+      let a = accept params x y p in
+      if a > best then (a, name) else (best, best_name))
+    (0., "none")
+    (attack_library params x y)
+
+let costs params =
+  let q = Fingerprint.qubits_of_n params.n in
+  let k = params.inner_repetitions in
+  let n_relays = List.length (relay_positions params) in
+  let n_intermediate = max 0 (params.r - 1 - n_relays) in
+  {
+    Report.local_proof_qubits = max params.n (2 * k * q);
+    total_proof_qubits = (n_relays * params.n) + (n_intermediate * 2 * k * q);
+    local_message_qubits = k * q;
+    total_message_qubits = params.r * k * q;
+    rounds = 1;
+  }
+
+let total_proof_paper_bound params =
+  float_of_int params.r
+  *. Float.pow (float_of_int params.n) (2. /. 3.)
+  *. Float.log (float_of_int (max 2 params.n))

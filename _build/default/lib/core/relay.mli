@@ -1,0 +1,64 @@
+(** The relay-point protocol for EQ on long paths (Section 4.1,
+    Algorithm 6, Theorem 22).
+
+    Every [spacing]-th node is a relay point receiving the full
+    [n]-qubit string as a proof, which it measures to a classical
+    string; between consecutive relay points the nodes run the
+    SWAP-test EQ chain with [42 spacing^2] parallel repetitions on the
+    fingerprints of the two endpoint strings.  With
+    [spacing = ceil (n^{1/3})] the total proof size is
+    [O~(r n^{2/3})] — beating the [Omega(r n)] total any classical dMA
+    protocol needs (Corollary 25), for every ratio of [r] to [n]. *)
+
+open Qdp_codes
+
+type params = {
+  n : int;
+  r : int;
+  seed : int;
+  spacing : int;  (** distance between consecutive relay points *)
+  inner_repetitions : int;  (** per-segment repetitions, paper: [42 spacing^2] *)
+}
+
+(** [make ?spacing ?inner_repetitions ~seed ~n ~r ()] defaults to the
+    paper's [spacing = ceil (n^{1/3})] and
+    [inner_repetitions = 42 spacing^2]. *)
+val make : ?spacing:int -> ?inner_repetitions:int -> seed:int -> n:int -> r:int -> unit -> params
+
+(** [relay_positions params] lists the relay nodes
+    [spacing, 2 spacing, ...] strictly inside the path. *)
+val relay_positions : params -> int list
+
+(** A prover strategy: the classical strings the relay proofs measure
+    to (the honest prover sends [|x>] everywhere), plus the chain
+    strategy played inside each segment whose endpoint strings
+    disagree. *)
+type prover = {
+  relay_strings : Gf2.t array;  (** one per relay position, in order *)
+  segment_strategy : Sim.chain_strategy;
+}
+
+(** [honest_prover params x] relays [x] everywhere. *)
+val honest_prover : params -> Gf2.t -> prover
+
+(** [accept params x y prover] is the exact acceptance: the product
+    over segments of the amplified EQ-chain acceptance between the
+    segment's endpoint strings. *)
+val accept : params -> Gf2.t -> Gf2.t -> prover -> float
+
+(** [attack_library params x y] enumerates relay-string placements
+    (split points) crossed with chain strategies. *)
+val attack_library : params -> Gf2.t -> Gf2.t -> (string * prover) list
+
+(** [best_attack_accept params x y] maximizes over
+    {!attack_library}. *)
+val best_attack_accept : params -> Gf2.t -> Gf2.t -> float * string
+
+(** [costs params] accounts Algorithm 6: [n] qubits per relay point,
+    [2 * inner_repetitions] fingerprint registers per intermediate. *)
+val costs : params -> Report.costs
+
+(** [total_proof_paper_bound params] is the Theorem 22 bound
+    [r n^{2/3} log n] evaluated with constant 1 (for shape
+    comparison). *)
+val total_proof_paper_bound : params -> float

@@ -1,0 +1,46 @@
+type costs = {
+  local_proof_qubits : int;
+  total_proof_qubits : int;
+  local_message_qubits : int;
+  total_message_qubits : int;
+  rounds : int;
+}
+
+let zero =
+  {
+    local_proof_qubits = 0;
+    total_proof_qubits = 0;
+    local_message_qubits = 0;
+    total_message_qubits = 0;
+    rounds = 0;
+  }
+
+let pp_costs fmt c =
+  Format.fprintf fmt
+    "proof: local %d / total %d qubits; msg: local %d / total %d qubits; %d round(s)"
+    c.local_proof_qubits c.total_proof_qubits c.local_message_qubits
+    c.total_message_qubits c.rounds
+
+type row = {
+  label : string;
+  params : string;
+  costs : costs;
+  completeness : float;
+  soundness_error : float;
+  paper_formula : string;
+  paper_value : float;
+}
+
+let pp_header fmt () =
+  Format.fprintf fmt "%-26s %-24s %10s %10s %8s %9s  %-28s %10s@\n" "protocol"
+    "params" "loc.proof" "tot.proof" "compl." "snd.err" "paper bound" "value";
+  Format.fprintf fmt "%s@\n" (String.make 132 '-')
+
+let pp_row fmt r =
+  Format.fprintf fmt "%-26s %-24s %10d %10d %8.4f %9.2e  %-28s %10.1f@\n"
+    r.label r.params r.costs.local_proof_qubits r.costs.total_proof_qubits
+    r.completeness r.soundness_error r.paper_formula r.paper_value
+
+let ceil_log2 k =
+  let rec bits acc v = if v <= 1 then acc else bits (acc + 1) ((v + 1) / 2) in
+  bits 0 k

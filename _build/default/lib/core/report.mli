@@ -1,0 +1,48 @@
+(** Cost accounting and table-row reporting.
+
+    Every protocol module exposes a [costs] value of this shape so the
+    table harness ([bin/tables.exe]) can regenerate the paper's Tables
+    1-3 with measured columns next to the paper's asymptotic
+    formulas. *)
+
+type costs = {
+  local_proof_qubits : int;
+      (** max over nodes of the proof size received from the prover *)
+  total_proof_qubits : int;  (** sum over nodes *)
+  local_message_qubits : int;
+      (** max over edges of the verification-stage traffic *)
+  total_message_qubits : int;
+  rounds : int;
+}
+
+(** [zero] is the all-zero record. *)
+val zero : costs
+
+(** [pp_costs] prints a one-line summary. *)
+val pp_costs : Format.formatter -> costs -> unit
+
+(** A regenerated table row: measured costs plus measured
+    completeness / soundness and the paper's formula rendered for the
+    same parameters. *)
+type row = {
+  label : string;
+  params : string;
+  costs : costs;
+  completeness : float;
+  soundness_error : float;
+  paper_formula : string;
+  paper_value : float;
+      (** the paper's asymptotic bound evaluated (constant = 1) at the
+          row's parameters, for shape comparison *)
+}
+
+(** [pp_row] prints the row in the fixed-width layout of the tables
+    harness. *)
+val pp_row : Format.formatter -> row -> unit
+
+(** [pp_header] prints the column header matching {!pp_row}. *)
+val pp_header : Format.formatter -> unit -> unit
+
+(** [ceil_log2 k] is [ceil (log2 k)] for [k >= 1] (0 for [k <= 1]) —
+    the qubit accounting used across the repository. *)
+val ceil_log2 : int -> int

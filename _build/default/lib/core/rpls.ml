@@ -1,0 +1,86 @@
+open Qdp_codes
+open Qdp_network
+
+type params = { n : int; r : int; parity_checks : int }
+type prover = Write of Gf2.t | Write_each of Gf2.t array
+
+let proofs_of params prover =
+  match prover with
+  | Write z -> Array.make (params.r + 1) z
+  | Write_each a ->
+      if Array.length a <> params.r + 1 then
+        invalid_arg "Rpls: one proof per node";
+      a
+
+let accept_probability params x y prover =
+  let w = proofs_of params prover in
+  if not (Gf2.equal w.(0) x) then 0.
+  else if not (Gf2.equal w.(params.r) y) then 0.
+  else begin
+    let p_edge = Float.pow 0.5 (float_of_int params.parity_checks) in
+    let acc = ref 1. in
+    for j = 0 to params.r - 1 do
+      if not (Gf2.equal w.(j) w.(j + 1)) then acc := !acc *. p_edge
+    done;
+    !acc
+  end
+
+type node_state = {
+  proof : Gf2.t;
+  parities : bool array;
+  mutable verdict : Runtime.verdict;
+}
+
+let run_once st params x y prover =
+  let w = proofs_of params prover in
+  (* shared randomness: the same parity vectors at every node *)
+  let seeds =
+    Array.init params.parity_checks (fun _ -> Gf2.random st params.n)
+  in
+  let g = Graph.path params.r in
+  let program =
+    {
+      Runtime.init =
+        (fun id ->
+          let proof = w.(id) in
+          let verdict : Runtime.verdict =
+            if id = 0 && not (Gf2.equal proof x) then Reject
+            else if id = params.r && not (Gf2.equal proof y) then Reject
+            else Accept
+          in
+          {
+            proof;
+            parities = Array.map (fun s -> Gf2.dot s proof) seeds;
+            verdict;
+          });
+      round =
+        (fun ~round ~id state ~inbox ->
+          match round with
+          | 1 ->
+              let payload = Array.to_list state.parities in
+              (state, List.map (fun v -> (v, payload)) (Graph.neighbours g id))
+          | 2 ->
+              List.iter
+                (fun (_, payload) ->
+                  List.iteri
+                    (fun i b ->
+                      if b <> state.parities.(i) then
+                        state.verdict <- Runtime.Reject)
+                    payload)
+                inbox;
+              (state, [])
+          | _ -> (state, []));
+      finish = (fun ~id:_ state -> state.verdict);
+    }
+  in
+  let verdicts, stats = Runtime.run g ~rounds:2 program in
+  (Runtime.global_verdict verdicts = Runtime.Accept, stats)
+
+let costs params =
+  {
+    Report.local_proof_qubits = params.n;
+    total_proof_qubits = (params.r + 1) * params.n;
+    local_message_qubits = 2 * params.parity_checks;
+    total_message_qubits = 2 * params.r * params.parity_checks;
+    rounds = 1;
+  }

@@ -1,0 +1,56 @@
+open Qdp_codes
+open Qdp_network
+
+type prover = Honest of Gf2.t | Assignment of Gf2.t array
+
+type node_state = {
+  proof : Gf2.t;
+  mutable verdict : Runtime.verdict;
+}
+
+let run ~r x y prover =
+  let g = Graph.path r in
+  let proofs =
+    match prover with
+    | Honest z -> Array.make (r + 1) z
+    | Assignment a ->
+        if Array.length a <> r + 1 then
+          invalid_arg "Runtime_dma: one proof string per node";
+        a
+  in
+  let program =
+    {
+      Runtime.init =
+        (fun id ->
+          let proof = proofs.(id) in
+          let verdict : Runtime.verdict =
+            if id = 0 && not (Gf2.equal proof x) then Reject
+            else if id = r && not (Gf2.equal proof y) then Reject
+            else Accept
+          in
+          { proof; verdict });
+      round =
+        (fun ~round ~id state ~inbox ->
+          match round with
+          | 1 ->
+              let out =
+                List.map
+                  (fun v -> (v, Gf2.to_string state.proof))
+                  (Graph.neighbours g id)
+              in
+              (state, out)
+          | 2 ->
+              List.iter
+                (fun (_, s) ->
+                  if not (String.equal s (Gf2.to_string state.proof)) then
+                    state.verdict <- Runtime.Reject)
+                inbox;
+              (state, [])
+          | _ -> (state, []));
+      finish = (fun ~id:_ state -> state.verdict);
+    }
+  in
+  let verdicts, stats = Runtime.run g ~rounds:2 program in
+  (Runtime.global_verdict verdicts = Runtime.Accept, stats)
+
+let bits_per_node ~n = n

@@ -1,0 +1,85 @@
+open Qdp_linalg
+open Qdp_fingerprint
+open Qdp_network
+
+type params = { n : int; r : int; seed : int }
+
+type node_state = {
+  role : [ `Left | `Middle | `Right ];
+  kept : Vec.t option;  (** register retained for the local SWAP test *)
+  outgoing : Vec.t option;  (** register to forward right in round 1 *)
+  mutable verdict : Runtime.verdict;
+}
+
+let run_once st params x y strategy =
+  let fp = Fingerprint.standard ~seed:params.seed ~n:params.n in
+  let hx = Fingerprint.state fp x in
+  let hy_state = Fingerprint.state fp y in
+  let prover_state j =
+    match strategy with
+    | Sim.All_left -> hx
+    | Sim.All_right -> hy_state
+    | Sim.Geodesic ->
+        States.geodesic hx hy_state (float_of_int j /. float_of_int params.r)
+    | Sim.Switch cut -> if j <= cut then hx else hy_state
+  in
+  let g = Graph.path params.r in
+  let program =
+    {
+      Runtime.init =
+        (fun id ->
+          if id = 0 then
+            { role = `Left; kept = None; outgoing = Some hx; verdict = Accept }
+          else if id = params.r then
+            { role = `Right; kept = None; outgoing = None; verdict = Accept }
+          else begin
+            (* the prover's pair, symmetrized by a local coin *)
+            let s = prover_state id in
+            let a, b = (Vec.copy s, Vec.copy s) in
+            let kept, out = if Random.State.bool st then (a, b) else (b, a) in
+            { role = `Middle; kept = Some kept; outgoing = Some out;
+              verdict = Accept }
+          end);
+      round =
+        (fun ~round ~id state ~inbox ->
+          match round with
+          | 1 -> (
+              (* every node except v_r forwards its register right *)
+              match state.outgoing with
+              | Some reg when id < params.r -> (state, [ (id + 1, reg) ])
+              | _ -> (state, []))
+          | 2 -> (
+              (* receive from the left and test *)
+              match (state.role, inbox) with
+              | `Middle, [ (_, arriving) ] ->
+                  let kept =
+                    match state.kept with
+                    | Some k -> k
+                    | None -> assert false
+                  in
+                  let p = Sim.swap_accept [| arriving |] [| kept |] in
+                  if Random.State.float st 1. > p then
+                    state.verdict <- Runtime.Reject;
+                  (state, [])
+              | `Right, [ (_, arriving) ] ->
+                  let p = Fingerprint.accept_prob fp y arriving in
+                  if Random.State.float st 1. > p then
+                    state.verdict <- Runtime.Reject;
+                  (state, [])
+              | `Left, _ -> (state, [])
+              | _ ->
+                  state.verdict <- Runtime.Reject;
+                  (state, []))
+          | _ -> (state, []));
+      finish = (fun ~id:_ state -> state.verdict);
+    }
+  in
+  let verdicts, stats = Runtime.run g ~rounds:2 program in
+  (Runtime.global_verdict verdicts = Runtime.Accept, stats)
+
+let estimate_acceptance st ~trials params x y strategy =
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    if fst (run_once st params x y strategy) then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials

@@ -1,0 +1,38 @@
+(** Message-passing execution of the EQ path protocol on the
+    {!Qdp_network.Runtime} engine.
+
+    Where {!Eq_path} computes acceptance probabilities in closed form,
+    this module actually {e runs} the protocol: every node is a
+    handler, fingerprint registers travel as messages along the path
+    graph, symmetrization coins are flipped locally, SWAP tests are
+    sampled, and the per-node verdicts come back through the runtime —
+    together with its traffic accounting.  Sampled acceptance
+    frequencies converge to the {!Eq_path} closed forms (checked in the
+    test suite). *)
+
+open Qdp_codes
+open Qdp_network
+
+type params = { n : int; r : int; seed : int }
+
+(** [run_once st params x y strategy] executes one repetition and
+    returns whether every node accepted, plus the runtime's traffic
+    stats. *)
+val run_once :
+  Random.State.t ->
+  params ->
+  Gf2.t ->
+  Gf2.t ->
+  Sim.chain_strategy ->
+  bool * Runtime.stats
+
+(** [estimate_acceptance st ~trials params x y strategy] is the
+    empirical acceptance frequency. *)
+val estimate_acceptance :
+  Random.State.t ->
+  trials:int ->
+  params ->
+  Gf2.t ->
+  Gf2.t ->
+  Sim.chain_strategy ->
+  float

@@ -1,0 +1,116 @@
+open Qdp_linalg
+open Qdp_codes
+open Qdp_network
+
+type prover = { node_index : int -> int; chain : Sim.chain_strategy }
+
+let honest x y =
+  match Qdp_commcc.Problems.gt_witness x y with
+  | Some i -> { node_index = (fun _ -> i); chain = Sim.All_left }
+  | None -> invalid_arg "Runtime_gt.honest: GT (x, y) = 0"
+
+type message = { idx : int; reg : Vec.t }
+
+type node_state = {
+  role : [ `Left | `Middle | `Right ];
+  my_index : int;
+  kept : Vec.t option;
+  outgoing : Vec.t option;
+  mutable verdict : Runtime.verdict;
+}
+
+let run_once st (params : Gt.params) x y prover =
+  let r = params.Gt.r in
+  let g = Graph.path r in
+  (* per-node chain states built from that node's claimed index *)
+  let chain_state j i =
+    let hx, hy = Gt.prefix_states params i x y in
+    match prover.chain with
+    | Sim.All_left -> hx
+    | Sim.All_right -> hy
+    | Sim.Geodesic -> States.geodesic hx hy (float_of_int j /. float_of_int r)
+    | Sim.Switch cut -> if j <= cut then hx else hy
+  in
+  let program =
+    {
+      Runtime.init =
+        (fun id ->
+          let i = prover.node_index id in
+          if id = 0 then begin
+            (* v_0's classical check: x_i must be 1 *)
+            let ok = i >= 0 && i < params.Gt.n && Gf2.get x i in
+            let hx, _ = Gt.prefix_states params i x y in
+            {
+              role = `Left;
+              my_index = i;
+              kept = None;
+              outgoing = Some hx;
+              verdict = (if ok then Accept else Reject);
+            }
+          end
+          else if id = r then begin
+            (* v_r's classical check: y_i must be 0 *)
+            let ok = i >= 0 && i < params.Gt.n && not (Gf2.get y i) in
+            let _, hy = Gt.prefix_states params i x y in
+            {
+              role = `Right;
+              my_index = i;
+              kept = Some hy;
+              outgoing = None;
+              verdict = (if ok then Accept else Reject);
+            }
+          end
+          else begin
+            let s = chain_state id i in
+            let a, b = (Vec.copy s, Vec.copy s) in
+            let kept, out = if Random.State.bool st then (a, b) else (b, a) in
+            {
+              role = `Middle;
+              my_index = i;
+              kept = Some kept;
+              outgoing = Some out;
+              verdict = Accept;
+            }
+          end);
+      round =
+        (fun ~round ~id state ~inbox ->
+          match round with
+          | 1 -> (
+              match state.outgoing with
+              | Some reg when id < r ->
+                  (state, [ (id + 1, { idx = state.my_index; reg }) ])
+              | _ -> (state, []))
+          | 2 -> (
+              match (state.role, inbox) with
+              | (`Middle | `Right), [ (_, msg) ] ->
+                  if msg.idx <> state.my_index then begin
+                    (* Algorithm 7's neighbour index comparison *)
+                    state.verdict <- Runtime.Reject;
+                    (state, [])
+                  end
+                  else begin
+                    let own =
+                      match state.kept with Some k -> k | None -> assert false
+                    in
+                    let p = Sim.swap_accept [| msg.reg |] [| own |] in
+                    if Random.State.float st 1. > p then
+                      state.verdict <- Runtime.Reject;
+                    (state, [])
+                  end
+              | `Left, _ -> (state, [])
+              | _ ->
+                  state.verdict <- Runtime.Reject;
+                  (state, []))
+          | _ -> (state, []));
+      finish = (fun ~id:_ state -> state.verdict);
+    }
+  in
+  let verdicts, stats = Runtime.run g ~rounds:2 program in
+  (Runtime.global_verdict verdicts = Runtime.Accept, stats)
+
+let estimate_acceptance st ~trials params x y prover =
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    if fst (run_once st params x y prover) then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials

@@ -1,0 +1,37 @@
+(** Message-passing execution of the GT protocol (Algorithm 7) on the
+    {!Qdp_network.Runtime} engine.
+
+    Every node measures its classical index register on arrival,
+    forwards the measured index along with the quantum prefix
+    fingerprint, and rejects deterministically on an index mismatch —
+    the behaviour Algorithm 7 prescribes and the closed-form engine
+    ({!Gt}) assumes when it restricts cheating provers to a committed
+    index.  This module also demonstrates the other case: a prover
+    sending {e different} indices to different nodes is caught with
+    certainty by the neighbour comparisons. *)
+
+open Qdp_codes
+open Qdp_network
+
+(** What the prover distributes: a per-node claimed index plus the
+    strategy for the prefix-fingerprint registers. *)
+type prover = {
+  node_index : int -> int;  (** claimed index at node [j], [0 <= j <= r] *)
+  chain : Sim.chain_strategy;
+}
+
+(** [honest x y] commits to the witness index everywhere.
+    @raise Invalid_argument when [GT (x, y) = 0]. *)
+val honest : Gf2.t -> Gf2.t -> prover
+
+(** [run_once st params x y prover] executes one repetition; returns
+    the global verdict and traffic stats.  Nodes check their claimed
+    index against the one arriving from the left and reject on
+    mismatch before any quantum test. *)
+val run_once :
+  Random.State.t -> Gt.params -> Gf2.t -> Gf2.t -> prover -> bool * Runtime.stats
+
+(** [estimate_acceptance st ~trials params x y prover] is the
+    empirical acceptance frequency. *)
+val estimate_acceptance :
+  Random.State.t -> trials:int -> Gt.params -> Gf2.t -> Gf2.t -> prover -> float

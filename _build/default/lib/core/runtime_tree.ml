@@ -1,0 +1,88 @@
+open Qdp_linalg
+open Qdp_fingerprint
+open Qdp_network
+
+type node_state = {
+  outgoing : Vec.t option;  (** register forwarded to the parent *)
+  kept : Vec.t option;  (** register used in the local test, if any *)
+  mutable verdict : Runtime.verdict;
+}
+
+let run_once st params g ~terminals ~inputs strategy =
+  let fp =
+    Fingerprint.standard ~seed:params.Eq_tree.seed ~n:params.Eq_tree.n
+  in
+  let states = Array.map (Fingerprint.state fp) inputs in
+  let tr = Eq_tree.tree_of g ~terminals in
+  let height = max 1 (Spanning_tree.height tr) in
+  let internal_state v =
+    match strategy with
+    | Eq_tree.Honest -> states.(0)
+    | Eq_tree.Constant z -> Fingerprint.state fp z
+    | Eq_tree.Depth_interpolate target ->
+        States.geodesic states.(0) states.(target)
+          (float_of_int (Spanning_tree.depth tr v) /. float_of_int height)
+  in
+  (* materialize the tree as its own network *)
+  let size = Spanning_tree.size tr in
+  let tree_g = Graph.create size in
+  for v = 0 to size - 1 do
+    match Spanning_tree.parent tr v with
+    | Some p -> Graph.add_edge tree_g v p
+    | None -> ()
+  done;
+  let root = Spanning_tree.root tr in
+  let program =
+    {
+      Runtime.init =
+        (fun v ->
+          match Spanning_tree.terminal_of tr v with
+          | Some i when v <> root ->
+              (* terminal leaf: sends its own fingerprint, tests nothing *)
+              { outgoing = Some states.(i); kept = None; verdict = Accept }
+          | Some _ ->
+              (* the root terminal tests its own fingerprint *)
+              { outgoing = None; kept = Some states.(0); verdict = Accept }
+          | None ->
+              let s = internal_state v in
+              let a, b = (Vec.copy s, Vec.copy s) in
+              let kept, out = if Random.State.bool st then (a, b) else (b, a) in
+              { outgoing = Some out; kept = Some kept; verdict = Accept });
+      round =
+        (fun ~round ~id state ~inbox ->
+          match round with
+          | 1 -> (
+              match (state.outgoing, Spanning_tree.parent tr id) with
+              | Some reg, Some p -> (state, [ (p, reg) ])
+              | _ -> (state, []))
+          | 2 ->
+              (match (state.kept, inbox) with
+              | Some own, _ :: _ ->
+                  let sents = List.map (fun (_, reg) -> [| reg |]) inbox in
+                  let p =
+                    if params.Eq_tree.use_permutation_test then
+                      Sim.perm_accept ([| own |] :: sents)
+                    else begin
+                      (* FGNP21 ablation: uniformly random child *)
+                      let arr = Array.of_list sents in
+                      let pick = arr.(Random.State.int st (Array.length arr)) in
+                      Sim.swap_accept [| own |] pick
+                    end
+                  in
+                  if Random.State.float st 1. > p then
+                    state.verdict <- Runtime.Reject;
+                  (state, [])
+              | _ -> (state, []));
+          | _ -> (state, []));
+      finish = (fun ~id:_ state -> state.verdict);
+    }
+  in
+  let verdicts, stats = Runtime.run tree_g ~rounds:2 program in
+  (Runtime.global_verdict verdicts = Runtime.Accept, stats)
+
+let estimate_acceptance st ~trials params g ~terminals ~inputs strategy =
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    if fst (run_once st params g ~terminals ~inputs strategy) then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials

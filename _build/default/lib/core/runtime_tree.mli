@@ -1,0 +1,36 @@
+(** Message-passing execution of the EQ^t tree protocol (Algorithm 5)
+    on the {!Qdp_network.Runtime} engine.
+
+    The spanning tree of Section 3.3 is materialized as a network of
+    its own (one runtime node per tree node, edges to parents);
+    fingerprint registers flow leaf-to-root as messages, every
+    non-terminal node symmetrizes its prover pair locally and samples
+    its permutation test on arrival.  Sampled acceptance frequencies
+    converge to {!Eq_tree}'s closed forms (checked in the tests). *)
+
+open Qdp_codes
+open Qdp_network
+
+(** [run_once st params g ~terminals ~inputs strategy] builds the
+    spanning tree, executes one repetition as real message passing and
+    returns the global verdict plus traffic stats. *)
+val run_once :
+  Random.State.t ->
+  Eq_tree.params ->
+  Graph.t ->
+  terminals:int list ->
+  inputs:Gf2.t array ->
+  Eq_tree.strategy ->
+  bool * Runtime.stats
+
+(** [estimate_acceptance st ~trials params g ~terminals ~inputs
+    strategy] is the empirical acceptance frequency. *)
+val estimate_acceptance :
+  Random.State.t ->
+  trials:int ->
+  Eq_tree.params ->
+  Graph.t ->
+  terminals:int list ->
+  inputs:Gf2.t array ->
+  Eq_tree.strategy ->
+  float

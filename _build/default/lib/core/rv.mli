@@ -1,0 +1,61 @@
+(** The ranking verification protocol (Section 5.2, Algorithm 8,
+    Theorem 29).
+
+    [RV^{i,j}] asks whether terminal [i]'s input is the [j]-th largest
+    among the [t] inputs, i.e. whether
+    [#{k <> i : x_i >= x_k} = t - j] (Definition 9 writes the count as
+    [t - j + 1] including the trivially-true self comparison).  The prover announces a
+    direction bit per terminal [k] (">=" or "<") along the tree path
+    from [u_i] to [u_k] — inconsistent bits on a path are caught
+    deterministically — the nodes then run the [GT_{>=}] or [GT_<]
+    protocol on that path, and the root checks the count of ">=" bits
+    equals [t - j + 1]. *)
+
+open Qdp_codes
+open Qdp_network
+
+type params = { n : int; seed : int; repetitions : int }
+
+val make : ?repetitions:int -> seed:int -> n:int -> r:int -> unit -> params
+
+(** [rv_value ~inputs ~i ~j] evaluates the predicate itself
+    (Definition 9). *)
+val rv_value : inputs:Gf2.t array -> i:int -> j:int -> bool
+
+(** A prover strategy: claimed directions (entry [k]; [true] = ">=";
+    entry [i] is ignored) and, for every terminal the prover lies
+    about, the comparison-protocol attack is chosen optimally by the
+    engine. *)
+type prover =
+  | Honest_directions
+  | Claim of bool array
+
+(** [honest_accept params g ~terminals ~inputs ~i ~j] is the exact
+    acceptance with the honest prover (1 on yes instances, and 0 on no
+    instances — the root's count check fires deterministically). *)
+val honest_accept :
+  params -> Graph.t -> terminals:int list -> inputs:Gf2.t array -> i:int -> j:int -> float
+
+(** [best_attack_accept params g ~terminals ~inputs ~i ~j] is the best
+    acceptance (with the [repetitions]-fold amplification applied per
+    lying path) over direction claims with the correct count.  On yes
+    instances this equals the honest acceptance. *)
+val best_attack_accept :
+  params -> Graph.t -> terminals:int list -> inputs:Gf2.t array -> i:int -> j:int -> float * string
+
+(** [accept params g ~terminals ~inputs ~i ~j prover] evaluates a
+    specific claim with [repetitions]-fold amplification of each
+    per-path comparison protocol. *)
+val accept :
+  params ->
+  Graph.t ->
+  terminals:int list ->
+  inputs:Gf2.t array ->
+  i:int ->
+  j:int ->
+  prover ->
+  float
+
+(** [costs params tr ~t] accounts Theorem 29: [t - 1] parallel
+    comparison protocols plus direction bits over the tree [tr]. *)
+val costs : params -> Spanning_tree.t -> t:int -> Report.costs

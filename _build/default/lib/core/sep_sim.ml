@@ -1,0 +1,238 @@
+open Qdp_linalg
+
+type instance = { d : int; left : Vec.t; pairs : Mat.t array; final : Mat.t }
+
+let swap_projector d =
+  Mat.scale (Cx.re 0.5) (Mat.add (Mat.identity (d * d)) (Mat.swap_gate d))
+
+(* symmetrization channel on a pair state *)
+let symmetrize d rho =
+  let s = Mat.swap_gate d in
+  Mat.scale (Cx.re 0.5) (Mat.add rho (Mat.mul (Mat.mul s rho) s))
+
+let check inst =
+  let d = inst.d in
+  if Vec.dim inst.left <> d then invalid_arg "Sep_sim: left dimension";
+  if Mat.rows inst.final <> d || Mat.cols inst.final <> d then
+    invalid_arg "Sep_sim: final dimension";
+  Array.iter
+    (fun rho ->
+      if Mat.rows rho <> d * d || Mat.cols rho <> d * d then
+        invalid_arg "Sep_sim: pair dimension")
+    inst.pairs
+
+(* Forward contraction step: given the boundary operator E on the
+   arriving register and the node's (symmetrized) pair state rho on
+   (kept, sent), produce the new boundary on the sent register:
+   E'[s, s''] = sum_{a k a' k'} Pi[(a k),(a' k')] E[a', a] rho[(k' s),(k s'')]. *)
+let forward_step d pi e rho =
+  let out = Mat.create d d in
+  for s = 0 to d - 1 do
+    for s'' = 0 to d - 1 do
+      let acc = ref Cx.zero in
+      for a = 0 to d - 1 do
+        for k = 0 to d - 1 do
+          for a' = 0 to d - 1 do
+            for k' = 0 to d - 1 do
+              let p = Mat.get pi ((a * d) + k) ((a' * d) + k') in
+              if p.Complex.re <> 0. || p.Complex.im <> 0. then
+                acc :=
+                  Cx.add !acc
+                    (Cx.mul p
+                       (Cx.mul (Mat.get e a' a)
+                          (Mat.get rho ((k' * d) + s) ((k * d) + s''))))
+            done
+          done
+        done
+      done;
+      Mat.set out s s'' !acc
+    done
+  done;
+  out
+
+(* Backward contraction step: given the effective POVM B on the sent
+   register, pull it through the node to an effective POVM on the
+   arriving register:
+   B'[a, a'] = sum_{k k' s s'} Pi[(a k),(a' k')] B[s, s'] rho[(k' s'),(k s)]. *)
+let backward_step d pi b rho =
+  let out = Mat.create d d in
+  for a = 0 to d - 1 do
+    for a' = 0 to d - 1 do
+      let acc = ref Cx.zero in
+      for k = 0 to d - 1 do
+        for k' = 0 to d - 1 do
+          for s = 0 to d - 1 do
+            for s' = 0 to d - 1 do
+              let p = Mat.get pi ((a * d) + k) ((a' * d) + k') in
+              if p.Complex.re <> 0. || p.Complex.im <> 0. then
+                acc :=
+                  Cx.add !acc
+                    (Cx.mul p
+                       (Cx.mul (Mat.get b s s')
+                          (Mat.get rho ((k' * d) + s') ((k * d) + s))))
+            done
+          done
+        done
+      done;
+      Mat.set out a a' !acc
+    done
+  done;
+  out
+
+let accept inst =
+  check inst;
+  let d = inst.d in
+  let pi = swap_projector d in
+  let e = ref (Mat.of_vec inst.left) in
+  Array.iter
+    (fun rho -> e := forward_step d pi !e (symmetrize d rho))
+    inst.pairs;
+  (Mat.trace (Mat.mul inst.final !e)).Complex.re
+
+let product_instance ~d ~left ~states ~final =
+  {
+    d;
+    left;
+    pairs = Array.map (fun s -> Mat.of_vec (Vec.tensor s s)) states;
+    final;
+  }
+
+(* The acceptance is tr[rho_j G_j] for the effective operator
+   G[(k s),(k' s')] = sum_{a a'} Pi[(a k),(a' k')] E[a', a] B[s, s'];
+   with the symmetrization channel folded in (self-adjoint), the
+   optimal node proof is the top eigenvector of (G + S G S)/2. *)
+let effective_operator d pi e b =
+  let g = Mat.create (d * d) (d * d) in
+  for k = 0 to d - 1 do
+    for s = 0 to d - 1 do
+      for k' = 0 to d - 1 do
+        for s' = 0 to d - 1 do
+          let acc = ref Cx.zero in
+          for a = 0 to d - 1 do
+            for a' = 0 to d - 1 do
+              acc :=
+                Cx.add !acc
+                  (Cx.mul
+                     (Mat.get pi ((a * d) + k) ((a' * d) + k'))
+                     (Cx.mul (Mat.get e a' a) (Mat.get b s s')))
+            done
+          done;
+          (* accept = sum rho[(k' s'),(k s)] G[(k s),(k' s')] *)
+          Mat.set g ((k * d) + s) ((k' * d) + s') !acc
+        done
+      done
+    done
+  done;
+  g
+
+(* maximize <a (x) b| G |a (x) b> by alternating eigenproblems on the
+   two halves *)
+let best_product_pair st ~d g =
+  let gaussian () =
+    let u1 = Float.max 1e-12 (Random.State.float st 1.) in
+    let u2 = Random.State.float st 1. in
+    Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+  in
+  let rand () =
+    Vec.normalize (Vec.init d (fun _ -> Cx.make (gaussian ()) (gaussian ())))
+  in
+  let a = ref (rand ()) and b = ref (rand ()) in
+  let top g_eff =
+    let evals, evecs = Eig.hermitian g_eff in
+    (evals.(d - 1), Vec.init d (fun i -> Mat.get evecs i (d - 1)))
+  in
+  let value = ref 0. in
+  for _ = 1 to 8 do
+    (* effective operator on a with b fixed *)
+    let ga =
+      Mat.init d d (fun k k' ->
+          let acc = ref Cx.zero in
+          for s = 0 to d - 1 do
+            for s' = 0 to d - 1 do
+              acc :=
+                Cx.add !acc
+                  (Cx.mul
+                     (Cx.mul (Cx.conj (Vec.get !b s))
+                        (Mat.get g ((k * d) + s) ((k' * d) + s')))
+                     (Vec.get !b s'))
+            done
+          done;
+          !acc)
+    in
+    let ga = Mat.scale (Cx.re 0.5) (Mat.add ga (Mat.adjoint ga)) in
+    let _, va = top ga in
+    a := va;
+    let gb =
+      Mat.init d d (fun s s' ->
+          let acc = ref Cx.zero in
+          for k = 0 to d - 1 do
+            for k' = 0 to d - 1 do
+              acc :=
+                Cx.add !acc
+                  (Cx.mul
+                     (Cx.mul (Cx.conj (Vec.get !a k))
+                        (Mat.get g ((k * d) + s) ((k' * d) + s')))
+                     (Vec.get !a k'))
+            done
+          done;
+          !acc)
+    in
+    let gb = Mat.scale (Cx.re 0.5) (Mat.add gb (Mat.adjoint gb)) in
+    let lb, vb = top gb in
+    b := vb;
+    value := lb
+  done;
+  (Mat.of_vec (Vec.tensor !a !b), !value)
+
+let optimize_generic update_node st ~d ~r ~left ~final ~sweeps =
+  if r < 2 then invalid_arg "Sep_sim.optimize: r >= 2";
+  let pi = swap_projector d in
+  let gaussian () =
+    let u1 = Float.max 1e-12 (Random.State.float st 1.) in
+    let u2 = Random.State.float st 1. in
+    Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+  in
+  let random_pure () =
+    let v =
+      Vec.normalize
+        (Vec.init (d * d) (fun _ -> Cx.make (gaussian ()) (gaussian ())))
+    in
+    Mat.of_vec v
+  in
+  let pairs = Array.init (r - 1) (fun _ -> random_pure ()) in
+  for _ = 1 to sweeps do
+    for j = 0 to r - 2 do
+      let e = ref (Mat.of_vec left) in
+      for i = 0 to j - 1 do
+        e := forward_step d pi !e (symmetrize d pairs.(i))
+      done;
+      let b = ref final in
+      for i = r - 2 downto j + 1 do
+        b := backward_step d pi !b (symmetrize d pairs.(i))
+      done;
+      let g = effective_operator d pi !e !b in
+      let s = Mat.swap_gate d in
+      let g_sym =
+        Mat.scale (Cx.re 0.5) (Mat.add g (Mat.mul (Mat.mul s g) s))
+      in
+      let g_herm =
+        Mat.scale (Cx.re 0.5) (Mat.add g_sym (Mat.adjoint g_sym))
+      in
+      pairs.(j) <- update_node g_herm
+    done
+  done;
+  let final_inst = { d; left; pairs; final } in
+  (final_inst, accept final_inst)
+
+let optimize st ~d ~r ~left ~final ~sweeps =
+  let update g =
+    let evals, evecs = Eig.hermitian g in
+    ignore evals;
+    let top = (d * d) - 1 in
+    Mat.of_vec (Vec.init (d * d) (fun i -> Mat.get evecs i top))
+  in
+  optimize_generic update st ~d ~r ~left ~final ~sweeps
+
+let optimize_product st ~d ~r ~left ~final ~sweeps =
+  let update g = fst (best_product_pair st ~d g) in
+  optimize_generic update st ~d ~r ~left ~final ~sweeps

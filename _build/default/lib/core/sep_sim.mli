@@ -1,0 +1,76 @@
+(** Exact acceptance engine for the dQMA^sep,sep proof class with
+    {e within-node} entanglement: each intermediate node's two-register
+    proof may be an arbitrary (mixed, entangled) state on
+    [C^d (x) C^d], while different nodes' proofs remain in tensor
+    product — precisely the proofs a prover restricted as in
+    Definition 8 can send when we do not further restrict each node's
+    local pair to a product.
+
+    The local tests act on pairwise-disjoint register pairs that chain
+    through each node's proof, so "all nodes accept" contracts as a 1-D
+    tensor network: a boundary operator of dimension [d] is threaded
+    through each node's pair state.  Everything here is exact; the
+    register dimension [d] is meant to be small (toy fingerprints), as
+    each step manipulates operators on [C^{d^3}].
+
+    Together with {!Sim} (product pairs) and {!Exact} (global
+    entanglement) this completes the measured hierarchy
+
+    [best product <= best node-entangled <= best global-entangled],
+
+    all three computable exactly on the same toy instance. *)
+
+open Qdp_linalg
+
+(** A chain instance: [v_0] sends the pure state [left]; node [j]'s
+    proof is the density matrix [pairs.(j-1)] on [C^d (x) C^d]
+    (register order: kept, sent); [v_r] measures the POVM element
+    [final] on the arriving register. *)
+type instance = {
+  d : int;
+  left : Vec.t;
+  pairs : Mat.t array;
+  final : Mat.t;  (** a [d x d] POVM element, [0 <= final <= I] *)
+}
+
+(** [accept inst] is the exact probability that all nodes accept,
+    marginalized over the symmetrization coins.
+    @raise Invalid_argument on dimension mismatches. *)
+val accept : instance -> float
+
+(** [product_instance ~d ~left ~states ~final] builds the instance
+    with node [j] holding the pure product [s_j (x) s_j] — the {!Sim}
+    proof class, used for cross-validation. *)
+val product_instance :
+  d:int -> left:Vec.t -> states:Vec.t array -> final:Mat.t -> instance
+
+(** [optimize st ~d ~r ~left ~final ~sweeps] runs coordinate ascent
+    over the node proofs: each pass fixes all but one node's pair
+    state and replaces it by the top eigenvector of the effective
+    acceptance operator (the acceptance is linear in each [rho_j]).
+    Returns the optimized instance and its acceptance — a lower bound
+    on the dQMA^sep soundness error that dominates every product
+    attack. *)
+val optimize :
+  Random.State.t ->
+  d:int ->
+  r:int ->
+  left:Vec.t ->
+  final:Mat.t ->
+  sweeps:int ->
+  instance * float
+
+(** [optimize_product st ~d ~r ~left ~final ~sweeps] is the same
+    coordinate ascent restricted to pure {e product} pairs
+    [a_j (x) b_j] (each half updated by an exact eigenproblem with the
+    other half fixed) — the best attack in {!Sim}'s proof class,
+    certifying how close the hand-written attack library (geodesic /
+    step / constant) comes to the true product optimum. *)
+val optimize_product :
+  Random.State.t ->
+  d:int ->
+  r:int ->
+  left:Vec.t ->
+  final:Mat.t ->
+  sweeps:int ->
+  instance * float

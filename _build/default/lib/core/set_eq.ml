@@ -1,0 +1,92 @@
+open Qdp_linalg
+open Qdp_fingerprint
+
+type params = {
+  n : int;
+  k : int;
+  r : int;
+  seed : int;
+  repetitions : int;
+  amplify : int;
+}
+
+let make ?repetitions ?(amplify = 6) ~seed ~n ~k ~r () =
+  if k < 1 then invalid_arg "Set_eq.make: k >= 1";
+  if amplify < 1 then invalid_arg "Set_eq.make: amplify >= 1";
+  let repetitions =
+    match repetitions with
+    | Some reps -> reps
+    | None -> Eq_path.paper_repetitions ~r
+  in
+  { n; k; r; seed; repetitions; amplify }
+
+let fingerprint params = Fingerprint.standard ~seed:params.seed ~n:params.n
+
+(* Realize the 2k amplified element fingerprints as concrete vectors
+   with the exact Gram matrix ov(x_i, x_j)^c: columns of sqrt(G). *)
+let embedded_elements params elements =
+  let fp = fingerprint params in
+  let m = Array.length elements in
+  let gram =
+    Mat.init m m (fun i j ->
+        Cx.re
+          (Float.pow
+             (Fingerprint.overlap fp elements.(i) elements.(j))
+             (float_of_int params.amplify)))
+  in
+  let root = Eig.sqrt_psd gram in
+  Array.init m (fun i -> Vec.init m (fun row -> Mat.get root row i))
+
+let check_sets params s t =
+  if Array.length s <> params.k || Array.length t <> params.k then
+    invalid_arg "Set_eq: sets must have exactly k elements"
+
+let embedded_set_states params s t =
+  check_sets params s t;
+  let vecs = embedded_elements params (Array.append s t) in
+  let sum lo =
+    let acc = Vec.create (Array.length vecs) in
+    for i = lo to lo + params.k - 1 do
+      Vec.axpy ~alpha:Cx.one vecs.(i) acc
+    done;
+    Vec.normalize acc
+  in
+  (sum 0, sum params.k)
+
+let set_overlap params s t =
+  let hs, ht = embedded_set_states params s t in
+  (Vec.dot hs ht).Complex.re
+
+let single_round_accept params s t strategy =
+  let hs, ht = embedded_set_states params s t in
+  Sim.path_accept
+    (Sim.two_state_chain ~r:params.r ~left:hs ~right:ht
+       ~final:(fun reg -> Sim.swap_accept reg [| ht |])
+       strategy)
+
+let accept params s t strategy =
+  Sim.repeat_accept params.repetitions (single_round_accept params s t strategy)
+
+let best_attack_accept params s t =
+  List.fold_left
+    (fun (best, best_name) (name, strat) ->
+      let p = single_round_accept params s t strat in
+      if p > best then (p, name) else (best, best_name))
+    (0., "none")
+    [
+      ("all-left", Sim.All_left);
+      ("all-right", Sim.All_right);
+      ("geodesic", Sim.Geodesic);
+      (Printf.sprintf "switch@%d" (params.r / 2), Sim.Switch (params.r / 2));
+    ]
+
+let costs params =
+  let q = params.amplify * Fingerprint.qubits_of_n params.n in
+  let k = params.repetitions in
+  {
+    Report.local_proof_qubits = (if params.r >= 2 then 2 * k * q else 0);
+    total_proof_qubits = (params.r - 1) * 2 * k * q;
+    local_message_qubits = k * q;
+    total_message_qubits = params.r * k * q;
+    rounds = 1;
+  }

@@ -1,0 +1,62 @@
+(** The Set Equality problem (Naor-Parter-Yogev; the GMN23a
+    application discussed in Section 1.4 of the paper), as a dQMA
+    protocol built from {e set fingerprints}.
+
+    The two path ends hold multisets of [k] strings of [n] bits each;
+    the protocol decides set equality.  The set fingerprint is the
+    normalized superposition of [amplify]-fold tensor powers of the
+    element fingerprints, [|h_S> ~ sum_{x in S} |h_x>^{(x) c}]: the
+    tensor power drives distinct-element overlaps to [ov^c ~ 0], so
+    [<h_S|h_T> ~ |S cap T| / k] and the usual symmetrize-and-SWAP-test
+    chain separates equal sets from sets with large symmetric
+    difference.
+
+    The [c]-fold tensor powers are never materialized: all chain
+    acceptances depend only on inner products, so the element states
+    are realized exactly (up to a global unitary) in a [2k]-dimensional
+    space by factoring their Gram matrix — the reported qubit cost is
+    the true [c * ceil (log2 (2 m))]. *)
+
+open Qdp_linalg
+open Qdp_codes
+
+type params = {
+  n : int;  (** bits per element *)
+  k : int;  (** elements per set *)
+  r : int;
+  seed : int;
+  repetitions : int;
+  amplify : int;  (** tensor-power factor [c] on element fingerprints *)
+}
+
+val make :
+  ?repetitions:int -> ?amplify:int -> seed:int -> n:int -> k:int -> r:int -> unit -> params
+
+(** [embedded_set_states params s t] realizes the two set fingerprints
+    as concrete unit vectors with the exact inner products of the
+    tensor-power construction.
+    @raise Invalid_argument on wrong-size sets. *)
+val embedded_set_states : params -> Gf2.t array -> Gf2.t array -> Vec.t * Vec.t
+
+(** [set_overlap params s t] is [<h_S|h_T>]; 1 for equal sets (in any
+    order), approximately [|S cap T| / k] otherwise. *)
+val set_overlap : params -> Gf2.t array -> Gf2.t array -> float
+
+(** [single_round_accept params s t strategy] runs the EQ chain on the
+    set fingerprints (final SWAP test at [v_r] against its own set
+    fingerprint). *)
+val single_round_accept :
+  params -> Gf2.t array -> Gf2.t array -> Sim.chain_strategy -> float
+
+(** [accept] is the [repetitions]-fold power. *)
+val accept :
+  params -> Gf2.t array -> Gf2.t array -> Sim.chain_strategy -> float
+
+(** [best_attack_accept params s t] maximizes over the chain-strategy
+    library. *)
+val best_attack_accept : params -> Gf2.t array -> Gf2.t array -> float * string
+
+(** [costs params] — a set fingerprint costs
+    [amplify * ceil (log2 (2 m))] qubits, independent of [k]:
+    superposing elements is free (the SGDI observation). *)
+val costs : params -> Report.costs

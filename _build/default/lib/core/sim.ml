@@ -1,0 +1,280 @@
+open Qdp_linalg
+open Qdp_commcc
+module Spanning_tree = Qdp_network.Spanning_tree
+
+type register = Oneway.bundle
+
+let swap_accept a b =
+  let ov = Cx.norm2 (Oneway.bundle_overlap a b) in
+  (1. +. ov) /. 2.
+
+let perm_accept regs =
+  let arr = Array.of_list regs in
+  let k = Array.length arr in
+  if k = 0 then invalid_arg "Sim.perm_accept: empty";
+  if k = 1 then 1.
+  else begin
+    let overlaps =
+      Array.init k (fun i ->
+          Array.init k (fun j -> Oneway.bundle_overlap arr.(i) arr.(j)))
+    in
+    let perms = Qdp_quantum.Symmetric.permutations k in
+    let acc = ref Cx.zero in
+    List.iter
+      (fun pi ->
+        let inv = Qdp_quantum.Symmetric.inverse pi in
+        let prod = ref Cx.one in
+        for l = 0 to k - 1 do
+          prod := Cx.mul !prod overlaps.(l).(inv.(l))
+        done;
+        acc := Cx.add !acc !prod)
+      perms;
+    (Cx.scale (1. /. float_of_int (List.length perms)) !acc).Complex.re
+  end
+
+type path_instance = {
+  length : int;
+  left_accept : float;
+  left_send : register;
+  pairs : (register * register) array;
+  final_accept : register -> float;
+}
+
+(* Coin c at node j: 0 keeps (fst, snd) as (tested, forwarded), 1 swaps.
+   The joint acceptance couples only adjacent coins, so a 2-state
+   transfer recursion computes the exact expectation. *)
+let path_accept inst =
+  let r = inst.length in
+  if r < 1 then invalid_arg "Sim.path_accept: length >= 1";
+  if Array.length inst.pairs <> r - 1 then
+    invalid_arg "Sim.path_accept: pairs length must be r - 1";
+  if r = 1 then inst.left_accept *. inst.final_accept inst.left_send
+  else begin
+    let kept j c =
+      let a, b = inst.pairs.(j - 1) in
+      if c = 0 then a else b
+    in
+    let sent j c =
+      let a, b = inst.pairs.(j - 1) in
+      if c = 0 then b else a
+    in
+    let v =
+      ref
+        (Array.init 2 (fun c -> 0.5 *. swap_accept inst.left_send (kept 1 c)))
+    in
+    for j = 2 to r - 1 do
+      let next =
+        Array.init 2 (fun cj ->
+            let k = kept j cj in
+            0.5 *. ((!v.(0) *. swap_accept (sent (j - 1) 0) k)
+                   +. (!v.(1) *. swap_accept (sent (j - 1) 1) k)))
+      in
+      v := next
+    done;
+    let tail =
+      (!v.(0) *. inst.final_accept (sent (r - 1) 0))
+      +. (!v.(1) *. inst.final_accept (sent (r - 1) 1))
+    in
+    inst.left_accept *. tail
+  end
+
+type tree_instance = {
+  tree : Spanning_tree.t;
+  root_state : register;
+  leaf_state : int -> register;
+  internal_pair : int -> register * register;
+  use_permutation_test : bool;
+}
+
+let tree_enum_limit = 7
+
+(* The test a non-leaf node runs on its kept register and the
+   registers arriving from its children. *)
+let node_test inst kept sents =
+  if inst.use_permutation_test then perm_accept (kept :: sents)
+  else begin
+    (* FGNP21 ablation: SWAP test against one uniformly random child;
+       the child choice is a coin we integrate analytically. *)
+    match sents with
+    | [] -> 1.
+    | _ ->
+        let total =
+          List.fold_left (fun acc s -> acc +. swap_accept kept s) 0. sents
+        in
+        total /. float_of_int (List.length sents)
+  end
+
+let tree_accept st inst =
+  let tr = inst.tree in
+  let is_terminal v = Spanning_tree.terminal_of tr v <> None in
+  let root = Spanning_tree.root tr in
+  (* kept/sent of an internal node given its coin *)
+  let kept v c =
+    let a, b = inst.internal_pair v in
+    if c = 0 then a else b
+  in
+  let sent v c =
+    let a, b = inst.internal_pair v in
+    if c = 0 then b else a
+  in
+  let max_children =
+    List.fold_left
+      (fun acc v -> max acc (List.length (Spanning_tree.children tr v)))
+      0
+      (List.init (Spanning_tree.size tr) (fun v -> v))
+  in
+  if max_children <= tree_enum_limit then begin
+    (* Exact DP: m_v.(c) = E[ product of all tests in subtree(v) | coin
+       of v = c ], for internal v.  Children that are terminal leaves
+       contribute a fixed register and no coin. *)
+    let rec subtree_products v =
+      (* returns (list of (weight, sent register) options per child
+         assignment) folded into: for each assignment of internal
+         children coins, the weight (product of m) and sent list *)
+      let children = Spanning_tree.children tr v in
+      let contribs =
+        List.map
+          (fun c ->
+            if is_terminal c then [ (1.0, inst.leaf_state c) ]
+            else
+              let m = m_internal c in
+              [ (0.5 *. m.(0), sent c 0); (0.5 *. m.(1), sent c 1) ])
+          children
+      in
+      List.fold_left
+        (fun acc options ->
+          List.concat_map
+            (fun (w, sents) ->
+              List.map (fun (w', s) -> (w *. w', s :: sents)) options)
+            acc)
+        [ (1.0, []) ]
+        contribs
+      |> List.map (fun (w, sents) -> (w, List.rev sents))
+    and m_internal v =
+      let combos = subtree_products v in
+      Array.init 2 (fun c ->
+          List.fold_left
+            (fun acc (w, sents) ->
+              acc +. (w *. node_test inst (kept v c) sents))
+            0. combos)
+    in
+    let combos = subtree_products root in
+    List.fold_left
+      (fun acc (w, sents) ->
+        acc +. (w *. node_test inst inst.root_state sents))
+      0. combos
+  end
+  else begin
+    (* Monte-Carlo over coins for very wide trees. *)
+    let samples = 1 lsl 16 in
+    let total = ref 0. in
+    for _ = 1 to samples do
+      let coin = Hashtbl.create 16 in
+      let coin_of v =
+        match Hashtbl.find_opt coin v with
+        | Some c -> c
+        | None ->
+            let c = if Random.State.bool st then 1 else 0 in
+            Hashtbl.add coin v c;
+            c
+      in
+      let rec prod v =
+        let children = Spanning_tree.children tr v in
+        let sents =
+          List.map
+            (fun c ->
+              if is_terminal c then inst.leaf_state c else sent c (coin_of c))
+            children
+        in
+        let own =
+          if v = root then node_test inst inst.root_state sents
+          else node_test inst (kept v (coin_of v)) sents
+        in
+        List.fold_left
+          (fun acc c -> if is_terminal c then acc else acc *. prod c)
+          own children
+      in
+      total := !total +. prod root
+    done;
+    !total /. float_of_int samples
+  end
+
+type down_tree_instance = {
+  dtree : Spanning_tree.t;
+  root_message : register;
+  internal_registers : int -> register array;
+  leaf_accept : int -> register -> float;
+}
+
+let down_tree_accept inst =
+  let tr = inst.dtree in
+  let is_terminal v = Spanning_tree.terminal_of tr v <> None in
+  let memo : (int, (register * float) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let rec d v recv =
+    let cache =
+      match Hashtbl.find_opt memo v with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Hashtbl.add memo v c;
+          c
+    in
+    match List.find_opt (fun (r, _) -> r == recv) !cache with
+    | Some (_, value) -> value
+    | None ->
+        let value =
+          if is_terminal v then inst.leaf_accept v recv
+          else begin
+            let children = Array.of_list (Spanning_tree.children tr v) in
+            let delta = Array.length children in
+            let regs = inst.internal_registers v in
+            if Array.length regs <> delta + 1 then
+              invalid_arg "Sim.down_tree_accept: need delta + 1 registers";
+            let perms = Qdp_quantum.Symmetric.permutations (delta + 1) in
+            let total = ref 0. in
+            List.iter
+              (fun pi ->
+                let inv = Qdp_quantum.Symmetric.inverse pi in
+                (* slot delta is kept, slot mu goes to child mu *)
+                let own = swap_accept regs.(inv.(delta)) recv in
+                let acc = ref own in
+                for mu = 0 to delta - 1 do
+                  acc := !acc *. d children.(mu) regs.(inv.(mu))
+                done;
+                total := !total +. !acc)
+              perms;
+            !total /. float_of_int (List.length perms)
+          end
+        in
+        cache := (recv, value) :: !cache;
+        value
+  in
+  let root = Spanning_tree.root tr in
+  List.fold_left
+    (fun acc c -> acc *. d c inst.root_message)
+    1.0
+    (Spanning_tree.children tr root)
+
+let repeat_accept k p = Float.pow p (float_of_int k)
+
+type chain_strategy = All_left | All_right | Geodesic | Switch of int
+
+let two_state_chain ~r ~left ~right ~final strategy =
+  let node_state =
+    match strategy with
+    | All_left -> fun _ -> left
+    | All_right -> fun _ -> right
+    | Geodesic ->
+        fun j -> States.geodesic left right (float_of_int j /. float_of_int r)
+    | Switch cut -> fun j -> if j <= cut then left else right
+  in
+  {
+    length = r;
+    left_accept = 1.0;
+    left_send = [| left |];
+    pairs =
+      Array.init (r - 1) (fun i ->
+          let s = node_state (i + 1) in
+          ([| s |], [| s |]));
+    final_accept = final;
+  }

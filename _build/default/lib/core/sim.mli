@@ -1,0 +1,127 @@
+(** Product-proof acceptance engines.
+
+    Every verification protocol in the paper decomposes, once the
+    prover is restricted to proofs that are products over registers
+    (the dQMA^sep,sep model — which includes every honest prover in the
+    paper), into local tests on pairwise-disjoint register sets whose
+    only coupling is through the classical symmetrization /
+    permutation coins.  Conditioned on the coins all tests are
+    independent with closed-form acceptance probabilities, so the
+    joint acceptance is an expectation of a product whose coupling
+    graph is the path or tree itself — computed here {e exactly} by
+    transfer-matrix / tree dynamic programming, in time linear in the
+    network size.  No Monte-Carlo error enters any number these
+    engines report. *)
+
+open Qdp_commcc
+
+(** A register: a bundle of independent pure-state factors (see
+    {!Qdp_commcc.Oneway.bundle}). *)
+type register = Oneway.bundle
+
+(** [swap_accept a b] is the SWAP-test acceptance on the product of
+    two (unit) registers: [(1 + |<a|b>|^2) / 2]. *)
+val swap_accept : register -> register -> float
+
+(** [perm_accept regs] is the permutation-test acceptance on the
+    product of [k] registers: [1/k! sum_pi prod_i <r_i | r_{pi i}>]. *)
+val perm_accept : register list -> float
+
+(** One full path protocol in the shape of Algorithm 3/10: node [v_0]
+    runs a local step accepting with probability [left_accept] and
+    sends [left_send]; each intermediate node [v_j] holds the prover
+    registers [pairs.(j-1) = (R_{j,0}, R_{j,1})], symmetrizes, SWAP
+    tests the arriving register against the kept one and forwards the
+    other; [v_r] applies its POVM, with acceptance probability
+    [final_accept] on the arriving register. *)
+type path_instance = {
+  length : int;  (** [r]: nodes are [v_0 .. v_r], [r >= 1] *)
+  left_accept : float;
+  left_send : register;
+  pairs : (register * register) array;  (** length [r - 1] *)
+  final_accept : register -> float;
+}
+
+(** [path_accept inst] is the exact probability that {e every} node
+    accepts, marginalized over all symmetrization coins by the
+    transfer-matrix DP. *)
+val path_accept : path_instance -> float
+
+(** An up-tree protocol in the shape of Algorithm 5: leaves send their
+    terminal states toward the root; every non-terminal node
+    symmetrizes its prover pair, forwards one register to its parent
+    and permutation-tests the kept register against everything arriving
+    from its children; the root tests its own terminal state against
+    its children's registers. *)
+type tree_instance = {
+  tree : Qdp_network.Spanning_tree.t;
+  root_state : register;
+  leaf_state : int -> register;  (** terminal leaf tree-node -> state *)
+  internal_pair : int -> register * register;
+      (** internal tree-node -> prover registers [(R_{v,0}, R_{v,1})] *)
+  use_permutation_test : bool;
+      (** [true] = Algorithm 5 (this paper); [false] = the FGNP21
+          ablation where each node SWAP-tests against one uniformly
+          random child and discards the rest *)
+}
+
+(** [tree_accept st inst] is the probability every node accepts,
+    exact over symmetrization coins (and, for the FGNP21 variant,
+    random child choices).  [st] seeds nothing on the default exact
+    path; it is consumed only when the per-node coin space exceeds
+    {!tree_enum_limit} children and sampling takes over. *)
+val tree_accept : Random.State.t -> tree_instance -> float
+
+(** Children-per-node bound up to which the tree DP enumerates coins
+    exactly (beyond it, Monte-Carlo with [2^16] samples). *)
+val tree_enum_limit : int
+
+(** A down-tree protocol in the shape of Algorithm 9: the root sends
+    its message to every child; an internal node with [delta] children
+    holds [delta + 1] prover registers, permutes them uniformly, keeps
+    one, forwards one to each child, and SWAP tests the kept register
+    against the one arriving from its parent; each terminal leaf runs
+    Bob's measurement on the arriving register. *)
+type down_tree_instance = {
+  dtree : Qdp_network.Spanning_tree.t;
+  root_message : register;
+  internal_registers : int -> register array;
+      (** internal tree-node with [delta] children -> [delta + 1]
+          prover registers *)
+  leaf_accept : int -> register -> float;
+      (** terminal leaf tree-node -> Bob's acceptance on the arriving
+          register *)
+}
+
+(** [down_tree_accept inst] is the exact joint acceptance (the
+    per-node permutation coins are enumerated; memoization over the
+    at most [delta + 1] candidate arriving registers keeps this
+    polynomial). *)
+val down_tree_accept : down_tree_instance -> float
+
+(** [repeat_accept k p] is [p^k] — the acceptance of [k] independent
+    parallel repetitions when the prover plays the same product
+    strategy in each copy. *)
+val repeat_accept : int -> float -> float
+
+(** A prover strategy on a chain whose two ends hold the states [left]
+    and [right]: what single-register state each intermediate node
+    receives. *)
+type chain_strategy =
+  | All_left  (** every node gets [left] — honest when ends agree *)
+  | All_right
+  | Geodesic
+      (** node [j] gets the great-circle point [j / r] from [left] to
+          [right] — the strongest known product attack *)
+  | Switch of int  (** [left] up to the given node, [right] after *)
+
+(** [two_state_chain ~r ~left ~right ~final strategy] assembles the
+    corresponding {!path_instance} ([v_0] sends [left]; [final] is
+    [v_r]'s acceptance). *)
+val two_state_chain :
+  r:int ->
+  left:Qdp_linalg.Vec.t ->
+  right:Qdp_linalg.Vec.t ->
+  final:(register -> float) ->
+  chain_strategy ->
+  path_instance

@@ -1,0 +1,27 @@
+open Qdp_linalg
+
+let angle u w =
+  let c = (Vec.dot u w).Complex.re in
+  Float.acos (Float.max (-1.) (Float.min 1. c))
+
+let geodesic u w t =
+  let ov = Vec.dot u w in
+  (* global phase is unobservable: align |w> so the overlap is real
+     and non-negative, taking the short arc *)
+  let w =
+    if Cx.abs ov > 1e-12 then
+      Vec.scale (Cx.scale (1. /. Cx.abs ov) (Cx.conj ov)) w
+    else w
+  in
+  let c = Float.min 1. (Cx.abs ov) in
+  let theta = Float.acos c in
+  if theta < 1e-12 then Vec.copy u
+  else begin
+    let w_perp =
+      let p = Vec.sub w (Vec.scale (Cx.re c) u) in
+      Vec.normalize p
+    in
+    Vec.add
+      (Vec.scale (Cx.re (Float.cos (t *. theta))) u)
+      (Vec.scale (Cx.re (Float.sin (t *. theta))) w_perp)
+  end

@@ -1,0 +1,15 @@
+(** Shared state-construction helpers for prover strategies. *)
+
+open Qdp_linalg
+
+(** [geodesic u w t] is the point at parameter [t in [0, 1]] on the
+    great-circle arc from the unit vector [u] to the unit vector [w]
+    (real inner product assumed, as for fingerprints):
+    [cos (t theta) u + sin (t theta) w_perp] with
+    [theta = arccos <u|w>].  Overlaps telescope:
+    [<geodesic s | geodesic t> = cos ((t - s) theta)] — the optimal
+    "slow rotation" cheating proof for the EQ chain. *)
+val geodesic : Vec.t -> Vec.t -> float -> Vec.t
+
+(** [angle u w] is [arccos] of the (clipped) real part of [<u|w>]. *)
+val angle : Vec.t -> Vec.t -> float

@@ -1,0 +1,57 @@
+(** dQMA protocol variants discussed in Section 1.5 and the related
+    work: a concrete dQCMA protocol (classical proofs, quantum
+    verification) for EQ, and the LOCC conversion of Le Gall, Miyamoto
+    and Nishimura (Lemma 20 / Corollary 21).
+
+    The dQCMA protocol makes the open problem's trade-off measurable:
+    with classical proofs the prover must commit to strings, each node
+    regenerates fingerprints locally (so parallel repetition is free in
+    {e proof} size — classical strings are reusable), but each node
+    carries the full [n]-bit string: the [log n] proof advantage of
+    dQMA is lost while the quantum {e communication} advantage
+    remains. *)
+
+open Qdp_codes
+
+type params = { n : int; r : int; seed : int; repetitions : int }
+
+val make : ?repetitions:int -> seed:int -> n:int -> r:int -> unit -> params
+
+(** A dQCMA prover commits to one classical string per intermediate
+    node. *)
+type prover =
+  | Honest_strings  (** every node receives [x] *)
+  | Strings of Gf2.t array  (** length [r - 1] *)
+
+(** [single_accept params x y prover] is the exact one-repetition
+    acceptance. *)
+val single_accept : params -> Gf2.t -> Gf2.t -> prover -> float
+
+(** [accept params x y prover] — node [j] builds the fingerprint of
+    its claimed string, forwards one copy right and SWAP tests the
+    arriving register against a fresh local copy; [v_r] runs the EQ
+    POVM.  Exact, with the [repetitions]-fold power applied (classical
+    proofs are reused across repetitions). *)
+val accept : params -> Gf2.t -> Gf2.t -> prover -> float
+
+(** [best_attack_accept params x y] maximizes over all-[x], all-[y]
+    and every single-switch string assignment. *)
+val best_attack_accept : params -> Gf2.t -> Gf2.t -> float * string
+
+(** [costs params] — classical proof bits are charged like qubits:
+    [n] per intermediate node, independent of the repetition count;
+    messages remain [k q] qubits per edge. *)
+val costs : params -> Report.costs
+
+(** {2 LOCC dQMA (Lemma 20 / Corollary 21)} *)
+
+(** [locc_transform costs ~d_max] is the Lemma 20 cost transformation
+    (constants 1): a dQMA protocol with local proof [s_c], local
+    message [s_m] and total verification traffic [s_tm] becomes an
+    LOCC dQMA protocol with local proof [s_c + d_max s_m s_tm] and
+    local message [s_m s_tm], at [+gamma] soundness. *)
+val locc_transform : Report.costs -> d_max:int -> Report.costs
+
+(** [corollary21_local_proof ~d_max ~vertices ~r ~n] is Corollary 21's
+    local proof bound [d_max |V| r^4 log^2 n] for EQ^t (constant 1). *)
+val corollary21_local_proof : d_max:int -> vertices:int -> r:int -> n:int -> float

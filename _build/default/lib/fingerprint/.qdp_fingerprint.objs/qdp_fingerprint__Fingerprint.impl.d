@@ -1,0 +1,1 @@
+lib/fingerprint/fingerprint.ml: Cx Float Gf2 Linear_code Qdp_codes Qdp_linalg Vec

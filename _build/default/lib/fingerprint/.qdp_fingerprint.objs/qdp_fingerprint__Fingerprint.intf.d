@@ -1,0 +1,1 @@
+lib/fingerprint/fingerprint.mli: Gf2 Linear_code Qdp_codes Qdp_linalg Vec

@@ -1,0 +1,46 @@
+open Qdp_linalg
+open Qdp_codes
+
+type t = { code : Linear_code.t }
+
+let make code = { code }
+
+let standard ~seed ~n =
+  { code = Linear_code.random ~seed ~n ~m:(8 * n) }
+
+let code fp = fp.code
+let input_bits fp = Linear_code.message_length fp.code
+let dim fp = 2 * Linear_code.block_length fp.code
+
+let ceil_log2 d =
+  let rec bits acc k = if k <= 1 then acc else bits (acc + 1) ((k + 1) / 2) in
+  bits 0 d
+
+let qubits fp = ceil_log2 (dim fp)
+let qubits_of_n n = ceil_log2 (2 * 8 * n)
+
+let state fp x =
+  if Gf2.length x <> input_bits fp then invalid_arg "Fingerprint.state: length";
+  let m = Linear_code.block_length fp.code in
+  let cw = Linear_code.encode fp.code x in
+  let amp = 1. /. Float.sqrt (float_of_int m) in
+  let v = Vec.create (2 * m) in
+  for i = 0 to m - 1 do
+    let bit = if Gf2.get cw i then 1 else 0 in
+    Vec.set v ((2 * i) + bit) (Cx.re amp)
+  done;
+  v
+
+let overlap fp x y =
+  let m = Linear_code.block_length fp.code in
+  let d =
+    Gf2.hamming_distance (Linear_code.encode fp.code x)
+      (Linear_code.encode fp.code y)
+  in
+  1. -. (float_of_int d /. float_of_int m)
+
+let accept_prob fp y psi =
+  if Vec.dim psi <> dim fp then invalid_arg "Fingerprint.accept_prob: dim";
+  Cx.norm2 (Vec.dot (state fp y) psi)
+
+let bot_state fp = Vec.basis (dim fp) 1

@@ -1,0 +1,1 @@
+lib/linalg/eig.ml: Array Complex Cx Float List Mat Vec

@@ -1,0 +1,1 @@
+lib/linalg/mat.ml: Array Complex Cx Float Format List Vec

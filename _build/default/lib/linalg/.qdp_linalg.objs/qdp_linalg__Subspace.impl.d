@@ -1,0 +1,1 @@
+lib/linalg/subspace.ml: Array Eig Float List Random

@@ -1,0 +1,1 @@
+lib/linalg/subspace.mli: Random

@@ -1,0 +1,24 @@
+type t = Complex.t
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let re x = { Complex.re = x; im = 0. }
+let make re im = { Complex.re; im }
+let add = Complex.add
+let sub = Complex.sub
+let mul = Complex.mul
+let div = Complex.div
+let conj = Complex.conj
+let neg = Complex.neg
+let scale a z = { Complex.re = a *. z.Complex.re; im = a *. z.Complex.im }
+let norm2 z = Complex.norm2 z
+let abs z = Complex.norm z
+let is_close ?(eps = 1e-9) a b = Complex.norm (Complex.sub a b) <= eps
+
+let pp fmt z =
+  if Float.abs z.Complex.im < 1e-12 then Format.fprintf fmt "%.6g" z.Complex.re
+  else Format.fprintf fmt "%.6g%+.6gi" z.Complex.re z.Complex.im
+
+let to_string z = Format.asprintf "%a" pp z
+let exp_i theta = { Complex.re = Float.cos theta; im = Float.sin theta }

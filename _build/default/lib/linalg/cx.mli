@@ -1,0 +1,56 @@
+(** Complex scalar helpers on top of the standard [Complex] module.
+
+    All quantum amplitudes in this repository are values of type
+    [Complex.t]; this module collects the small set of operations the
+    simulators need beyond what the standard library provides. *)
+
+type t = Complex.t
+
+(** [zero] is [0 + 0i]. *)
+val zero : t
+
+(** [one] is [1 + 0i]. *)
+val one : t
+
+(** [i] is the imaginary unit. *)
+val i : t
+
+(** [re x] builds the real complex number [x + 0i]. *)
+val re : float -> t
+
+(** [make a b] builds [a + bi]. *)
+val make : float -> float -> t
+
+(** [add], [sub], [mul], [div] are field operations. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+(** [conj z] is the complex conjugate. *)
+val conj : t -> t
+
+(** [neg z] is [-z]. *)
+val neg : t -> t
+
+(** [scale a z] multiplies by the real scalar [a]. *)
+val scale : float -> t -> t
+
+(** [norm2 z] is [|z|^2]. *)
+val norm2 : t -> float
+
+(** [abs z] is [|z|]. *)
+val abs : t -> float
+
+(** [is_close ?eps a b] holds when [|a - b| <= eps] (default [1e-9]). *)
+val is_close : ?eps:float -> t -> t -> bool
+
+(** [pp] prints in the form [a+bi] with 6 significant digits. *)
+val pp : Format.formatter -> t -> unit
+
+(** [to_string z] renders via {!pp}. *)
+val to_string : t -> string
+
+(** [exp_i theta] is [e^{i theta}]. *)
+val exp_i : float -> t

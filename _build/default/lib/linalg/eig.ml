@@ -1,0 +1,125 @@
+(* Cyclic Jacobi eigensolver.  The working representation keeps the
+   matrix [a] (mutated toward diagonal form) and the accumulated
+   rotation matrix [v] with eigenvectors as rows of [v] at the end. *)
+
+let off_diagonal_norm a n =
+  let s = ref 0. in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      s := !s +. (2. *. a.(i).(j) *. a.(i).(j))
+    done
+  done;
+  Float.sqrt !s
+
+let jacobi_rotate a v n p q =
+  let apq = a.(p).(q) in
+  if Float.abs apq > 0. then begin
+    let theta = (a.(q).(q) -. a.(p).(p)) /. (2. *. apq) in
+    let t =
+      let sign = if theta >= 0. then 1. else -1. in
+      sign /. (Float.abs theta +. Float.sqrt ((theta *. theta) +. 1.))
+    in
+    let c = 1. /. Float.sqrt ((t *. t) +. 1.) in
+    let s = t *. c in
+    let tau = s /. (1. +. c) in
+    let app = a.(p).(p) and aqq = a.(q).(q) in
+    a.(p).(p) <- app -. (t *. apq);
+    a.(q).(q) <- aqq +. (t *. apq);
+    a.(p).(q) <- 0.;
+    a.(q).(p) <- 0.;
+    for k = 0 to n - 1 do
+      if k <> p && k <> q then begin
+        let akp = a.(k).(p) and akq = a.(k).(q) in
+        a.(k).(p) <- akp -. (s *. (akq +. (tau *. akp)));
+        a.(p).(k) <- a.(k).(p);
+        a.(k).(q) <- akq +. (s *. (akp -. (tau *. akq)));
+        a.(q).(k) <- a.(k).(q)
+      end
+    done;
+    for k = 0 to n - 1 do
+      let vpk = v.(p).(k) and vqk = v.(q).(k) in
+      v.(p).(k) <- vpk -. (s *. (vqk +. (tau *. vpk)));
+      v.(q).(k) <- vqk +. (s *. (vpk -. (tau *. vqk)))
+    done
+  end
+
+let symmetric a0 =
+  let n = Array.length a0 in
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Eig.symmetric: not square")
+    a0;
+  let a = Array.map Array.copy a0 in
+  let v = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.)) in
+  let tol = 1e-13 *. Float.max 1. (off_diagonal_norm a n) in
+  let max_sweeps = 100 in
+  let sweep = ref 0 in
+  while off_diagonal_norm a n > tol && !sweep < max_sweeps do
+    incr sweep;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        jacobi_rotate a v n p q
+      done
+    done
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> Float.compare a.(i).(i) a.(j).(j)) order;
+  let evals = Array.map (fun i -> a.(i).(i)) order in
+  let evecs = Array.map (fun i -> Array.copy v.(i)) order in
+  (evals, evecs)
+
+(* Hermitian H = A + iB embeds in the real symmetric [[A, -B]; [B, A]];
+   every eigenvalue of H appears twice, with real eigenvectors (u; v)
+   and (-v; u) both mapping to the complex eigenvector u + iv.  We
+   recover an orthonormal complex basis by greedy Gram-Schmidt over the
+   embedded eigenvectors in spectral order. *)
+let hermitian m =
+  let n = Mat.rows m in
+  if n <> Mat.cols m then invalid_arg "Eig.hermitian: not square";
+  let big =
+    Array.init (2 * n) (fun i ->
+        Array.init (2 * n) (fun j ->
+            let z i' j' = Mat.get m i' j' in
+            if i < n && j < n then (z i j).Complex.re
+            else if i < n then -.(z i (j - n)).Complex.im
+            else if j < n then (z (i - n) j).Complex.im
+            else (z (i - n) (j - n)).Complex.re))
+  in
+  let evals2, evecs2 = symmetric big in
+  let accepted = ref [] in
+  let accepted_vals = ref [] in
+  let count = ref 0 in
+  let k = ref 0 in
+  while !count < n && !k < 2 * n do
+    let row = evecs2.(!k) in
+    let cand = Vec.init n (fun j -> { Complex.re = row.(j); im = row.(n + j) }) in
+    let resid = Vec.copy cand in
+    List.iter
+      (fun u ->
+        let c = Vec.dot u resid in
+        Vec.axpy ~alpha:(Cx.neg c) u resid)
+      !accepted;
+    if Vec.norm resid > 1e-7 then begin
+      accepted := !accepted @ [ Vec.normalize resid ];
+      accepted_vals := !accepted_vals @ [ evals2.(!k) ];
+      incr count
+    end;
+    incr k
+  done;
+  if !count < n then failwith "Eig.hermitian: failed to extract a full eigenbasis";
+  let evals = Array.of_list !accepted_vals in
+  let vecs = Array.of_list !accepted in
+  let v = Mat.init n n (fun i j -> Vec.get vecs.(j) i) in
+  (evals, v)
+
+let eigenvalues_hermitian m = fst (hermitian m)
+
+let func_hermitian f m =
+  let evals, v = hermitian m in
+  let n = Mat.rows m in
+  let d =
+    Mat.init n n (fun i j -> if i = j then Cx.re (f evals.(i)) else Cx.zero)
+  in
+  Mat.mul (Mat.mul v d) (Mat.adjoint v)
+
+let sqrt_psd m = func_hermitian (fun x -> Float.sqrt (Float.max 0. x)) m

@@ -1,0 +1,34 @@
+(** Eigensolvers for real symmetric and complex Hermitian matrices.
+
+    Both are based on the cyclic Jacobi rotation method, which is slow
+    (cubic per sweep) but numerically robust and dependency-free — the
+    matrices in this repository are at most a few hundred rows.  The
+    Hermitian case is reduced to the real symmetric one through the
+    standard embedding [H = A + iB  ->  [[A, -B]; [B, A]]], whose
+    spectrum doubles every eigenvalue of [H]. *)
+
+(** [symmetric a] diagonalizes the real symmetric matrix [a] (given as
+    an array of rows).  Returns [(evals, evecs)] with eigenvalues in
+    ascending order and [evecs.(i)] the (row-stored) eigenvector of
+    [evals.(i)], forming an orthonormal basis.
+    @raise Invalid_argument if [a] is not square. *)
+val symmetric : float array array -> float array * float array array
+
+(** [hermitian m] diagonalizes the Hermitian matrix [m].  Returns
+    eigenvalues in ascending order and a unitary matrix whose [i]-th
+    column is the eigenvector of the [i]-th eigenvalue.
+    @raise Invalid_argument if [m] is not square. *)
+val hermitian : Mat.t -> float array * Mat.t
+
+(** [eigenvalues_hermitian m] is [fst (hermitian m)] — the ascending
+    spectrum of a Hermitian matrix. *)
+val eigenvalues_hermitian : Mat.t -> float array
+
+(** [func_hermitian f m] applies the scalar function [f] to the
+    spectrum of the Hermitian matrix [m]: returns [V diag(f lambda) V^dagger]. *)
+val func_hermitian : (float -> float) -> Mat.t -> Mat.t
+
+(** [sqrt_psd m] is the positive-semidefinite square root of a PSD
+    Hermitian matrix (negative eigenvalues due to rounding are clipped
+    to zero). *)
+val sqrt_psd : Mat.t -> Mat.t

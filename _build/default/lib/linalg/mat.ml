@@ -1,0 +1,172 @@
+type t = { rows : int; cols : int; re : float array; im : float array }
+
+let create rows cols =
+  { rows; cols; re = Array.make (rows * cols) 0.; im = Array.make (rows * cols) 0. }
+
+let rows m = m.rows
+let cols m = m.cols
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    m.re.((i * n) + i) <- 1.
+  done;
+  m
+
+let get m i j = { Complex.re = m.re.((i * m.cols) + j); im = m.im.((i * m.cols) + j) }
+
+let set m i j z =
+  m.re.((i * m.cols) + j) <- z.Complex.re;
+  m.im.((i * m.cols) + j) <- z.Complex.im
+
+let init rows cols f =
+  let m = create rows cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      set m i j (f i j)
+    done
+  done;
+  m
+
+let copy m = { m with re = Array.copy m.re; im = Array.copy m.im }
+
+let add a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.add: shape mismatch";
+  let m = create a.rows a.cols in
+  for k = 0 to Array.length a.re - 1 do
+    m.re.(k) <- a.re.(k) +. b.re.(k);
+    m.im.(k) <- a.im.(k) +. b.im.(k)
+  done;
+  m
+
+let sub a b =
+  if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.sub: shape mismatch";
+  let m = create a.rows a.cols in
+  for k = 0 to Array.length a.re - 1 do
+    m.re.(k) <- a.re.(k) -. b.re.(k);
+    m.im.(k) <- a.im.(k) -. b.im.(k)
+  done;
+  m
+
+let scale z a =
+  let zr = z.Complex.re and zi = z.Complex.im in
+  let m = create a.rows a.cols in
+  for k = 0 to Array.length a.re - 1 do
+    m.re.(k) <- (zr *. a.re.(k)) -. (zi *. a.im.(k));
+    m.im.(k) <- (zr *. a.im.(k)) +. (zi *. a.re.(k))
+  done;
+  m
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Mat.mul: shape mismatch";
+  let m = create a.rows b.cols in
+  for i = 0 to a.rows - 1 do
+    for k = 0 to a.cols - 1 do
+      let ar = a.re.((i * a.cols) + k) and ai = a.im.((i * a.cols) + k) in
+      if ar <> 0. || ai <> 0. then
+        for j = 0 to b.cols - 1 do
+          let br = b.re.((k * b.cols) + j) and bi = b.im.((k * b.cols) + j) in
+          let idx = (i * b.cols) + j in
+          m.re.(idx) <- m.re.(idx) +. (ar *. br) -. (ai *. bi);
+          m.im.(idx) <- m.im.(idx) +. (ar *. bi) +. (ai *. br)
+        done
+    done
+  done;
+  m
+
+let apply m v =
+  if m.cols <> Vec.dim v then invalid_arg "Mat.apply: shape mismatch";
+  let vr = Vec.raw_re v and vi = Vec.raw_im v in
+  let out = Vec.create m.rows in
+  let outr = Vec.raw_re out and outi = Vec.raw_im out in
+  for i = 0 to m.rows - 1 do
+    let sr = ref 0. and si = ref 0. in
+    let base = i * m.cols in
+    for j = 0 to m.cols - 1 do
+      let ar = m.re.(base + j) and ai = m.im.(base + j) in
+      sr := !sr +. (ar *. vr.(j)) -. (ai *. vi.(j));
+      si := !si +. (ar *. vi.(j)) +. (ai *. vr.(j))
+    done;
+    outr.(i) <- !sr;
+    outi.(i) <- !si
+  done;
+  out
+
+let adjoint m = init m.cols m.rows (fun i j -> Cx.conj (get m j i))
+let transpose m = init m.cols m.rows (fun i j -> get m j i)
+let conj m = init m.rows m.cols (fun i j -> Cx.conj (get m i j))
+
+let trace m =
+  if m.rows <> m.cols then invalid_arg "Mat.trace: not square";
+  let sr = ref 0. and si = ref 0. in
+  for i = 0 to m.rows - 1 do
+    sr := !sr +. m.re.((i * m.cols) + i);
+    si := !si +. m.im.((i * m.cols) + i)
+  done;
+  { Complex.re = !sr; im = !si }
+
+let tensor a b =
+  let m = create (a.rows * b.rows) (a.cols * b.cols) in
+  for ia = 0 to a.rows - 1 do
+    for ja = 0 to a.cols - 1 do
+      let ar = a.re.((ia * a.cols) + ja) and ai = a.im.((ia * a.cols) + ja) in
+      if ar <> 0. || ai <> 0. then
+        for ib = 0 to b.rows - 1 do
+          for jb = 0 to b.cols - 1 do
+            let br = b.re.((ib * b.cols) + jb) and bi = b.im.((ib * b.cols) + jb) in
+            let i = (ia * b.rows) + ib and j = (ja * b.cols) + jb in
+            let idx = (i * m.cols) + j in
+            m.re.(idx) <- (ar *. br) -. (ai *. bi);
+            m.im.(idx) <- (ar *. bi) +. (ai *. br)
+          done
+        done
+    done
+  done;
+  m
+
+let tensor_list = function
+  | [] -> invalid_arg "Mat.tensor_list: empty list"
+  | m :: ms -> List.fold_left tensor m ms
+
+let outer a b =
+  init (Vec.dim a) (Vec.dim b) (fun i j -> Cx.mul (Vec.get a i) (Cx.conj (Vec.get b j)))
+
+let of_vec v = outer v v
+
+let equal ?(eps = 1e-9) a b =
+  a.rows = b.rows && a.cols = b.cols
+  &&
+  let ok = ref true in
+  for k = 0 to Array.length a.re - 1 do
+    if Float.abs (a.re.(k) -. b.re.(k)) > eps || Float.abs (a.im.(k) -. b.im.(k)) > eps
+    then ok := false
+  done;
+  !ok
+
+let is_hermitian ?(eps = 1e-9) m = m.rows = m.cols && equal ~eps m (adjoint m)
+
+let is_unitary ?(eps = 1e-9) m =
+  m.rows = m.cols && equal ~eps (mul m (adjoint m)) (identity m.rows)
+
+let frobenius_norm m =
+  let s = ref 0. in
+  for k = 0 to Array.length m.re - 1 do
+    s := !s +. (m.re.(k) *. m.re.(k)) +. (m.im.(k) *. m.im.(k))
+  done;
+  Float.sqrt !s
+
+let pp fmt m =
+  for i = 0 to m.rows - 1 do
+    Format.fprintf fmt "@[[";
+    for j = 0 to m.cols - 1 do
+      if j > 0 then Format.fprintf fmt ",@ ";
+      Cx.pp fmt (get m i j)
+    done;
+    Format.fprintf fmt "]@]@\n"
+  done
+
+let swap_gate d =
+  init (d * d) (d * d) (fun i j ->
+      let i1 = i / d and i2 = i mod d in
+      let j1 = j / d and j2 = j mod d in
+      if i1 = j2 && i2 = j1 then Cx.one else Cx.zero)

@@ -1,0 +1,87 @@
+(** Dense complex matrices, row-major.
+
+    These back the density-operator side of the quantum simulator:
+    partial traces, operator algebra, projectors, and the distance
+    measures in {!Qdp_quantum.Distance} are all computed on values of
+    this type. *)
+
+type t
+
+(** [create r c] is the [r x c] zero matrix. *)
+val create : int -> int -> t
+
+(** [rows m] / [cols m] are the dimensions. *)
+val rows : t -> int
+
+val cols : t -> int
+
+(** [identity n] is the [n x n] identity. *)
+val identity : int -> t
+
+(** [init r c f] builds the matrix with entry [(i, j)] equal to
+    [f i j]. *)
+val init : int -> int -> (int -> int -> Cx.t) -> t
+
+(** [get m i j] / [set m i j z] access entry [(i, j)]. *)
+val get : t -> int -> int -> Cx.t
+
+val set : t -> int -> int -> Cx.t -> unit
+
+(** [copy m] is a fresh matrix equal to [m]. *)
+val copy : t -> t
+
+(** [add], [sub] are entrywise; [scale z m] multiplies by a scalar. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+val scale : Cx.t -> t -> t
+
+(** [mul a b] is the matrix product. *)
+val mul : t -> t -> t
+
+(** [apply m v] is the matrix-vector product [m v]. *)
+val apply : t -> Vec.t -> Vec.t
+
+(** [adjoint m] is the conjugate transpose. *)
+val adjoint : t -> t
+
+(** [transpose m] is the plain transpose. *)
+val transpose : t -> t
+
+(** [conj m] is the entrywise conjugate. *)
+val conj : t -> t
+
+(** [trace m] is the sum of diagonal entries (square matrices). *)
+val trace : t -> Cx.t
+
+(** [tensor a b] is the Kronecker product. *)
+val tensor : t -> t -> t
+
+(** [tensor_list ms] folds {!tensor} over a non-empty list. *)
+val tensor_list : t list -> t
+
+(** [outer a b] is [|a><b|]: entry [(i, j)] equals [a_i * conj b_j]. *)
+val outer : Vec.t -> Vec.t -> t
+
+(** [of_vec v] is the rank-one projector [|v><v|] for a unit vector, or
+    more generally [|v><v|] without normalization. *)
+val of_vec : Vec.t -> t
+
+(** [is_hermitian ?eps m] checks [m = m^dagger] entrywise. *)
+val is_hermitian : ?eps:float -> t -> bool
+
+(** [is_unitary ?eps m] checks [m m^dagger = I] entrywise. *)
+val is_unitary : ?eps:float -> t -> bool
+
+(** [equal ?eps a b] is entrywise comparison within [eps]. *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** [frobenius_norm m] is [sqrt (sum |m_ij|^2)]. *)
+val frobenius_norm : t -> float
+
+(** [pp] prints rows on separate lines. *)
+val pp : Format.formatter -> t -> unit
+
+(** [swap_gate d] is the unitary on [C^d (x) C^d] exchanging the two
+    factors. *)
+val swap_gate : int -> t

@@ -1,0 +1,150 @@
+type t = { ambient : int; rows : float array array }
+
+let dot_r a b =
+  let s = ref 0. in
+  for k = 0 to Array.length a - 1 do
+    s := !s +. (a.(k) *. b.(k))
+  done;
+  !s
+
+let norm_r a = Float.sqrt (dot_r a a)
+
+let gram_schmidt ambient vectors =
+  let kept = ref [] in
+  List.iter
+    (fun v ->
+      if Array.length v <> ambient then
+        invalid_arg "Subspace: inconsistent ambient dimension";
+      let w = Array.copy v in
+      List.iter
+        (fun u ->
+          let c = dot_r u w in
+          for k = 0 to ambient - 1 do
+            w.(k) <- w.(k) -. (c *. u.(k))
+          done)
+        !kept;
+      let n = norm_r w in
+      if n > 1e-10 then begin
+        for k = 0 to ambient - 1 do
+          w.(k) <- w.(k) /. n
+        done;
+        kept := !kept @ [ w ]
+      end)
+    vectors;
+  !kept
+
+let of_spanning vectors =
+  match vectors with
+  | [] -> invalid_arg "Subspace.of_spanning: empty list"
+  | v :: _ ->
+      let ambient = Array.length v in
+      let rows = gram_schmidt ambient vectors in
+      if rows = [] then invalid_arg "Subspace.of_spanning: zero span";
+      { ambient; rows = Array.of_list rows }
+
+let dim s = Array.length s.rows
+let ambient s = s.ambient
+let basis s = Array.to_list (Array.map Array.copy s.rows)
+
+let project s v =
+  if Array.length v <> s.ambient then invalid_arg "Subspace.project: dimension";
+  let out = Array.make s.ambient 0. in
+  Array.iter
+    (fun u ->
+      let c = dot_r u v in
+      for k = 0 to s.ambient - 1 do
+        out.(k) <- out.(k) +. (c *. u.(k))
+      done)
+    s.rows;
+  out
+
+let contains ?(eps = 1e-8) s v =
+  let p = project s v in
+  let d = ref 0. in
+  for k = 0 to s.ambient - 1 do
+    let e = v.(k) -. p.(k) in
+    d := !d +. (e *. e)
+  done;
+  Float.sqrt !d <= eps
+
+(* The cross-Gram matrix M = A B^T of the two orthonormal bases; its
+   singular values are the principal cosines. *)
+let cross_gram a b =
+  if a.ambient <> b.ambient then invalid_arg "Subspace: ambient mismatch";
+  Array.map (fun ra -> Array.map (fun rb -> dot_r ra rb) b.rows) a.rows
+
+let principal_cosines a b =
+  let m = cross_gram a b in
+  let d1 = Array.length m in
+  let mmt =
+    Array.init d1 (fun i -> Array.init d1 (fun j -> dot_r m.(i) m.(j)))
+  in
+  let evals, _ = Eig.symmetric mmt in
+  let sv = Array.map (fun x -> Float.sqrt (Float.max 0. x)) evals in
+  Array.sort (fun x y -> Float.compare y x) sv;
+  sv
+
+let distance a b =
+  let sv = principal_cosines a b in
+  let smax = Float.min 1. sv.(0) in
+  Float.sqrt (Float.max 0. (2. -. (2. *. smax)))
+
+let random st ~ambient ~dim =
+  if dim < 1 || dim > ambient then invalid_arg "Subspace.random: bad dim";
+  let gaussian () =
+    (* Box-Muller *)
+    let u1 = Float.max 1e-12 (Random.State.float st 1.) in
+    let u2 = Random.State.float st 1. in
+    Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+  in
+  let rec build acc remaining =
+    if remaining = 0 then acc
+    else
+      let v = Array.init ambient (fun _ -> gaussian ()) in
+      build (acc @ [ v ]) (remaining - 1)
+  in
+  (* Oversample a little in case of numerically dependent draws. *)
+  let rec try_build extra =
+    let s = of_spanning (build [] (dim + extra)) in
+    if Array.length s.rows >= dim then
+      { s with rows = Array.sub s.rows 0 dim }
+    else try_build (extra + 1)
+  in
+  try_build 0
+
+let closest_unit_vectors a b =
+  let m = cross_gram a b in
+  let d1 = Array.length m and d2 = Array.length m.(0) in
+  let mmt =
+    Array.init d1 (fun i -> Array.init d1 (fun j -> dot_r m.(i) m.(j)))
+  in
+  let evals, evecs = Eig.symmetric mmt in
+  (* largest eigenvalue is last (ascending order) *)
+  let u = evecs.(d1 - 1) in
+  let sigma = Float.sqrt (Float.max 0. evals.(d1 - 1)) in
+  let combine coeffs rows n =
+    let out = Array.make n 0. in
+    Array.iteri
+      (fun r c ->
+        for k = 0 to n - 1 do
+          out.(k) <- out.(k) +. (c *. rows.(r).(k))
+        done)
+      coeffs;
+    out
+  in
+  let v1 = combine u a.rows a.ambient in
+  let v2 =
+    if sigma > 1e-12 then begin
+      let w = Array.make d2 0. in
+      for j = 0 to d2 - 1 do
+        for i = 0 to d1 - 1 do
+          w.(j) <- w.(j) +. (m.(i).(j) *. u.(i) /. sigma)
+        done
+      done;
+      combine w b.rows b.ambient
+    end
+    else Array.copy b.rows.(0)
+  in
+  let norm1 = norm_r v1 and norm2 = norm_r v2 in
+  ( Array.map (fun x -> x /. Float.max 1e-300 norm1) v1,
+    Array.map (fun x -> x /. Float.max 1e-300 norm2) v2 )

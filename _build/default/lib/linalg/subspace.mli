@@ -1,0 +1,52 @@
+(** Real linear subspaces of [R^m], represented by orthonormal bases.
+
+    This is the input domain of the Linear Subspace Distance (LSD)
+    problem of Raz and Shpilka (Definition 16 in the paper): instances
+    are pairs of subspaces promised to be either close or far in the
+    distance [Delta(V1, V2) = min norm(v1 - v2)] over unit vectors
+    [v1 in V1], [v2 in V2]. *)
+
+type t
+
+(** [of_spanning vectors] orthonormalizes a spanning list by
+    Gram-Schmidt, dropping (numerically) dependent vectors.
+    @raise Invalid_argument on an empty list or inconsistent
+    dimensions, or if all vectors are (numerically) zero. *)
+val of_spanning : float array list -> t
+
+(** [dim s] is the dimension of the subspace. *)
+val dim : t -> int
+
+(** [ambient s] is the dimension [m] of the ambient space. *)
+val ambient : t -> int
+
+(** [basis s] is the orthonormal basis as a list of row vectors
+    (copies; safe to mutate). *)
+val basis : t -> float array list
+
+(** [project s v] is the orthogonal projection of [v] onto [s]. *)
+val project : t -> float array -> float array
+
+(** [contains ?eps s v] holds when [v] is within [eps] of its
+    projection onto [s] (default [1e-8]). *)
+val contains : ?eps:float -> t -> float array -> bool
+
+(** [principal_cosines a b] is the descending list of cosines of the
+    principal angles between [a] and [b] (the singular values of
+    [B_a B_b^T]). *)
+val principal_cosines : t -> t -> float array
+
+(** [distance a b] is the Raz-Shpilka distance
+    [Delta(a, b) = sqrt (2 - 2 * sigma_max)] where [sigma_max] is the
+    largest principal cosine.  It ranges in [[0, sqrt 2]]: 0 when the
+    subspaces intersect nontrivially, [sqrt 2] when orthogonal. *)
+val distance : t -> t -> float
+
+(** [random st ~ambient ~dim] samples a uniformly random [dim]-
+    dimensional subspace of [R^ambient] (Gaussian vectors +
+    Gram-Schmidt). *)
+val random : Random.State.t -> ambient:int -> dim:int -> t
+
+(** [closest_unit_vectors a b] returns unit vectors [(v1, v2)] in
+    [(a, b)] achieving [distance a b] (the top principal vector pair). *)
+val closest_unit_vectors : t -> t -> float array * float array

@@ -1,0 +1,145 @@
+type t = { re : float array; im : float array }
+
+let create n = { re = Array.make n 0.; im = Array.make n 0. }
+let dim v = Array.length v.re
+
+let basis n k =
+  if k < 0 || k >= n then invalid_arg "Vec.basis: index out of range";
+  let v = create n in
+  v.re.(k) <- 1.;
+  v
+
+let init n f =
+  let v = create n in
+  for k = 0 to n - 1 do
+    let z = f k in
+    v.re.(k) <- z.Complex.re;
+    v.im.(k) <- z.Complex.im
+  done;
+  v
+
+let of_array a = init (Array.length a) (fun k -> a.(k))
+let to_array v = Array.init (dim v) (fun k -> { Complex.re = v.re.(k); im = v.im.(k) })
+let get v k = { Complex.re = v.re.(k); im = v.im.(k) }
+
+let set v k z =
+  v.re.(k) <- z.Complex.re;
+  v.im.(k) <- z.Complex.im
+
+let copy v = { re = Array.copy v.re; im = Array.copy v.im }
+
+let add a b =
+  if dim a <> dim b then invalid_arg "Vec.add: dimension mismatch";
+  let v = create (dim a) in
+  for k = 0 to dim a - 1 do
+    v.re.(k) <- a.re.(k) +. b.re.(k);
+    v.im.(k) <- a.im.(k) +. b.im.(k)
+  done;
+  v
+
+let sub a b =
+  if dim a <> dim b then invalid_arg "Vec.sub: dimension mismatch";
+  let v = create (dim a) in
+  for k = 0 to dim a - 1 do
+    v.re.(k) <- a.re.(k) -. b.re.(k);
+    v.im.(k) <- a.im.(k) -. b.im.(k)
+  done;
+  v
+
+let scale_inplace z v =
+  let zr = z.Complex.re and zi = z.Complex.im in
+  for k = 0 to dim v - 1 do
+    let r = v.re.(k) and i = v.im.(k) in
+    v.re.(k) <- (zr *. r) -. (zi *. i);
+    v.im.(k) <- (zr *. i) +. (zi *. r)
+  done
+
+let scale z v =
+  let w = copy v in
+  scale_inplace z w;
+  w
+
+let axpy ~alpha x y =
+  if dim x <> dim y then invalid_arg "Vec.axpy: dimension mismatch";
+  let ar = alpha.Complex.re and ai = alpha.Complex.im in
+  for k = 0 to dim x - 1 do
+    let r = x.re.(k) and i = x.im.(k) in
+    y.re.(k) <- y.re.(k) +. (ar *. r) -. (ai *. i);
+    y.im.(k) <- y.im.(k) +. (ar *. i) +. (ai *. r)
+  done
+
+let dot a b =
+  if dim a <> dim b then invalid_arg "Vec.dot: dimension mismatch";
+  let sr = ref 0. and si = ref 0. in
+  for k = 0 to dim a - 1 do
+    (* conj(a_k) * b_k *)
+    sr := !sr +. (a.re.(k) *. b.re.(k)) +. (a.im.(k) *. b.im.(k));
+    si := !si +. (a.re.(k) *. b.im.(k)) -. (a.im.(k) *. b.re.(k))
+  done;
+  { Complex.re = !sr; im = !si }
+
+let norm v =
+  let s = ref 0. in
+  for k = 0 to dim v - 1 do
+    s := !s +. (v.re.(k) *. v.re.(k)) +. (v.im.(k) *. v.im.(k))
+  done;
+  Float.sqrt !s
+
+let normalize v =
+  let n = norm v in
+  if n <= 0. then invalid_arg "Vec.normalize: zero vector";
+  scale (Cx.re (1. /. n)) v
+
+let tensor a b =
+  let da = dim a and db = dim b in
+  let v = create (da * db) in
+  for i = 0 to da - 1 do
+    let ar = a.re.(i) and ai = a.im.(i) in
+    for j = 0 to db - 1 do
+      let k = (i * db) + j in
+      v.re.(k) <- (ar *. b.re.(j)) -. (ai *. b.im.(j));
+      v.im.(k) <- (ar *. b.im.(j)) +. (ai *. b.re.(j))
+    done
+  done;
+  v
+
+let tensor_list = function
+  | [] -> invalid_arg "Vec.tensor_list: empty list"
+  | v :: vs -> List.fold_left tensor v vs
+
+let map f v = init (dim v) (fun k -> f (get v k))
+
+let fold f acc v =
+  let acc = ref acc in
+  for k = 0 to dim v - 1 do
+    acc := f !acc (get v k)
+  done;
+  !acc
+
+let equal ?(eps = 1e-9) a b =
+  dim a = dim b
+  &&
+  let ok = ref true in
+  for k = 0 to dim a - 1 do
+    if
+      Float.abs (a.re.(k) -. b.re.(k)) > eps
+      || Float.abs (a.im.(k) -. b.im.(k)) > eps
+    then ok := false
+  done;
+  !ok
+
+let pp fmt v =
+  Format.fprintf fmt "[@[";
+  for k = 0 to dim v - 1 do
+    if k > 0 then Format.fprintf fmt ";@ ";
+    Cx.pp fmt (get v k)
+  done;
+  Format.fprintf fmt "@]]"
+
+let raw_re v = v.re
+let raw_im v = v.im
+
+let unsafe_of_raw re im =
+  if Array.length re <> Array.length im then
+    invalid_arg "Vec.unsafe_of_raw: length mismatch";
+  { re; im }

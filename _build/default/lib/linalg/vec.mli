@@ -1,0 +1,91 @@
+(** Dense complex vectors.
+
+    A vector is stored as two flat float arrays (real and imaginary
+    parts), which keeps inner products and scalings allocation-free.
+    Vectors are mutable; functions ending in [_inplace] mutate their
+    first argument, everything else is persistent. *)
+
+type t
+
+(** [create n] is the zero vector of dimension [n]. *)
+val create : int -> t
+
+(** [dim v] is the dimension of [v]. *)
+val dim : t -> int
+
+(** [basis n k] is the [k]-th computational basis vector of dimension
+    [n] ([0 <= k < n]). *)
+val basis : int -> int -> t
+
+(** [init n f] builds the vector whose [k]-th entry is [f k]. *)
+val init : int -> (int -> Cx.t) -> t
+
+(** [of_array a] copies a complex array into a vector. *)
+val of_array : Cx.t array -> t
+
+(** [to_array v] is a fresh complex array with the entries of [v]. *)
+val to_array : t -> Cx.t array
+
+(** [get v k] is entry [k]. *)
+val get : t -> int -> Cx.t
+
+(** [set v k z] overwrites entry [k]. *)
+val set : t -> int -> Cx.t -> unit
+
+(** [copy v] is a fresh vector equal to [v]. *)
+val copy : t -> t
+
+(** [add a b] and [sub a b] are entrywise sum and difference. *)
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+(** [scale z v] multiplies every entry by the complex scalar [z]. *)
+val scale : Cx.t -> t -> t
+
+(** [scale_inplace z v] is [scale] without allocation. *)
+val scale_inplace : Cx.t -> t -> unit
+
+(** [axpy ~alpha x y] adds [alpha * x] into [y] (mutating [y]). *)
+val axpy : alpha:Cx.t -> t -> t -> unit
+
+(** [dot a b] is the Hermitian inner product [<a|b>], conjugate-linear
+    in the first argument (physicists' convention). *)
+val dot : t -> t -> Cx.t
+
+(** [norm v] is the Euclidean norm. *)
+val norm : t -> float
+
+(** [normalize v] is [v / norm v].
+    @raise Invalid_argument on the zero vector. *)
+val normalize : t -> t
+
+(** [tensor a b] is the Kronecker product [a (x) b]: entry
+    [(i * dim b + j)] equals [a_i * b_j]. *)
+val tensor : t -> t -> t
+
+(** [tensor_list vs] folds {!tensor} over a non-empty list. *)
+val tensor_list : t list -> t
+
+(** [map f v] applies [f] to every entry. *)
+val map : (Cx.t -> Cx.t) -> t -> t
+
+(** [fold f init v] folds over the entries in index order. *)
+val fold : ('a -> Cx.t -> 'a) -> 'a -> t -> 'a
+
+(** [equal ?eps a b] holds when entries agree within [eps]
+    (default [1e-9]). *)
+val equal : ?eps:float -> t -> t -> bool
+
+(** [pp] prints as a bracketed list of entries. *)
+val pp : Format.formatter -> t -> unit
+
+(** Direct access to the underlying storage; used by the simulator hot
+    loops. Mutating these mutates the vector. *)
+val raw_re : t -> float array
+
+val raw_im : t -> float array
+
+(** [unsafe_of_raw re im] wraps existing storage without copying.
+    @raise Invalid_argument if the arrays differ in length. *)
+val unsafe_of_raw : float array -> float array -> t

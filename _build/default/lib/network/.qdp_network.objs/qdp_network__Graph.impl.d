@@ -1,0 +1,1 @@
+lib/network/graph.ml: Array Buffer Hashtbl List Printf Queue Random

@@ -1,0 +1,1 @@
+lib/network/runtime.ml: Array Graph Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/network/runtime.mli: Graph

@@ -1,0 +1,1 @@
+lib/network/spanning_tree.ml: Array Buffer Graph Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/network/spanning_tree.mli: Graph

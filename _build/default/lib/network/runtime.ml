@@ -1,0 +1,70 @@
+type verdict = Accept | Reject
+
+let global_verdict vs =
+  if Array.for_all (fun v -> v = Accept) vs then Accept else Reject
+
+type ('s, 'm) program = {
+  init : int -> 's;
+  round : round:int -> id:int -> 's -> inbox:(int * 'm) list -> 's * (int * 'm) list;
+  finish : id:int -> 's -> verdict;
+}
+
+type stats = {
+  messages : int;
+  rounds_run : int;
+  per_edge : ((int * int) * int) list;
+}
+
+let run g ~rounds program =
+  let n = Graph.size g in
+  let states = Array.init n program.init in
+  let inboxes = Array.make n [] in
+  let edge_count = Hashtbl.create 16 in
+  let total = ref 0 in
+  for r = 1 to rounds do
+    let outboxes = Array.make n [] in
+    for u = 0 to n - 1 do
+      let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(u) in
+      let state', out = program.round ~round:r ~id:u states.(u) ~inbox in
+      states.(u) <- state';
+      List.iter
+        (fun (dest, _) ->
+          if not (Graph.has_edge g u dest) then
+            invalid_arg
+              (Printf.sprintf "Runtime.run: node %d sent to non-neighbour %d" u
+                 dest))
+        out;
+      outboxes.(u) <- out
+    done;
+    Array.fill inboxes 0 n [];
+    Array.iteri
+      (fun u out ->
+        List.iter
+          (fun (dest, payload) ->
+            inboxes.(dest) <- (u, payload) :: inboxes.(dest);
+            incr total;
+            let e = (min u dest, max u dest) in
+            let c = try Hashtbl.find edge_count e with Not_found -> 0 in
+            Hashtbl.replace edge_count e (c + 1))
+          out)
+      outboxes
+  done;
+  let verdicts =
+    Array.init n (fun u -> program.finish ~id:u states.(u))
+  in
+  let per_edge =
+    List.sort compare
+      (Hashtbl.fold (fun e c acc -> (e, c) :: acc) edge_count [])
+  in
+  (verdicts, { messages = !total; rounds_run = rounds; per_edge })
+
+let run_accepts g ~rounds program =
+  let verdicts, _ = run g ~rounds program in
+  global_verdict verdicts = Accept
+
+let estimate_acceptance ~trials f =
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    if f () then incr hits
+  done;
+  float_of_int !hits /. float_of_int trials

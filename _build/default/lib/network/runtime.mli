@@ -1,0 +1,47 @@
+(** Synchronous round-based message-passing runtime.
+
+    Distributed verification protocols (Definition 5/6) run in a fixed
+    number of synchronous rounds: in every round each node reads its
+    inbox, updates local state and posts messages to neighbours; after
+    the last round every node outputs accept or reject.  This engine
+    executes such node programs on a {!Graph.t}, enforces that messages
+    travel only along edges, and accounts per-edge traffic so protocol
+    implementations can report their measured message complexity. *)
+
+(** Per-node verdict after the final round. *)
+type verdict = Accept | Reject
+
+(** [global_verdict vs] is [Accept] iff every node accepts — the
+    acceptance criterion of distributed verification. *)
+val global_verdict : verdict array -> verdict
+
+(** A node program over state ['s] and message payloads ['m].  The
+    runtime calls [init] once, [round] once per round (with the inbox
+    holding [(sender, payload)] pairs in sender order), and [finish]
+    after the last round. *)
+type ('s, 'm) program = {
+  init : int -> 's;
+  round : round:int -> id:int -> 's -> inbox:(int * 'm) list -> 's * (int * 'm) list;
+  finish : id:int -> 's -> verdict;
+}
+
+(** Traffic accounting for one execution. *)
+type stats = {
+  messages : int;  (** total messages delivered *)
+  rounds_run : int;
+  per_edge : ((int * int) * int) list;
+      (** messages per undirected edge, edges as [(min, max)] *)
+}
+
+(** [run g ~rounds program] executes the program and returns per-node
+    verdicts with traffic stats.
+    @raise Invalid_argument if a node addresses a non-neighbour. *)
+val run : Graph.t -> rounds:int -> ('s, 'm) program -> verdict array * stats
+
+(** [run_accepts g ~rounds program] is [true] iff all nodes accept. *)
+val run_accepts : Graph.t -> rounds:int -> ('s, 'm) program -> bool
+
+(** [estimate_acceptance ~trials f] runs the randomized thunk [f]
+    (typically a {!run_accepts} closure) [trials] times and returns the
+    empirical acceptance frequency. *)
+val estimate_acceptance : trials:int -> (unit -> bool) -> float

@@ -1,0 +1,221 @@
+type t = {
+  size : int;
+  root : int;
+  host : int array;
+  parent : int array; (* -1 at the root *)
+  children : int list array;
+  depth : int array;
+  terminal_leaves : int array;
+  terminal_of : int option array;
+}
+
+let bfs_parents g root =
+  let n = Graph.size g in
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  seen.(root) <- true;
+  let q = Queue.create () in
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          parent.(v) <- u;
+          Queue.add v q
+        end)
+      (Graph.neighbours g u)
+  done;
+  if not (Array.for_all (fun b -> b) seen) then
+    invalid_arg "Spanning_tree: disconnected graph";
+  parent
+
+let build_rooted_at g ~terminals ~root_terminal =
+  let terms = Array.of_list terminals in
+  let t = Array.length terms in
+  if t < 2 then invalid_arg "Spanning_tree.build: need at least 2 terminals";
+  let seen = Hashtbl.create t in
+  Array.iter
+    (fun u ->
+      if Hashtbl.mem seen u then
+        invalid_arg "Spanning_tree.build: duplicate terminal";
+      Hashtbl.add seen u ())
+    terms;
+  if root_terminal < 0 || root_terminal >= t then
+    invalid_arg "Spanning_tree.build_rooted_at: bad root index";
+  let root_vertex = terms.(root_terminal) in
+  let bparent = bfs_parents g root_vertex in
+  (* Keep exactly the union of root-to-terminal BFS paths. *)
+  let n = Graph.size g in
+  let marked = Array.make n false in
+  Array.iter
+    (fun u ->
+      let v = ref u in
+      while not marked.(!v) do
+        marked.(!v) <- true;
+        if !v <> root_vertex then v := bparent.(!v)
+      done)
+    terms;
+  (* Allocate tree nodes for marked vertices. *)
+  let node_of_vertex = Array.make n (-1) in
+  let hosts = ref [] and count = ref 0 in
+  for v = 0 to n - 1 do
+    if marked.(v) then begin
+      node_of_vertex.(v) <- !count;
+      hosts := v :: !hosts;
+      incr count
+    end
+  done;
+  let base = !count in
+  let host = Array.make base 0 in
+  List.iteri (fun i v -> host.(base - 1 - i) <- v) !hosts;
+  let parent = Array.make base (-1) in
+  for v = 0 to n - 1 do
+    if marked.(v) && v <> root_vertex then
+      parent.(node_of_vertex.(v)) <- node_of_vertex.(bparent.(v))
+  done;
+  let child_count = Array.make base 0 in
+  Array.iter (fun p -> if p >= 0 then child_count.(p) <- child_count.(p) + 1) parent;
+  (* Terminal-leaf rewrite: each non-root terminal that is internal
+     gets a fresh leaf node hosted on the same vertex. *)
+  let extra = ref [] and extra_count = ref 0 in
+  let terminal_leaves = Array.make t (-1) in
+  terminal_leaves.(root_terminal) <- node_of_vertex.(root_vertex);
+  Array.iteri
+    (fun i u ->
+      if i <> root_terminal then begin
+        let nd = node_of_vertex.(u) in
+        if child_count.(nd) = 0 then terminal_leaves.(i) <- nd
+        else begin
+          let leaf = base + !extra_count in
+          incr extra_count;
+          extra := (leaf, u, nd) :: !extra;
+          terminal_leaves.(i) <- leaf
+        end
+      end)
+    terms;
+  let size = base + !extra_count in
+  let host_full = Array.make size 0 in
+  Array.blit host 0 host_full 0 base;
+  let parent_full = Array.make size (-1) in
+  Array.blit parent 0 parent_full 0 base;
+  List.iter
+    (fun (leaf, u, nd) ->
+      host_full.(leaf) <- u;
+      parent_full.(leaf) <- nd)
+    !extra;
+  let children = Array.make size [] in
+  Array.iteri
+    (fun v p -> if p >= 0 then children.(p) <- v :: children.(p))
+    parent_full;
+  Array.iteri (fun v cs -> children.(v) <- List.sort compare cs) children;
+  let root = node_of_vertex.(root_vertex) in
+  let depth = Array.make size 0 in
+  let rec set_depth v d =
+    depth.(v) <- d;
+    List.iter (fun c -> set_depth c (d + 1)) children.(v)
+  in
+  set_depth root 0;
+  let terminal_of = Array.make size None in
+  Array.iteri (fun i leaf -> terminal_of.(leaf) <- Some i) terminal_leaves;
+  {
+    size;
+    root;
+    host = host_full;
+    parent = parent_full;
+    children;
+    depth;
+    terminal_leaves;
+    terminal_of;
+  }
+
+let build g ~terminals =
+  let terms = Array.of_list terminals in
+  let dists = Array.map (Graph.bfs_distances g) terms in
+  let best = ref 0 and best_ecc = ref max_int in
+  Array.iteri
+    (fun j _ ->
+      let e =
+        Array.fold_left (fun acc u -> max acc dists.(j).(u)) 0 terms
+      in
+      if e < !best_ecc then begin
+        best := j;
+        best_ecc := e
+      end)
+    terms;
+  build_rooted_at g ~terminals ~root_terminal:!best
+
+let size tr = tr.size
+let root tr = tr.root
+let host tr v = tr.host.(v)
+let parent tr v = if tr.parent.(v) < 0 then None else Some tr.parent.(v)
+let children tr v = tr.children.(v)
+let depth tr v = tr.depth.(v)
+let height tr = Array.fold_left max 0 tr.depth
+let terminal_leaves tr = Array.copy tr.terminal_leaves
+let terminal_of tr v = tr.terminal_of.(v)
+
+let path_to_root tr v =
+  let rec go v acc =
+    if tr.parent.(v) < 0 then List.rev (v :: acc)
+    else go tr.parent.(v) (v :: acc)
+  in
+  go v []
+
+let internal_nodes tr =
+  List.filter
+    (fun v -> tr.terminal_of.(v) = None)
+    (List.init tr.size (fun v -> v))
+
+type certificate = { cert_parent : int array; cert_dist : int array }
+
+let certificate_of g ~root_vertex =
+  let parent = bfs_parents g root_vertex in
+  let dist = Graph.bfs_distances g root_vertex in
+  { cert_parent = parent; cert_dist = dist }
+
+let verify_certificate g cert =
+  let n = Graph.size g in
+  Array.init n (fun v ->
+      let d = cert.cert_dist.(v) and p = cert.cert_parent.(v) in
+      let local_ok =
+        if p < 0 then d = 0
+        else
+          d >= 1
+          && Graph.has_edge g v p
+          && cert.cert_dist.(p) = d - 1
+      in
+      let neighbours_ok =
+        List.for_all
+          (fun w -> cert.cert_dist.(w) >= d - 1)
+          (Graph.neighbours g v)
+      in
+      local_ok && neighbours_ok)
+
+let certificate_bits g =
+  let n = Graph.size g in
+  let rec bits acc k = if k <= 1 then acc else bits (acc + 1) ((k + 1) / 2) in
+  2 * bits 0 n
+
+let to_dot tr =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph tree {\n  node [shape=box];\n";
+  for v = 0 to tr.size - 1 do
+    let label =
+      match tr.terminal_of.(v) with
+      | Some i -> Printf.sprintf "node %d\\nvertex %d\\nterminal %d" v tr.host.(v) (i + 1)
+      | None -> Printf.sprintf "node %d\\nvertex %d" v tr.host.(v)
+    in
+    let style =
+      if tr.terminal_of.(v) <> None then ", style=filled, fillcolor=lightblue"
+      else ""
+    in
+    Buffer.add_string buf (Printf.sprintf "  %d [label=\"%s\"%s];\n" v label style)
+  done;
+  Array.iteri
+    (fun v p ->
+      if p >= 0 then Buffer.add_string buf (Printf.sprintf "  %d -> %d;\n" p v))
+    tr.parent;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,92 @@
+(** The spanning-tree scaffold of Section 3.3.
+
+    Protocols with [t] terminals run over a tree [T] rooted at the most
+    central terminal [u_1], with every other terminal a leaf, maximum
+    degree at most [t], and depth at most [r + 1].  The construction
+    follows the paper: BFS tree from [u_1], truncation below terminals
+    that have no terminal successors, and the terminal-leaf rewrite
+    (an internal terminal [u_i] is replaced by a relay node hosted on
+    the same physical vertex, with [u_i] re-attached as a leaf child
+    keeping the input).
+
+    Tree nodes are therefore *virtual*: each carries the id of the
+    physical graph vertex hosting it ({!host}); a physical vertex may
+    host both a relay node and a terminal leaf. *)
+
+type t
+
+(** [build g ~terminals] runs the construction.  [terminals] must be
+    distinct vertices of [g]; the first component of the result's
+    {!terminal_leaves} corresponds to [List.nth terminals i].
+    @raise Invalid_argument on fewer than 2 terminals or a disconnected
+    graph. *)
+val build : Graph.t -> terminals:int list -> t
+
+(** [build_rooted_at g ~terminals ~root_terminal] forces a specific
+    terminal (index into [terminals]) as root — used by the ranking
+    verification protocol which roots at the ranked terminal. *)
+val build_rooted_at : Graph.t -> terminals:int list -> root_terminal:int -> t
+
+(** [size tr] is the number of (virtual) tree nodes. *)
+val size : t -> int
+
+(** [root tr] is the root tree node. *)
+val root : t -> int
+
+(** [host tr v] is the physical graph vertex hosting tree node [v]. *)
+val host : t -> int -> int
+
+(** [parent tr v] is [Some p] or [None] for the root. *)
+val parent : t -> int -> int option
+
+(** [children tr v] lists the children of [v]. *)
+val children : t -> int -> int list
+
+(** [depth tr v] is the hop distance from the root; [height tr] its
+    maximum. *)
+val depth : t -> int -> int
+
+val height : t -> int
+
+(** [terminal_leaves tr] maps terminal index [i] to its tree node: the
+    root for the root terminal, a leaf otherwise. *)
+val terminal_leaves : t -> int array
+
+(** [terminal_of tr v] is [Some i] when tree node [v] carries terminal
+    [i]'s input. *)
+val terminal_of : t -> int -> int option
+
+(** [path_to_root tr v] is the node list [v, parent v, ..., root]. *)
+val path_to_root : t -> int -> int list
+
+(** [internal_nodes tr] lists nodes that carry no input (neither the
+    root terminal nor terminal leaves). *)
+val internal_nodes : t -> int list
+
+(** {2 Lemma 18: the deterministic tree certificate}
+
+    The prover distributes, per physical vertex, its claimed parent
+    and distance-to-root; honest assignments are accepted by every
+    vertex and any inconsistent assignment is rejected by at least one
+    vertex, deterministically.  [O(log |V|)] bits per vertex. *)
+
+type certificate = { cert_parent : int array; cert_dist : int array }
+
+(** [certificate_of g ~root_vertex] is the honest certificate: BFS
+    parents and distances from [root_vertex]. *)
+val certificate_of : Graph.t -> root_vertex:int -> certificate
+
+(** [verify_certificate g cert] runs the local checks at every vertex
+    and returns the per-vertex verdicts: vertex [v] accepts iff its
+    claimed distance is 0 with no parent exactly when it claims to be
+    the root, its parent is a neighbour with claimed distance one less,
+    and no neighbour claims a distance smaller than [dist v - 1]. *)
+val verify_certificate : Graph.t -> certificate -> bool array
+
+(** [certificate_bits g] is the per-vertex certificate size in bits:
+    [2 * ceil (log2 |V|)]. *)
+val certificate_bits : Graph.t -> int
+
+(** [to_dot tr] renders the (virtual) tree as Graphviz DOT source,
+    labelling each node with its host vertex and marking terminals. *)
+val to_dot : t -> string

@@ -1,0 +1,1 @@
+lib/quantum/channel.ml: Cx Float List Mat Qdp_linalg

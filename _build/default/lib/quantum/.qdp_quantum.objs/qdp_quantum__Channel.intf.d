@@ -1,0 +1,1 @@
+lib/quantum/channel.mli: Mat Qdp_linalg

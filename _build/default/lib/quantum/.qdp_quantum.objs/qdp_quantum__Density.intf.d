@@ -1,0 +1,1 @@
+lib/quantum/density.mli: Mat Qdp_linalg Vec

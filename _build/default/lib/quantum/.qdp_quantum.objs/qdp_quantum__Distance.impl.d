@@ -1,0 +1,1 @@
+lib/quantum/distance.ml: Array Cx Eig Float Mat Qdp_linalg Vec

@@ -1,0 +1,1 @@
+lib/quantum/distance.mli: Mat Qdp_linalg Vec

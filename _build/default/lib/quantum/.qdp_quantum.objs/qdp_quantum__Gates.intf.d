@@ -1,0 +1,1 @@
+lib/quantum/gates.mli: Mat Qdp_linalg

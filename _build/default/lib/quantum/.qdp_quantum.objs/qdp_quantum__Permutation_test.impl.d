@@ -1,0 +1,1 @@
+lib/quantum/permutation_test.ml: Array Complex Cx Float List Mat Qdp_linalg Symmetric Vec

@@ -1,0 +1,1 @@
+lib/quantum/permutation_test.mli: Mat Qdp_linalg Vec

@@ -1,0 +1,1 @@
+lib/quantum/povm.ml: Array Complex Cx Eig Float List Mat Qdp_linalg Random

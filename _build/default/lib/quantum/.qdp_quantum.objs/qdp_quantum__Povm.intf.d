@@ -1,0 +1,1 @@
+lib/quantum/povm.mli: Mat Qdp_linalg Random Vec

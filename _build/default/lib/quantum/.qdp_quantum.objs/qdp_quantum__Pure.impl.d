@@ -1,0 +1,1 @@
+lib/quantum/pure.ml: Array Complex Cx Hashtbl List Mat Printf Qdp_linalg Random String Symmetric Vec

@@ -1,0 +1,1 @@
+lib/quantum/pure.mli: Cx Mat Qdp_linalg Random Vec

@@ -1,0 +1,1 @@
+lib/quantum/schmidt.ml: Array Cx Eig Float Mat Qdp_linalg Vec

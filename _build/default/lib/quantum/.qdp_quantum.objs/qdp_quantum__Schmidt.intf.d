@@ -1,0 +1,1 @@
+lib/quantum/schmidt.mli: Qdp_linalg Vec

@@ -1,0 +1,1 @@
+lib/quantum/schur.ml: Array Complex Cx Float Format List Mat Qdp_linalg String Symmetric

@@ -1,0 +1,1 @@
+lib/quantum/schur.mli: Format Mat Qdp_linalg

@@ -1,0 +1,1 @@
+lib/quantum/swap_test.ml: Complex Cx Float Gates Mat Qdp_linalg Vec

@@ -1,0 +1,1 @@
+lib/quantum/swap_test.mli: Mat Qdp_linalg Vec

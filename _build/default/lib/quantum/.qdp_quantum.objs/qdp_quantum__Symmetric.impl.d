@@ -1,0 +1,1 @@
+lib/quantum/symmetric.ml: Array Cx Float List Mat Qdp_linalg Vec

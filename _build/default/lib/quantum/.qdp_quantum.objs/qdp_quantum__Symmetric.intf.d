@@ -1,0 +1,1 @@
+lib/quantum/symmetric.mli: Mat Qdp_linalg Vec

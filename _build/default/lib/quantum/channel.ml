@@ -1,0 +1,71 @@
+open Qdp_linalg
+
+type t = { ops : Mat.t list }
+
+let of_kraus ops =
+  match ops with
+  | [] -> invalid_arg "Channel.of_kraus: empty"
+  | k :: rest ->
+      List.iter
+        (fun k' ->
+          if Mat.rows k' <> Mat.rows k || Mat.cols k' <> Mat.cols k then
+            invalid_arg "Channel.of_kraus: shape mismatch")
+        rest;
+      { ops }
+
+let kraus ch = ch.ops
+
+let is_trace_preserving ?(eps = 1e-8) ch =
+  let d = Mat.cols (List.hd ch.ops) in
+  let acc = ref (Mat.create d d) in
+  List.iter (fun k -> acc := Mat.add !acc (Mat.mul (Mat.adjoint k) k)) ch.ops;
+  Mat.equal ~eps !acc (Mat.identity d)
+
+let apply ch rho =
+  let d = Mat.rows (List.hd ch.ops) in
+  let acc = ref (Mat.create d d) in
+  List.iter
+    (fun k -> acc := Mat.add !acc (Mat.mul (Mat.mul k rho) (Mat.adjoint k)))
+    ch.ops;
+  !acc
+
+let unitary u = { ops = [ u ] }
+let identity d = unitary (Mat.identity d)
+
+let mix p a b =
+  if p < 0. || p > 1. then invalid_arg "Channel.mix: probability";
+  let scale w k = Mat.scale (Cx.re (Float.sqrt w)) k in
+  {
+    ops =
+      List.map (scale p) a.ops @ List.map (scale (1. -. p)) b.ops;
+  }
+
+let symmetrization d = mix 0.5 (identity (d * d)) (unitary (Mat.swap_gate d))
+
+let dephase d =
+  {
+    ops =
+      List.init d (fun i ->
+          Mat.init d d (fun r c -> if r = i && c = i then Cx.one else Cx.zero));
+  }
+
+let stinespring ch =
+  let n = List.length ch.ops in
+  let first = List.hd ch.ops in
+  let d_out = Mat.rows first and d_in = Mat.cols first in
+  let v = Mat.create (d_out * n) d_in in
+  List.iteri
+    (fun i k ->
+      for r = 0 to d_out - 1 do
+        for c = 0 to d_in - 1 do
+          (* row index: output (x) environment, environment last *)
+          Mat.set v ((r * n) + i) c (Mat.get k r c)
+        done
+      done)
+    ch.ops;
+  v
+
+let compose a b = { ops = List.concat_map (fun ka -> List.map (Mat.mul ka) b.ops) a.ops }
+
+let tensor a b =
+  { ops = List.concat_map (fun ka -> List.map (Mat.tensor ka) b.ops) a.ops }

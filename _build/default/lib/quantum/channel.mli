@@ -1,0 +1,55 @@
+(** Quantum channels (CPTP maps) in Kraus form.
+
+    The soundness analyses lean on the contractivity of the trace
+    distance under channels (Fact 4) and on modelling local operations
+    (symmetrization, measurement-and-forward) as channels; this module
+    provides the operational side, with the facts checked in the test
+    suite. *)
+
+open Qdp_linalg
+
+type t
+
+(** [of_kraus ops] builds a channel from Kraus operators (all the same
+    shape [d_out x d_in]).
+    @raise Invalid_argument on an empty list or mismatched shapes. *)
+val of_kraus : Mat.t list -> t
+
+(** [kraus ch] returns the operators. *)
+val kraus : t -> Mat.t list
+
+(** [is_trace_preserving ?eps ch] checks [sum K_i^dagger K_i = I]. *)
+val is_trace_preserving : ?eps:float -> t -> bool
+
+(** [apply ch rho] is [sum_i K_i rho K_i^dagger]. *)
+val apply : t -> Mat.t -> Mat.t
+
+(** [unitary u] is the channel [rho -> u rho u^dagger]. *)
+val unitary : Mat.t -> t
+
+(** [identity d] is the identity channel on [C^d]. *)
+val identity : int -> t
+
+(** [mix p a b] applies [a] with probability [p] and [b] otherwise. *)
+val mix : float -> t -> t -> t
+
+(** [symmetrization d] is the paper's symmetrization step on
+    [C^d (x) C^d]: swap the factors with probability 1/2. *)
+val symmetrization : int -> t
+
+(** [dephase d] is full dephasing in the computational basis
+    (measurement with forgotten outcome). *)
+val dephase : int -> t
+
+(** [stinespring ch] is the Stinespring dilation isometry
+    [V = sum_i K_i (x) |i>_E] (environment last): applying the channel
+    equals [tr_E (V rho V^dagger)] — the purification trick behind the
+    Carol/Dave reformulation in Theorem 42's proof.  The returned
+    matrix has shape [(d_out * n_kraus) x d_in]. *)
+val stinespring : t -> Mat.t
+
+(** [compose a b] is [a . b] (apply [b] first). *)
+val compose : t -> t -> t
+
+(** [tensor a b] acts as [a (x) b] on a bipartite system. *)
+val tensor : t -> t -> t

@@ -1,0 +1,102 @@
+open Qdp_linalg
+
+type t = { dims : int array; m : Mat.t }
+
+let product_dims dims = Array.fold_left ( * ) 1 dims
+
+let make ~dims m =
+  let d = product_dims dims in
+  if Mat.rows m <> d || Mat.cols m <> d then
+    invalid_arg "Density.make: matrix/dims mismatch";
+  { dims; m }
+
+let of_pure ~dims v = make ~dims (Mat.of_vec v)
+let dims rho = Array.copy rho.dims
+let mat rho = rho.m
+let dim rho = product_dims rho.dims
+
+let maximally_mixed ~dims =
+  let d = product_dims dims in
+  make ~dims (Mat.scale (Cx.re (1. /. float_of_int d)) (Mat.identity d))
+
+let tensor a b =
+  { dims = Array.append a.dims b.dims; m = Mat.tensor a.m b.m }
+
+(* Indices of the tensor product decompose in mixed radix given by
+   [dims]; partial trace sums matched traced-out digits. *)
+let partial_trace rho ~keep =
+  let n = Array.length rho.dims in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Density.partial_trace: index")
+    keep;
+  let sorted = List.sort_uniq compare keep in
+  if List.length sorted <> List.length keep then
+    invalid_arg "Density.partial_trace: duplicate index";
+  let keep_arr = Array.of_list keep in
+  let traced =
+    Array.of_list
+      (List.filter (fun i -> not (List.mem i keep)) (List.init n (fun i -> i)))
+  in
+  let dims_keep = Array.map (fun i -> rho.dims.(i)) keep_arr in
+  let dims_traced = Array.map (fun i -> rho.dims.(i)) traced in
+  let dk = product_dims dims_keep and dt = product_dims dims_traced in
+  (* strides of each factor in the full index *)
+  let strides = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    strides.(i) <- strides.(i + 1) * rho.dims.(i + 1)
+  done;
+  let compose_index digits_positions digits =
+    let g = ref 0 in
+    Array.iteri (fun t pos -> g := !g + (digits.(t) * strides.(pos))) digits_positions;
+    !g
+  in
+  let digits_of value dims =
+    let k = Array.length dims in
+    let out = Array.make k 0 in
+    let rest = ref value in
+    for t = k - 1 downto 0 do
+      out.(t) <- !rest mod dims.(t);
+      rest := !rest / dims.(t)
+    done;
+    out
+  in
+  let out = Mat.create dk dk in
+  for a = 0 to dk - 1 do
+    let da = digits_of a dims_keep in
+    for b = 0 to dk - 1 do
+      let db = digits_of b dims_keep in
+      let acc = ref Cx.zero in
+      for tv = 0 to dt - 1 do
+        let dtv = digits_of tv dims_traced in
+        let ga = compose_index keep_arr da + compose_index traced dtv in
+        let gb = compose_index keep_arr db + compose_index traced dtv in
+        acc := Cx.add !acc (Mat.get rho.m ga gb)
+      done;
+      Mat.set out a b !acc
+    done
+  done;
+  make ~dims:dims_keep out
+
+let trace rho = (Mat.trace rho.m).Complex.re
+
+let is_density ?(eps = 1e-8) rho =
+  Mat.is_hermitian ~eps rho.m
+  && Float.abs (trace rho -. 1.) <= eps
+  &&
+  let evals = Eig.eigenvalues_hermitian rho.m in
+  Array.for_all (fun l -> l >= -.eps) evals
+
+let expectation rho m = (Mat.trace (Mat.mul m rho.m)).Complex.re
+
+let mix weighted =
+  match weighted with
+  | [] -> invalid_arg "Density.mix: empty list"
+  | (p0, r0) :: rest ->
+      let acc = ref (Mat.scale (Cx.re p0) r0.m) in
+      List.iter
+        (fun (p, r) ->
+          if r.dims <> r0.dims then invalid_arg "Density.mix: dims mismatch";
+          acc := Mat.add !acc (Mat.scale (Cx.re p) r.m))
+        rest;
+      { dims = r0.dims; m = !acc }

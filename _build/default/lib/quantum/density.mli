@@ -1,0 +1,53 @@
+(** Density operators on tensor products of finite systems.
+
+    A density value carries the list of factor dimensions alongside the
+    matrix, which makes partial traces (the [tr_i] / [tr_{bar i}] of
+    Section 2.1 of the paper) self-describing. *)
+
+open Qdp_linalg
+
+type t
+
+(** [make ~dims m] wraps a matrix on the tensor product of systems with
+    the given dimensions.
+    @raise Invalid_argument unless [Mat.rows m = Mat.cols m = product dims]. *)
+val make : dims:int array -> Mat.t -> t
+
+(** [of_pure ~dims v] is [|v><v|]. *)
+val of_pure : dims:int array -> Vec.t -> t
+
+(** [dims rho] is the factor-dimension list. *)
+val dims : t -> int array
+
+(** [mat rho] is the underlying matrix. *)
+val mat : t -> Mat.t
+
+(** [dim rho] is the total dimension. *)
+val dim : t -> int
+
+(** [maximally_mixed ~dims] is [I / dim]. *)
+val maximally_mixed : dims:int array -> t
+
+(** [tensor a b] is the product state [a (x) b]. *)
+val tensor : t -> t -> t
+
+(** [partial_trace rho ~keep] traces out every factor whose index is
+    not listed in [keep] (indices into [dims rho], kept in their
+    original order).
+    @raise Invalid_argument on out-of-range or duplicate indices. *)
+val partial_trace : t -> keep:int list -> t
+
+(** [trace rho] is the (real part of the) trace. *)
+val trace : t -> float
+
+(** [is_density ?eps rho] checks Hermiticity, unit trace and positive
+    semidefiniteness of the matrix. *)
+val is_density : ?eps:float -> t -> bool
+
+(** [expectation rho m] is [Re (tr (m rho))] — the acceptance
+    probability of the POVM element [m]. *)
+val expectation : t -> Mat.t -> float
+
+(** [mix weighted] is the convex combination [sum_i p_i rho_i].
+    @raise Invalid_argument on an empty list or mismatched dims. *)
+val mix : (float * t) list -> t

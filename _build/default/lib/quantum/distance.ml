@@ -1,0 +1,32 @@
+open Qdp_linalg
+
+let trace_norm m =
+  if Mat.is_hermitian ~eps:1e-7 m then
+    Array.fold_left (fun acc l -> acc +. Float.abs l) 0.
+      (Eig.eigenvalues_hermitian m)
+  else
+    (* general case: singular values via eig of m^dagger m *)
+    let mm = Mat.mul (Mat.adjoint m) m in
+    Array.fold_left
+      (fun acc l -> acc +. Float.sqrt (Float.max 0. l))
+      0.
+      (Eig.eigenvalues_hermitian mm)
+
+let trace_distance rho sigma = 0.5 *. trace_norm (Mat.sub rho sigma)
+
+let fidelity rho sigma =
+  let sq = Eig.sqrt_psd rho in
+  let inner = Mat.mul (Mat.mul sq sigma) sq in
+  let evals = Eig.eigenvalues_hermitian inner in
+  Array.fold_left (fun acc l -> acc +. Float.sqrt (Float.max 0. l)) 0. evals
+
+let fidelity_pure a b = Cx.abs (Vec.dot a b)
+
+let trace_distance_pure a b =
+  let f = fidelity_pure a b in
+  Float.sqrt (Float.max 0. (1. -. (f *. f)))
+
+let fuchs_van_de_graaf rho sigma =
+  let f = fidelity rho sigma in
+  let d = trace_distance rho sigma in
+  (1. -. f, d, Float.sqrt (Float.max 0. (1. -. (f *. f))))

@@ -1,0 +1,28 @@
+(** Distance measures between quantum states (Section 2.1 of the
+    paper): trace distance, fidelity, and the Fuchs–van de Graaf
+    relations that the soundness analyses rely on. *)
+
+open Qdp_linalg
+
+(** [trace_norm m] is [tr sqrt (m^dagger m)] — the sum of absolute
+    eigenvalues for Hermitian [m]. *)
+val trace_norm : Mat.t -> float
+
+(** [trace_distance rho sigma] is [D(rho, sigma) = ||rho - sigma||_1 / 2].
+    Both arguments must be same-dimension Hermitian matrices. *)
+val trace_distance : Mat.t -> Mat.t -> float
+
+(** [fidelity rho sigma] is [F(rho, sigma) = tr sqrt (sqrt rho sigma sqrt rho)]. *)
+val fidelity : Mat.t -> Mat.t -> float
+
+(** [fidelity_pure a b] is [|<a|b>|] — the fidelity of two pure
+    states. *)
+val fidelity_pure : Vec.t -> Vec.t -> float
+
+(** [trace_distance_pure a b] is [sqrt (1 - |<a|b>|^2)]. *)
+val trace_distance_pure : Vec.t -> Vec.t -> float
+
+(** [fuchs_van_de_graaf rho sigma] returns
+    [(1 - F, D, sqrt (1 - F^2))]; Fact 1 of the paper states the middle
+    value always lies between the other two. *)
+val fuchs_van_de_graaf : Mat.t -> Mat.t -> float * float * float

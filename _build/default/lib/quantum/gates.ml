@@ -1,0 +1,42 @@
+open Qdp_linalg
+
+let s = 1. /. Float.sqrt 2.
+
+let hadamard =
+  Mat.init 2 2 (fun i j -> Cx.re (if i = 1 && j = 1 then -.s else s))
+
+let pauli_x = Mat.init 2 2 (fun i j -> if i <> j then Cx.one else Cx.zero)
+
+let pauli_y =
+  Mat.init 2 2 (fun i j ->
+      if i = 0 && j = 1 then Cx.neg Cx.i
+      else if i = 1 && j = 0 then Cx.i
+      else Cx.zero)
+
+let pauli_z =
+  Mat.init 2 2 (fun i j ->
+      if i <> j then Cx.zero else if i = 0 then Cx.one else Cx.re (-1.))
+
+let phase theta =
+  Mat.init 2 2 (fun i j ->
+      if i <> j then Cx.zero else if i = 0 then Cx.one else Cx.exp_i theta)
+
+let rotation_y theta =
+  let c = Float.cos (theta /. 2.) and sn = Float.sin (theta /. 2.) in
+  Mat.init 2 2 (fun i j ->
+      Cx.re
+        (match (i, j) with
+        | 0, 0 -> c
+        | 0, 1 -> -.sn
+        | 1, 0 -> sn
+        | _ -> c))
+
+let controlled u =
+  let d = Mat.rows u in
+  Mat.init (2 * d) (2 * d) (fun i j ->
+      if i < d && j < d then if i = j then Cx.one else Cx.zero
+      else if i >= d && j >= d then Mat.get u (i - d) (j - d)
+      else Cx.zero)
+
+let cnot = controlled pauli_x
+let cswap d = controlled (Mat.swap_gate d)

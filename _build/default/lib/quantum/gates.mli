@@ -1,0 +1,31 @@
+(** Standard small unitaries used by the verification circuits. *)
+
+open Qdp_linalg
+
+(** [hadamard] is the 2x2 Hadamard gate. *)
+val hadamard : Mat.t
+
+(** [pauli_x], [pauli_y], [pauli_z] are the Pauli matrices. *)
+val pauli_x : Mat.t
+
+val pauli_y : Mat.t
+val pauli_z : Mat.t
+
+(** [phase theta] is [diag(1, e^{i theta})]. *)
+val phase : float -> Mat.t
+
+(** [rotation_y theta] is the real rotation
+    [[cos(theta/2), -sin(theta/2)]; [sin(theta/2), cos(theta/2)]] —
+    used to build interpolating cheating proofs. *)
+val rotation_y : float -> Mat.t
+
+(** [controlled u] is the block matrix [|0><0| (x) I + |1><1| (x) u]
+    with the control as the more significant qubit. *)
+val controlled : Mat.t -> Mat.t
+
+(** [cnot] is [controlled pauli_x]. *)
+val cnot : Mat.t
+
+(** [cswap d] is the controlled swap of two [d]-dimensional systems,
+    control first: [|0><0| (x) I + |1><1| (x) SWAP_d]. *)
+val cswap : int -> Mat.t

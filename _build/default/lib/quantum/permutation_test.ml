@@ -1,0 +1,47 @@
+open Qdp_linalg
+
+let check_dim ~d ~k n =
+  let expected =
+    int_of_float (Float.round (Float.pow (float_of_int d) (float_of_int k)))
+  in
+  if n <> expected then invalid_arg "Permutation_test: dimension mismatch"
+
+let accept_prob_pure ~d ~k psi =
+  check_dim ~d ~k (Vec.dim psi);
+  let p = Symmetric.apply_projector ~d ~k psi in
+  let n = Vec.norm p in
+  n *. n
+
+let accept_prob_density ~d ~k rho =
+  check_dim ~d ~k (Mat.rows rho);
+  let proj = Symmetric.projector ~d ~k in
+  (Mat.trace (Mat.mul proj rho)).Complex.re
+
+let accept_prob_product states =
+  let arr = Array.of_list states in
+  let k = Array.length arr in
+  if k = 0 then invalid_arg "Permutation_test.accept_prob_product: empty";
+  let overlaps =
+    Array.init k (fun i -> Array.init k (fun j -> Vec.dot arr.(i) arr.(j)))
+  in
+  let perms = Symmetric.permutations k in
+  let acc = ref Cx.zero in
+  List.iter
+    (fun pi ->
+      let inv = Symmetric.inverse pi in
+      let prod = ref Cx.one in
+      for l = 0 to k - 1 do
+        prod := Cx.mul !prod overlaps.(l).(inv.(l))
+      done;
+      acc := Cx.add !acc !prod)
+    perms;
+  (Cx.scale (1. /. float_of_int (List.length perms)) !acc).Complex.re
+
+let post_accept_pure ~d ~k psi =
+  check_dim ~d ~k (Vec.dim psi);
+  let p = Symmetric.apply_projector ~d ~k psi in
+  if Vec.norm p <= 1e-12 then
+    invalid_arg "Permutation_test.post_accept_pure: zero acceptance";
+  Vec.normalize p
+
+let pairwise_distance_bound eps = (2. *. Float.sqrt eps) +. eps

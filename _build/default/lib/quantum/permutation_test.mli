@@ -1,0 +1,33 @@
+(** The permutation test (Algorithm 2 of the paper).
+
+    The generalization of the SWAP test to [k] systems: accept with
+    probability [tr (Pi_sym rho)] where [Pi_sym] projects onto the
+    symmetric subspace of [(C^d)^{(x) k}] (the trivial-irrep outcome of
+    weak Schur sampling).  Lemma 15: on [|phi>^{(x) k}] it accepts with
+    probability 1.  Lemma 16: acceptance [1 - eps] forces every pair of
+    reduced states within trace distance [2 sqrt eps + eps]. *)
+
+open Qdp_linalg
+
+(** [accept_prob_pure ~d ~k psi] is [||Pi_sym psi||^2] for a pure state
+    on [(C^d)^{(x) k}].
+    @raise Invalid_argument unless [Vec.dim psi = d^k]. *)
+val accept_prob_pure : d:int -> k:int -> Vec.t -> float
+
+(** [accept_prob_density ~d ~k rho] is [tr (Pi_sym rho)]. *)
+val accept_prob_density : d:int -> k:int -> Mat.t -> float
+
+(** [accept_prob_product states] is the acceptance on the product of
+    the listed (unit) states, computed via the permanent-style average
+    [1/k! sum_pi prod_i <psi_i | psi_{pi i}>] — no [d^k]-dimensional
+    object is materialized, so this scales to large [d]. *)
+val accept_prob_product : Vec.t list -> float
+
+(** [post_accept_pure ~d ~k psi] is the renormalized projection of
+    [psi] onto the symmetric subspace. *)
+val post_accept_pure : d:int -> k:int -> Vec.t -> Vec.t
+
+(** [pairwise_distance_bound eps] is [2 sqrt eps + eps] — the Lemma 16
+    bound on the trace distance of any two reduced states when the test
+    rejects with probability [eps]. *)
+val pairwise_distance_bound : float -> float

@@ -1,0 +1,85 @@
+open Qdp_linalg
+
+type t = { effects : Mat.t list; dim : int }
+
+let psd ?(eps = 1e-8) m =
+  Mat.is_hermitian ~eps m
+  && Array.for_all (fun l -> l >= -.eps) (Eig.eigenvalues_hermitian m)
+
+let make effects =
+  match effects with
+  | [] -> invalid_arg "Povm.make: empty"
+  | first :: _ ->
+      let dim = Mat.rows first in
+      List.iter
+        (fun m ->
+          if Mat.rows m <> dim || Mat.cols m <> dim then
+            invalid_arg "Povm.make: dimension mismatch";
+          if not (psd m) then invalid_arg "Povm.make: element not PSD")
+        effects;
+      let total =
+        List.fold_left Mat.add (Mat.create dim dim) effects
+      in
+      if not (Mat.equal ~eps:1e-8 total (Mat.identity dim)) then
+        invalid_arg "Povm.make: elements do not sum to the identity";
+      { effects; dim }
+
+let elements p = p.effects
+let outcomes p = List.length p.effects
+
+let binary ~accept =
+  let d = Mat.rows accept in
+  make [ accept; Mat.sub (Mat.identity d) accept ]
+
+let projective basis =
+  make (Array.to_list (Array.map Mat.of_vec basis))
+
+let probabilities p rho =
+  let raw =
+    List.map
+      (fun m -> Float.max 0. (Mat.trace (Mat.mul m rho)).Complex.re)
+      p.effects
+  in
+  let total = List.fold_left ( +. ) 0. raw in
+  let norm = if total > 0. then total else 1. in
+  Array.of_list (List.map (fun x -> x /. norm) raw)
+
+let sample st p rho =
+  let probs = probabilities p rho in
+  let x = Random.State.float st 1. in
+  let outcome = ref (Array.length probs - 1) in
+  let acc = ref 0. in
+  (try
+     Array.iteri
+       (fun i pr ->
+         acc := !acc +. pr;
+         if !acc >= x then begin
+           outcome := i;
+           raise Exit
+         end)
+       probs
+   with Exit -> ());
+  let m = List.nth p.effects !outcome in
+  let root = Eig.sqrt_psd m in
+  let post = Mat.mul (Mat.mul root rho) root in
+  let tr = (Mat.trace post).Complex.re in
+  let post =
+    if tr > 1e-15 then Mat.scale (Cx.re (1. /. tr)) post else post
+  in
+  (!outcome, post)
+
+let naimark p =
+  let m = outcomes p in
+  let d = p.dim in
+  let roots = List.map Eig.sqrt_psd p.effects in
+  (* V = sum_i sqrt(M_i) (x) |i>_E : rows indexed by (out, env) *)
+  let v = Mat.create (d * m) d in
+  List.iteri
+    (fun i root ->
+      for r = 0 to d - 1 do
+        for c = 0 to d - 1 do
+          Mat.set v ((r * m) + i) c (Mat.get root r c)
+        done
+      done)
+    roots;
+  v

@@ -1,0 +1,43 @@
+(** General POVMs: the measurement formalism behind the verifiers'
+    final tests (the [{M_{y,0}, M_{y,1}}] of the one-way EQ protocol
+    and the Bob measurements of Section 2.2). *)
+
+open Qdp_linalg
+
+type t
+
+(** [make elements] builds a POVM from PSD elements.
+    @raise Invalid_argument if the elements do not sum to the identity
+    (within [1e-8]) or are not PSD Hermitian. *)
+val make : Mat.t list -> t
+
+(** [elements p] lists the effects. *)
+val elements : t -> Mat.t list
+
+(** [outcomes p] is the number of effects. *)
+val outcomes : t -> int
+
+(** [binary ~accept] is the two-outcome POVM
+    [{accept, I - accept}] (outcome 0 accepts).
+    @raise Invalid_argument unless [0 <= accept <= I]. *)
+val binary : accept:Mat.t -> t
+
+(** [projective basis] is the computational-style projective
+    measurement onto the given orthonormal vectors. *)
+val projective : Vec.t array -> t
+
+(** [probabilities p rho] is the outcome distribution on a density
+    matrix (clipped to non-negative and renormalized against rounding). *)
+val probabilities : t -> Mat.t -> float array
+
+(** [sample st p rho] draws an outcome and returns it with the
+    (Lüders) post-measurement state
+    [sqrt(M) rho sqrt(M) / tr(M rho)]. *)
+val sample : Random.State.t -> t -> Mat.t -> int * Mat.t
+
+(** [naimark p] is the Naimark dilation: an isometry
+    [V : C^d -> C^d (x) C^m] ([m] the number of outcomes, environment
+    last) such that measuring the environment projectively reproduces
+    the POVM statistics: [p_i(rho) = tr((I (x) |i><i|) V rho V^+)].
+    Built from the square roots of the effects. *)
+val naimark : t -> Mat.t

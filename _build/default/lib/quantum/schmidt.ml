@@ -1,0 +1,63 @@
+open Qdp_linalg
+
+type t = {
+  coefficients : float array;
+  left_vectors : Vec.t array;
+  right_vectors : Vec.t array;
+}
+
+let decompose ~d_a ~d_b psi =
+  if Vec.dim psi <> d_a * d_b then invalid_arg "Schmidt.decompose: dimension";
+  (* amplitude matrix M with |psi> = sum_ij M_ij |i>|j> *)
+  let m = Mat.init d_a d_b (fun i j -> Vec.get psi ((i * d_b) + j)) in
+  let rho_a = Mat.mul m (Mat.adjoint m) in
+  let evals, evecs = Eig.hermitian rho_a in
+  (* descending order *)
+  let order = Array.init d_a (fun i -> d_a - 1 - i) in
+  let coefficients =
+    Array.map (fun i -> Float.sqrt (Float.max 0. evals.(i))) order
+  in
+  let left_vectors =
+    Array.map (fun i -> Vec.init d_a (fun row -> Mat.get evecs row i)) order
+  in
+  let right_vectors =
+    Array.mapi
+      (fun idx a ->
+        let c = coefficients.(idx) in
+        if c <= 1e-12 then Vec.basis d_b 0
+        else begin
+          let b = Vec.create d_b in
+          for j = 0 to d_b - 1 do
+            let acc = ref Cx.zero in
+            for i = 0 to d_a - 1 do
+              acc := Cx.add !acc (Cx.mul (Cx.conj (Vec.get a i)) (Mat.get m i j))
+            done;
+            Vec.set b j (Cx.scale (1. /. c) !acc)
+          done;
+          b
+        end)
+      left_vectors
+  in
+  { coefficients; left_vectors; right_vectors }
+
+let reconstruct ~d_a ~d_b dec =
+  let out = Vec.create (d_a * d_b) in
+  Array.iteri
+    (fun idx c ->
+      if c > 1e-12 then begin
+        let term = Vec.tensor dec.left_vectors.(idx) dec.right_vectors.(idx) in
+        Vec.axpy ~alpha:(Cx.re c) term out
+      end)
+    dec.coefficients;
+  out
+
+let schmidt_rank ?(eps = 1e-9) dec =
+  Array.fold_left (fun acc c -> if c > eps then acc + 1 else acc) 0
+    dec.coefficients
+
+let entanglement_entropy dec =
+  Array.fold_left
+    (fun acc c ->
+      let p = c *. c in
+      if p > 1e-15 then acc -. (p *. (Float.log p /. Float.log 2.)) else acc)
+    0. dec.coefficients

@@ -1,0 +1,30 @@
+(** Schmidt decomposition of bipartite pure states (Fact 2 of the
+    paper), used in the Lemma 53 entangled-proof argument. *)
+
+open Qdp_linalg
+
+(** The decomposition [|psi> = sum_i c_i |a_i> |b_i>] with
+    non-negative coefficients in descending order and orthonormal
+    vectors on each side. *)
+type t = {
+  coefficients : float array;
+  left_vectors : Vec.t array;  (** in [C^{d_a}] *)
+  right_vectors : Vec.t array;  (** in [C^{d_b}] *)
+}
+
+(** [decompose ~d_a ~d_b psi] computes the decomposition of a unit
+    state on [C^{d_a} (x) C^{d_b}].
+    @raise Invalid_argument if [Vec.dim psi <> d_a * d_b]. *)
+val decompose : d_a:int -> d_b:int -> Vec.t -> t
+
+(** [reconstruct ~d_a ~d_b dec] rebuilds
+    [sum_i c_i |a_i>|b_i>] — equal to the input up to global phase. *)
+val reconstruct : d_a:int -> d_b:int -> t -> Vec.t
+
+(** [schmidt_rank ?eps dec] is the number of coefficients above [eps]
+    (default [1e-9]); 1 iff the state is a product state. *)
+val schmidt_rank : ?eps:float -> t -> int
+
+(** [entanglement_entropy dec] is the von Neumann entropy (base 2) of
+    the reduced state, [- sum c_i^2 log2 c_i^2]. *)
+val entanglement_entropy : t -> float

@@ -1,0 +1,130 @@
+open Qdp_linalg
+
+type partition = int list
+
+let rec partitions_bounded k maxp =
+  if k = 0 then [ [] ]
+  else begin
+    let parts = ref [] in
+    for p = min maxp k downto 1 do
+      List.iter
+        (fun rest -> parts := (p :: rest) :: !parts)
+        (partitions_bounded (k - p) p)
+    done;
+    List.rev !parts
+  end
+
+let partitions k = partitions_bounded k k
+
+let cycle_type pi =
+  let n = Array.length pi in
+  let seen = Array.make n false in
+  let cycles = ref [] in
+  for start = 0 to n - 1 do
+    if not seen.(start) then begin
+      let len = ref 0 and v = ref start in
+      while not seen.(!v) do
+        seen.(!v) <- true;
+        incr len;
+        v := pi.(!v)
+      done;
+      cycles := !len :: !cycles
+    end
+  done;
+  List.sort (fun a b -> compare b a) !cycles
+
+(* Beta numbers (first-column hook lengths): for lambda with l parts,
+   B = { lambda_i + l - 1 - i }.  Removing a length-t rim hook
+   corresponds to replacing b in B by b - t (when b - t >= 0 and not
+   already in B), with sign (-1)^(#elements strictly between). *)
+let beta_of lambda =
+  let l = List.length lambda in
+  List.mapi (fun i li -> li + l - 1 - i) lambda
+
+let partition_of_beta beta =
+  let sorted = List.sort (fun a b -> compare b a) beta in
+  let l = List.length sorted in
+  List.filteri (fun _ x -> x > 0)
+    (List.mapi (fun i b -> b - (l - 1 - i)) sorted)
+
+(* Murnaghan-Nakayama recursion. *)
+let rec character lambda mu =
+  let ksum = List.fold_left ( + ) 0 in
+  if ksum lambda <> ksum mu then
+    invalid_arg "Schur.character: partition sizes differ";
+  match mu with
+  | [] -> if lambda = [] then 1 else 0
+  | t :: mu_rest ->
+      let beta = beta_of lambda in
+      let total = ref 0 in
+      List.iter
+        (fun b ->
+          if b >= t && not (List.mem (b - t) beta) then begin
+            let between =
+              List.length (List.filter (fun b' -> b' > b - t && b' < b) beta)
+            in
+            let sign = if between mod 2 = 0 then 1 else -1 in
+            let beta' = (b - t) :: List.filter (fun b' -> b' <> b) beta in
+            let lambda' = partition_of_beta beta' in
+            total := !total + (sign * character lambda' mu_rest)
+          end)
+        beta;
+      !total
+
+let dimension lambda =
+  let k = List.fold_left ( + ) 0 lambda in
+  character lambda (List.init k (fun _ -> 1))
+
+let hook_length_dimension lambda =
+  let arr = Array.of_list lambda in
+  let rows = Array.length arr in
+  let col_height j =
+    let h = ref 0 in
+    Array.iter (fun li -> if li > j then incr h) arr;
+    !h
+  in
+  let k = List.fold_left ( + ) 0 lambda in
+  let fact n =
+    let acc = ref 1 in
+    for i = 2 to n do
+      acc := !acc * i
+    done;
+    !acc
+  in
+  let hooks = ref 1 in
+  for i = 0 to rows - 1 do
+    for j = 0 to arr.(i) - 1 do
+      let hook = arr.(i) - j + col_height j - i - 1 in
+      hooks := !hooks * hook
+    done
+  done;
+  fact k / !hooks
+
+let projector ~d lambda =
+  let k = List.fold_left ( + ) 0 lambda in
+  let dim_rep = dimension lambda in
+  let perms = Symmetric.permutations k in
+  let fact = List.length perms in
+  let total_dim =
+    int_of_float (Float.round (Float.pow (float_of_int d) (float_of_int k)))
+  in
+  let acc = ref (Mat.create total_dim total_dim) in
+  List.iter
+    (fun pi ->
+      let chi = character lambda (cycle_type pi) in
+      if chi <> 0 then
+        acc :=
+          Mat.add !acc
+            (Mat.scale (Cx.re (float_of_int (dim_rep * chi))) (Symmetric.u_pi ~d pi)))
+    perms;
+  Mat.scale (Cx.re (1. /. float_of_int fact)) !acc
+
+let outcome_distribution ~d ~k rho =
+  List.map
+    (fun lambda ->
+      let p = projector ~d lambda in
+      (lambda, (Mat.trace (Mat.mul p rho)).Complex.re))
+    (partitions k)
+
+let pp_partition fmt lambda =
+  Format.fprintf fmt "(%s)" (String.concat "," (List.map string_of_int lambda))

@@ -1,0 +1,51 @@
+(** Weak Schur sampling over [(C^d)^{(x) k}] (Section 3.1 context).
+
+    Algorithm 2 measures the partition label [lambda] of the
+    Schur-Weyl decomposition and accepts on the trivial partition
+    [(k)].  This module implements the full label measurement: integer
+    partitions of [k], their irreducible S_k characters via the
+    Murnaghan-Nakayama rule, the central projectors
+    [P_lambda = (d_lambda / k!) sum_pi chi_lambda(pi) U_pi], and the
+    induced outcome distribution [tr (P_lambda rho)].  The permutation
+    test of {!Permutation_test} is the [lambda = (k)] marginal. *)
+
+open Qdp_linalg
+
+(** A partition of [k], as a weakly decreasing positive list. *)
+type partition = int list
+
+(** [partitions k] lists all partitions of [k] in lexicographic-
+    descending order, starting with [[k]] (the trivial irrep). *)
+val partitions : int -> partition list
+
+(** [cycle_type pi] is the partition given by the cycle lengths of the
+    permutation (an array as in {!Symmetric}). *)
+val cycle_type : int array -> partition
+
+(** [character lambda mu] is the irreducible character
+    [chi_lambda (mu)] of [S_k] at cycle type [mu], by the
+    Murnaghan-Nakayama rule.
+    @raise Invalid_argument if [lambda] and [mu] partition different
+    integers. *)
+val character : partition -> partition -> int
+
+(** [dimension lambda] is [chi_lambda] at the identity — the irrep
+    dimension (hook length formula cross-checks it in the tests). *)
+val dimension : partition -> int
+
+(** [hook_length_dimension lambda] computes the dimension by the hook
+    length formula, independently of {!character}. *)
+val hook_length_dimension : partition -> int
+
+(** [projector ~d lambda] is [P_lambda] on [(C^d)^{(x) k}] where
+    [k = sum lambda]. *)
+val projector : d:int -> partition -> Mat.t
+
+(** [outcome_distribution ~d ~k rho] is the list
+    [(lambda, tr (P_lambda rho))] over all partitions — the full weak
+    Schur sampling statistics; the probabilities sum to 1 for any
+    state. *)
+val outcome_distribution : d:int -> k:int -> Mat.t -> (partition * float) list
+
+(** [pp_partition] prints e.g. [(3,1,1)]. *)
+val pp_partition : Format.formatter -> partition -> unit

@@ -1,0 +1,51 @@
+open Qdp_linalg
+
+let pair_dim psi =
+  let n = Vec.dim psi in
+  let d = int_of_float (Float.round (Float.sqrt (float_of_int n))) in
+  if d * d <> n then invalid_arg "Swap_test: state is not on C^d (x) C^d";
+  d
+
+let accept_prob_product a b =
+  if Vec.dim a <> Vec.dim b then invalid_arg "Swap_test: dimension mismatch";
+  let ov = Cx.norm2 (Vec.dot a b) in
+  (1. +. ov) /. 2.
+
+let apply_sym psi =
+  let d = pair_dim psi in
+  let swapped = Mat.apply (Mat.swap_gate d) psi in
+  Vec.scale (Cx.re 0.5) (Vec.add psi swapped)
+
+let accept_prob_pure psi =
+  let p = apply_sym psi in
+  let n = Vec.norm p in
+  n *. n
+
+let accept_prob_density rho =
+  let n = Mat.rows rho in
+  let d = int_of_float (Float.round (Float.sqrt (float_of_int n))) in
+  if d * d <> n then invalid_arg "Swap_test: density not on C^d (x) C^d";
+  let sym =
+    Mat.scale (Cx.re 0.5) (Mat.add (Mat.identity n) (Mat.swap_gate d))
+  in
+  (Mat.trace (Mat.mul sym rho)).Complex.re
+
+let post_accept_pure psi =
+  let p = apply_sym psi in
+  if Vec.norm p <= 1e-12 then
+    invalid_arg "Swap_test.post_accept_pure: zero acceptance";
+  Vec.normalize p
+
+let circuit_accept_prob psi =
+  let d = pair_dim psi in
+  let n = Vec.dim psi in
+  let h_anc = Mat.tensor Gates.hadamard (Mat.identity n) in
+  let circuit = Mat.mul h_anc (Mat.mul (Gates.cswap d) h_anc) in
+  let full = Vec.tensor (Vec.basis 2 0) psi in
+  let out = Mat.apply circuit full in
+  (* probability that the ancilla (most significant factor) reads 0 *)
+  let p = ref 0. in
+  for k = 0 to n - 1 do
+    p := !p +. Cx.norm2 (Vec.get out k)
+  done;
+  !p

@@ -1,0 +1,35 @@
+(** The SWAP test (Algorithm 1 of the paper).
+
+    The test on a bipartite state is equivalent to the projective
+    measurement onto the symmetric subspace [H_S] of the two factors:
+    the acceptance probability on a pure state
+    [|psi> = alpha |psi_S> + beta |psi_A>] is [|alpha|^2] (Lemma 13),
+    and on product inputs [(1 + |<a|b>|^2) / 2].  Both the closed-form
+    and the explicit ancilla circuit are provided; tests check they
+    agree. *)
+
+open Qdp_linalg
+
+(** [accept_prob_product a b] is [(1 + |<a|b>|^2) / 2] for unit
+    vectors [a, b] of equal dimension. *)
+val accept_prob_product : Vec.t -> Vec.t -> float
+
+(** [accept_prob_pure psi] is [||Pi_sym psi||^2] for a pure state on
+    [C^d (x) C^d] (dimension a perfect square). *)
+val accept_prob_pure : Vec.t -> float
+
+(** [accept_prob_density rho] is [tr (Pi_sym rho)] for a density
+    matrix on [C^d (x) C^d]. *)
+val accept_prob_density : Mat.t -> float
+
+(** [post_accept_pure psi] is the renormalized post-measurement state
+    [Pi_sym psi / ||...||] after acceptance.
+    @raise Invalid_argument when the acceptance probability is
+    (numerically) zero. *)
+val post_accept_pure : Vec.t -> Vec.t
+
+(** [circuit_accept_prob psi] runs Algorithm 1 literally: adjoins an
+    ancilla qubit, applies Hadamard / controlled-SWAP / Hadamard, and
+    returns the probability of measuring [|0>].  Agrees with
+    {!accept_prob_pure} — used to validate the projector shortcut. *)
+val circuit_accept_prob : Vec.t -> float

@@ -1,0 +1,83 @@
+open Qdp_linalg
+
+let permutations k =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: ys as l ->
+        (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x ys)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: xs -> List.concat_map (insert_everywhere x) (perms xs)
+  in
+  List.map Array.of_list (perms (List.init k (fun i -> i)))
+
+let compose p q = Array.init (Array.length p) (fun i -> p.(q.(i)))
+
+let inverse p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun i pi -> inv.(pi) <- i) p;
+  inv
+
+(* Decompose a base-d index into k digits (most significant first),
+   permute the digit positions, and reassemble. *)
+let permute_index ~d ~k pi idx =
+  let digits = Array.make k 0 in
+  let rest = ref idx in
+  for pos = k - 1 downto 0 do
+    digits.(pos) <- !rest mod d;
+    rest := !rest / d
+  done;
+  let inv = inverse pi in
+  let out = ref 0 in
+  for pos = 0 to k - 1 do
+    out := (!out * d) + digits.(inv.(pos))
+  done;
+  !out
+
+let u_pi ~d pi =
+  let k = Array.length pi in
+  let dim = int_of_float (Float.pow (float_of_int d) (float_of_int k)) in
+  let m = Mat.create dim dim in
+  for j = 0 to dim - 1 do
+    Mat.set m (permute_index ~d ~k pi j) j Cx.one
+  done;
+  m
+
+let projector ~d ~k =
+  let perms = permutations k in
+  let fact = List.length perms in
+  let dim = int_of_float (Float.pow (float_of_int d) (float_of_int k)) in
+  let m = Mat.create dim dim in
+  List.iter
+    (fun pi ->
+      for j = 0 to dim - 1 do
+        let i = permute_index ~d ~k pi j in
+        Mat.set m i j (Cx.add (Mat.get m i j) (Cx.re (1. /. float_of_int fact)))
+      done)
+    perms;
+  m
+
+let subspace_dimension ~d ~k =
+  (* binom (d + k - 1) k with exact integer arithmetic *)
+  let n = d + k - 1 in
+  let num = ref 1 and den = ref 1 in
+  for i = 1 to k do
+    num := !num * (n - k + i);
+    den := !den * i
+  done;
+  !num / !den
+
+let apply_projector ~d ~k v =
+  let perms = permutations k in
+  let fact = float_of_int (List.length perms) in
+  let dim = Vec.dim v in
+  let out = Vec.create dim in
+  List.iter
+    (fun pi ->
+      for j = 0 to dim - 1 do
+        let i = permute_index ~d ~k pi j in
+        Vec.set out i (Cx.add (Vec.get out i) (Vec.get v j))
+      done)
+    perms;
+  Vec.scale (Cx.re (1. /. fact)) out

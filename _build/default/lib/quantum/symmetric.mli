@@ -1,0 +1,37 @@
+(** The symmetric group acting on [(C^d)^{(x) k}] and the symmetric
+    subspace.
+
+    The permutation test (Algorithm 2 in the paper) accepts a state
+    [rho] with probability [tr (Pi_sym rho)] where [Pi_sym] is the
+    projector onto the symmetric subspace — the weak-Schur-sampling
+    outcome of the trivial irrep.  This module builds the permutation
+    unitaries [U_pi] and [Pi_sym] explicitly for small [k] and [d]. *)
+
+open Qdp_linalg
+
+(** [permutations k] enumerates all [k!] permutations of [0..k-1], each
+    given as an array [p] with [p.(i)] the image of [i]. *)
+val permutations : int -> int array list
+
+(** [compose p q] is the permutation [i -> p (q i)]. *)
+val compose : int array -> int array -> int array
+
+(** [inverse p] is the inverse permutation. *)
+val inverse : int array -> int array
+
+(** [u_pi ~d pi] is the unitary on [(C^d)^{(x) k}] with action
+    [U_pi |i_1 .. i_k> = |i_{pi^{-1}(1)} .. i_{pi^{-1}(k)}>]. *)
+val u_pi : d:int -> int array -> Mat.t
+
+(** [projector ~d ~k] is [Pi_sym = (1/k!) sum_pi U_pi], the projector
+    onto the symmetric subspace of [(C^d)^{(x) k}]. *)
+val projector : d:int -> k:int -> Mat.t
+
+(** [subspace_dimension ~d ~k] is [binom (d + k - 1) k], the dimension
+    of the symmetric subspace. *)
+val subspace_dimension : d:int -> k:int -> int
+
+(** [apply_projector ~d ~k v] applies [Pi_sym] to a vector of dimension
+    [d^k] without materializing the projector: averages [U_pi v] over
+    all permutations. *)
+val apply_projector : d:int -> k:int -> Vec.t -> Vec.t

@@ -1,0 +1,1 @@
+test/test_codes.ml: Alcotest Gf2 Linear_code List Printf QCheck QCheck_alcotest Qdp_codes Random

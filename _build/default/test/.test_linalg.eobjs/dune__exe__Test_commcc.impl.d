@@ -1,0 +1,1 @@
+test/test_commcc.ml: Alcotest Cx Discrepancy Float Fooling Gf2 List Lsd Oneway Printf Problems QCheck QCheck_alcotest Qdp_codes Qdp_commcc Qdp_linalg Qma_comm Random Smp Subspace

@@ -1,0 +1,1 @@
+test/test_dqma_framework.ml: Alcotest Array Dqma Eq_path Eq_tree Format Gf2 Graph Gt List Qdp_codes Qdp_core Qdp_network Random Report Sim

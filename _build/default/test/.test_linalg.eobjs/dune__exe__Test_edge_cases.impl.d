@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Eq_path Eq_tree Float Gf2 Graph Gt Oneway_compiler Printf Qdp_codes Qdp_commcc Qdp_core Qdp_network Random Relay Report Rv Set_eq Sim Spanning_tree

@@ -1,0 +1,1 @@
+test/test_fingerprint.ml: Alcotest Complex Fingerprint Gf2 List Printf QCheck QCheck_alcotest Qdp_codes Qdp_fingerprint Qdp_linalg Random Vec

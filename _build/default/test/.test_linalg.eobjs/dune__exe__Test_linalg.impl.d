@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Complex Cx Eig Float List Mat QCheck QCheck_alcotest Qdp_linalg Random Subspace Vec

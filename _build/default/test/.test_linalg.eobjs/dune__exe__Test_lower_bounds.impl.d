@@ -1,0 +1,1 @@
+test/test_lower_bounds.ml: Alcotest Gf2 Lower_bounds Printf Qdp_codes Qdp_commcc Qdp_core Random

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Float Graph List Printf Qdp_network Random Runtime Spanning_tree String

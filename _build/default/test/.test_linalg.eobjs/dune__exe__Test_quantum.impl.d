@@ -1,0 +1,1 @@
+test/test_quantum.ml: Alcotest Array Complex Cx Density Distance Float Gates List Mat Permutation_test Povm Printf Pure Qdp_linalg Qdp_quantum Random Swap_test Symmetric Vec

@@ -1,0 +1,1 @@
+test/test_runtime_protocols.ml: Alcotest Array Channel Cx Density Float Gf2 Gt List Mat Printf Qdp_codes Qdp_core Qdp_linalg Qdp_network Qdp_quantum Random Report Rpls Runtime_dma Runtime_gt Sim Vec

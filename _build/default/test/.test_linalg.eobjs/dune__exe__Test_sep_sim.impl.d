@@ -1,0 +1,1 @@
+test/test_sep_sim.ml: Alcotest Array Cx Exact Mat Printf Qdp_core Qdp_linalg Random Sep_sim Sim States Vec

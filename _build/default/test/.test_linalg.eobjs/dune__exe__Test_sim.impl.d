@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cx Eq_path Exact Float List Oneway Printf Qdp_commcc Qdp_core Qdp_linalg Qdp_network Random Sim Vec

@@ -1,0 +1,1 @@
+test/test_star_and_sets.ml: Alcotest Array Cx Eq_path Exact Float Gf2 List Printf Qdp_codes Qdp_core Qdp_linalg Qdp_network Random Report Set_eq Sim Vec

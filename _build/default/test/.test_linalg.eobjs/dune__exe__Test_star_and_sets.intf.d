@@ -1,0 +1,1 @@
+test/test_star_and_sets.mli:

@@ -1,0 +1,156 @@
+(* Tests for GF(2) bit vectors and linear codes. *)
+
+open Qdp_codes
+
+let rng = Random.State.make [| 0xc0de |]
+
+let test_gf2_roundtrip () =
+  for k = 0 to 31 do
+    let v = Gf2.of_int ~width:5 k in
+    Alcotest.(check int) "of_int/to_int" k (Gf2.to_int v)
+  done
+
+let test_gf2_string_roundtrip () =
+  let s = "0110100111" in
+  Alcotest.(check string) "string roundtrip" s (Gf2.to_string (Gf2.of_string s))
+
+let test_gf2_weight () =
+  Alcotest.(check int) "weight" 6 (Gf2.weight (Gf2.of_string "0110100111"));
+  Alcotest.(check int) "zero weight" 0 (Gf2.weight (Gf2.zero 100))
+
+let test_gf2_long_vectors () =
+  (* cross the 62-bit word boundary *)
+  let v = Gf2.zero 200 in
+  Gf2.set v 61 true;
+  Gf2.set v 62 true;
+  Gf2.set v 199 true;
+  Alcotest.(check int) "weight across words" 3 (Gf2.weight v);
+  Alcotest.(check bool) "bit 61" true (Gf2.get v 61);
+  Alcotest.(check bool) "bit 63" false (Gf2.get v 63);
+  Gf2.set v 62 false;
+  Alcotest.(check int) "after clear" 2 (Gf2.weight v)
+
+let test_gf2_xor_involution () =
+  let a = Gf2.random rng 130 and b = Gf2.random rng 130 in
+  Alcotest.(check bool) "xor twice is identity" true
+    (Gf2.equal a (Gf2.xor (Gf2.xor a b) b))
+
+let test_gf2_hamming () =
+  let a = Gf2.of_string "10110" and b = Gf2.of_string "10011" in
+  Alcotest.(check int) "hamming" 2 (Gf2.hamming_distance a b)
+
+let test_gf2_dot () =
+  let a = Gf2.of_string "1101" and b = Gf2.of_string "1011" in
+  (* overlap at positions 0 and 3: even parity *)
+  Alcotest.(check bool) "dot even" false (Gf2.dot a b);
+  let c = Gf2.of_string "1000" in
+  Alcotest.(check bool) "dot odd" true (Gf2.dot a c)
+
+let test_gf2_prefix () =
+  let a = Gf2.of_string "110101" in
+  Alcotest.(check string) "prefix 4" "1101" (Gf2.to_string (Gf2.prefix a 4));
+  Alcotest.(check int) "prefix 0 length" 0 (Gf2.length (Gf2.prefix a 0))
+
+let test_gf2_compare () =
+  let x = Gf2.of_int ~width:6 37 and y = Gf2.of_int ~width:6 29 in
+  Alcotest.(check bool) "37 > 29" true (Gf2.compare_big_endian x y > 0);
+  Alcotest.(check bool) "29 < 37" true (Gf2.compare_big_endian y x < 0);
+  Alcotest.(check int) "equal" 0 (Gf2.compare_big_endian x (Gf2.copy x))
+
+let test_gf2_random_weight () =
+  for w = 0 to 10 do
+    let v = Gf2.random_weight rng 40 w in
+    Alcotest.(check int) "exact weight" w (Gf2.weight v)
+  done
+
+let test_code_linearity () =
+  let c = Linear_code.random ~seed:3 ~n:24 ~m:96 in
+  let x = Gf2.random rng 24 and y = Gf2.random rng 24 in
+  let lhs = Linear_code.encode c (Gf2.xor x y) in
+  let rhs = Gf2.xor (Linear_code.encode c x) (Linear_code.encode c y) in
+  Alcotest.(check bool) "E (x xor y) = E x xor E y" true (Gf2.equal lhs rhs)
+
+let test_code_injective () =
+  (* systematic prefix makes the code injective *)
+  let c = Linear_code.random ~seed:4 ~n:10 ~m:40 in
+  let x = Gf2.random rng 10 and y = Gf2.random rng 10 in
+  if not (Gf2.equal x y) then
+    Alcotest.(check bool) "distinct codewords" false
+      (Gf2.equal (Linear_code.encode c x) (Linear_code.encode c y))
+
+let test_repetition_distance () =
+  let c = Linear_code.repetition ~n:6 ~times:5 in
+  Alcotest.(check int) "block length" 30 (Linear_code.block_length c);
+  Alcotest.(check int) "min distance" 5 (Linear_code.min_distance_exhaustive c)
+
+let test_identity_distance () =
+  let c = Linear_code.identity 8 in
+  Alcotest.(check int) "min distance 1" 1 (Linear_code.min_distance_exhaustive c)
+
+let test_random_code_distance () =
+  (* rate-1/8 random code: relative distance should be well above 1/4 *)
+  let c = Linear_code.random ~seed:11 ~n:12 ~m:96 in
+  let d = Linear_code.min_distance_exhaustive c in
+  let rel = Linear_code.relative_distance_of d c in
+  Alcotest.(check bool)
+    (Printf.sprintf "relative distance %.3f > 0.25" rel)
+    true (rel > 0.25)
+
+let test_sampled_distance_upper_bounds () =
+  let c = Linear_code.random ~seed:12 ~n:10 ~m:80 in
+  let exact = Linear_code.min_distance_exhaustive c in
+  let sampled = Linear_code.min_distance_sampled rng ~trials:2000 c in
+  Alcotest.(check bool) "sampled >= exact" true (sampled >= exact)
+
+let prop_encode_zero =
+  QCheck.Test.make ~name:"E 0 = 0" ~count:20 QCheck.small_nat (fun seed ->
+      let c = Linear_code.random ~seed:(seed + 1) ~n:8 ~m:32 in
+      Gf2.weight (Linear_code.encode c (Gf2.zero 8)) = 0)
+
+let prop_hamming_triangle =
+  QCheck.Test.make ~name:"hamming triangle inequality" ~count:100
+    QCheck.small_nat (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let a = Gf2.random st 50
+      and b = Gf2.random st 50
+      and c = Gf2.random st 50 in
+      Gf2.hamming_distance a c
+      <= Gf2.hamming_distance a b + Gf2.hamming_distance b c)
+
+let prop_weight_xor =
+  QCheck.Test.make ~name:"weight (x xor y) = hamming x y" ~count:100
+    QCheck.small_nat (fun seed ->
+      let st = Random.State.make [| seed; 2 |] in
+      let a = Gf2.random st 80 and b = Gf2.random st 80 in
+      Gf2.weight (Gf2.xor a b) = Gf2.hamming_distance a b)
+
+let () =
+  Alcotest.run "codes"
+    [
+      ( "gf2",
+        [
+          Alcotest.test_case "int roundtrip" `Quick test_gf2_roundtrip;
+          Alcotest.test_case "string roundtrip" `Quick test_gf2_string_roundtrip;
+          Alcotest.test_case "weight" `Quick test_gf2_weight;
+          Alcotest.test_case "long vectors" `Quick test_gf2_long_vectors;
+          Alcotest.test_case "xor involution" `Quick test_gf2_xor_involution;
+          Alcotest.test_case "hamming" `Quick test_gf2_hamming;
+          Alcotest.test_case "dot" `Quick test_gf2_dot;
+          Alcotest.test_case "prefix" `Quick test_gf2_prefix;
+          Alcotest.test_case "big-endian compare" `Quick test_gf2_compare;
+          Alcotest.test_case "random weight" `Quick test_gf2_random_weight;
+        ] );
+      ( "linear_code",
+        [
+          Alcotest.test_case "linearity" `Quick test_code_linearity;
+          Alcotest.test_case "injective" `Quick test_code_injective;
+          Alcotest.test_case "repetition distance" `Quick test_repetition_distance;
+          Alcotest.test_case "identity distance" `Quick test_identity_distance;
+          Alcotest.test_case "random code distance" `Quick test_random_code_distance;
+          Alcotest.test_case "sampled distance" `Quick
+            test_sampled_distance_upper_bounds;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_encode_zero; prop_hamming_triangle; prop_weight_xor ] );
+    ]

@@ -1,0 +1,344 @@
+(* Tests for the communication-complexity substrate: problems, fooling
+   sets, one-way protocols, discrepancy and the LSD problem. *)
+
+open Qdp_linalg
+open Qdp_codes
+open Qdp_commcc
+
+let rng = Random.State.make [| 0xcc |]
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* --- problems --- *)
+
+let test_eq_gt_predicates () =
+  let x = Gf2.of_int ~width:5 19 and y = Gf2.of_int ~width:5 7 in
+  Alcotest.(check bool) "EQ" false ((Problems.eq 5).Problems.f x y);
+  Alcotest.(check bool) "GT" true ((Problems.gt 5).Problems.f x y);
+  Alcotest.(check bool) "GT<" true ((Problems.gt_lt 5).Problems.f y x);
+  Alcotest.(check bool) "GT>= equal" true
+    ((Problems.gt_ge 5).Problems.f x (Gf2.copy x))
+
+let test_gt_witness_matches_compare () =
+  for _ = 1 to 200 do
+    let x = Gf2.random rng 8 and y = Gf2.random rng 8 in
+    let w = Problems.gt_witness x y in
+    let gt = Gf2.compare_big_endian x y > 0 in
+    (match w with
+    | Some i ->
+        Alcotest.(check bool) "witness implies GT" true gt;
+        Alcotest.(check bool) "x_i = 1" true (Gf2.get x i);
+        Alcotest.(check bool) "y_i = 0" false (Gf2.get y i);
+        Alcotest.(check bool) "prefixes equal" true
+          (Gf2.equal (Gf2.prefix x i) (Gf2.prefix y i))
+    | None -> Alcotest.(check bool) "no witness implies not GT" false gt)
+  done
+
+let test_ham_disj_ip () =
+  let x = Gf2.of_string "1010" and y = Gf2.of_string "1001" in
+  Alcotest.(check bool) "HAM<=2" true ((Problems.ham ~d:2 4).Problems.f x y);
+  Alcotest.(check bool) "HAM<=1" false ((Problems.ham ~d:1 4).Problems.f x y);
+  Alcotest.(check bool) "DISJ" false ((Problems.disj 4).Problems.f x y);
+  let z = Gf2.of_string "0101" in
+  Alcotest.(check bool) "DISJ disjoint" true ((Problems.disj 4).Problems.f x z);
+  Alcotest.(check bool) "IP" true ((Problems.ip 4).Problems.f x y)
+
+let test_forall_t () =
+  let p = Problems.ham ~d:1 4 in
+  let ok = [| Gf2.of_string "1010"; Gf2.of_string "1011"; Gf2.of_string "1010" |] in
+  Alcotest.(check bool) "all close" true (Problems.forall_t p ok);
+  let bad = [| Gf2.of_string "1010"; Gf2.of_string "0101" |] in
+  Alcotest.(check bool) "far pair" false (Problems.forall_t p bad)
+
+(* --- fooling sets --- *)
+
+let test_eq_fooling_set () =
+  let s = Fooling.eq_fooling_set 4 in
+  Alcotest.(check int) "size 2^4" 16 (List.length s);
+  Alcotest.(check bool) "is 1-fooling" true
+    (Fooling.is_one_fooling_set (Problems.eq 4) s)
+
+let test_gt_fooling_set () =
+  let s = Fooling.gt_fooling_set 4 in
+  Alcotest.(check int) "size 2^4 - 1" 15 (List.length s);
+  Alcotest.(check bool) "is 1-fooling" true
+    (Fooling.is_one_fooling_set (Problems.gt 4) s)
+
+let test_not_fooling () =
+  (* {(x, x)} pairs are NOT a fooling set for HAM<=1: crossing keeps
+     distance 1 *)
+  let close_pairs =
+    [ (Gf2.of_string "0000", Gf2.of_string "0000");
+      (Gf2.of_string "0001", Gf2.of_string "0001") ]
+  in
+  Alcotest.(check bool) "not fooling for HAM" false
+    (Fooling.is_one_fooling_set (Problems.ham ~d:1 4) close_pairs)
+
+(* --- one-way protocols --- *)
+
+let test_oneway_eq () =
+  let p = Oneway.eq ~seed:1 ~n:24 in
+  let x = Gf2.random rng 24 in
+  check_float ~eps:1e-9 "complete" 1. (Oneway.accept_on_inputs p x (Gf2.copy x));
+  let y = Gf2.random rng 24 in
+  if not (Gf2.equal x y) then
+    Alcotest.(check bool) "sound" true (Oneway.accept_on_inputs p x y < 0.6)
+
+let test_oneway_eq_repeat_and () =
+  let p = Oneway.repeat_and 3 (Oneway.eq ~seed:2 ~n:16) in
+  let x = Gf2.random rng 16 and y = Gf2.random rng 16 in
+  check_float ~eps:1e-9 "still complete" 1.
+    (Oneway.accept_on_inputs p x (Gf2.copy x));
+  if not (Gf2.equal x y) then
+    Alcotest.(check bool) "amplified soundness" true
+      (Oneway.accept_on_inputs p x y < 0.2)
+
+let test_oneway_ham_complete () =
+  let n = 64 and d = 3 in
+  let p = Oneway.ham ~seed:3 ~n ~d in
+  for trial = 0 to 4 do
+    let st = Random.State.make [| trial; 51 |] in
+    let x = Gf2.random st n in
+    let noise = Gf2.random_weight st n d in
+    let y = Gf2.xor x noise in
+    check_float ~eps:1e-9
+      (Printf.sprintf "complete at distance %d" (Gf2.hamming_distance x y))
+      1.
+      (Oneway.accept_on_inputs p x y)
+  done
+
+let test_oneway_ham_sound_far () =
+  let n = 64 and d = 3 in
+  let p = Oneway.repeat 9 (Oneway.ham ~seed:3 ~n ~d) in
+  let far_accepts = ref 0. and cases = 5 in
+  for trial = 0 to cases - 1 do
+    let st = Random.State.make [| trial; 52 |] in
+    let x = Gf2.random st n in
+    let noise = Gf2.random_weight st n (4 * d) in
+    let y = Gf2.xor x noise in
+    far_accepts := !far_accepts +. Oneway.accept_on_inputs p x y
+  done;
+  Alcotest.(check bool) "far instances rejected on average" true
+    (!far_accepts /. float_of_int cases < 0.25)
+
+let test_bundle_overlap () =
+  let p = Oneway.eq ~seed:4 ~n:8 in
+  let x = Gf2.random rng 8 and y = Gf2.random rng 8 in
+  let bx = p.Oneway.alice x and by = p.Oneway.alice y in
+  let ov = Oneway.bundle_overlap bx by in
+  Alcotest.(check bool) "|overlap| <= 1" true (Cx.abs ov <= 1. +. 1e-9);
+  Alcotest.(check bool) "self overlap 1" true
+    (Cx.is_close ~eps:1e-9 (Oneway.bundle_overlap bx bx) Cx.one)
+
+let test_thermometer () =
+  let v = Oneway.thermometer ~resolution:10 [| -1.; 0.; 1. |] in
+  Alcotest.(check int) "length" 30 (Gf2.length v);
+  Alcotest.(check int) "levels 0/5/10" 15 (Gf2.weight v);
+  (* l1 distance = hamming / resolution * 2 *)
+  let a = Oneway.thermometer ~resolution:10 [| 0.2 |] in
+  let b = Oneway.thermometer ~resolution:10 [| -0.2 |] in
+  Alcotest.(check int) "hamming encodes l1" 2 (Gf2.hamming_distance a b)
+
+(* --- SMP --- *)
+
+let test_smp_eq_complete () =
+  let p = Smp.eq ~seed:14 ~n:24 in
+  let x = Gf2.random rng 24 in
+  check_float ~eps:1e-9 "equal accepted" 1.
+    (Smp.accept_on_inputs p x (Gf2.copy x))
+
+let test_smp_eq_sound () =
+  let p = Smp.repeat_and 6 (Smp.eq ~seed:15 ~n:24) in
+  let x = Gf2.random rng 24 and y = Gf2.random rng 24 in
+  if not (Gf2.equal x y) then
+    Alcotest.(check bool) "amplified below 1/3" true
+      (Smp.accept_on_inputs p x y < 1. /. 3.)
+
+let test_smp_to_oneway () =
+  let smp = Smp.eq ~seed:16 ~n:16 in
+  let ow = Smp.to_oneway smp in
+  let x = Gf2.random rng 16 and y = Gf2.random rng 16 in
+  check_float ~eps:1e-9 "same acceptance"
+    (Smp.accept_on_inputs smp x y)
+    (Oneway.accept_on_inputs ow x y)
+
+let test_smp_compiles_to_dqma () =
+  (* BQP1 <= BQP||: the converted protocol plugs into Theorem 32 *)
+  let ow = Smp.to_oneway (Smp.eq ~seed:17 ~n:16) in
+  Alcotest.(check bool) "has the SMP cost" true (ow.Oneway.message_qubits > 0)
+
+(* --- discrepancy --- *)
+
+let test_ip_spectral_discrepancy () =
+  (* IP's +/-1 matrix has spectral norm 2^{n/2} (it is 2 H - J shifted;
+     numerically it's near sqrt dim), so the bound is ~ 2^{-n/2} *)
+  let n = 5 in
+  let b = Discrepancy.spectral_discrepancy_bound (Problems.ip n) in
+  Alcotest.(check bool)
+    (Printf.sprintf "IP disc bound %.4f small" b)
+    true
+    (b < 4. *. Float.pow 2. (-.float_of_int n /. 2.))
+
+let test_eq_large_discrepancy () =
+  (* EQ has huge discrepancy (near-constant matrix) *)
+  let b = Discrepancy.spectral_discrepancy_bound (Problems.eq 5) in
+  Alcotest.(check bool) "EQ disc bound large" true (b > 0.5)
+
+let test_rectangle_search_consistent () =
+  let p = Problems.ip 4 in
+  let lower = Discrepancy.rectangle_search rng ~trials:100 p in
+  let upper = Discrepancy.spectral_discrepancy_bound p in
+  Alcotest.(check bool) "search <= spectral bound" true (lower <= upper +. 1e-9)
+
+let test_qmacc_formulas () =
+  (match Discrepancy.qmacc_lower_bound_formula (Problems.disj 27) with
+  | Some v -> check_float ~eps:1e-6 "DISJ n^{1/3}" 3. v
+  | None -> Alcotest.fail "DISJ should have a bound");
+  (match Discrepancy.qmacc_lower_bound_formula (Problems.ip 16) with
+  | Some v -> check_float ~eps:1e-6 "IP sqrt n" 4. v
+  | None -> Alcotest.fail "IP should have a bound");
+  Alcotest.(check bool) "EQ has none" true
+    (Discrepancy.qmacc_lower_bound_formula (Problems.eq 16) = None)
+
+(* --- LSD --- *)
+
+let test_lsd_promises () =
+  let close = Lsd.random_close rng ~ambient:64 ~dim:3 in
+  Alcotest.(check bool) "close instance" true (Lsd.promise_of close = Lsd.Close);
+  let far = Lsd.random_far rng ~ambient:256 ~dim:3 in
+  Alcotest.(check bool) "far instance" true (Lsd.promise_of far = Lsd.Far)
+
+let test_lsd_protocol_complete () =
+  let inst = Lsd.random_close rng ~ambient:64 ~dim:3 in
+  let p = Lsd.protocol_accept_prob inst (Lsd.honest_proof inst) in
+  Alcotest.(check bool) (Printf.sprintf "close accepts %.3f >= 0.9" p) true
+    (p >= 0.9)
+
+let test_lsd_protocol_sound () =
+  let inst = Lsd.random_far rng ~ambient:256 ~dim:3 in
+  let best = Lsd.best_proof_accept_prob inst in
+  Alcotest.(check bool) (Printf.sprintf "far best proof %.4f <= 0.0361" best) true
+    (best <= 0.0362);
+  (* and indeed any specific proof does no better *)
+  let p = Lsd.protocol_accept_prob inst (Lsd.honest_proof inst) in
+  Alcotest.(check bool) "honest proof on far instance" true (p <= best +. 1e-9)
+
+let test_lsd_eq_reduction () =
+  let x = Gf2.random rng 12 and y = Gf2.random rng 12 in
+  let same = Lsd.of_eq_inputs ~seed:5 ~ambient:512 x (Gf2.copy x) in
+  Alcotest.(check bool) "x = y close" true (Lsd.promise_of same = Lsd.Close);
+  if not (Gf2.equal x y) then begin
+    let diff = Lsd.of_eq_inputs ~seed:5 ~ambient:512 x y in
+    Alcotest.(check bool) "x <> y far" true (Lsd.promise_of diff = Lsd.Far)
+  end
+
+let test_lsd_gt_reduction () =
+  let x = Gf2.of_int ~width:6 45 and y = Gf2.of_int ~width:6 29 in
+  let yes = Lsd.of_gt_inputs ~seed:6 ~ambient:2048 x y in
+  Alcotest.(check bool) "x > y close" true (Lsd.promise_of yes = Lsd.Close);
+  let no = Lsd.of_gt_inputs ~seed:6 ~ambient:2048 y x in
+  Alcotest.(check bool) "y < x far" true (Lsd.promise_of no = Lsd.Far)
+
+let test_lsd_alice_projection () =
+  let inst = Lsd.random_far rng ~ambient:128 ~dim:2 in
+  let proof = Lsd.honest_proof inst in
+  check_float ~eps:1e-7 "honest proof passes Alice" 1.
+    (Lsd.alice_accept_prob inst proof)
+
+let prop_lsd_distance_range =
+  QCheck.Test.make ~name:"LSD distance in [0, sqrt 2]" ~count:20
+    QCheck.small_nat
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x15d |] in
+      let a = Subspace.random st ~ambient:24 ~dim:2 in
+      let b = Subspace.random st ~ambient:24 ~dim:3 in
+      let d = Subspace.distance a b in
+      d >= -1e-9 && d <= Float.sqrt 2. +. 1e-9)
+
+let prop_lsd_best_proof_dominates =
+  QCheck.Test.make ~name:"best LSD proof dominates the honest one" ~count:15
+    QCheck.small_nat
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x15e |] in
+      let inst =
+        { Lsd.v1 = Subspace.random st ~ambient:32 ~dim:2;
+          v2 = Subspace.random st ~ambient:32 ~dim:2 }
+      in
+      Lsd.protocol_accept_prob inst (Lsd.honest_proof inst)
+      <= Lsd.best_proof_accept_prob inst +. 1e-7)
+
+(* --- QMA communication accounting --- *)
+
+let test_qma_star_costs () =
+  let c =
+    { Qma_comm.proof_alice = 5; proof_bob = 7; communication = 3 }
+  in
+  Alcotest.(check int) "star total" 15 (Qma_comm.star_total c);
+  Alcotest.(check int) "inequality (1)" 22 (Qma_comm.qma_of_star c)
+
+let test_lsd_oneway_protocol () =
+  let proto = Qma_comm.lsd_oneway ~ambient:128 in
+  Alcotest.(check int) "cost 2 log m" 14 (Qma_comm.cost proto);
+  let inst = Lsd.random_close rng ~ambient:128 ~dim:2 in
+  let p = Qma_comm.honest_accept_prob proto inst.Lsd.v1 inst.Lsd.v2 in
+  Alcotest.(check bool) "close accepted" true (p >= 0.9)
+
+let () =
+  Alcotest.run "commcc"
+    [
+      ( "problems",
+        [
+          Alcotest.test_case "predicates" `Quick test_eq_gt_predicates;
+          Alcotest.test_case "gt witness" `Quick test_gt_witness_matches_compare;
+          Alcotest.test_case "ham/disj/ip" `Quick test_ham_disj_ip;
+          Alcotest.test_case "forall_t" `Quick test_forall_t;
+        ] );
+      ( "fooling",
+        [
+          Alcotest.test_case "eq fooling set" `Quick test_eq_fooling_set;
+          Alcotest.test_case "gt fooling set" `Quick test_gt_fooling_set;
+          Alcotest.test_case "non-fooling detected" `Quick test_not_fooling;
+        ] );
+      ( "oneway",
+        [
+          Alcotest.test_case "eq protocol" `Quick test_oneway_eq;
+          Alcotest.test_case "eq repeat-and" `Quick test_oneway_eq_repeat_and;
+          Alcotest.test_case "ham complete" `Quick test_oneway_ham_complete;
+          Alcotest.test_case "ham sound far" `Quick test_oneway_ham_sound_far;
+          Alcotest.test_case "bundle overlap" `Quick test_bundle_overlap;
+          Alcotest.test_case "thermometer" `Quick test_thermometer;
+        ] );
+      ( "smp",
+        [
+          Alcotest.test_case "eq complete" `Quick test_smp_eq_complete;
+          Alcotest.test_case "eq sound" `Quick test_smp_eq_sound;
+          Alcotest.test_case "to oneway" `Quick test_smp_to_oneway;
+          Alcotest.test_case "compiles" `Quick test_smp_compiles_to_dqma;
+        ] );
+      ( "discrepancy",
+        [
+          Alcotest.test_case "IP spectral" `Quick test_ip_spectral_discrepancy;
+          Alcotest.test_case "EQ large" `Quick test_eq_large_discrepancy;
+          Alcotest.test_case "search consistent" `Quick
+            test_rectangle_search_consistent;
+          Alcotest.test_case "qmacc formulas" `Quick test_qmacc_formulas;
+        ] );
+      ( "lsd",
+        [
+          Alcotest.test_case "promises" `Quick test_lsd_promises;
+          Alcotest.test_case "protocol complete" `Quick test_lsd_protocol_complete;
+          Alcotest.test_case "protocol sound" `Quick test_lsd_protocol_sound;
+          Alcotest.test_case "eq reduction" `Quick test_lsd_eq_reduction;
+          Alcotest.test_case "gt reduction" `Quick test_lsd_gt_reduction;
+          Alcotest.test_case "alice projection" `Quick test_lsd_alice_projection;
+        ] );
+      ( "lsd_properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_lsd_distance_range; prop_lsd_best_proof_dominates ] );
+      ( "qma_comm",
+        [
+          Alcotest.test_case "star costs" `Quick test_qma_star_costs;
+          Alcotest.test_case "lsd one-way" `Quick test_lsd_oneway_protocol;
+        ] );
+    ]

@@ -1,0 +1,102 @@
+(* Tests for the unifying Dqma framework (Definitions 5-8 as values). *)
+
+open Qdp_codes
+open Qdp_network
+open Qdp_core
+
+let rng = Random.State.make [| 0xdf1 |]
+
+let distinct_pair st n =
+  let x = Gf2.random st n in
+  let rec go () =
+    let y = Gf2.random st n in
+    if Gf2.equal x y then go () else y
+  in
+  (x, go ())
+
+let test_demo_suite_meets_spec () =
+  List.iter
+    (fun packed ->
+      let name, e = Dqma.evaluate_packed packed in
+      Alcotest.(check bool) (name ^ " meets spec") true e.Dqma.meets_spec)
+    (Dqma.demo_suite ~seed:17)
+
+let test_eq_path_adapter_consistent () =
+  let n = 20 and r = 4 in
+  let params = Eq_path.make ~repetitions:8 ~seed:31 ~n ~r () in
+  let proto = Dqma.eq_path params in
+  let x, y = distinct_pair rng n in
+  (* the adapter's evaluation matches direct module calls *)
+  let e = Dqma.evaluate proto (x, y) in
+  Alcotest.(check bool) "no instance" false e.Dqma.instance_is_yes;
+  let best, _ = Eq_path.best_attack_accept params x y in
+  Alcotest.(check (float 1e-9)) "attack matches module"
+    (Sim.repeat_accept 8 best) e.Dqma.best_attack;
+  let e_yes = Dqma.evaluate proto (x, Gf2.copy x) in
+  Alcotest.(check (float 1e-9)) "completeness" 1. e_yes.Dqma.honest_accept
+
+let test_gt_adapter_attack_library_nonempty () =
+  let n = 12 in
+  let params = Gt.make ~repetitions:1 ~seed:32 ~n ~r:3 () in
+  let proto = Dqma.gt params in
+  let x = Gf2.of_int ~width:n 100 and y = Gf2.of_int ~width:n 900 in
+  (* GT (x, y) = 0 but cheating indices exist (x has 1-bits where y has 0) *)
+  Alcotest.(check bool) "no instance" false (proto.Dqma.value (x, y));
+  Alcotest.(check bool) "attack library nonempty" true
+    (proto.Dqma.attacks (x, y) <> [])
+
+let test_honest_none_on_no_instance () =
+  let params = Eq_path.make ~repetitions:2 ~seed:33 ~n:16 ~r:3 () in
+  let proto = Dqma.eq_path params in
+  let x, y = distinct_pair rng 16 in
+  Alcotest.(check bool) "no honest prover" true (proto.Dqma.honest (x, y) = None)
+
+let test_models_assigned () =
+  let params = Eq_path.make ~repetitions:1 ~seed:34 ~n:8 ~r:2 () in
+  Alcotest.(check bool) "eq_path is dQMA^sep" true
+    ((Dqma.eq_path params).Dqma.model = Dqma.DQMA_sep);
+  Alcotest.(check bool) "dma is DMA" true
+    ((Dqma.dma_trivial ~n:8 ~r:2).Dqma.model = Dqma.DMA);
+  Alcotest.(check string) "model printer" "dQMA^sep,sep"
+    (Format.asprintf "%a" Dqma.pp_model Dqma.DQMA_sep_sep)
+
+let test_costs_through_adapter () =
+  let n = 16 and r = 3 in
+  let params = Eq_path.make ~repetitions:4 ~seed:35 ~n ~r () in
+  let proto = Dqma.eq_path params in
+  let x = Gf2.random rng n in
+  let c = proto.Dqma.costs (x, Gf2.copy x) in
+  Alcotest.(check int) "costs match module"
+    (Eq_path.costs params).Report.local_proof_qubits
+    c.Report.local_proof_qubits
+
+let test_multi_instance_adapter () =
+  let g = Graph.star 3 in
+  let params = Eq_tree.make ~repetitions:4 ~seed:36 ~n:16 ~r:2 () in
+  let proto = Dqma.eq_tree params in
+  let x = Gf2.random rng 16 in
+  let inst =
+    { Dqma.graph = g; terminals = [ 1; 2; 3 ]; inputs = Array.make 3 x }
+  in
+  let e = Dqma.evaluate proto inst in
+  Alcotest.(check bool) "yes instance" true e.Dqma.instance_is_yes;
+  Alcotest.(check (float 1e-9)) "complete" 1. e.Dqma.honest_accept
+
+let () =
+  Alcotest.run "dqma_framework"
+    [
+      ( "dqma",
+        [
+          Alcotest.test_case "demo suite meets spec" `Slow
+            test_demo_suite_meets_spec;
+          Alcotest.test_case "eq_path adapter" `Quick
+            test_eq_path_adapter_consistent;
+          Alcotest.test_case "gt attack library" `Quick
+            test_gt_adapter_attack_library_nonempty;
+          Alcotest.test_case "honest none on no" `Quick
+            test_honest_none_on_no_instance;
+          Alcotest.test_case "models" `Quick test_models_assigned;
+          Alcotest.test_case "costs" `Quick test_costs_through_adapter;
+          Alcotest.test_case "multi instance" `Quick test_multi_instance_adapter;
+        ] );
+    ]

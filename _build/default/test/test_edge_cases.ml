@@ -1,0 +1,192 @@
+(* Boundary-condition tests across the protocol stack: shortest paths,
+   1-bit inputs, minimal trees, degenerate sets, and the compiler's
+   geodesic attack. *)
+
+open Qdp_codes
+open Qdp_network
+open Qdp_core
+
+let rng = Random.State.make [| 0xed6e |]
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* --- r = 1: adjacent terminals, no intermediate nodes --- *)
+
+let test_eq_path_r1 () =
+  let p = Eq_path.make ~repetitions:3 ~seed:1 ~n:16 ~r:1 () in
+  let x = Gf2.random rng 16 in
+  check_float ~eps:1e-12 "complete" 1.
+    (Eq_path.accept p x (Gf2.copy x) Eq_path.Honest);
+  let y =
+    let z = Gf2.copy x in
+    Gf2.set z 0 (not (Gf2.get z 0));
+    z
+  in
+  (* no proof at all: soundness comes only from the final POVM *)
+  let best, _ = Eq_path.best_attack_accept p x y in
+  Alcotest.(check bool) "attack < 0.6" true (best < 0.6);
+  Alcotest.(check int) "no proof registers" 0
+    (Eq_path.costs p).Report.total_proof_qubits
+
+let test_gt_r1 () =
+  let p = Gt.make ~repetitions:2 ~seed:2 ~n:8 ~r:1 () in
+  let x = Gf2.of_int ~width:8 200 and y = Gf2.of_int ~width:8 77 in
+  check_float ~eps:1e-12 "complete" 1. (Gt.accept p x y (Gt.honest_prover x y))
+
+(* --- n = 1: single-bit inputs --- *)
+
+let test_eq_path_n1 () =
+  let p = Eq_path.make ~repetitions:2 ~seed:3 ~n:1 ~r:3 () in
+  let one = Gf2.of_string "1" and zero = Gf2.of_string "0" in
+  check_float ~eps:1e-12 "complete" 1.
+    (Eq_path.accept p one (Gf2.copy one) Eq_path.Honest);
+  let best, _ = Eq_path.best_attack_accept p one zero in
+  Alcotest.(check bool) "distinct bits attackable below bound" true
+    (best <= Eq_path.soundness_bound_single ~r:3 +. 1e-9)
+
+let test_gt_n1 () =
+  let p = Gt.make ~repetitions:2 ~seed:4 ~n:1 ~r:2 () in
+  let one = Gf2.of_string "1" and zero = Gf2.of_string "0" in
+  (* 1 > 0: witness index 0 with empty prefixes (the |bot> pair) *)
+  check_float ~eps:1e-12 "1 > 0 complete" 1.
+    (Gt.accept p one zero (Gt.honest_prover one zero));
+  let best, _ = Gt.best_attack_accept p zero one in
+  check_float ~eps:1e-12 "0 > 1 unprovable" 0. best
+
+(* --- t = 2 tree degenerates to a path --- *)
+
+let test_eq_tree_two_terminals_is_path () =
+  let n = 16 and len = 4 in
+  let g = Graph.path len in
+  let x, y =
+    let x = Gf2.random rng n in
+    let rec go () =
+      let y = Gf2.random rng n in
+      if Gf2.equal x y then go () else y
+    in
+    (x, go ())
+  in
+  let tp = Eq_tree.make ~repetitions:1 ~seed:5 ~n ~r:len () in
+  let tree_attack, _ =
+    Eq_tree.best_attack_accept tp g ~terminals:[ 0; len ] ~inputs:[| x; y |]
+  in
+  (* the permutation test at k = 2 is the SWAP test, so the tree
+     protocol on a path matches the path protocol's attack surface *)
+  let pp = Eq_path.make ~repetitions:1 ~seed:5 ~n ~r:len () in
+  let path_attack, _ = Eq_path.best_attack_accept pp x y in
+  Alcotest.(check bool)
+    (Printf.sprintf "tree %.4f ~ path %.4f" tree_attack path_attack)
+    true
+    (Float.abs (tree_attack -. path_attack) < 0.15)
+
+(* --- sets of size 1 degenerate to EQ --- *)
+
+let test_set_eq_k1 () =
+  let p = Set_eq.make ~repetitions:2 ~seed:6 ~n:16 ~k:1 ~r:3 () in
+  let x = Gf2.random rng 16 in
+  check_float ~eps:1e-9 "singleton equal" 1.
+    (Set_eq.accept p [| x |] [| Gf2.copy x |] Sim.All_left);
+  let y =
+    let z = Gf2.copy x in
+    Gf2.set z 3 (not (Gf2.get z 3));
+    z
+  in
+  Alcotest.(check bool) "singleton distinct attacked" true
+    (fst (Set_eq.best_attack_accept p [| x |] [| y |]) < 1.)
+
+(* --- RV with two terminals --- *)
+
+let test_rv_two_terminals () =
+  let g = Graph.path 2 in
+  let inputs = [| Gf2.of_int ~width:8 10; Gf2.of_int ~width:8 200 |] in
+  let p = Rv.make ~repetitions:2 ~seed:7 ~n:8 ~r:2 () in
+  check_float ~eps:1e-9 "terminal 1 is rank 1" 1.
+    (Rv.honest_accept p g ~terminals:[ 0; 2 ] ~inputs ~i:1 ~j:1);
+  check_float ~eps:1e-12 "terminal 0 is not rank 1" 0.
+    (Rv.honest_accept p g ~terminals:[ 0; 2 ] ~inputs ~i:0 ~j:1)
+
+(* --- relay with spacing >= r: no relay points at all --- *)
+
+let test_relay_no_relays () =
+  let p = Relay.make ~spacing:100 ~inner_repetitions:2 ~seed:8 ~n:16 ~r:4 () in
+  Alcotest.(check (list int)) "no relay points" [] (Relay.relay_positions p);
+  let x = Gf2.random rng 16 in
+  check_float ~eps:1e-12 "still complete" 1.
+    (Relay.accept p x (Gf2.copy x) (Relay.honest_prover p x))
+
+(* --- compiler geodesic attack --- *)
+
+let test_compiler_geodesic_attack_dominates () =
+  (* on EQ instances the depth-geodesic attack should match or beat
+     the constant-message attacks, mirroring the path case *)
+  let n = 24 in
+  let proto = Qdp_commcc.Oneway.eq ~seed:9 ~n in
+  let g = Graph.path 4 in
+  let terminals = [ 0; 4 ] in
+  let params =
+    Oneway_compiler.make ~repetitions:1 ~amplification:1 ~r:4 ~t:2 ~n ()
+  in
+  let x = Gf2.random rng n in
+  let y =
+    let rec go () =
+      let y = Gf2.random rng n in
+      if Gf2.equal x y then go () else y
+    in
+    go ()
+  in
+  let inputs = [| x; y |] in
+  let geo =
+    Oneway_compiler.single_accept params proto g ~terminals ~inputs
+      (Oneway_compiler.Depth_geodesic 1)
+  in
+  let const =
+    Oneway_compiler.single_accept params proto g ~terminals ~inputs
+      (Oneway_compiler.Constant_of_terminal 0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "geodesic %.4f >= constant %.4f" geo const)
+    true
+    (geo >= const -. 1e-9);
+  let best, name = Oneway_compiler.best_attack_accept params proto g ~terminals ~inputs in
+  Alcotest.(check bool)
+    (Printf.sprintf "library best %.4f (%s) < 1" best name)
+    true (best < 0.9999)
+
+(* --- degenerate graphs --- *)
+
+let test_single_edge_graph () =
+  let g = Graph.path 1 in
+  Alcotest.(check int) "radius" 1 (Graph.radius g);
+  let tr = Spanning_tree.build g ~terminals:[ 0; 1 ] in
+  Alcotest.(check int) "two nodes" 2 (Spanning_tree.size tr);
+  Alcotest.(check int) "height 1" 1 (Spanning_tree.height tr)
+
+let () =
+  Alcotest.run "edge_cases"
+    [
+      ( "short_paths",
+        [
+          Alcotest.test_case "EQ r=1" `Quick test_eq_path_r1;
+          Alcotest.test_case "GT r=1" `Quick test_gt_r1;
+        ] );
+      ( "tiny_inputs",
+        [
+          Alcotest.test_case "EQ n=1" `Quick test_eq_path_n1;
+          Alcotest.test_case "GT n=1" `Quick test_gt_n1;
+          Alcotest.test_case "SetEq k=1" `Quick test_set_eq_k1;
+        ] );
+      ( "degenerate_topologies",
+        [
+          Alcotest.test_case "tree t=2 ~ path" `Quick
+            test_eq_tree_two_terminals_is_path;
+          Alcotest.test_case "RV t=2" `Quick test_rv_two_terminals;
+          Alcotest.test_case "relay without relays" `Quick test_relay_no_relays;
+          Alcotest.test_case "single edge" `Quick test_single_edge_graph;
+        ] );
+      ( "compiler",
+        [
+          Alcotest.test_case "geodesic attack" `Quick
+            test_compiler_geodesic_attack_dominates;
+        ] );
+    ]

@@ -1,0 +1,487 @@
+(* Tests for the extension modules: weak Schur sampling, Schmidt
+   decomposition, channels, the dQCMA / LOCC variants and the Section
+   6.2 XOR-function instances. *)
+
+open Qdp_linalg
+open Qdp_quantum
+open Qdp_codes
+open Qdp_commcc
+open Qdp_core
+
+let rng = Random.State.make [| 0xe87 |]
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let gaussian st =
+  let u1 = Float.max 1e-12 (Random.State.float st 1.) in
+  let u2 = Random.State.float st 1. in
+  Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+
+let random_unit st n =
+  Vec.normalize (Vec.init n (fun _ -> Cx.make (gaussian st) (gaussian st)))
+
+(* --- Schur / Murnaghan-Nakayama --- *)
+
+let test_partitions () =
+  Alcotest.(check int) "p(4) = 5" 5 (List.length (Schur.partitions 4));
+  Alcotest.(check int) "p(6) = 11" 11 (List.length (Schur.partitions 6));
+  Alcotest.(check (list (list int))) "partitions of 3"
+    [ [ 3 ]; [ 2; 1 ]; [ 1; 1; 1 ] ]
+    (Schur.partitions 3)
+
+let test_cycle_type () =
+  (* (0 1 2)(3 4) as an array *)
+  let pi = [| 1; 2; 0; 4; 3 |] in
+  Alcotest.(check (list int)) "cycle type" [ 3; 2 ] (Schur.cycle_type pi);
+  Alcotest.(check (list int)) "identity" [ 1; 1; 1 ]
+    (Schur.cycle_type [| 0; 1; 2 |])
+
+let test_characters_s3 () =
+  (* the full character table of S_3 *)
+  let check lambda mu expected =
+    Alcotest.(check int)
+      (Format.asprintf "chi_%a(%a)" Schur.pp_partition lambda Schur.pp_partition
+         mu)
+      expected (Schur.character lambda mu)
+  in
+  check [ 3 ] [ 1; 1; 1 ] 1;
+  check [ 3 ] [ 2; 1 ] 1;
+  check [ 3 ] [ 3 ] 1;
+  check [ 2; 1 ] [ 1; 1; 1 ] 2;
+  check [ 2; 1 ] [ 2; 1 ] 0;
+  check [ 2; 1 ] [ 3 ] (-1);
+  check [ 1; 1; 1 ] [ 1; 1; 1 ] 1;
+  check [ 1; 1; 1 ] [ 2; 1 ] (-1);
+  check [ 1; 1; 1 ] [ 3 ] 1
+
+let test_characters_s4_standard () =
+  (* the standard irrep of S_4 has dimension 3 and chi(2,1,1) = 1 *)
+  Alcotest.(check int) "dim [3,1]" 3 (Schur.dimension [ 3; 1 ]);
+  Alcotest.(check int) "chi_{3,1}(2,1,1)" 1 (Schur.character [ 3; 1 ] [ 2; 1; 1 ]);
+  Alcotest.(check int) "chi_{3,1}(4)" (-1) (Schur.character [ 3; 1 ] [ 4 ]);
+  Alcotest.(check int) "chi_{2,2}(2,2)" 2 (Schur.character [ 2; 2 ] [ 2; 2 ])
+
+let test_dimension_vs_hooks () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun lambda ->
+          Alcotest.(check int)
+            (Format.asprintf "dims agree for %a" Schur.pp_partition lambda)
+            (Schur.hook_length_dimension lambda)
+            (Schur.dimension lambda))
+        (Schur.partitions k))
+    [ 2; 3; 4; 5 ]
+
+let test_sum_of_squared_dimensions () =
+  (* sum d_lambda^2 = k! *)
+  let fact k =
+    let acc = ref 1 in
+    for i = 2 to k do
+      acc := !acc * i
+    done;
+    !acc
+  in
+  List.iter
+    (fun k ->
+      let total =
+        List.fold_left
+          (fun acc l ->
+            let d = Schur.dimension l in
+            acc + (d * d))
+          0 (Schur.partitions k)
+      in
+      Alcotest.(check int) (Printf.sprintf "k = %d" k) (fact k) total)
+    [ 2; 3; 4; 5 ]
+
+let test_projectors_complete () =
+  (* sum_lambda P_lambda = I on (C^2)^{x 3} *)
+  let total =
+    List.fold_left
+      (fun acc lambda -> Mat.add acc (Schur.projector ~d:2 lambda))
+      (Mat.create 8 8) (Schur.partitions 3)
+  in
+  Alcotest.(check bool) "resolution of identity" true
+    (Mat.equal ~eps:1e-8 total (Mat.identity 8))
+
+let test_projectors_orthogonal () =
+  let p1 = Schur.projector ~d:2 [ 3 ] in
+  let p2 = Schur.projector ~d:2 [ 2; 1 ] in
+  Alcotest.(check bool) "P_a P_b = 0" true
+    (Mat.equal ~eps:1e-8 (Mat.mul p1 p2) (Mat.create 8 8));
+  Alcotest.(check bool) "P idempotent" true
+    (Mat.equal ~eps:1e-8 (Mat.mul p1 p1) p1)
+
+let test_trivial_projector_is_symmetric_subspace () =
+  let via_schur = Schur.projector ~d:2 [ 3 ] in
+  let via_sym = Symmetric.projector ~d:2 ~k:3 in
+  Alcotest.(check bool) "P_(k) = Pi_sym" true (Mat.equal ~eps:1e-8 via_schur via_sym)
+
+let test_character_orthogonality () =
+  (* first orthogonality: sum_mu |C_mu| chi_l(mu) chi_l'(mu) = k! d_{ll'} *)
+  let fact k =
+    let acc = ref 1 in
+    for i = 2 to k do
+      acc := !acc * i
+    done;
+    !acc
+  in
+  let class_size k mu =
+    (* k! / z_mu with z_mu = prod_i i^{m_i} m_i! *)
+    let z = ref 1 in
+    let counts = Hashtbl.create 4 in
+    List.iter
+      (fun part ->
+        Hashtbl.replace counts part
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts part)))
+      mu;
+    Hashtbl.iter
+      (fun part m ->
+        for _ = 1 to m do
+          z := !z * part
+        done;
+        z := !z * fact m)
+      counts;
+    fact k / !z
+  in
+  List.iter
+    (fun k ->
+      let parts = Schur.partitions k in
+      List.iter
+        (fun l1 ->
+          List.iter
+            (fun l2 ->
+              let total =
+                List.fold_left
+                  (fun acc mu ->
+                    acc
+                    + (class_size k mu * Schur.character l1 mu
+                     * Schur.character l2 mu))
+                  0 parts
+              in
+              let expected = if l1 = l2 then fact k else 0 in
+              Alcotest.(check int)
+                (Format.asprintf "orthogonality %a %a" Schur.pp_partition l1
+                   Schur.pp_partition l2)
+                expected total)
+            parts)
+        parts)
+    [ 3; 4; 5 ]
+
+let test_outcome_distribution () =
+  let psi = Vec.tensor_list [ random_unit rng 2; random_unit rng 2; random_unit rng 2 ] in
+  let dist = Schur.outcome_distribution ~d:2 ~k:3 (Mat.of_vec psi) in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0. dist in
+  check_float ~eps:1e-8 "probabilities sum to 1" 1. total;
+  List.iter
+    (fun (lambda, p) ->
+      Alcotest.(check bool)
+        (Format.asprintf "P[%a] >= 0" Schur.pp_partition lambda)
+        true (p >= -1e-9))
+    dist;
+  (* the antisymmetric outcome is impossible for d = 2, k = 3 *)
+  let p_anti = List.assoc [ 1; 1; 1 ] dist in
+  check_float ~eps:1e-8 "antisymmetric outcome impossible (d < k)" 0. p_anti
+
+(* --- Schmidt --- *)
+
+let test_schmidt_product_state () =
+  let a = random_unit rng 3 and b = random_unit rng 4 in
+  let dec = Schmidt.decompose ~d_a:3 ~d_b:4 (Vec.tensor a b) in
+  Alcotest.(check int) "rank 1" 1 (Schmidt.schmidt_rank dec);
+  check_float ~eps:1e-7 "top coefficient 1" 1. dec.Schmidt.coefficients.(0);
+  check_float ~eps:1e-7 "zero entropy" 0. (Schmidt.entanglement_entropy dec)
+
+let test_schmidt_bell_state () =
+  let bell =
+    Vec.normalize (Vec.of_array [| Cx.one; Cx.zero; Cx.zero; Cx.one |])
+  in
+  let dec = Schmidt.decompose ~d_a:2 ~d_b:2 bell in
+  Alcotest.(check int) "rank 2" 2 (Schmidt.schmidt_rank dec);
+  check_float ~eps:1e-7 "entropy 1 bit" 1. (Schmidt.entanglement_entropy dec);
+  check_float ~eps:1e-7 "balanced coefficients" (1. /. Float.sqrt 2.)
+    dec.Schmidt.coefficients.(0)
+
+let test_schmidt_reconstruct () =
+  for trial = 0 to 3 do
+    let st = Random.State.make [| trial; 0x5c |] in
+    let psi = random_unit st 12 in
+    let dec = Schmidt.decompose ~d_a:3 ~d_b:4 psi in
+    let back = Schmidt.reconstruct ~d_a:3 ~d_b:4 dec in
+    (* equality up to global phase: |<psi|back>| = 1 *)
+    check_float ~eps:1e-6
+      (Printf.sprintf "trial %d overlap" trial)
+      1.
+      (Cx.abs (Vec.dot psi back))
+  done
+
+let test_schmidt_coefficients_normalized () =
+  let psi = random_unit rng 8 in
+  let dec = Schmidt.decompose ~d_a:2 ~d_b:4 psi in
+  let s2 =
+    Array.fold_left (fun acc c -> acc +. (c *. c)) 0. dec.Schmidt.coefficients
+  in
+  check_float ~eps:1e-7 "sum c^2 = 1" 1. s2
+
+let prop_schmidt_entropy_bounded =
+  QCheck.Test.make ~name:"entanglement entropy <= log2 min(da, db)" ~count:40
+    QCheck.small_nat
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x5e |] in
+      let psi = random_unit st 12 in
+      let dec = Schmidt.decompose ~d_a:3 ~d_b:4 psi in
+      Schmidt.entanglement_entropy dec
+      <= (Float.log 3. /. Float.log 2.) +. 1e-9)
+
+let prop_schmidt_rank_bounded =
+  QCheck.Test.make ~name:"schmidt rank <= min(da, db)" ~count:40
+    QCheck.small_nat
+    (fun seed ->
+      let st = Random.State.make [| seed; 0x5f |] in
+      let psi = random_unit st 8 in
+      let dec = Schmidt.decompose ~d_a:2 ~d_b:4 psi in
+      Schmidt.schmidt_rank dec <= 2)
+
+(* --- Channels --- *)
+
+let test_channel_unitary_tp () =
+  Alcotest.(check bool) "unitary channel TP" true
+    (Channel.is_trace_preserving (Channel.unitary Gates.hadamard));
+  Alcotest.(check bool) "dephase TP" true
+    (Channel.is_trace_preserving (Channel.dephase 4));
+  Alcotest.(check bool) "symmetrization TP" true
+    (Channel.is_trace_preserving (Channel.symmetrization 2))
+
+let test_channel_symmetrization_action () =
+  let a = random_unit rng 2 and b = random_unit rng 2 in
+  let rho = Mat.of_vec (Vec.tensor a b) in
+  let out = Channel.apply (Channel.symmetrization 2) rho in
+  let swap = Mat.swap_gate 2 in
+  let expected =
+    Mat.scale (Cx.re 0.5)
+      (Mat.add rho (Mat.mul (Mat.mul swap rho) (Mat.adjoint swap)))
+  in
+  Alcotest.(check bool) "(rho + S rho S)/2" true (Mat.equal ~eps:1e-8 out expected)
+
+let test_channel_contractivity () =
+  (* Fact 4: trace distance contracts under channels *)
+  let channels =
+    [
+      Channel.dephase 4;
+      Channel.mix 0.3 (Channel.unitary (Mat.swap_gate 2)) (Channel.identity 4);
+      Channel.symmetrization 2;
+    ]
+  in
+  for trial = 0 to 2 do
+    let st = Random.State.make [| trial; 0xfa |] in
+    let rho = Mat.of_vec (random_unit st 4) in
+    let sigma = Mat.of_vec (random_unit st 4) in
+    let d0 = Distance.trace_distance rho sigma in
+    List.iter
+      (fun ch ->
+        let d1 =
+          Distance.trace_distance (Channel.apply ch rho) (Channel.apply ch sigma)
+        in
+        Alcotest.(check bool) "contractive" true (d1 <= d0 +. 1e-7))
+      channels
+  done
+
+let test_channel_dephase_kills_coherence () =
+  let plus = Vec.normalize (Vec.of_array [| Cx.one; Cx.one |]) in
+  let out = Channel.apply (Channel.dephase 2) (Mat.of_vec plus) in
+  Alcotest.(check bool) "off-diagonals gone" true
+    (Mat.equal ~eps:1e-9 out (Mat.scale (Cx.re 0.5) (Mat.identity 2)))
+
+let test_channel_compose_tensor () =
+  let ch = Channel.compose (Channel.dephase 2) (Channel.unitary Gates.hadamard) in
+  Alcotest.(check bool) "composition TP" true (Channel.is_trace_preserving ch);
+  let t = Channel.tensor (Channel.dephase 2) (Channel.identity 2) in
+  Alcotest.(check bool) "tensor TP" true (Channel.is_trace_preserving t)
+
+(* --- dQCMA variant --- *)
+
+let distinct_pair st n =
+  let x = Gf2.random st n in
+  let rec other () =
+    let y = Gf2.random st n in
+    if Gf2.equal x y then other () else y
+  in
+  (x, other ())
+
+let test_dqcma_completeness () =
+  let p = Variants.make ~repetitions:3 ~seed:1 ~n:24 ~r:5 () in
+  let x = Gf2.random rng 24 in
+  check_float ~eps:1e-12 "complete" 1.
+    (Variants.accept p x (Gf2.copy x) Variants.Honest_strings)
+
+let test_dqcma_soundness () =
+  let p = Variants.make ~repetitions:1 ~seed:2 ~n:24 ~r:5 () in
+  let x, y = distinct_pair rng 24 in
+  let best, name = Variants.best_attack_accept p x y in
+  Alcotest.(check bool)
+    (Printf.sprintf "attack %.4f (%s) < 1" best name)
+    true (best < 0.99)
+
+let test_dqcma_attack_weaker_than_dqma () =
+  (* classical strings cannot interpolate: the dQCMA attack is no
+     stronger than dQMA's geodesic *)
+  let n = 24 and r = 8 in
+  let x, y = distinct_pair rng n in
+  let vp = Variants.make ~repetitions:1 ~seed:3 ~n ~r () in
+  let qp = Eq_path.make ~repetitions:1 ~seed:3 ~n ~r () in
+  let dqcma, _ = Variants.best_attack_accept vp x y in
+  let dqma, _ = Eq_path.best_attack_accept qp x y in
+  Alcotest.(check bool)
+    (Printf.sprintf "dqcma %.4f <= dqma %.4f" dqcma dqma)
+    true (dqcma <= dqma +. 1e-9)
+
+let test_dqcma_costs_linear_in_n () =
+  let c n =
+    (Variants.costs (Variants.make ~repetitions:1 ~seed:4 ~n ~r:4 ())).Report
+    .local_proof_qubits
+  in
+  Alcotest.(check int) "classical proof = n bits" 64 (c 64);
+  Alcotest.(check int) "doubles with n" 128 (c 128)
+
+let test_locc_transform () =
+  let base =
+    {
+      Report.local_proof_qubits = 10;
+      total_proof_qubits = 50;
+      local_message_qubits = 4;
+      total_message_qubits = 20;
+      rounds = 1;
+    }
+  in
+  let out = Variants.locc_transform base ~d_max:3 in
+  Alcotest.(check int) "local proof s_c + d s_m s_tm" (10 + (3 * 4 * 20))
+    out.Report.local_proof_qubits;
+  Alcotest.(check int) "local message s_m s_tm" (4 * 20)
+    out.Report.local_message_qubits
+
+(* --- XOR functions --- *)
+
+let test_ltf_matches_predicate () =
+  let weights = [| 3; 1; 2; 5 |] in
+  let proto = Xor_functions.ltf ~seed:5 ~weights ~theta:4 in
+  let x = Gf2.of_string "1010" and y = Gf2.of_string "0010" in
+  (* weighted xor distance = 3 <= 4 *)
+  Alcotest.(check bool) "predicate yes" true (proto.Oneway.problem.Problems.f x y);
+  check_float ~eps:1e-9 "one-sided completeness" 1.
+    (Oneway.accept_on_inputs proto x y);
+  let z = Gf2.of_string "0101" in
+  (* distance from x = 3+1+2+5 = 11 > 4 *)
+  Alcotest.(check bool) "predicate no" false (proto.Oneway.problem.Problems.f x z)
+
+let test_hypercube_protocol () =
+  let proto = Xor_functions.hypercube_distance ~seed:6 ~bits:32 ~d:2 in
+  let st = Random.State.make [| 0x4c |] in
+  let u = Gf2.random st 32 in
+  let v = Gf2.xor u (Gf2.random_weight st 32 2) in
+  check_float ~eps:1e-9 "distance 2 accepted" 1. (Oneway.accept_on_inputs proto u v);
+  let far = Gf2.xor u (Gf2.random_weight st 32 20) in
+  Alcotest.(check bool) "far vertices rejected mostly" true
+    (Oneway.accept_on_inputs (Oneway.repeat 9 proto) u far < 0.3)
+
+let test_hamming_graph_encoding () =
+  let v1 = Xor_functions.encode_hamming_vertex ~coords:4 ~alphabet:5 [| 0; 3; 2; 4 |] in
+  let v2 = Xor_functions.encode_hamming_vertex ~coords:4 ~alphabet:5 [| 0; 1; 2; 4 |] in
+  let proto = Xor_functions.hamming_graph_distance ~seed:7 ~coords:4 ~alphabet:5 ~d:1 in
+  Alcotest.(check bool) "graph distance 1" true
+    (proto.Oneway.problem.Problems.f v1 v2);
+  check_float ~eps:1e-9 "accepted" 1. (Oneway.accept_on_inputs proto v1 v2);
+  let v3 = Xor_functions.encode_hamming_vertex ~coords:4 ~alphabet:5 [| 1; 1; 3; 0 |] in
+  Alcotest.(check bool) "graph distance 4 > 1" false
+    (proto.Oneway.problem.Problems.f v1 v3)
+
+let test_l1_protocol () =
+  let resolution = 16 and coords = 3 in
+  let proto = Xor_functions.l1_distance ~seed:8 ~coords ~resolution ~d:0.5 in
+  let e v = Oneway.thermometer ~resolution v in
+  let a = e [| 0.25; -0.5; 0.75 |] in
+  let b = e [| 0.25; -0.375; 0.75 |] in
+  (* l1 distance 0.125 <= 0.5 *)
+  check_float ~eps:1e-9 "close vectors accepted" 1.
+    (Oneway.accept_on_inputs proto a b);
+  let c = e [| -0.75; 0.5; -0.25 |] in
+  Alcotest.(check bool) "far vectors are a no instance" false
+    (proto.Oneway.problem.Problems.f a c)
+
+let test_xor_compiled_to_dqma () =
+  (* plug an LTF protocol into the Theorem 32 compiler *)
+  let module G = Qdp_network.Graph in
+  let weights = Array.make 24 1 in
+  let proto = Xor_functions.ltf ~seed:9 ~weights ~theta:2 in
+  let g = G.star 3 in
+  let terminals = [ 1; 2; 3 ] in
+  let params =
+    Oneway_compiler.make ~repetitions:1 ~amplification:1 ~r:2 ~t:3 ~n:24 ()
+  in
+  let st = Random.State.make [| 0x4d |] in
+  let x = Gf2.random st 24 in
+  let inputs =
+    Array.init 3 (fun i ->
+        if i = 0 then Gf2.copy x else Gf2.xor x (Gf2.random_weight st 24 1))
+  in
+  check_float ~eps:1e-9 "compiled LTF completeness" 1.
+    (Oneway_compiler.single_accept params proto g ~terminals ~inputs
+       Oneway_compiler.Honest)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "schur",
+        [
+          Alcotest.test_case "partitions" `Quick test_partitions;
+          Alcotest.test_case "cycle type" `Quick test_cycle_type;
+          Alcotest.test_case "S3 character table" `Quick test_characters_s3;
+          Alcotest.test_case "S4 characters" `Quick test_characters_s4_standard;
+          Alcotest.test_case "dimension vs hooks" `Quick test_dimension_vs_hooks;
+          Alcotest.test_case "sum d^2 = k!" `Quick test_sum_of_squared_dimensions;
+          Alcotest.test_case "projectors complete" `Quick test_projectors_complete;
+          Alcotest.test_case "projectors orthogonal" `Quick
+            test_projectors_orthogonal;
+          Alcotest.test_case "trivial = symmetric" `Quick
+            test_trivial_projector_is_symmetric_subspace;
+          Alcotest.test_case "character orthogonality" `Quick
+            test_character_orthogonality;
+          Alcotest.test_case "outcome distribution" `Quick test_outcome_distribution;
+        ] );
+      ( "schmidt",
+        [
+          QCheck_alcotest.to_alcotest prop_schmidt_entropy_bounded;
+          QCheck_alcotest.to_alcotest prop_schmidt_rank_bounded;
+          Alcotest.test_case "product state" `Quick test_schmidt_product_state;
+          Alcotest.test_case "bell state" `Quick test_schmidt_bell_state;
+          Alcotest.test_case "reconstruct" `Quick test_schmidt_reconstruct;
+          Alcotest.test_case "normalized" `Quick test_schmidt_coefficients_normalized;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "trace preserving" `Quick test_channel_unitary_tp;
+          Alcotest.test_case "symmetrization action" `Quick
+            test_channel_symmetrization_action;
+          Alcotest.test_case "contractivity (Fact 4)" `Quick
+            test_channel_contractivity;
+          Alcotest.test_case "dephasing" `Quick test_channel_dephase_kills_coherence;
+          Alcotest.test_case "compose & tensor" `Quick test_channel_compose_tensor;
+        ] );
+      ( "dqcma",
+        [
+          Alcotest.test_case "completeness" `Quick test_dqcma_completeness;
+          Alcotest.test_case "soundness" `Quick test_dqcma_soundness;
+          Alcotest.test_case "weaker attacks than dQMA" `Quick
+            test_dqcma_attack_weaker_than_dqma;
+          Alcotest.test_case "linear costs" `Quick test_dqcma_costs_linear_in_n;
+          Alcotest.test_case "LOCC transform" `Quick test_locc_transform;
+        ] );
+      ( "xor_functions",
+        [
+          Alcotest.test_case "LTF" `Quick test_ltf_matches_predicate;
+          Alcotest.test_case "hypercube" `Quick test_hypercube_protocol;
+          Alcotest.test_case "hamming graph" `Quick test_hamming_graph_encoding;
+          Alcotest.test_case "l1 vectors" `Quick test_l1_protocol;
+          Alcotest.test_case "compiled to dQMA" `Quick test_xor_compiled_to_dqma;
+        ] );
+    ]

@@ -1,0 +1,98 @@
+(* Tests for quantum fingerprints and the one-way EQ protocol. *)
+
+open Qdp_linalg
+open Qdp_codes
+open Qdp_fingerprint
+
+let rng = Random.State.make [| 0xf1f2 |]
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let test_state_normalized () =
+  let fp = Fingerprint.standard ~seed:1 ~n:16 in
+  let x = Gf2.random rng 16 in
+  check_float "unit norm" 1. (Vec.norm (Fingerprint.state fp x))
+
+let test_overlap_matches_dot () =
+  let fp = Fingerprint.standard ~seed:2 ~n:12 in
+  let x = Gf2.random rng 12 and y = Gf2.random rng 12 in
+  let via_code = Fingerprint.overlap fp x y in
+  let via_dot =
+    (Vec.dot (Fingerprint.state fp x) (Fingerprint.state fp y)).Complex.re
+  in
+  check_float ~eps:1e-9 "overlap = inner product" via_code via_dot
+
+let test_one_sided () =
+  let fp = Fingerprint.standard ~seed:3 ~n:20 in
+  let x = Gf2.random rng 20 in
+  check_float ~eps:1e-9 "x = y accepts with probability 1" 1.
+    (Fingerprint.accept_prob fp x (Fingerprint.state fp x))
+
+let test_soundness_gap () =
+  let fp = Fingerprint.standard ~seed:4 ~n:20 in
+  for _ = 1 to 20 do
+    let x = Gf2.random rng 20 and y = Gf2.random rng 20 in
+    if not (Gf2.equal x y) then begin
+      let p = Fingerprint.accept_prob fp y (Fingerprint.state fp x) in
+      Alcotest.(check bool)
+        (Printf.sprintf "x <> y accepts with prob %.3f < 0.6" p)
+        true (p < 0.6)
+    end
+  done
+
+let test_qubit_accounting () =
+  (* m = 8n = 128; dim = 256; qubits = 8 *)
+  let fp = Fingerprint.standard ~seed:5 ~n:16 in
+  Alcotest.(check int) "dim" 256 (Fingerprint.dim fp);
+  Alcotest.(check int) "qubits" 8 (Fingerprint.qubits fp)
+
+let test_qubits_logarithmic () =
+  let q16 = Fingerprint.qubits (Fingerprint.standard ~seed:6 ~n:16) in
+  let q256 = Fingerprint.qubits (Fingerprint.standard ~seed:6 ~n:256) in
+  (* 16x larger input -> only +4 qubits *)
+  Alcotest.(check int) "qubit growth is log" 4 (q256 - q16)
+
+let test_bot_state () =
+  let fp = Fingerprint.standard ~seed:7 ~n:8 in
+  let b = Fingerprint.bot_state fp in
+  check_float "unit" 1. (Vec.norm b);
+  Alcotest.(check int) "dimension matches" (Fingerprint.dim fp) (Vec.dim b)
+
+let prop_overlap_range =
+  QCheck.Test.make ~name:"overlap in [-1, 1], = 1 iff equal" ~count:60
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let fp = Fingerprint.standard ~seed:8 ~n:10 in
+      let x = Gf2.of_int ~width:10 (a mod 1024) in
+      let y = Gf2.of_int ~width:10 (b mod 1024) in
+      let ov = Fingerprint.overlap fp x y in
+      ov >= -1. && ov <= 1. && (Gf2.equal x y = (ov = 1.)))
+
+let prop_accept_prob_bounded =
+  QCheck.Test.make ~name:"accept prob in [0, 1]" ~count:50
+    QCheck.(pair small_nat small_nat)
+    (fun (a, b) ->
+      let fp = Fingerprint.standard ~seed:9 ~n:10 in
+      let x = Gf2.of_int ~width:10 (a mod 1024) in
+      let y = Gf2.of_int ~width:10 (b mod 1024) in
+      let p = Fingerprint.accept_prob fp y (Fingerprint.state fp x) in
+      p >= -1e-12 && p <= 1. +. 1e-12)
+
+let () =
+  Alcotest.run "fingerprint"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "normalized" `Quick test_state_normalized;
+          Alcotest.test_case "overlap matches dot" `Quick test_overlap_matches_dot;
+          Alcotest.test_case "one-sided completeness" `Quick test_one_sided;
+          Alcotest.test_case "soundness gap" `Quick test_soundness_gap;
+          Alcotest.test_case "qubit accounting" `Quick test_qubit_accounting;
+          Alcotest.test_case "logarithmic qubits" `Quick test_qubits_logarithmic;
+          Alcotest.test_case "bot state" `Quick test_bot_state;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_overlap_range; prop_accept_prob_bounded ] );
+    ]

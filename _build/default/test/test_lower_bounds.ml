@@ -1,0 +1,144 @@
+(* Tests of the executable lower-bound arguments. *)
+
+open Qdp_codes
+open Qdp_core
+
+let rng = Random.State.make [| 0x10b |]
+
+let test_truncation_complete () =
+  let proto = Lower_bounds.truncation_protocol ~n:12 ~r:6 ~c:5 in
+  let x = Gf2.random rng 12 in
+  let proofs = proto.Lower_bounds.honest_proofs x in
+  Alcotest.(check bool) "honest accepted" true
+    (proto.Lower_bounds.dma_accepts ~x ~y:(Gf2.copy x) ~proofs)
+
+let test_truncation_splice_found () =
+  (* 5-bit digests over 2^6 fooling inputs must collide *)
+  let proto = Lower_bounds.truncation_protocol ~n:12 ~r:6 ~c:5 in
+  match Lower_bounds.fooling_splice proto ~n:12 ~limit:64 with
+  | None -> Alcotest.fail "expected a collision"
+  | Some s ->
+      Alcotest.(check bool) "x <> y" false
+        (Gf2.equal s.Lower_bounds.splice_x s.Lower_bounds.splice_y);
+      Alcotest.(check bool) "soundness broken" true
+        (Lower_bounds.splice_breaks_soundness proto s)
+
+let test_hash_splice_found () =
+  let proto = Lower_bounds.hash_protocol ~seed:5 ~n:16 ~r:8 ~c:4 in
+  (* 4-bit hashes: a collision within 17 fooling inputs by pigeonhole *)
+  match Lower_bounds.fooling_splice proto ~n:16 ~limit:64 with
+  | None -> Alcotest.fail "expected a hash collision"
+  | Some s ->
+      Alcotest.(check bool) "soundness broken" true
+        (Lower_bounds.splice_breaks_soundness proto s)
+
+let test_large_proof_resists () =
+  (* with c = n the truncation protocol is simply sound: no splice
+     exists among distinct inputs because digests are injective *)
+  let proto = Lower_bounds.truncation_protocol ~n:10 ~r:6 ~c:10 in
+  Alcotest.(check bool) "no collision with full proofs" true
+    (Lower_bounds.fooling_splice proto ~n:10 ~limit:1024 = None)
+
+let test_splice_respects_proof_budget () =
+  (* the attack only exists because the digest is much shorter than
+     log2 (number of fooling inputs); a 30-bit hash over 64 inputs has
+     no birthday collision *)
+  let proto = Lower_bounds.hash_protocol ~seed:6 ~n:10 ~r:4 ~c:30 in
+  Alcotest.(check bool) "wide digests: no collision" true
+    (Lower_bounds.fooling_splice proto ~n:10 ~limit:64 = None)
+
+(* --- state counting (Lemma 48 / Claim 49) --- *)
+
+let test_random_packing_overlap_grows () =
+  let st = Random.State.make [| 0x99 |] in
+  let few_qubits =
+    Lower_bounds.max_pairwise_overlap_random st ~qubits:1 ~count:32
+  in
+  let st2 = Random.State.make [| 0x99 |] in
+  let more_qubits =
+    Lower_bounds.max_pairwise_overlap_random st2 ~qubits:5 ~count:32
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "1 qubit: %.3f; 5 qubits: %.3f" few_qubits more_qubits)
+    true
+    (few_qubits > 0.95 && more_qubits < few_qubits)
+
+let test_fingerprint_family_overlap_bounded () =
+  let ov = Lower_bounds.fingerprint_family_max_overlap ~seed:7 ~n:8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "max overlap %.3f < 0.8" ov)
+    true (ov < 0.8)
+
+(* --- proof-free gap (Lemma 53) --- *)
+
+let test_gap_splice_fools () =
+  let x = Gf2.random rng 16 in
+  let y =
+    let rec go () =
+      let y = Gf2.random rng 16 in
+      if Gf2.equal x y then go () else y
+    in
+    go ()
+  in
+  let accept = Lower_bounds.gap_splice_accept ~seed:8 ~n:16 ~r:8 ~gap:4 x y in
+  Alcotest.(check (float 1e-9)) "marginal splice accepted" 1. accept
+
+let test_gap_bounds_check () =
+  Alcotest.(check bool) "bad gap raises" true
+    (try
+       ignore
+         (Lower_bounds.gap_splice_accept ~seed:8 ~n:8 ~r:4 ~gap:3
+            (Gf2.zero 8) (Gf2.zero 8));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- closed forms --- *)
+
+let test_formulas () =
+  Alcotest.(check (float 1e-9)) "thm51" 40.
+    (Lower_bounds.thm51_total_bound ~r:8 ~n:32);
+  Alcotest.(check (float 1e-9)) "cor55" 12. (Lower_bounds.cor55_bound ~r:12);
+  Alcotest.(check bool) "thm56 grows with n" true
+    (Lower_bounds.thm56_bound ~n:65536 ~eps:0.01
+    > Lower_bounds.thm56_bound ~n:16 ~eps:0.01);
+  Alcotest.(check bool) "thm52 shrinks with r" true
+    (Lower_bounds.thm52_bound ~r:16 ~n:1024 ~eps:0.01 ~eps':0.01
+    < Lower_bounds.thm52_bound ~r:2 ~n:1024 ~eps:0.01 ~eps':0.01)
+
+let test_fooling_set_vs_bound_consistency () =
+  (* EQ's fooling set size drives the bounds: log2 |S| = n *)
+  match Qdp_commcc.Fooling.log2_fooling_size (Qdp_commcc.Problems.eq 24) with
+  | Some v -> Alcotest.(check (float 1e-9)) "log2 2^n" 24. v
+  | None -> Alcotest.fail "EQ must have a fooling set"
+
+let () =
+  Alcotest.run "lower_bounds"
+    [
+      ( "dma_fooling",
+        [
+          Alcotest.test_case "truncation complete" `Quick test_truncation_complete;
+          Alcotest.test_case "truncation splice" `Quick test_truncation_splice_found;
+          Alcotest.test_case "hash splice" `Quick test_hash_splice_found;
+          Alcotest.test_case "full proofs resist" `Quick test_large_proof_resists;
+          Alcotest.test_case "budget boundary" `Quick
+            test_splice_respects_proof_budget;
+        ] );
+      ( "state_counting",
+        [
+          Alcotest.test_case "packing overlap" `Quick
+            test_random_packing_overlap_grows;
+          Alcotest.test_case "fingerprint family" `Quick
+            test_fingerprint_family_overlap_bounded;
+        ] );
+      ( "gap_splice",
+        [
+          Alcotest.test_case "fooled" `Quick test_gap_splice_fools;
+          Alcotest.test_case "bounds" `Quick test_gap_bounds_check;
+        ] );
+      ( "formulas",
+        [
+          Alcotest.test_case "closed forms" `Quick test_formulas;
+          Alcotest.test_case "fooling size" `Quick
+            test_fooling_set_vs_bound_consistency;
+        ] );
+    ]

@@ -1,0 +1,171 @@
+(* Tests for the exact star-tree simulator and the Set Equality
+   protocol. *)
+
+open Qdp_linalg
+open Qdp_codes
+open Qdp_core
+
+let rng = Random.State.make [| 0x5a5 |]
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+let toy k = Exact.toy_state ~qubits:1 k
+
+(* --- exact star vs the tree DP --- *)
+
+let star_tree t =
+  let g = Qdp_network.Graph.star t in
+  Qdp_network.Spanning_tree.build_rooted_at g
+    ~terminals:(List.init t (fun i -> i + 1))
+    ~root_terminal:0
+
+let test_star_matches_tree_dp () =
+  (* product proofs: the exact state-vector run must equal the tree DP *)
+  for t = 2 to 4 do
+    let cfg = { Exact.t; star_qubits = 1 } in
+    let st = Random.State.make [| t; 0xa11 |] in
+    let gaussian () =
+      let u1 = Float.max 1e-12 (Random.State.float st 1.) in
+      let u2 = Random.State.float st 1. in
+      Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+    in
+    let rstate () = Vec.normalize (Vec.init 2 (fun _ -> Cx.re (gaussian ()))) in
+    let root_state = rstate () in
+    let leaf_states = Array.init (t - 1) (fun _ -> rstate ()) in
+    let a = rstate () and b = rstate () in
+    let exact =
+      Exact.star_accept_prob cfg ~root_state ~leaf_states
+        ~proof:(Vec.tensor a b)
+    in
+    let tr = star_tree t in
+    let module T = Qdp_network.Spanning_tree in
+    let inst =
+      {
+        Sim.tree = tr;
+        root_state = [| root_state |];
+        leaf_state =
+          (fun v ->
+            match T.terminal_of tr v with
+            | Some i when i > 0 -> [| leaf_states.(i - 1) |]
+            | _ -> invalid_arg "unexpected leaf");
+        internal_pair = (fun _ -> ([| a |], [| b |]));
+        use_permutation_test = true;
+      }
+    in
+    let st2 = Random.State.make [| t |] in
+    check_float ~eps:1e-9
+      (Printf.sprintf "t=%d" t)
+      (Sim.tree_accept st2 inst)
+      exact
+  done
+
+let test_star_honest_complete () =
+  let cfg = { Exact.t = 3; star_qubits = 1 } in
+  let s = toy 4 in
+  check_float ~eps:1e-9 "all equal accepted" 1.
+    (Exact.star_accept_prob cfg ~root_state:s
+       ~leaf_states:[| Vec.copy s; Vec.copy s |]
+       ~proof:(Vec.tensor s s))
+
+let test_star_entangled_optimum () =
+  let cfg = { Exact.t = 3; star_qubits = 1 } in
+  let root_state = toy 4 in
+  let leaf_states = [| toy 4; toy 9 |] in
+  (* one deviating leaf: a no instance *)
+  let opt, proof = Exact.optimal_entangled_star_attack cfg ~root_state ~leaf_states in
+  Alcotest.(check bool) "optimum below 1" true (opt < 0.9999);
+  let achieved =
+    Exact.star_accept_prob cfg ~root_state ~leaf_states
+      ~proof:(Vec.normalize proof)
+  in
+  check_float ~eps:1e-7 "eigenvector achieves it" opt achieved;
+  (* the honest-style product proof cannot beat the optimum *)
+  let prod =
+    Exact.star_accept_prob cfg ~root_state ~leaf_states
+      ~proof:(Vec.tensor root_state root_state)
+  in
+  Alcotest.(check bool) "product below optimum" true (prod <= opt +. 1e-9)
+
+(* --- set equality --- *)
+
+let random_set st params =
+  Array.init params.Set_eq.k (fun _ -> Gf2.random st params.Set_eq.n)
+
+let test_set_fingerprint_normalized () =
+  let params = Set_eq.make ~repetitions:1 ~seed:1 ~n:24 ~k:4 ~r:4 () in
+  let s = random_set rng params and t = random_set rng params in
+  let hs, ht = Set_eq.embedded_set_states params s t in
+  check_float ~eps:1e-7 "hs unit" 1. (Vec.norm hs);
+  check_float ~eps:1e-7 "ht unit" 1. (Vec.norm ht)
+
+let test_set_overlap_tracks_intersection () =
+  let params = Set_eq.make ~repetitions:1 ~seed:2 ~n:32 ~k:4 ~r:4 () in
+  let s = random_set rng params in
+  (* identical sets (any order): overlap 1 *)
+  let shuffled = [| s.(3); s.(0); s.(2); s.(1) |] in
+  check_float ~eps:1e-9 "order-invariant" 1. (Set_eq.set_overlap params s shuffled);
+  (* share 2 of 4: overlap ~ 1/2 *)
+  let half = [| s.(0); s.(1); Gf2.random rng 32; Gf2.random rng 32 |] in
+  let ov = Set_eq.set_overlap params s half in
+  Alcotest.(check bool)
+    (Printf.sprintf "overlap %.3f near 1/2" ov)
+    true
+    (Float.abs (ov -. 0.5) < 0.2);
+  (* disjoint: overlap small *)
+  let disjoint = random_set rng params in
+  let ov0 = Set_eq.set_overlap params s disjoint in
+  Alcotest.(check bool)
+    (Printf.sprintf "disjoint overlap %.3f small" ov0)
+    true
+    (Float.abs ov0 < 0.3)
+
+let test_set_eq_completeness () =
+  let params = Set_eq.make ~repetitions:2 ~seed:3 ~n:24 ~k:3 ~r:5 () in
+  let s = random_set rng params in
+  let permuted = [| s.(2); s.(0); s.(1) |] in
+  check_float ~eps:1e-9 "equal sets accepted" 1.
+    (Set_eq.accept params s permuted Sim.All_left)
+
+let test_set_eq_soundness () =
+  let params = Set_eq.make ~repetitions:1 ~seed:4 ~n:24 ~k:3 ~r:5 () in
+  let s = random_set rng params in
+  let t = random_set rng params in
+  let best, name = Set_eq.best_attack_accept params s t in
+  Alcotest.(check bool)
+    (Printf.sprintf "disjoint-set attack %.4f (%s) below bound" best name)
+    true
+    (best <= Eq_path.soundness_bound_single ~r:5 +. 1e-9);
+  let k = Eq_path.paper_repetitions ~r:5 in
+  Alcotest.(check bool) "amplified < 1/3" true
+    (Sim.repeat_accept k best < 1. /. 3.)
+
+let test_set_eq_costs_logarithmic () =
+  (* a set fingerprint costs the same registers as a single-string
+     fingerprint: superposition is free *)
+  let c k =
+    (Set_eq.costs (Set_eq.make ~repetitions:1 ~seed:5 ~n:32 ~k ~r:4 ())).Report
+    .local_proof_qubits
+  in
+  Alcotest.(check int) "independent of k" (c 2) (c 8)
+
+let () =
+  Alcotest.run "star_and_sets"
+    [
+      ( "exact_star",
+        [
+          Alcotest.test_case "matches tree DP" `Quick test_star_matches_tree_dp;
+          Alcotest.test_case "honest complete" `Quick test_star_honest_complete;
+          Alcotest.test_case "entangled optimum" `Quick test_star_entangled_optimum;
+        ] );
+      ( "set_eq",
+        [
+          Alcotest.test_case "fingerprint normalized" `Quick
+            test_set_fingerprint_normalized;
+          Alcotest.test_case "overlap tracks intersection" `Quick
+            test_set_overlap_tracks_intersection;
+          Alcotest.test_case "completeness" `Quick test_set_eq_completeness;
+          Alcotest.test_case "soundness" `Quick test_set_eq_soundness;
+          Alcotest.test_case "costs log" `Quick test_set_eq_costs_logarithmic;
+        ] );
+    ]
