@@ -1,0 +1,26 @@
+.PHONY: all build test check tables bench fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Tier-1 gate: what CI runs and what every PR must keep green.
+check: build test
+
+tables:
+	dune exec bin/tables.exe all
+
+bench:
+	dune exec bench/main.exe
+
+# Requires the ocamlformat binary (not vendored); version pinned in
+# .ocamlformat so results are reproducible wherever it is installed.
+fmt:
+	dune build @fmt --auto-promote
+
+clean:
+	dune clean

@@ -238,7 +238,53 @@ let img (window, results) =
 
 open Notty_unix
 
+(* Observability hook: run one representative instrumented pass over
+   the engines and dump a machine-readable summary to BENCH_obs.json,
+   then reset and disable everything so the timed benchmarks below
+   measure the switch-off (uninstrumented) cost. *)
+let dump_obs () =
+  Qdp_obs.with_enabled true (fun () ->
+      let n = 32 in
+      let x, y = distinct_pair n in
+      let eq = Eq_path.make ~repetitions:1 ~seed:21 ~n ~r:8 () in
+      ignore (Eq_path.best_attack_accept eq x y);
+      let big, small =
+        if Gf2.compare_big_endian x y > 0 then (x, y) else (y, x)
+      in
+      let gtp = Gt.make ~repetitions:1 ~seed:22 ~n ~r:6 () in
+      ignore (Gt.best_attack_accept gtp small big);
+      let g = Graph.path 6 in
+      let flood =
+        {
+          Runtime.init = (fun _ -> ());
+          round =
+            (fun ~round:_ ~id s ~inbox:_ ->
+              let out =
+                List.filter
+                  (fun d -> d >= 0 && d < Graph.size g)
+                  [ id - 1; id + 1 ]
+              in
+              (s, List.map (fun d -> (d, id)) out));
+          finish = (fun ~id:_ _ -> Runtime.Accept);
+        }
+      in
+      ignore (Runtime.run g ~rounds:3 flood);
+      let snap = Qdp_obs.Metrics.snapshot () in
+      let spans = List.length (Qdp_obs.Trace.spans ()) in
+      let json =
+        Printf.sprintf "{\"trace\":{\"spans\":%d,\"dropped\":%d},\n\"metrics_snapshot\":%s}\n"
+          spans
+          (Qdp_obs.Trace.dropped ())
+          (String.trim (Qdp_obs.Metrics.to_json snap))
+      in
+      let oc = open_out "BENCH_obs.json" in
+      output_string oc json;
+      close_out oc);
+  Qdp_obs.Metrics.reset ();
+  Qdp_obs.Trace.clear ()
+
 let () =
+  dump_obs ();
   let window =
     match winsize Unix.stdout with
     | Some (w, h) -> { Bechamel_notty.w; h }

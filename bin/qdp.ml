@@ -21,6 +21,45 @@ let setup_logs verbose =
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Trace the attack searches.")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable observability and write a JSON metrics snapshot (counters, \
+           gauges, histograms) to $(docv) on exit.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable observability and write the span trace (one JSON object per \
+           line) to $(docv) on exit.")
+
+(* Run [f] under a root span named after the subcommand; when --metrics
+   or --trace was given, enable observability first and dump the
+   requested outputs afterwards (also on exceptions). *)
+let with_obs ~cmd metrics trace f =
+  if metrics <> None || trace <> None then Qdp_obs.set_enabled true;
+  (* A dump failure (bad path, full disk) should not mask a completed
+     run with a [Finally_raised] backtrace. *)
+  let dump what f file =
+    try f file
+    with Sys_error msg -> Printf.eprintf "qdp: cannot write %s: %s\n" what msg
+  in
+  let finish () =
+    Option.iter
+      (dump "metrics" @@ fun file ->
+       Qdp_obs.Metrics.write_json file (Qdp_obs.Metrics.snapshot ()))
+      metrics;
+    Option.iter (dump "trace" Qdp_obs.Trace.write_jsonl) trace
+  in
+  Fun.protect ~finally:finish (fun () ->
+      Qdp_obs.Trace.with_span ("qdp." ^ cmd) f)
+
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
@@ -82,8 +121,9 @@ let report_outcome ~costs ~completeness ~attack ~attack_name =
     (if attack < 1. /. 3. then "sound (< 1/3)" else "soundness not yet amplified")
 
 let eq_cmd =
-  let run verbose seed n r reps random x y =
+  let run verbose seed n r reps random x y metrics trace =
     setup_logs verbose;
+    with_obs ~cmd:"eq" metrics trace @@ fun () ->
     let x, y = resolve_pair ~seed ~n ~random x y in
     let params = Eq_path.make ?repetitions:reps ~seed ~n ~r () in
     Format.printf "EQ on a path: n=%d r=%d k=%d; EQ(x,y) = %b@." n r
@@ -95,11 +135,12 @@ let eq_cmd =
       ~attack_name:name
   in
   Cmd.v (Cmd.info "eq" ~doc:"EQ on a path (Algorithm 3/4).")
-    Term.(const run $ verbose_arg $ seed_arg $ n_arg $ r_arg $ reps_arg $ random_arg $ x_arg $ y_arg)
+    Term.(const run $ verbose_arg $ seed_arg $ n_arg $ r_arg $ reps_arg $ random_arg $ x_arg $ y_arg $ metrics_arg $ trace_arg)
 
 let gt_cmd =
-  let run verbose seed n r reps random x y =
+  let run verbose seed n r reps random x y metrics trace =
     setup_logs verbose;
+    with_obs ~cmd:"gt" metrics trace @@ fun () ->
     let x, y = resolve_pair ~seed ~n ~random x y in
     let params = Gt.make ?repetitions:reps ~seed ~n ~r () in
     let is_gt = Gf2.compare_big_endian x y > 0 in
@@ -115,7 +156,7 @@ let gt_cmd =
       ~attack_name:name
   in
   Cmd.v (Cmd.info "gt" ~doc:"Greater-than on a path (Algorithm 7).")
-    Term.(const run $ verbose_arg $ seed_arg $ n_arg $ r_arg $ reps_arg $ random_arg $ x_arg $ y_arg)
+    Term.(const run $ verbose_arg $ seed_arg $ n_arg $ r_arg $ reps_arg $ random_arg $ x_arg $ y_arg $ metrics_arg $ trace_arg)
 
 let topology_graph topo t =
   match topo with
@@ -127,7 +168,8 @@ let topology_graph topo t =
       (g, List.init t (fun i -> i))
 
 let eqt_cmd =
-  let run seed n t reps random topo =
+  let run seed n t reps random topo metrics trace =
+    with_obs ~cmd:"eqt" metrics trace @@ fun () ->
     let g, terminals = topology_graph topo t in
     let r = Graph.radius g in
     let st = Random.State.make [| seed; 2 |] in
@@ -146,7 +188,7 @@ let eqt_cmd =
       ~attack_name:name
   in
   Cmd.v (Cmd.info "eqt" ~doc:"EQ with t terminals on a network (Algorithm 5).")
-    Term.(const run $ seed_arg $ n_arg $ t_arg $ reps_arg $ random_arg $ topology_arg)
+    Term.(const run $ seed_arg $ n_arg $ t_arg $ reps_arg $ random_arg $ topology_arg $ metrics_arg $ trace_arg)
 
 let rv_cmd =
   let i_arg =
@@ -155,7 +197,8 @@ let rv_cmd =
   let j_arg =
     Arg.(value & opt int 1 & info [ "j"; "rank" ] ~docv:"J" ~doc:"Claimed rank (1 = largest).")
   in
-  let run seed n t reps i j topo =
+  let run seed n t reps i j topo metrics trace =
+    with_obs ~cmd:"rv" metrics trace @@ fun () ->
     let g, terminals = topology_graph topo t in
     let st = Random.State.make [| seed; 3 |] in
     let inputs = Array.init t (fun _ -> Gf2.random st n) in
@@ -172,10 +215,11 @@ let rv_cmd =
       ~attack_name:name
   in
   Cmd.v (Cmd.info "rv" ~doc:"Ranking verification (Algorithm 8).")
-    Term.(const run $ seed_arg $ n_arg $ t_arg $ reps_arg $ i_arg $ j_arg $ topology_arg)
+    Term.(const run $ seed_arg $ n_arg $ t_arg $ reps_arg $ i_arg $ j_arg $ topology_arg $ metrics_arg $ trace_arg)
 
 let relay_cmd =
-  let run seed n r random x y =
+  let run seed n r random x y metrics trace =
+    with_obs ~cmd:"relay" metrics trace @@ fun () ->
     let x, y = resolve_pair ~seed ~n ~random x y in
     let params = Relay.make ~seed ~n ~r () in
     Format.printf "EQ with relay points (Theorem 22): n=%d r=%d spacing=%d k'=%d@."
@@ -186,10 +230,11 @@ let relay_cmd =
       ~attack_name:name
   in
   Cmd.v (Cmd.info "relay" ~doc:"EQ with relay points on long paths (Algorithm 6).")
-    Term.(const run $ seed_arg $ n_arg $ r_arg $ random_arg $ x_arg $ y_arg)
+    Term.(const run $ seed_arg $ n_arg $ r_arg $ random_arg $ x_arg $ y_arg $ metrics_arg $ trace_arg)
 
 let dqcma_cmd =
-  let run seed n r reps random x y =
+  let run seed n r reps random x y metrics trace =
+    with_obs ~cmd:"dqcma" metrics trace @@ fun () ->
     let x, y = resolve_pair ~seed ~n ~random x y in
     let params = Variants.make ?repetitions:reps ~seed ~n ~r () in
     Format.printf "dQCMA EQ (classical proofs): n=%d r=%d k=%d@." n r
@@ -201,13 +246,14 @@ let dqcma_cmd =
       ~attack_name:name
   in
   Cmd.v (Cmd.info "dqcma" ~doc:"The dQCMA variant: classical proofs, quantum messages.")
-    Term.(const run $ seed_arg $ n_arg $ r_arg $ reps_arg $ random_arg $ x_arg $ y_arg)
+    Term.(const run $ seed_arg $ n_arg $ r_arg $ reps_arg $ random_arg $ x_arg $ y_arg $ metrics_arg $ trace_arg)
 
 let seteq_cmd =
   let k_arg =
     Arg.(value & opt int 4 & info [ "elements" ] ~docv:"K" ~doc:"Elements per set.")
   in
-  let run seed n r k_set =
+  let run seed n r k_set metrics trace =
+    with_obs ~cmd:"seteq" metrics trace @@ fun () ->
     let st = Random.State.make [| seed; 5 |] in
     let params = Set_eq.make ~seed ~n ~k:k_set ~r () in
     let s = Array.init k_set (fun _ -> Gf2.random st n) in
@@ -222,14 +268,15 @@ let seteq_cmd =
       ~attack_name:name
   in
   Cmd.v (Cmd.info "seteq" ~doc:"Set Equality via set fingerprints (Section 1.4).")
-    Term.(const run $ seed_arg $ n_arg $ r_arg $ k_arg)
+    Term.(const run $ seed_arg $ n_arg $ r_arg $ k_arg $ metrics_arg $ trace_arg)
 
 let ham_cmd =
   let d_arg =
     Arg.(value & opt int 2 & info [ "d"; "distance" ] ~docv:"D"
            ~doc:"Hamming tolerance.")
   in
-  let run seed n t d topo =
+  let run seed n t d topo metrics trace =
+    with_obs ~cmd:"ham" metrics trace @@ fun () ->
     let g, terminals = topology_graph topo t in
     let r = max 1 (Graph.radius g) in
     let proto = Qdp_commcc.Oneway.ham ~seed ~n ~d in
@@ -264,10 +311,11 @@ let ham_cmd =
   in
   Cmd.v
     (Cmd.info "ham" ~doc:"Hamming-tolerance consistency via Theorem 30's compiler.")
-    Term.(const run $ seed_arg $ n_arg $ t_arg $ d_arg $ topology_arg)
+    Term.(const run $ seed_arg $ n_arg $ t_arg $ d_arg $ topology_arg $ metrics_arg $ trace_arg)
 
 let check_cmd =
-  let run seed =
+  let run seed metrics trace =
+    with_obs ~cmd:"check" metrics trace @@ fun () ->
     let suite = Dqma.demo_suite ~seed in
     let failures = ref 0 in
     List.iter
@@ -282,7 +330,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Run the conformance suite over every protocol.")
-    Term.(const run $ seed_arg)
+    Term.(const run $ seed_arg $ metrics_arg $ trace_arg)
 
 let main =
   Cmd.group

@@ -821,23 +821,58 @@ let all () =
   variants ();
   check ()
 
+(* Split `--metrics FILE` / `--trace FILE` out of argv; what remains
+   selects the table as before. *)
+let parse_args () =
+  let metrics = ref None and trace = ref None and rest = ref [] in
+  let argv = Sys.argv in
+  let i = ref 1 in
+  while !i < Array.length argv do
+    (match argv.(!i) with
+    | "--metrics" when !i + 1 < Array.length argv ->
+        incr i;
+        metrics := Some argv.(!i)
+    | "--trace" when !i + 1 < Array.length argv ->
+        incr i;
+        trace := Some argv.(!i)
+    | a -> rest := a :: !rest);
+    incr i
+  done;
+  let cmd = match List.rev !rest with c :: _ -> c | [] -> "all" in
+  (cmd, !metrics, !trace)
+
 let () =
-  let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  (match cmd with
-  | "t1" -> table1 ()
-  | "t2" -> table2 ()
-  | "t3" -> table3 ()
-  | "soundness" -> soundness ()
-  | "entangled" -> entangled ()
-  | "tree" -> tree ()
-  | "ablation" -> ablation ()
-  | "variants" -> variants ()
-  | "sweep" -> sweep ()
-  | "check" -> check ()
-  | "all" -> all ()
-  | other ->
-      Format.fprintf fmt
-        "unknown command %s; expected t1|t2|t3|soundness|entangled|tree|ablation|variants|sweep|check|all@\n"
-        other;
-      exit 1);
+  let cmd, metrics, trace = parse_args () in
+  if metrics <> None || trace <> None then Qdp_obs.set_enabled true;
+  let write what f file =
+    try f file
+    with Sys_error msg ->
+      Printf.eprintf "tables: cannot write %s: %s\n" what msg
+  in
+  let dump () =
+    Option.iter
+      (write "metrics" @@ fun file ->
+       Qdp_obs.Metrics.write_json file (Qdp_obs.Metrics.snapshot ()))
+      metrics;
+    Option.iter (write "trace" Qdp_obs.Trace.write_jsonl) trace
+  in
+  Fun.protect ~finally:dump (fun () ->
+      Qdp_obs.Trace.with_span ("tables." ^ cmd) (fun () ->
+          match cmd with
+          | "t1" -> table1 ()
+          | "t2" -> table2 ()
+          | "t3" -> table3 ()
+          | "soundness" -> soundness ()
+          | "entangled" -> entangled ()
+          | "tree" -> tree ()
+          | "ablation" -> ablation ()
+          | "variants" -> variants ()
+          | "sweep" -> sweep ()
+          | "check" -> check ()
+          | "all" -> all ()
+          | other ->
+              Format.fprintf fmt
+                "unknown command %s; expected t1|t2|t3|soundness|entangled|tree|ablation|variants|sweep|check|all@\n"
+                other;
+              exit 1));
   Format.pp_print_flush fmt ()

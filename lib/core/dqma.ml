@@ -32,7 +32,17 @@ type evaluation = {
   meets_spec : bool;
 }
 
+let obs_evaluations = Qdp_obs.Metrics.counter "dqma.evaluations"
+let obs_spec_violations = Qdp_obs.Metrics.counter "dqma.spec_violations"
+
 let evaluate p inst =
+  Qdp_obs.Metrics.incr obs_evaluations;
+  Qdp_obs.Trace.with_span "dqma.evaluate"
+    ~attrs:(fun () ->
+      [ ("protocol", Qdp_obs.Trace.Str p.name);
+        ("model", Qdp_obs.Trace.Str (Format.asprintf "%a" pp_model p.model));
+        ("repetitions", Qdp_obs.Trace.Int p.repetitions) ])
+  @@ fun () ->
   let amplify v = Sim.repeat_accept p.repetitions v in
   let instance_is_yes = p.value inst in
   let honest_accept =
@@ -41,9 +51,11 @@ let evaluate p inst =
     | None -> 0.
   in
   let best_attack, best_attack_name =
+    Qdp_log.attack_search ~proto:"dqma" @@ fun () ->
     List.fold_left
       (fun (best, name) (n, prover) ->
         let a = amplify (p.accept inst prover) in
+        Qdp_log.attack_candidate ~proto:p.name n a;
         if a > best then (a, n) else (best, name))
       (0., "none") (p.attacks inst)
   in
@@ -51,6 +63,7 @@ let evaluate p inst =
     if instance_is_yes then honest_accept >= 2. /. 3.
     else Float.max best_attack honest_accept <= 1. /. 3.
   in
+  if not meets_spec then Qdp_obs.Metrics.incr obs_spec_violations;
   { instance_is_yes; honest_accept; best_attack; best_attack_name; meets_spec }
 
 let pp_evaluation fmt (name, e) =

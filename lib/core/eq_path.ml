@@ -65,11 +65,14 @@ let attack_library params x y =
   ]
 
 let best_attack_accept params x y =
+  Qdp_log.attack_search ~proto:"eq_path"
+    ~attrs:(fun () ->
+      [ ("n", Qdp_obs.Trace.Int params.n); ("r", Qdp_obs.Trace.Int params.r) ])
+  @@ fun () ->
   List.fold_left
     (fun (best, best_name) (name, s) ->
       let p = single_round_accept params x y s in
-      Qdp_log.Log.debug (fun m ->
-          m "eq_path attack %s: single-round accept %.6f" name p);
+      Qdp_log.attack_candidate ~proto:"eq_path" name p;
       if p > best then (p, name) else (best, best_name))
     (0., "none")
     (attack_library params x y)

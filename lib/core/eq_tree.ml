@@ -77,10 +77,16 @@ let attack_library ~inputs =
             ]))
 
 let best_attack_accept params g ~terminals ~inputs =
+  Qdp_log.attack_search ~proto:"eq_tree"
+    ~attrs:(fun () ->
+      [ ("n", Qdp_obs.Trace.Int params.n);
+        ("terminals", Qdp_obs.Trace.Int (List.length terminals)) ])
+  @@ fun () ->
   let attacks = attack_library ~inputs in
   List.fold_left
     (fun (best, best_name) (name, s) ->
       let p = single_round_accept params g ~terminals ~inputs s in
+      Qdp_log.attack_candidate ~proto:"eq_tree" name p;
       if p > best then (p, name) else (best, best_name))
     (0., "none") attacks
 

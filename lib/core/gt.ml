@@ -73,10 +73,14 @@ let attack_library params x y =
   !out
 
 let best_attack_accept params x y =
+  Qdp_log.attack_search ~proto:"gt"
+    ~attrs:(fun () ->
+      [ ("n", Qdp_obs.Trace.Int params.n); ("r", Qdp_obs.Trace.Int params.r) ])
+  @@ fun () ->
   List.fold_left
     (fun (best, best_name) (name, p) ->
       let a = single_round_accept params x y p in
-      Qdp_log.Log.debug (fun m -> m "gt attack %s: accept %.6f" name a);
+      Qdp_log.attack_candidate ~proto:"gt" name a;
       if a > best then (a, name) else (best, best_name))
     (0., "none")
     (attack_library params x y)
@@ -91,8 +95,12 @@ let eq_branch_accept params x y strategy =
   chain_accept ~r:params.r ~hx ~hy strategy
 
 let best_eq_branch_attack params x y =
+  Qdp_log.attack_search ~proto:"gt.eq_branch" @@ fun () ->
   List.fold_left
-    (fun best (_, s) -> Float.max best (eq_branch_accept params x y s))
+    (fun best (name, s) ->
+      let p = eq_branch_accept params x y s in
+      Qdp_log.attack_candidate ~proto:"gt.eq_branch" name p;
+      Float.max best p)
     0. (eq_strategies params.r)
 
 let variant_honest_accept params cmp x y =

@@ -50,11 +50,19 @@ type splice = {
   spliced_proofs : string array;
 }
 
+let splice_candidates = Qdp_obs.Metrics.counter "lower_bounds.splice_candidates"
+
 let fooling_splice proto ~n ~limit =
   let i = proto.dma_r / 2 in
   let seen = Hashtbl.create 64 in
   let result = ref None in
   let k = ref 0 in
+  Qdp_log.attack_search ~proto:"lower_bounds.fooling_splice"
+    ~attrs:(fun () ->
+      [ ("limit", Qdp_obs.Trace.Int limit);
+        ("tried", Qdp_obs.Trace.Int !k);
+        ("found", Qdp_obs.Trace.Bool (!result <> None)) ])
+  @@ fun () ->
   while !result = None && !k < limit do
     let x = Gf2.of_int ~width:n !k in
     let proofs = proto.honest_proofs x in
@@ -71,8 +79,12 @@ let fooling_splice proto ~n ~limit =
             Some { splice_x = x'; splice_y = x; spliced_proofs = spliced }
         end
     | None -> Hashtbl.add seen key (x, proofs));
+    Qdp_obs.Metrics.incr splice_candidates;
     incr k
   done;
+  Qdp_log.Log.debug (fun m ->
+      m "lower_bounds fooling_splice: tried %d of %d, %s" !k limit
+        (if !result = None then "no collision" else "collision found"));
   !result
 
 let splice_breaks_soundness proto s =
@@ -91,12 +103,19 @@ let max_pairwise_overlap_random st ~qubits ~count =
   in
   let states = Array.init count (fun _ -> random_state ()) in
   let best = ref 0. in
+  Qdp_log.attack_search ~proto:"lower_bounds.state_packing"
+    ~attrs:(fun () ->
+      [ ("qubits", Qdp_obs.Trace.Int qubits);
+        ("count", Qdp_obs.Trace.Int count) ])
+  @@ fun () ->
   for i = 0 to count - 1 do
     for j = i + 1 to count - 1 do
       let ov = Cx.abs (Vec.dot states.(i) states.(j)) in
       if ov > !best then best := ov
     done
   done;
+  Qdp_log.Log.debug (fun m ->
+      m "lower_bounds state_packing: max overlap %.6g over %d states" !best count);
   !best
 
 let fingerprint_family_max_overlap ~seed ~n =

@@ -3,3 +3,22 @@
 let src = Logs.Src.create "qdp.core" ~doc:"dQMA protocol engines"
 
 module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Attack-search instrumentation shared by every engine, so `-v`
+   debug logging and Qdp_obs metrics/tracing stay in agreement: each
+   candidate strategy goes through [attack_candidate], and every
+   search is wrapped in [attack_search] which emits a span plus a
+   searches counter. *)
+
+let obs_searches = Qdp_obs.Metrics.counter "attacks.searches"
+let obs_candidates = Qdp_obs.Metrics.counter "attacks.candidates"
+let obs_accept_prob = Qdp_obs.Metrics.histogram "attacks.accept_prob"
+
+let attack_candidate ~proto name p =
+  Log.debug (fun m -> m "%s attack %s: single-round accept %.6g" proto name p);
+  Qdp_obs.Metrics.incr obs_candidates;
+  Qdp_obs.Metrics.observe obs_accept_prob p
+
+let attack_search ~proto ?attrs f =
+  Qdp_obs.Metrics.incr obs_searches;
+  Qdp_obs.Trace.with_span ?attrs (proto ^ ".attack_search") f

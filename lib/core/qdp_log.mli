@@ -4,3 +4,17 @@
 val src : Logs.src
 
 module Log : Logs.LOG
+
+(** [attack_candidate ~proto name p] records one candidate strategy
+    [name] with single-round acceptance [p]: a debug log line on the
+    [qdp.core] source, plus the [attacks.candidates] counter and the
+    [attacks.accept_prob] histogram when {!Qdp_obs} is enabled. *)
+val attack_candidate : proto:string -> string -> float -> unit
+
+(** [attack_search ~proto ?attrs f] wraps a whole attack search in a
+    ["<proto>.attack_search"] span and bumps [attacks.searches]. *)
+val attack_search :
+  proto:string ->
+  ?attrs:(unit -> (string * Qdp_obs.Trace.value) list) ->
+  (unit -> 'a) ->
+  'a

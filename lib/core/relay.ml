@@ -98,9 +98,16 @@ let attack_library params x y =
     splits
 
 let best_attack_accept params x y =
+  Qdp_log.attack_search ~proto:"relay"
+    ~attrs:(fun () ->
+      [ ("n", Qdp_obs.Trace.Int params.n);
+        ("r", Qdp_obs.Trace.Int params.r);
+        ("spacing", Qdp_obs.Trace.Int params.spacing) ])
+  @@ fun () ->
   List.fold_left
     (fun (best, best_name) (name, p) ->
       let a = accept params x y p in
+      Qdp_log.attack_candidate ~proto:"relay" name a;
       if a > best then (a, name) else (best, best_name))
     (0., "none")
     (attack_library params x y)

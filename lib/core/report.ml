@@ -31,15 +31,36 @@ type row = {
   paper_value : float;
 }
 
+(* Column widths shared by pp_header and pp_row; the horizontal rule is
+   derived from them so the header can never drift from the rows. *)
+let label_width = 26
+let params_width = 24
+let formula_width = 28
+
+let total_width =
+  (* label params loc.proof tot.proof compl. snd.err paper-bound value,
+     separated by single spaces (two before the formula column) *)
+  label_width + 1 + params_width + 1 + 10 + 1 + 10 + 1 + 8 + 1 + 9 + 2
+  + formula_width + 1 + 10
+
 let pp_header fmt () =
   Format.fprintf fmt "%-26s %-24s %10s %10s %8s %9s  %-28s %10s@\n" "protocol"
     "params" "loc.proof" "tot.proof" "compl." "snd.err" "paper bound" "value";
-  Format.fprintf fmt "%s@\n" (String.make 132 '-')
+  Format.fprintf fmt "%s@\n" (String.make total_width '-')
+
+(* Columns are fixed-width (the header rules off at 132 chars); clamp
+   free-text fields so a long [params] or [label] cannot shear the
+   table.  Truncation keeps a ".." marker. *)
+let clamp width s =
+  if String.length s <= width then s
+  else String.sub s 0 (max 0 (width - 2)) ^ ".."
 
 let pp_row fmt r =
   Format.fprintf fmt "%-26s %-24s %10d %10d %8.4f %9.2e  %-28s %10.1f@\n"
-    r.label r.params r.costs.local_proof_qubits r.costs.total_proof_qubits
-    r.completeness r.soundness_error r.paper_formula r.paper_value
+    (clamp label_width r.label) (clamp params_width r.params)
+    r.costs.local_proof_qubits r.costs.total_proof_qubits
+    r.completeness r.soundness_error
+    (clamp formula_width r.paper_formula) r.paper_value
 
 let ceil_log2 k =
   let rec bits acc v = if v <= 1 then acc else bits (acc + 1) ((v + 1) / 2) in

@@ -37,8 +37,17 @@ type row = {
 }
 
 (** [pp_row] prints the row in the fixed-width layout of the tables
-    harness. *)
+    harness.  Free-text columns ([label], [params], [paper_formula])
+    are clamped to their column widths (with a [".."] marker) so a
+    long parameter string cannot shear the table. *)
 val pp_row : Format.formatter -> row -> unit
+
+(** [clamp width s] is [s] unchanged when it fits in [width] columns,
+    otherwise the first [width - 2] characters followed by [".."]. *)
+val clamp : int -> string -> string
+
+(** Width of a fully-populated row; the header's horizontal rule. *)
+val total_width : int
 
 (** [pp_header] prints the column header matching {!pp_row}. *)
 val pp_header : Format.formatter -> unit -> unit

@@ -80,13 +80,23 @@ let honest_accept params g ~terminals ~inputs ~i ~j =
 
 let best_attack_accept params g ~terminals ~inputs ~i ~j =
   let t = Array.length inputs in
+  Qdp_log.attack_search ~proto:"rv"
+    ~attrs:(fun () ->
+      [ ("n", Qdp_obs.Trace.Int params.n);
+        ("t", Qdp_obs.Trace.Int t);
+        ("i", Qdp_obs.Trace.Int i);
+        ("j", Qdp_obs.Trace.Int j) ])
+  @@ fun () ->
   let tr = Spanning_tree.build_rooted_at g ~terminals ~root_terminal:i in
   let truth = truth_directions ~inputs ~i in
   let c = count_ge ~i truth and target = t - j in
-  if c = target then
+  if c = target then begin
     (* yes instance (or a no instance where the honest count already
        matches — impossible by definition): honest play *)
-    (honest_accept params g ~terminals ~inputs ~i ~j, "honest")
+    let p = honest_accept params g ~terminals ~inputs ~i ~j in
+    Qdp_log.attack_candidate ~proto:"rv" "honest" p;
+    (p, "honest")
+  end
   else begin
     (* flip the cheapest-to-lie directions to fix the count *)
     let want_ge = c < target in
@@ -98,6 +108,9 @@ let best_attack_accept params g ~terminals ~inputs ~i ~j =
           Sim.repeat_accept params.repetitions
             (path_accept_for_claim params tr ~inputs ~i ~k ~claim_ge:want_ge)
         in
+        Qdp_log.attack_candidate ~proto:"rv"
+          (Printf.sprintf "flip-%d->%s" k (if want_ge then ">=" else "<"))
+          p;
         candidates := (p, k) :: !candidates
       end
     done;

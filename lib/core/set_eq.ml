@@ -68,9 +68,16 @@ let accept params s t strategy =
   Sim.repeat_accept params.repetitions (single_round_accept params s t strategy)
 
 let best_attack_accept params s t =
+  Qdp_log.attack_search ~proto:"set_eq"
+    ~attrs:(fun () ->
+      [ ("n", Qdp_obs.Trace.Int params.n);
+        ("k", Qdp_obs.Trace.Int params.k);
+        ("r", Qdp_obs.Trace.Int params.r) ])
+  @@ fun () ->
   List.fold_left
     (fun (best, best_name) (name, strat) ->
       let p = single_round_accept params s t strat in
+      Qdp_log.attack_candidate ~proto:"set_eq" name p;
       if p > best then (p, name) else (best, best_name))
     (0., "none")
     [

@@ -8,7 +8,15 @@ let swap_accept a b =
   let ov = Cx.norm2 (Oneway.bundle_overlap a b) in
   (1. +. ov) /. 2.
 
+(* Kernel timing histograms: attribute simulator time to the path DP,
+   the permutation test and the tree DPs (all inert when disabled). *)
+let perm_seconds = Qdp_obs.Metrics.histogram "kernel.perm_accept.seconds"
+let path_seconds = Qdp_obs.Metrics.histogram "kernel.path_accept.seconds"
+let tree_seconds = Qdp_obs.Metrics.histogram "kernel.tree_accept.seconds"
+let down_tree_seconds = Qdp_obs.Metrics.histogram "kernel.down_tree_accept.seconds"
+
 let perm_accept regs =
+  Qdp_obs.Metrics.time perm_seconds @@ fun () ->
   let arr = Array.of_list regs in
   let k = Array.length arr in
   if k = 0 then invalid_arg "Sim.perm_accept: empty";
@@ -44,6 +52,7 @@ type path_instance = {
    The joint acceptance couples only adjacent coins, so a 2-state
    transfer recursion computes the exact expectation. *)
 let path_accept inst =
+  Qdp_obs.Metrics.time path_seconds @@ fun () ->
   let r = inst.length in
   if r < 1 then invalid_arg "Sim.path_accept: length >= 1";
   if Array.length inst.pairs <> r - 1 then
@@ -105,6 +114,7 @@ let node_test inst kept sents =
   end
 
 let tree_accept st inst =
+  Qdp_obs.Metrics.time tree_seconds @@ fun () ->
   let tr = inst.tree in
   let is_terminal v = Spanning_tree.terminal_of tr v <> None in
   let root = Spanning_tree.root tr in
@@ -207,6 +217,7 @@ type down_tree_instance = {
 }
 
 let down_tree_accept inst =
+  Qdp_obs.Metrics.time down_tree_seconds @@ fun () ->
   let tr = inst.dtree in
   let is_terminal v = Spanning_tree.terminal_of tr v <> None in
   let memo : (int, (register * float) list ref) Hashtbl.t = Hashtbl.create 64 in

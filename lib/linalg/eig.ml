@@ -43,7 +43,11 @@ let jacobi_rotate a v n p q =
     done
   end
 
+let symmetric_seconds = Qdp_obs.Metrics.histogram "kernel.eig_symmetric.seconds"
+let hermitian_seconds = Qdp_obs.Metrics.histogram "kernel.eig_hermitian.seconds"
+
 let symmetric a0 =
+  Qdp_obs.Metrics.time symmetric_seconds @@ fun () ->
   let n = Array.length a0 in
   Array.iter
     (fun row ->
@@ -74,6 +78,7 @@ let symmetric a0 =
    recover an orthonormal complex basis by greedy Gram-Schmidt over the
    embedded eigenvectors in spectral order. *)
 let hermitian m =
+  Qdp_obs.Metrics.time hermitian_seconds @@ fun () ->
   let n = Mat.rows m in
   if n <> Mat.cols m then invalid_arg "Eig.hermitian: not square";
   let big =

@@ -15,13 +15,32 @@ type stats = {
   per_edge : ((int * int) * int) list;
 }
 
+(* Observability: all updates below are inert until [Qdp_obs.set_enabled],
+   so the message loop keeps its uninstrumented cost in normal runs. *)
+let obs_runs = Qdp_obs.Metrics.counter "runtime.runs"
+let obs_messages = Qdp_obs.Metrics.counter "runtime.messages"
+let obs_round_messages = Qdp_obs.Metrics.histogram "runtime.round_messages"
+let obs_edges_active = Qdp_obs.Metrics.gauge "runtime.edges_active"
+let obs_payload_words = Qdp_obs.Metrics.gauge "runtime.max_payload_words"
+
 let run g ~rounds program =
   let n = Graph.size g in
+  Qdp_obs.Metrics.incr obs_runs;
+  Qdp_obs.Trace.with_span "runtime.run"
+    ~attrs:(fun () -> [ ("nodes", Qdp_obs.Trace.Int n);
+                        ("rounds", Qdp_obs.Trace.Int rounds) ])
+  @@ fun () ->
+  let obs_on = Qdp_obs.enabled () in
   let states = Array.init n program.init in
   let inboxes = Array.make n [] in
   let edge_count = Hashtbl.create 16 in
   let total = ref 0 in
   for r = 1 to rounds do
+    let before = !total in
+    Qdp_obs.Trace.with_span "runtime.round"
+      ~attrs:(fun () -> [ ("round", Qdp_obs.Trace.Int r);
+                          ("messages", Qdp_obs.Trace.Int (!total - before)) ])
+    @@ fun () ->
     let outboxes = Array.make n [] in
     for u = 0 to n - 1 do
       let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(u) in
@@ -43,11 +62,16 @@ let run g ~rounds program =
           (fun (dest, payload) ->
             inboxes.(dest) <- (u, payload) :: inboxes.(dest);
             incr total;
+            if obs_on then
+              Qdp_obs.Metrics.set_max obs_payload_words
+                (float_of_int (Obj.reachable_words (Obj.repr payload)));
             let e = (min u dest, max u dest) in
             let c = try Hashtbl.find edge_count e with Not_found -> 0 in
             Hashtbl.replace edge_count e (c + 1))
           out)
-      outboxes
+      outboxes;
+    Qdp_obs.Metrics.incr obs_messages ~by:(!total - before);
+    Qdp_obs.Metrics.observe obs_round_messages (float_of_int (!total - before))
   done;
   let verdicts =
     Array.init n (fun u -> program.finish ~id:u states.(u))
@@ -56,6 +80,7 @@ let run g ~rounds program =
     List.sort compare
       (Hashtbl.fold (fun e c acc -> (e, c) :: acc) edge_count [])
   in
+  Qdp_obs.Metrics.set_max obs_edges_active (float_of_int (List.length per_edge));
   (verdicts, { messages = !total; rounds_run = rounds; per_edge })
 
 let run_accepts g ~rounds program =

@@ -1,0 +1,14 @@
+(* Wall clock in seconds with a monotonic clamp: [Unix.gettimeofday]
+   can step backwards under NTP adjustment, which would produce
+   negative span durations, so [now] never returns a value smaller
+   than the previous reading. *)
+
+let last = ref neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t < !last then !last
+  else begin
+    last := t;
+    t
+  end

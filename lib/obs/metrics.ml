@@ -1,0 +1,233 @@
+(* Process-local metrics registry: named counters, gauges and
+   log-scale histograms.  Single-process semantics — plain mutable
+   fields, no atomics — because the engines are sequential; every
+   update is guarded by the global {!Control} switch so disabled runs
+   pay one branch per call site. *)
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float; mutable touched : bool }
+
+(* Log-scale histogram: bucket 0 holds non-positive observations,
+   bucket [e - min_exp + 1] holds values in [base^e, base^(e+1)).
+   Exponents are clamped into [min_exp, max_exp], which with base 2
+   spans ~1e-18 .. ~1e12 — wide enough for both acceptance
+   probabilities and kernel timings in seconds. *)
+let min_exp = -60
+let max_exp = 40
+
+type histogram = {
+  base : float;
+  inv_log_base : float;
+  buckets : int array;
+  mutable sum : float;
+  mutable observations : int;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+(* registration order, for stable export *)
+let order : string list ref = ref []
+
+let register name mk describe =
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+      match describe m with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Qdp_obs.Metrics: %S already registered with another kind" name))
+  | None ->
+      let m, v = mk () in
+      Hashtbl.add registry name m;
+      order := name :: !order;
+      v
+
+let counter name =
+  register name
+    (fun () ->
+      let c = { count = 0 } in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = { value = 0.; touched = false } in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram ?(base = 2.) name =
+  if base <= 1. then invalid_arg "Qdp_obs.Metrics.histogram: base > 1";
+  register name
+    (fun () ->
+      let h =
+        {
+          base;
+          inv_log_base = 1. /. Float.log base;
+          buckets = Array.make (max_exp - min_exp + 2) 0;
+          sum = 0.;
+          observations = 0;
+          vmin = infinity;
+          vmax = neg_infinity;
+        }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | _ -> None)
+
+let incr ?(by = 1) c = if Control.on () then c.count <- c.count + by
+
+let set g v =
+  if Control.on () then begin
+    g.value <- v;
+    g.touched <- true
+  end
+
+let set_max g v =
+  if Control.on () then
+    if (not g.touched) || v > g.value then begin
+      g.value <- v;
+      g.touched <- true
+    end
+
+let bucket_index h v =
+  if v <= 0. then 0
+  else begin
+    let e = int_of_float (Float.floor (Float.log v *. h.inv_log_base)) in
+    let e = if e < min_exp then min_exp else if e > max_exp then max_exp else e in
+    e - min_exp + 1
+  end
+
+let observe h v =
+  if Control.on () then begin
+    let i = bucket_index h v in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.sum <- h.sum +. v;
+    h.observations <- h.observations + 1;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+  end
+
+(* [time h f] runs [f ()] and records its wall-clock duration in
+   seconds into [h]; when observability is off it is exactly [f ()]. *)
+let time h f =
+  if not (Control.on ()) then f ()
+  else begin
+    let t0 = Clock.now () in
+    match f () with
+    | v ->
+        observe h (Clock.now () -. t0);
+        v
+    | exception e ->
+        observe h (Clock.now () -. t0);
+        raise e
+  end
+
+(* --- snapshots --- *)
+
+type hview = {
+  h_base : float;
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [nan] when empty *)
+  h_max : float;  (** [nan] when empty *)
+  h_buckets : (int * int) list;
+      (** (exponent, count) for non-empty buckets; exponent
+          [min_exp - 1] is the "non-positive values" bucket *)
+}
+
+type view = Counter_v of int | Gauge_v of float | Histogram_v of hview
+
+type snapshot = (string * view) list
+
+let view_of = function
+  | Counter c -> Counter_v c.count
+  | Gauge g -> Gauge_v g.value
+  | Histogram h ->
+      let buckets = ref [] in
+      for i = Array.length h.buckets - 1 downto 0 do
+        if h.buckets.(i) > 0 then
+          buckets := (i + min_exp - 1, h.buckets.(i)) :: !buckets
+      done;
+      Histogram_v
+        {
+          h_base = h.base;
+          h_count = h.observations;
+          h_sum = h.sum;
+          h_min = (if h.observations = 0 then Float.nan else h.vmin);
+          h_max = (if h.observations = 0 then Float.nan else h.vmax);
+          h_buckets = !buckets;
+        }
+
+let snapshot () =
+  List.rev_map (fun name -> (name, view_of (Hashtbl.find registry name))) !order
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g ->
+          g.value <- 0.;
+          g.touched <- false
+      | Histogram h ->
+          Array.fill h.buckets 0 (Array.length h.buckets) 0;
+          h.sum <- 0.;
+          h.observations <- 0;
+          h.vmin <- infinity;
+          h.vmax <- neg_infinity)
+    registry
+
+let names s = List.map fst s
+let find s name = List.assoc_opt name s
+
+(* --- exporters --- *)
+
+let json_of_view name v =
+  match v with
+  | Counter_v c ->
+      Printf.sprintf "{\"name\":%s,\"kind\":\"counter\",\"value\":%d}"
+        (Json.str name) c
+  | Gauge_v g ->
+      Printf.sprintf "{\"name\":%s,\"kind\":\"gauge\",\"value\":%s}"
+        (Json.str name) (Json.float g)
+  | Histogram_v h ->
+      let buckets =
+        String.concat ","
+          (List.map (fun (e, c) -> Printf.sprintf "[%d,%d]" e c) h.h_buckets)
+      in
+      Printf.sprintf
+        "{\"name\":%s,\"kind\":\"histogram\",\"base\":%s,\"count\":%d,\"sum\":%s,\"min\":%s,\"max\":%s,\"buckets\":[%s]}"
+        (Json.str name) (Json.float h.h_base) h.h_count (Json.float h.h_sum)
+        (Json.float h.h_min) (Json.float h.h_max) buckets
+
+let to_json s =
+  "{\"metrics\":[\n"
+  ^ String.concat ",\n" (List.map (fun (n, v) -> json_of_view n v) s)
+  ^ "\n]}\n"
+
+let csv_float f = if Float.is_finite f then Printf.sprintf "%.17g" f else ""
+
+let to_csv s =
+  let row (name, v) =
+    match v with
+    | Counter_v c -> Printf.sprintf "%s,counter,%d,,,," name c
+    | Gauge_v g -> Printf.sprintf "%s,gauge,%s,,,," name (csv_float g)
+    | Histogram_v h ->
+        Printf.sprintf "%s,histogram,,%d,%s,%s,%s" name h.h_count
+          (csv_float h.h_sum) (csv_float h.h_min) (csv_float h.h_max)
+  in
+  String.concat "\n" ("name,kind,value,count,sum,min,max" :: List.map row s)
+  ^ "\n"
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let write_json path s = write_file path (to_json s)
+let write_csv path s = write_file path (to_csv s)

@@ -1,0 +1,77 @@
+(** Named counters, gauges and log-scale histograms.
+
+    All handles are registered in a process-global registry keyed by
+    name; registering the same name twice returns the same handle (and
+    raises [Invalid_argument] if the kinds disagree).  Updates are
+    no-ops while observability is disabled (see {!Qdp_obs.set_enabled}),
+    costing one branch, so handles can be created unconditionally at
+    module initialisation. *)
+
+type counter
+type gauge
+type histogram
+
+(** [counter name] registers (or retrieves) the counter [name]. *)
+val counter : string -> counter
+
+(** [gauge name] registers (or retrieves) the gauge [name]. *)
+val gauge : string -> gauge
+
+(** [histogram ?base name] registers (or retrieves) a log-scale
+    histogram with buckets at powers of [base] (default [2.]). *)
+val histogram : ?base:float -> string -> histogram
+
+(** [incr ?by c] adds [by] (default 1) to [c] when enabled. *)
+val incr : ?by:int -> counter -> unit
+
+(** [set g v] stores [v] in [g] when enabled. *)
+val set : gauge -> float -> unit
+
+(** [set_max g v] stores [v] in [g] if it exceeds the current value
+    (or if [g] was never set) — a high-watermark gauge. *)
+val set_max : gauge -> float -> unit
+
+(** [observe h v] records one observation of [v] in [h] when
+    enabled. *)
+val observe : histogram -> float -> unit
+
+(** [time h f] runs [f ()], recording its wall-clock duration in
+    seconds into [h]; exactly [f ()] when disabled.  Exceptions are
+    timed and re-raised. *)
+val time : histogram -> (unit -> 'a) -> 'a
+
+(** Immutable view of one histogram at snapshot time. *)
+type hview = {
+  h_base : float;
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [nan] when empty *)
+  h_max : float;  (** [nan] when empty *)
+  h_buckets : (int * int) list;
+      (** [(exponent, count)] for non-empty buckets: values in
+          [base^e, base^(e+1)) land in exponent [e]; the synthetic
+          exponent [-61] collects non-positive observations *)
+}
+
+type view = Counter_v of int | Gauge_v of float | Histogram_v of hview
+
+(** A point-in-time copy of the registry, in registration order. *)
+type snapshot = (string * view) list
+
+val snapshot : unit -> snapshot
+
+(** [reset ()] zeroes every registered metric (registrations are
+    kept). *)
+val reset : unit -> unit
+
+val names : snapshot -> string list
+val find : snapshot -> string -> view option
+
+(** [to_json s] renders [{"metrics":[...]}]. *)
+val to_json : snapshot -> string
+
+(** [to_csv s] renders [name,kind,value,count,sum,min,max] rows. *)
+val to_csv : snapshot -> string
+
+val write_json : string -> snapshot -> unit
+val write_csv : string -> snapshot -> unit

@@ -1,0 +1,17 @@
+(* Qdp_obs — observability for the qdp protocol engines: a metrics
+   registry (counters / gauges / log-scale histograms with JSON and
+   CSV exporters) and span tracing with a ring-buffer sink.  All
+   instrumentation is inert until [set_enabled true]; call sites pay a
+   single branch, and attribute/label closures are only evaluated
+   while the switch is on. *)
+
+module Metrics = Metrics
+module Trace = Trace
+
+let enabled () = Control.on ()
+let set_enabled b = Control.set b
+
+let with_enabled b f =
+  let prev = Control.on () in
+  Control.set b;
+  Fun.protect ~finally:(fun () -> Control.set prev) f

@@ -1,0 +1,23 @@
+(** Observability for the qdp protocol engines.
+
+    {!Metrics} is a process-global registry of named counters, gauges
+    and log-scale histograms with snapshot/reset and JSON + CSV
+    exporters.  {!Trace} records nested wall-clock spans into a ring
+    buffer with a pretty-printer and JSONL export.
+
+    Everything is inert until {!set_enabled}[ true]: updates cost one
+    branch and closures passed to the recording functions are never
+    evaluated, so instrumented hot paths are unaffected in normal
+    runs. *)
+
+module Metrics = Metrics
+module Trace = Trace
+
+(** Current state of the global switch. *)
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+(** [with_enabled b f] runs [f] with the switch forced to [b],
+    restoring the previous state afterwards (exception-safe). *)
+val with_enabled : bool -> (unit -> 'a) -> 'a

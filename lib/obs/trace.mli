@@ -1,0 +1,49 @@
+(** Span tracing with a bounded ring-buffer sink.
+
+    [with_span name f] times the execution of [f ()] and records a
+    span carrying the wall-clock interval, the nesting depth and
+    parent span, and (lazily built) attributes.  When observability is
+    disabled it is exactly [f ()].  Spans are recorded on exit, so in
+    buffer order children precede their parent; {!pp} and the JSONL
+    export carry enough structure ([id]/[parent]/[depth]) to rebuild
+    the tree. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type span = {
+  id : int;
+  parent : int;  (** [-1] for a root span *)
+  name : string;
+  depth : int;
+  start_s : float;  (** seconds since the trace epoch *)
+  dur_s : float;
+  attrs : (string * value) list;
+}
+
+(** [with_span ?attrs name f] runs [f] inside a span.  [attrs] is a
+    closure so attribute construction costs nothing when tracing is
+    off; it is evaluated once, on span exit.  Exceptions are recorded
+    and re-raised. *)
+val with_span : ?attrs:(unit -> (string * value) list) -> string -> (unit -> 'a) -> 'a
+
+(** Oldest-first contents of the ring buffer. *)
+val spans : unit -> span list
+
+(** Number of spans evicted since the last {!clear}/{!set_capacity}. *)
+val dropped : unit -> int
+
+val capacity : unit -> int
+
+(** [set_capacity n] replaces the sink with an empty ring of size [n]. *)
+val set_capacity : int -> unit
+
+(** [clear ()] empties the sink and restarts the trace epoch. *)
+val clear : unit -> unit
+
+(** Pretty tree of the buffered spans, indented by depth. *)
+val pp : Format.formatter -> unit -> unit
+
+(** One JSON object per line, one line per span, oldest first. *)
+val to_jsonl : unit -> string
+
+val write_jsonl : string -> unit

@@ -1,0 +1,260 @@
+(* Tests for the Qdp_obs observability layer: counter/gauge/histogram
+   arithmetic, snapshot/reset, span nesting and attribute round-trip
+   through the JSON exporters, a Runtime.run smoke test checking the
+   emitted counts against the returned stats, and the Report.pp_row
+   column clamping. *)
+
+open Qdp_network
+module Metrics = Qdp_obs.Metrics
+module Trace = Qdp_obs.Trace
+
+let with_obs f = Qdp_obs.with_enabled true f
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- metrics --- *)
+
+let counter_value name =
+  match Metrics.find (Metrics.snapshot ()) name with
+  | Some (Metrics.Counter_v c) -> c
+  | _ -> Alcotest.failf "counter %s missing from snapshot" name
+
+let test_counter () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Alcotest.(check int) "disabled incr is a no-op" 0 (counter_value "test.counter");
+  with_obs (fun () ->
+      Metrics.incr c;
+      Metrics.incr ~by:41 c);
+  Alcotest.(check int) "counts accumulate" 42 (counter_value "test.counter");
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (counter_value "test.counter")
+
+let test_counter_identity () =
+  let a = Metrics.counter "test.shared" in
+  let b = Metrics.counter "test.shared" in
+  Metrics.reset ();
+  with_obs (fun () ->
+      Metrics.incr a;
+      Metrics.incr b);
+  Alcotest.(check int) "same name, same counter" 2 (counter_value "test.shared");
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument
+       "Qdp_obs.Metrics: \"test.shared\" already registered with another kind")
+    (fun () -> ignore (Metrics.gauge "test.shared"))
+
+let test_gauge () =
+  Metrics.reset ();
+  let g = Metrics.gauge "test.gauge" in
+  with_obs (fun () ->
+      Metrics.set g 1.5;
+      Metrics.set_max g 0.5;
+      Metrics.set_max g 7.25);
+  (match Metrics.find (Metrics.snapshot ()) "test.gauge" with
+  | Some (Metrics.Gauge_v v) ->
+      Alcotest.(check (float 0.)) "set_max keeps the high watermark" 7.25 v
+  | _ -> Alcotest.fail "gauge missing")
+
+let hview name =
+  match Metrics.find (Metrics.snapshot ()) name with
+  | Some (Metrics.Histogram_v h) -> h
+  | _ -> Alcotest.failf "histogram %s missing" name
+
+let test_histogram () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.hist" in
+  with_obs (fun () -> List.iter (Metrics.observe h) [ 0.5; 2.0; 3.0; 0.0 ]);
+  let v = hview "test.hist" in
+  Alcotest.(check int) "count" 4 v.Metrics.h_count;
+  Alcotest.(check (float 1e-12)) "sum" 5.5 v.Metrics.h_sum;
+  Alcotest.(check (float 0.)) "min" 0.0 v.Metrics.h_min;
+  Alcotest.(check (float 0.)) "max" 3.0 v.Metrics.h_max;
+  (* log-scale buckets, base 2: 0.5 -> exponent -1; 2.0 and 3.0 ->
+     exponent 1; the non-positive bucket reports exponent -61 *)
+  Alcotest.(check (list (pair int int)))
+    "buckets" [ (-61, 1); (-1, 1); (1, 2) ] v.Metrics.h_buckets;
+  Metrics.reset ();
+  Alcotest.(check int) "reset empties histogram" 0 (hview "test.hist").Metrics.h_count
+
+let test_json_export () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.json_counter" in
+  with_obs (fun () -> Metrics.incr ~by:7 c);
+  let json = Metrics.to_json (Metrics.snapshot ()) in
+  Alcotest.(check bool) "counter serialized" true
+    (contains ~needle:"{\"name\":\"test.json_counter\",\"kind\":\"counter\",\"value\":7}" json);
+  let csv = Metrics.to_csv (Metrics.snapshot ()) in
+  Alcotest.(check bool) "csv row present" true
+    (contains ~needle:"test.json_counter,counter,7" csv)
+
+(* --- spans --- *)
+
+let span_named name =
+  match List.find_opt (fun sp -> sp.Trace.name = name) (Trace.spans ()) with
+  | Some sp -> sp
+  | None -> Alcotest.failf "span %s not recorded" name
+
+let test_span_nesting () =
+  Trace.clear ();
+  let result =
+    with_obs (fun () ->
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span "inner"
+              ~attrs:(fun () ->
+                [ ("k", Trace.Str "v\"quoted"); ("n", Trace.Int 3) ])
+              (fun () -> 21 * 2)))
+  in
+  Alcotest.(check int) "value passes through" 42 result;
+  let outer = span_named "outer" and inner = span_named "inner" in
+  Alcotest.(check int) "outer is a root span" (-1) outer.Trace.parent;
+  Alcotest.(check int) "inner nests under outer" outer.Trace.id inner.Trace.parent;
+  Alcotest.(check int) "outer depth" 0 outer.Trace.depth;
+  Alcotest.(check int) "inner depth" 1 inner.Trace.depth;
+  Alcotest.(check bool) "durations are non-negative" true
+    (outer.Trace.dur_s >= 0. && inner.Trace.dur_s >= inner.Trace.dur_s);
+  (* children are recorded (exit) before their parent *)
+  let names = List.map (fun sp -> sp.Trace.name) (Trace.spans ()) in
+  Alcotest.(check (list string)) "exit order" [ "inner"; "outer" ] names;
+  (* attribute round-trip through the JSONL exporter, incl. escaping *)
+  let jsonl = Trace.to_jsonl () in
+  Alcotest.(check bool) "attrs serialized" true
+    (contains ~needle:"\"attrs\":{\"k\":\"v\\\"quoted\",\"n\":3}" jsonl);
+  Alcotest.(check bool) "parent id serialized" true
+    (contains ~needle:(Printf.sprintf "\"parent\":%d,\"name\":\"inner\"" outer.Trace.id) jsonl)
+
+let test_span_disabled () =
+  Trace.clear ();
+  let r = Trace.with_span "ghost" (fun () -> 7) in
+  Alcotest.(check int) "disabled span is transparent" 7 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.spans ()))
+
+let test_ring_buffer () =
+  Trace.set_capacity 4;
+  with_obs (fun () ->
+      for i = 1 to 6 do
+        Trace.with_span (Printf.sprintf "s%d" i) (fun () -> ())
+      done);
+  Alcotest.(check int) "ring keeps the last [capacity] spans" 4
+    (List.length (Trace.spans ()));
+  Alcotest.(check int) "evictions counted" 2 (Trace.dropped ());
+  let names = List.map (fun sp -> sp.Trace.name) (Trace.spans ()) in
+  Alcotest.(check (list string)) "oldest evicted first"
+    [ "s3"; "s4"; "s5"; "s6" ] names;
+  Trace.set_capacity 8192
+
+let test_span_exception () =
+  Trace.clear ();
+  (try
+     with_obs (fun () ->
+         Trace.with_span "raising" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let sp = span_named "raising" in
+  Alcotest.(check int) "span recorded despite the exception" 0 sp.Trace.depth;
+  (* the span stack unwound: a following root span has depth 0 *)
+  with_obs (fun () -> Trace.with_span "after" (fun () -> ()));
+  Alcotest.(check int) "stack unwound" 0 (span_named "after").Trace.depth
+
+(* --- Runtime.run smoke test --- *)
+
+let flood g =
+  {
+    Runtime.init = (fun _ -> ());
+    round =
+      (fun ~round:_ ~id s ~inbox:_ ->
+        let out =
+          List.filter (fun d -> d >= 0 && d < Graph.size g) [ id - 1; id + 1 ]
+        in
+        (s, List.map (fun d -> (d, id)) out));
+    finish = (fun ~id:_ _ -> Runtime.Accept);
+  }
+
+let test_runtime_obs () =
+  Metrics.reset ();
+  Trace.clear ();
+  let g = Graph.path 4 in
+  let rounds = 3 in
+  let _, stats = with_obs (fun () -> Runtime.run g ~rounds (flood g)) in
+  let per_edge_total =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 stats.Runtime.per_edge
+  in
+  Alcotest.(check int) "per_edge sums to messages" stats.Runtime.messages
+    per_edge_total;
+  Alcotest.(check int) "runtime.messages counter matches stats"
+    stats.Runtime.messages
+    (counter_value "runtime.messages");
+  Alcotest.(check int) "one run counted" 1 (counter_value "runtime.runs");
+  let round_spans =
+    List.filter (fun sp -> sp.Trace.name = "runtime.round") (Trace.spans ())
+  in
+  Alcotest.(check int) "one span per round" rounds (List.length round_spans);
+  let span_messages =
+    List.fold_left
+      (fun acc sp ->
+        match List.assoc_opt "messages" sp.Trace.attrs with
+        | Some (Trace.Int m) -> acc + m
+        | _ -> Alcotest.fail "round span lacks a messages attr")
+      0 round_spans
+  in
+  Alcotest.(check int) "per-round span counts sum to stats.messages"
+    stats.Runtime.messages span_messages;
+  let run_span = span_named "runtime.run" in
+  Alcotest.(check bool) "rounds nest under the run span" true
+    (List.for_all (fun sp -> sp.Trace.parent = run_span.Trace.id) round_spans)
+
+(* --- Report.pp_row clamping --- *)
+
+let test_report_clamp () =
+  let open Qdp_core in
+  Alcotest.(check string) "short strings unchanged" "abcde" (Report.clamp 5 "abcde");
+  Alcotest.(check string) "long strings truncated" "abc.." (Report.clamp 5 "abcdefgh");
+  let row =
+    {
+      Report.label = "EQ path with a very long protocol label overflowing";
+      params = "n=65536 r=1024 k=999999 seed=123456789 extra=true";
+      costs = Report.zero;
+      completeness = 1.0;
+      soundness_error = 3.2e-5;
+      paper_formula = "r^2 log n qubits on every intermediate node";
+      paper_value = 42.0;
+    }
+  in
+  let rendered = Format.asprintf "%a" Report.pp_row row in
+  let line =
+    match String.split_on_char '\n' rendered with l :: _ -> l | [] -> ""
+  in
+  Alcotest.(check bool) "row fits under the header rule" true
+    (String.length line <= Report.total_width);
+  let header = Format.asprintf "%a" Report.pp_header () in
+  let rule =
+    List.find (String.for_all (Char.equal '-')) (String.split_on_char '\n' header)
+  in
+  Alcotest.(check int) "header rule matches the row width" Report.total_width
+    (String.length rule);
+  Alcotest.(check bool) "params clamped with a marker" true
+    (contains ~needle:"n=65536 r=1024 k=99999.." line)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "counter identity" `Quick test_counter_identity;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "json export" `Quick test_json_export;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting + attrs" `Quick test_span_nesting;
+          Alcotest.test_case "disabled" `Quick test_span_disabled;
+          Alcotest.test_case "ring buffer" `Quick test_ring_buffer;
+          Alcotest.test_case "exception safety" `Quick test_span_exception;
+        ] );
+      ("runtime", [ Alcotest.test_case "run smoke" `Quick test_runtime_obs ]);
+      ("report", [ Alcotest.test_case "pp_row clamp" `Quick test_report_clamp ]);
+    ]
