@@ -10,6 +10,7 @@ open Qdp_network
 open Qdp_commcc
 open Qdp_core
 
+let () = Protocols.init ()
 let st = Random.State.make [| 0xbe9c |]
 
 let distinct_pair n =
@@ -40,7 +41,7 @@ let bench_substrate =
     let l = runit 128 in
     Sim.two_state_chain ~r:64 ~left:l ~right:(runit 128)
       ~final:(fun reg -> Cx.norm2 (Vec.dot l reg.(0)))
-      Sim.Geodesic
+      Strategy.Geodesic
   in
   Test.make_grouped ~name:"substrate"
     [
@@ -80,62 +81,42 @@ let bench_table1 =
           ignore (Lower_bounds.fooling_splice dma ~n:16 ~limit:8192)));
     ]
 
-(* --- Table 2 --- *)
+(* --- registered protocols, analytic backend --- *)
 
-let bench_table2 =
-  let n = 64 in
-  let x, y = distinct_pair n in
-  let eq = Eq_path.make ~repetitions:1 ~seed:3 ~n ~r:8 () in
-  let tree_g = Graph.balanced_tree ~arity:2 ~depth:3 in
-  let tree_terms = [ 7; 8; 11; 14 ] in
-  let tree_inputs = [| Gf2.copy x; Gf2.copy x; y; Gf2.copy x |] in
-  let eqt = Eq_tree.make ~repetitions:1 ~seed:4 ~n ~r:6 () in
-  let relay = Relay.make ~seed:5 ~n:216 ~r:24 () in
-  let xr, yr = distinct_pair 216 in
-  let gt = Gt.make ~repetitions:1 ~seed:6 ~n:32 ~r:6 () in
-  let a, b = distinct_pair 32 in
-  let xg, yg = if Gf2.compare_big_endian a b > 0 then (a, b) else (b, a) in
-  let rv = Rv.make ~repetitions:1 ~seed:7 ~n:16 ~r:2 () in
-  let rv_g = Graph.star 4 in
-  let rv_terms = [ 1; 2; 3; 4 ] in
-  let rv_inputs = Array.init 4 (fun i -> Gf2.of_int ~width:16 ((i * 37) + 5)) in
-  let cham = Oneway.ham ~seed:8 ~n:48 ~d:2 in
-  let cparams = Oneway_compiler.make ~repetitions:1 ~amplification:1 ~r:2 ~t:3 ~n:48 () in
-  let c_g = Graph.star 3 in
-  let c_terms = [ 1; 2; 3 ] in
-  let xc = Gf2.random st 48 in
-  let c_inputs =
-    Array.init 3 (fun i ->
-        if i = 0 then Gf2.copy xc else Gf2.xor xc (Gf2.random_weight st 48 1))
-  in
-  let lsd_inst = Lsd.random_close st ~ambient:64 ~dim:2 in
-  let lsd_params = Qmacc_compiler.make ~repetitions:1 ~r:4 () in
-  Test.make_grouped ~name:"table2"
-    [
-      Test.make ~name:"eq_path_attack_r8" (Staged.stage (fun () ->
-          ignore (Eq_path.best_attack_accept eq x y)));
-      Test.make ~name:"eq_tree_perm_attack" (Staged.stage (fun () ->
-          ignore
-            (Eq_tree.best_attack_accept eqt tree_g ~terminals:tree_terms
-               ~inputs:tree_inputs)));
-      Test.make ~name:"relay_attack_n216" (Staged.stage (fun () ->
-          ignore (Relay.best_attack_accept relay xr yr)));
-      Test.make ~name:"gt_honest" (Staged.stage (fun () ->
-          ignore (Gt.accept gt xg yg (Gt.honest_prover xg yg))));
-      Test.make ~name:"gt_best_attack" (Staged.stage (fun () ->
-          ignore (Gt.best_attack_accept gt yg xg)));
-      Test.make ~name:"rv_honest" (Staged.stage (fun () ->
-          ignore
-            (Rv.honest_accept rv rv_g ~terminals:rv_terms ~inputs:rv_inputs ~i:3
-               ~j:1)));
-      Test.make ~name:"forall_ham_t3" (Staged.stage (fun () ->
-          ignore
-            (Oneway_compiler.single_accept cparams cham c_g ~terminals:c_terms
-               ~inputs:c_inputs Oneway_compiler.Honest)));
-      Test.make ~name:"lsd_pipeline_m64" (Staged.stage (fun () ->
-          ignore
-            (Qmacc_compiler.run_lsd_pipeline lsd_params ~ambient:64 ~inst:lsd_inst)));
-    ]
+(* One benchmark per registry entry: build the entry's demo instances
+   and run the uniform evaluation (honest + attack library), i.e. what
+   a conformance-suite row costs.  No per-protocol code here — new
+   registrations are picked up automatically. *)
+let bench_protocols =
+  let spec = { Registry.default_spec with n = 32; r = 4; t = 3 } in
+  Test.make_grouped ~name:"protocols"
+    (List.map
+       (fun entry ->
+         let i = Registry.info entry in
+         Test.make ~name:i.Registry.info_id
+           (Staged.stage (fun () -> ignore (Registry.evaluate_demo spec entry))))
+       (Registry.all ()))
+
+(* --- registered protocols, network backend --- *)
+
+(* For every entry with a message-passing realization: the cost of a
+   (small) differential cross-validation pass, analytic vs sampled. *)
+let bench_network =
+  let spec = { Registry.default_spec with n = 24; r = 3; t = 3 } in
+  let st' = Random.State.make [| 0x9e7 |] in
+  Test.make_grouped ~name:"network"
+    (List.filter_map
+       (fun entry ->
+         let i = Registry.info entry in
+         if not i.Registry.info_network then None
+         else
+           Some
+             (Test.make ~name:("xval_" ^ i.Registry.info_id)
+                (Staged.stage (fun () ->
+                     ignore
+                       (Registry.cross_validate_demo ~trials:2 ~st:st' spec
+                          entry)))))
+       (Registry.all ()))
 
 (* --- Table 3 --- *)
 
@@ -167,17 +148,8 @@ let bench_table3 =
 let bench_extensions =
   let open Qdp_linalg in
   let xs = Exact.toy_state ~qubits:1 5 and ys = Exact.toy_state ~qubits:1 11 in
-  let set_params = Set_eq.make ~repetitions:1 ~seed:10 ~n:48 ~k:4 ~r:5 () in
-  let sa = Array.init 4 (fun _ -> Gf2.random st 48) in
-  let sb = Array.init 4 (fun _ -> Gf2.random st 48) in
-  let rpls_params = { Rpls.n = 64; r = 8; parity_checks = 4 } in
-  let xr = Gf2.random st 64 in
-  let dq = Variants.make ~repetitions:1 ~seed:11 ~n:32 ~r:6 () in
-  let xd, yd = distinct_pair 32 in
-  let tree_params = Eq_tree.make ~repetitions:1 ~seed:12 ~n:24 ~r:2 () in
-  let tree_graph = Graph.star 4 in
-  let tree_terms = [ 1; 2; 3; 4 ] in
-  let tree_inputs = Array.make 4 (Gf2.random st 24) in
+  let lsd_inst = Lsd.random_close st ~ambient:64 ~dim:2 in
+  let lsd_params = Qmacc_compiler.make ~repetitions:1 ~r:4 () in
   let smp = Smp.repeat_and 4 (Smp.eq ~seed:13 ~n:32) in
   let xsmp, ysmp = distinct_pair 32 in
   Test.make_grouped ~name:"extensions"
@@ -192,18 +164,9 @@ let bench_extensions =
           ignore
             (Sep_sim.optimize_product st' ~d:2 ~r:3 ~left:xs
                ~final:(Mat.of_vec ys) ~sweeps:4)));
-      Test.make ~name:"set_eq_attack" (Staged.stage (fun () ->
-          ignore (Set_eq.best_attack_accept set_params sa sb)));
-      Test.make ~name:"rpls_run" (Staged.stage (fun () ->
-          let st' = Random.State.make [| 7 |] in
-          ignore (Rpls.run_once st' rpls_params xr xr (Rpls.Write xr))));
-      Test.make ~name:"dqcma_attack" (Staged.stage (fun () ->
-          ignore (Variants.best_attack_accept dq xd yd)));
-      Test.make ~name:"runtime_tree_run" (Staged.stage (fun () ->
-          let st' = Random.State.make [| 8 |] in
+      Test.make ~name:"lsd_pipeline_m64" (Staged.stage (fun () ->
           ignore
-            (Runtime_tree.run_once st' tree_params tree_graph
-               ~terminals:tree_terms ~inputs:tree_inputs Eq_tree.Honest)));
+            (Qmacc_compiler.run_lsd_pipeline lsd_params ~ambient:64 ~inst:lsd_inst)));
       Test.make ~name:"schur_projector_d2k4" (Staged.stage (fun () ->
           ignore (Qdp_quantum.Schur.projector ~d:2 [ 3; 1 ])));
       Test.make ~name:"smp_eq_x4" (Staged.stage (fun () ->
@@ -212,7 +175,14 @@ let bench_extensions =
 
 let tests =
   Test.make_grouped ~name:"qdp"
-    [ bench_substrate; bench_table1; bench_table2; bench_table3; bench_extensions ]
+    [
+      bench_substrate;
+      bench_table1;
+      bench_protocols;
+      bench_network;
+      bench_table3;
+      bench_extensions;
+    ]
 
 let benchmark () =
   let instances = Instance.[ monotonic_clock ] in
@@ -244,15 +214,15 @@ open Notty_unix
    measure the switch-off (uninstrumented) cost. *)
 let dump_obs () =
   Qdp_obs.with_enabled true (fun () ->
-      let n = 32 in
-      let x, y = distinct_pair n in
-      let eq = Eq_path.make ~repetitions:1 ~seed:21 ~n ~r:8 () in
-      ignore (Eq_path.best_attack_accept eq x y);
-      let big, small =
-        if Gf2.compare_big_endian x y > 0 then (x, y) else (y, x)
-      in
-      let gtp = Gt.make ~repetitions:1 ~seed:22 ~n ~r:6 () in
-      ignore (Gt.best_attack_accept gtp small big);
+      List.iter
+        (fun packed -> ignore (Dqma.evaluate_packed packed))
+        (Registry.demo_suite ~seed:21);
+      let xval_spec = { Registry.default_spec with n = 16; r = 3; t = 3 } in
+      let st' = Random.State.make [| 23 |] in
+      List.iter
+        (fun entry ->
+          ignore (Registry.cross_validate_demo ~trials:5 ~st:st' xval_spec entry))
+        (Registry.all ());
       let g = Graph.path 6 in
       let flood =
         {

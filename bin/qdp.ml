@@ -1,18 +1,22 @@
 (* qdp — command-line driver for the dQMA protocols.
 
+   Every protocol subcommand is generated from the registry
+   (Qdp_core.Registry): one entry per protocol, no per-protocol
+   dispatch here.
+
    Examples:
+     qdp list
      qdp eq    -n 64 -r 8 -x 1010... -y 1010...
-     qdp eq    -n 64 -r 8 --random --seed 3
-     qdp gt    -n 32 -r 6 --random
-     qdp eqt   -n 32 --topology star -t 5 --random
-     qdp rv    -n 16 -t 4 -i 2 -j 1
-     qdp relay -n 512 -r 64 --random
-     qdp dqcma -n 32 -r 6 --random *)
+     qdp gt    -n 32 -r 6 --seed 3
+     qdp eqt   -n 32 --topology star -t 5
+     qdp xval  --protocol eq --trials 500
+     qdp check *)
 
 open Cmdliner
 open Qdp_codes
-open Qdp_network
 open Qdp_core
+
+let () = Protocols.init ()
 
 let setup_logs verbose =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -64,13 +68,30 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
 let n_arg =
-  Arg.(value & opt int 32 & info [ "n"; "bits" ] ~docv:"N" ~doc:"Input length in bits.")
+  Arg.(
+    value
+    & opt int Registry.default_spec.Registry.n
+    & info [ "n"; "bits" ] ~docv:"N" ~doc:"Input length in bits.")
 
 let r_arg =
-  Arg.(value & opt int 6 & info [ "r"; "length" ] ~docv:"R" ~doc:"Path length / radius.")
+  Arg.(
+    value
+    & opt int Registry.default_spec.Registry.r
+    & info [ "r"; "length" ] ~docv:"R" ~doc:"Path length / radius.")
 
 let t_arg =
-  Arg.(value & opt int 4 & info [ "t"; "terminals" ] ~docv:"T" ~doc:"Number of terminals.")
+  Arg.(
+    value
+    & opt int Registry.default_spec.Registry.t
+    & info [ "t"; "terminals" ] ~docv:"T"
+        ~doc:"Number of terminals (elements per set for seteq).")
+
+let d_arg =
+  Arg.(
+    value
+    & opt int Registry.default_spec.Registry.d
+    & info [ "d"; "distance" ] ~docv:"D"
+        ~doc:"Hamming tolerance / RPLS parity checks.")
 
 let reps_arg =
   Arg.(
@@ -79,244 +100,95 @@ let reps_arg =
     & info [ "k"; "repetitions" ] ~docv:"K"
         ~doc:"Parallel repetitions (default: the paper's O(r^2) choice).")
 
-let random_arg =
-  Arg.(
-    value & flag
-    & info [ "random" ] ~doc:"Draw random inputs instead of --x/--y.")
-
 let x_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "x"; "left" ] ~docv:"BITS" ~doc:"First input as a 0/1 string.")
+    & info [ "x"; "left" ] ~docv:"BITS"
+        ~doc:"First input as a 0/1 string (default: drawn from --seed).")
 
 let y_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "y"; "right" ] ~docv:"BITS" ~doc:"Second input as a 0/1 string.")
+    & info [ "y"; "right" ] ~docv:"BITS"
+        ~doc:"Second input as a 0/1 string (default: drawn from --seed).")
 
 let topology_arg =
   Arg.(
     value
-    & opt (enum [ ("star", `Star); ("path", `Path); ("cycle", `Cycle); ("grid", `Grid) ]) `Star
-    & info [ "topology" ] ~docv:"TOPO" ~doc:"Network topology: star, path, cycle or grid.")
+    & opt
+        (enum
+           [
+             ("star", Registry.Star);
+             ("path", Registry.Path);
+             ("cycle", Registry.Cycle);
+             ("grid", Registry.Grid);
+           ])
+        Registry.Star
+    & info [ "topology" ] ~docv:"TOPO"
+        ~doc:"Network topology: star, path, cycle or grid.")
 
-let resolve_pair ~seed ~n ~random x y =
-  let st = Random.State.make [| seed; 1 |] in
-  match (random, x, y) with
-  | true, _, _ -> (Gf2.random st n, Gf2.random st n)
-  | false, Some xs, Some ys ->
-      let x = Gf2.of_string xs and y = Gf2.of_string ys in
-      if Gf2.length x <> n || Gf2.length y <> n then
-        failwith "inputs must have exactly --n bits";
-      (x, y)
-  | _ -> failwith "provide --x and --y, or pass --random"
+let parse_input ~n = function
+  | None -> None
+  | Some bits ->
+      let v = Gf2.of_string bits in
+      if Gf2.length v <> n then failwith "inputs must have exactly --n bits";
+      Some v
 
-let report_outcome ~costs ~completeness ~attack ~attack_name =
+(* The one runner every protocol subcommand shares: build the spec
+   from the flags, let the entry derive its yes/no demo instances, and
+   report the uniform evaluation of both. *)
+let run_entry entry verbose seed n r t d reps topo x y metrics trace =
+  setup_logs verbose;
+  let info = Registry.info entry in
+  with_obs ~cmd:info.Registry.info_id metrics trace @@ fun () ->
+  let spec =
+    { Registry.seed; n; r; t; d; repetitions = reps; topology = topo }
+  in
+  let x = parse_input ~n x and y = parse_input ~n y in
+  let name, yes_eval, no_eval, costs = Registry.evaluate_demo ?x ?y spec entry in
+  Format.printf "%s [%a] — %s (%s)@." name Dqma.pp_model info.Registry.info_model
+    info.Registry.info_summary info.Registry.info_reference;
   Format.printf "costs: %a@." Report.pp_costs costs;
-  Format.printf "honest acceptance:   %.6f@." completeness;
-  Format.printf "best attack (%s): %.6g@." attack_name attack;
-  Format.printf "verdict: %s@."
-    (if attack < 1. /. 3. then "sound (< 1/3)" else "soundness not yet amplified")
+  Format.printf "%a@." Dqma.pp_evaluation (name, yes_eval);
+  Format.printf "%a@." Dqma.pp_evaluation (name, no_eval)
 
-let eq_cmd =
-  let run verbose seed n r reps random x y metrics trace =
-    setup_logs verbose;
-    with_obs ~cmd:"eq" metrics trace @@ fun () ->
-    let x, y = resolve_pair ~seed ~n ~random x y in
-    let params = Eq_path.make ?repetitions:reps ~seed ~n ~r () in
-    Format.printf "EQ on a path: n=%d r=%d k=%d; EQ(x,y) = %b@." n r
-      params.Eq_path.repetitions (Gf2.equal x y);
-    let completeness = Eq_path.accept params x (Gf2.copy x) Eq_path.Honest in
-    let single, name = Eq_path.best_attack_accept params x y in
-    report_outcome ~costs:(Eq_path.costs params) ~completeness
-      ~attack:(Sim.repeat_accept params.Eq_path.repetitions single)
-      ~attack_name:name
-  in
-  Cmd.v (Cmd.info "eq" ~doc:"EQ on a path (Algorithm 3/4).")
-    Term.(const run $ verbose_arg $ seed_arg $ n_arg $ r_arg $ reps_arg $ random_arg $ x_arg $ y_arg $ metrics_arg $ trace_arg)
+let entry_cmd entry =
+  let info = Registry.info entry in
+  Cmd.v
+    (Cmd.info info.Registry.info_id
+       ~doc:
+         (Printf.sprintf "%s (%s)." info.Registry.info_summary
+            info.Registry.info_reference))
+    Term.(
+      const (run_entry entry)
+      $ verbose_arg $ seed_arg $ n_arg $ r_arg $ t_arg $ d_arg $ reps_arg
+      $ topology_arg $ x_arg $ y_arg $ metrics_arg $ trace_arg)
 
-let gt_cmd =
-  let run verbose seed n r reps random x y metrics trace =
-    setup_logs verbose;
-    with_obs ~cmd:"gt" metrics trace @@ fun () ->
-    let x, y = resolve_pair ~seed ~n ~random x y in
-    let params = Gt.make ?repetitions:reps ~seed ~n ~r () in
-    let is_gt = Gf2.compare_big_endian x y > 0 in
-    Format.printf "GT on a path: n=%d r=%d k=%d; GT(x,y) = %b@." n r
-      params.Gt.repetitions is_gt;
-    let completeness =
-      if is_gt then Gt.accept params x y (Gt.honest_prover x y) else 1.0
-    in
-    let no_x, no_y = if is_gt then (y, x) else (x, y) in
-    let single, name = Gt.best_attack_accept params no_x no_y in
-    report_outcome ~costs:(Gt.costs params) ~completeness
-      ~attack:(Sim.repeat_accept params.Gt.repetitions single)
-      ~attack_name:name
-  in
-  Cmd.v (Cmd.info "gt" ~doc:"Greater-than on a path (Algorithm 7).")
-    Term.(const run $ verbose_arg $ seed_arg $ n_arg $ r_arg $ reps_arg $ random_arg $ x_arg $ y_arg $ metrics_arg $ trace_arg)
-
-let topology_graph topo t =
-  match topo with
-  | `Star -> (Graph.star t, List.init t (fun i -> i + 1))
-  | `Path -> (Graph.path (2 * t), List.init t (fun i -> 2 * i))
-  | `Cycle -> (Graph.cycle (2 * t), List.init t (fun i -> 2 * i))
-  | `Grid ->
-      let g = Graph.grid ~w:t ~h:2 in
-      (g, List.init t (fun i -> i))
-
-let eqt_cmd =
-  let run seed n t reps random topo metrics trace =
-    with_obs ~cmd:"eqt" metrics trace @@ fun () ->
-    let g, terminals = topology_graph topo t in
-    let r = Graph.radius g in
-    let st = Random.State.make [| seed; 2 |] in
-    let x = Gf2.random st n in
-    let params = Eq_tree.make ?repetitions:reps ~seed ~n ~r:(max 1 r) () in
-    let inputs = Array.make t (Gf2.copy x) in
-    let completeness = Eq_tree.accept params g ~terminals ~inputs Eq_tree.Honest in
-    let bad = Array.copy inputs in
-    bad.(t - 1) <- (if random then Gf2.random st n else Gf2.xor x (Gf2.random_weight st n 1));
-    let single, name = Eq_tree.best_attack_accept params g ~terminals ~inputs:bad in
-    let tr = Eq_tree.tree_of g ~terminals in
-    Format.printf "EQ^t (Theorem 19): n=%d t=%d radius=%d tree height=%d k=%d@."
-      n t r (Spanning_tree.height tr) params.Eq_tree.repetitions;
-    report_outcome ~costs:(Eq_tree.costs params tr) ~completeness
-      ~attack:(Sim.repeat_accept params.Eq_tree.repetitions single)
-      ~attack_name:name
-  in
-  Cmd.v (Cmd.info "eqt" ~doc:"EQ with t terminals on a network (Algorithm 5).")
-    Term.(const run $ seed_arg $ n_arg $ t_arg $ reps_arg $ random_arg $ topology_arg $ metrics_arg $ trace_arg)
-
-let rv_cmd =
-  let i_arg =
-    Arg.(value & opt int 0 & info [ "i"; "target" ] ~docv:"I" ~doc:"Terminal to rank (0-based).")
-  in
-  let j_arg =
-    Arg.(value & opt int 1 & info [ "j"; "rank" ] ~docv:"J" ~doc:"Claimed rank (1 = largest).")
-  in
-  let run seed n t reps i j topo metrics trace =
-    with_obs ~cmd:"rv" metrics trace @@ fun () ->
-    let g, terminals = topology_graph topo t in
-    let st = Random.State.make [| seed; 3 |] in
-    let inputs = Array.init t (fun _ -> Gf2.random st n) in
-    let params = Rv.make ?repetitions:reps ~seed ~n ~r:(max 1 (Graph.radius g)) () in
-    let truth = Rv.rv_value ~inputs ~i ~j in
-    Format.printf "RV^{%d,%d} (Theorem 29): n=%d t=%d; truth = %b@." i j n t truth;
-    Array.iteri
-      (fun k v -> Format.printf "  terminal %d holds %d@." k (Gf2.to_int (Gf2.prefix v (min 30 n))))
-      inputs;
-    let honest = Rv.honest_accept params g ~terminals ~inputs ~i ~j in
-    let attack, name = Rv.best_attack_accept params g ~terminals ~inputs ~i ~j in
-    let tr = Spanning_tree.build_rooted_at g ~terminals ~root_terminal:i in
-    report_outcome ~costs:(Rv.costs params tr ~t) ~completeness:honest ~attack
-      ~attack_name:name
-  in
-  Cmd.v (Cmd.info "rv" ~doc:"Ranking verification (Algorithm 8).")
-    Term.(const run $ seed_arg $ n_arg $ t_arg $ reps_arg $ i_arg $ j_arg $ topology_arg $ metrics_arg $ trace_arg)
-
-let relay_cmd =
-  let run seed n r random x y metrics trace =
-    with_obs ~cmd:"relay" metrics trace @@ fun () ->
-    let x, y = resolve_pair ~seed ~n ~random x y in
-    let params = Relay.make ~seed ~n ~r () in
-    Format.printf "EQ with relay points (Theorem 22): n=%d r=%d spacing=%d k'=%d@."
-      n r params.Relay.spacing params.Relay.inner_repetitions;
-    let completeness = Relay.accept params x (Gf2.copy x) (Relay.honest_prover params x) in
-    let attack, name = Relay.best_attack_accept params x y in
-    report_outcome ~costs:(Relay.costs params) ~completeness ~attack
-      ~attack_name:name
-  in
-  Cmd.v (Cmd.info "relay" ~doc:"EQ with relay points on long paths (Algorithm 6).")
-    Term.(const run $ seed_arg $ n_arg $ r_arg $ random_arg $ x_arg $ y_arg $ metrics_arg $ trace_arg)
-
-let dqcma_cmd =
-  let run seed n r reps random x y metrics trace =
-    with_obs ~cmd:"dqcma" metrics trace @@ fun () ->
-    let x, y = resolve_pair ~seed ~n ~random x y in
-    let params = Variants.make ?repetitions:reps ~seed ~n ~r () in
-    Format.printf "dQCMA EQ (classical proofs): n=%d r=%d k=%d@." n r
-      params.Variants.repetitions;
-    let completeness = Variants.accept params x (Gf2.copy x) Variants.Honest_strings in
-    let single, name = Variants.best_attack_accept params x y in
-    report_outcome ~costs:(Variants.costs params) ~completeness
-      ~attack:(Sim.repeat_accept params.Variants.repetitions single)
-      ~attack_name:name
-  in
-  Cmd.v (Cmd.info "dqcma" ~doc:"The dQCMA variant: classical proofs, quantum messages.")
-    Term.(const run $ seed_arg $ n_arg $ r_arg $ reps_arg $ random_arg $ x_arg $ y_arg $ metrics_arg $ trace_arg)
-
-let seteq_cmd =
-  let k_arg =
-    Arg.(value & opt int 4 & info [ "elements" ] ~docv:"K" ~doc:"Elements per set.")
-  in
-  let run seed n r k_set metrics trace =
-    with_obs ~cmd:"seteq" metrics trace @@ fun () ->
-    let st = Random.State.make [| seed; 5 |] in
-    let params = Set_eq.make ~seed ~n ~k:k_set ~r () in
-    let s = Array.init k_set (fun _ -> Gf2.random st n) in
-    let permuted = Array.init k_set (fun i -> Gf2.copy s.((i + 1) mod k_set)) in
-    Format.printf "Set Equality: %d elements of %d bits, r=%d, k=%d reps@."
-      k_set n r params.Set_eq.repetitions;
-    let completeness = Set_eq.accept params s permuted Sim.All_left in
-    let t = Array.init k_set (fun _ -> Gf2.random st n) in
-    let single, name = Set_eq.best_attack_accept params s t in
-    report_outcome ~costs:(Set_eq.costs params) ~completeness
-      ~attack:(Sim.repeat_accept params.Set_eq.repetitions single)
-      ~attack_name:name
-  in
-  Cmd.v (Cmd.info "seteq" ~doc:"Set Equality via set fingerprints (Section 1.4).")
-    Term.(const run $ seed_arg $ n_arg $ r_arg $ k_arg $ metrics_arg $ trace_arg)
-
-let ham_cmd =
-  let d_arg =
-    Arg.(value & opt int 2 & info [ "d"; "distance" ] ~docv:"D"
-           ~doc:"Hamming tolerance.")
-  in
-  let run seed n t d topo metrics trace =
-    with_obs ~cmd:"ham" metrics trace @@ fun () ->
-    let g, terminals = topology_graph topo t in
-    let r = max 1 (Graph.radius g) in
-    let proto = Qdp_commcc.Oneway.ham ~seed ~n ~d in
-    let params =
-      Oneway_compiler.make ~repetitions:(42 * r * r) ~amplification:2 ~r ~t ~n ()
-    in
-    let st = Random.State.make [| seed; 4 |] in
-    let x = Gf2.random st n in
-    let inputs =
-      Array.init t (fun i ->
-          if i = 0 then Gf2.copy x
-          else Gf2.xor x (Gf2.random_weight st n (min d (max 1 (d / 2)))))
-    in
-    Format.printf
-      "forall_t HAM<=%d (Theorem 30): n=%d t=%d r=%d; one-way cost %d qubits        (LZ13 formula %d)@."
-      d n t r proto.Qdp_commcc.Oneway.message_qubits
-      (Qdp_commcc.Oneway.lz13_cost ~n ~d);
-    let completeness =
-      Oneway_compiler.accept params proto g ~terminals ~inputs
-        Oneway_compiler.Honest
-    in
-    let bad = Array.copy inputs in
-    bad.(t - 1) <- Gf2.xor x (Gf2.random_weight st n (min n (8 * d)));
-    let single, name =
-      Oneway_compiler.best_attack_accept params proto g ~terminals ~inputs:bad
-    in
-    report_outcome
-      ~costs:(Oneway_compiler.costs params proto g ~terminals)
-      ~completeness
-      ~attack:(Sim.repeat_accept params.Oneway_compiler.repetitions single)
-      ~attack_name:name
+let list_cmd =
+  let run () =
+    Format.printf "%-7s %-22s %-11s %-9s %-6s %-18s %s@." "ID" "PROTOCOL"
+      "MODEL" "BACKENDS" "SUITE" "REFERENCE" "COST";
+    List.iter
+      (fun entry ->
+        let i = Registry.info entry in
+        Format.printf "%-7s %-22s %-11s %-9s %-6s %-18s %s@."
+          i.Registry.info_id i.Registry.info_name
+          (Format.asprintf "%a" Dqma.pp_model i.Registry.info_model)
+          (if i.Registry.info_network then "both" else "analytic")
+          (if i.Registry.info_conformance then "yes" else "-")
+          i.Registry.info_reference i.Registry.info_cost)
+      (Registry.all ())
   in
   Cmd.v
-    (Cmd.info "ham" ~doc:"Hamming-tolerance consistency via Theorem 30's compiler.")
-    Term.(const run $ seed_arg $ n_arg $ t_arg $ d_arg $ topology_arg $ metrics_arg $ trace_arg)
+    (Cmd.info "list" ~doc:"List every registered protocol.")
+    Term.(const run $ const ())
 
 let check_cmd =
   let run seed metrics trace =
     with_obs ~cmd:"check" metrics trace @@ fun () ->
-    let suite = Dqma.demo_suite ~seed in
+    let suite = Registry.demo_suite ~seed in
     let failures = ref 0 in
     List.iter
       (fun packed ->
@@ -332,10 +204,75 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Run the conformance suite over every protocol.")
     Term.(const run $ seed_arg $ metrics_arg $ trace_arg)
 
+let xval_cmd =
+  let trials_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "trials" ] ~docv:"TRIALS"
+          ~doc:"Network samples per strategy.")
+  in
+  let protocol_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol" ] ~docv:"ID"
+          ~doc:"Cross-validate a single protocol (default: all with a \
+                network backend).")
+  in
+  let run seed n r t d reps topo trials protocol metrics trace =
+    with_obs ~cmd:"xval" metrics trace @@ fun () ->
+    let spec =
+      { Registry.seed; n; r; t; d; repetitions = reps; topology = topo }
+    in
+    let entries =
+      match protocol with
+      | None -> Registry.all ()
+      | Some id -> (
+          match Registry.find id with
+          | Some e -> [ e ]
+          | None ->
+              failwith
+                (Printf.sprintf "unknown protocol %S; try: qdp list" id))
+    in
+    let st = Random.State.make [| seed; 7 |] in
+    let checks = ref 0 and disagreements = ref 0 in
+    List.iter
+      (fun entry ->
+        let i = Registry.info entry in
+        match Registry.cross_validate_demo ~trials ~st spec entry with
+        | None ->
+            if protocol <> None then
+              Format.printf "%-7s has no network backend@." i.Registry.info_id
+        | Some results ->
+            List.iter
+              (fun (label, cs) ->
+                List.iter
+                  (fun c ->
+                    incr checks;
+                    if not c.Dqma.agree then incr disagreements;
+                    Format.printf "%-7s %-3s %a@." i.Registry.info_id label
+                      Dqma.pp_check c)
+                  cs)
+              results)
+      entries;
+    Format.printf "%d comparisons, %d disagreements@." !checks !disagreements;
+    if !disagreements > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "xval"
+       ~doc:
+         "Differentially cross-validate the analytic engine against the \
+          message-passing runtime.")
+    Term.(
+      const run $ seed_arg $ n_arg $ r_arg $ t_arg $ d_arg $ reps_arg
+      $ topology_arg $ trials_arg $ protocol_arg $ metrics_arg $ trace_arg)
+
 let main =
   Cmd.group
     (Cmd.info "qdp" ~version:"1.0.0"
-       ~doc:"Distributed quantum Merlin-Arthur protocols (Hasegawa-Kundu-Nishimura, PODC 2024).")
-    [ eq_cmd; gt_cmd; eqt_cmd; rv_cmd; relay_cmd; dqcma_cmd; seteq_cmd; ham_cmd; check_cmd ]
+       ~doc:
+         "Distributed quantum Merlin-Arthur protocols \
+          (Hasegawa-Kundu-Nishimura, PODC 2024).")
+    (List.map entry_cmd (Registry.all ()) @ [ list_cmd; check_cmd; xval_cmd ])
 
 let () = exit (Cmd.eval main)

@@ -798,7 +798,8 @@ let sweep () =
 
 let check () =
   section "Conformance suite -- Definitions 5-8 as values (Dqma framework)";
-  let suite = Dqma.demo_suite ~seed:808 in
+  Protocols.init ();
+  let suite = Registry.demo_suite ~seed:808 in
   let failures = ref 0 in
   List.iter
     (fun packed ->

@@ -25,7 +25,7 @@ let () =
 
   (* Case 1: the strings are equal; the honest prover convinces
      everyone with certainty (perfect completeness). *)
-  let p_equal = Eq_path.accept params x (Gf2.copy x) Eq_path.Honest in
+  let p_equal = Eq_path.accept params x (Gf2.copy x) Strategy.Honest in
   Printf.printf "x = y, honest prover:      Pr[all accept] = %.6f\n" p_equal;
 
   (* Case 2: the strings differ; the best cheating prover we know is
@@ -41,16 +41,16 @@ let () =
   (* The same protocol as a real message-passing execution on the
      network runtime: fingerprints travel as messages, SWAP tests are
      sampled, verdicts come back per node. *)
-  let rt = { Runtime_eq.n; r; seed = 7 } in
+  let rt = { Runtime_eq.n; r; seed = 7; repetitions = 1 } in
   let st = Random.State.make [| 99 |] in
   let freq_equal =
-    Runtime_eq.estimate_acceptance st ~trials:2000 rt x (Gf2.copy x) Sim.All_left
+    Runtime_eq.estimate_acceptance st ~trials:2000 rt x (Gf2.copy x) Strategy.All_left
   in
   let freq_diff =
-    Runtime_eq.estimate_acceptance st ~trials:2000 rt x y Sim.Geodesic
+    Runtime_eq.estimate_acceptance st ~trials:2000 rt x y Strategy.Geodesic
   in
   Printf.printf "message-passing execution (2000 sampled runs each):\n";
   Printf.printf "  x = y honest:  accepted %.3f of runs\n" freq_equal;
   Printf.printf "  x <> y attack: accepted %.3f of runs (closed form %.3f)\n"
     freq_diff
-    (Eq_path.single_round_accept params x y Eq_path.Interpolate)
+    (Eq_path.single_round_accept params x y Strategy.Geodesic)

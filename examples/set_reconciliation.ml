@@ -26,7 +26,7 @@ let () =
   Printf.printf "identical sets (different order): overlap %.6f\n"
     (Set_eq.set_overlap params mirror_a mirror_b);
   Printf.printf "  honest certificate accepted: %.6f\n\n"
-    (Set_eq.accept params mirror_a mirror_b Sim.All_left);
+    (Set_eq.accept params mirror_a mirror_b Strategy.All_left);
 
   (* one digest replaced *)
   let drifted = Array.map Gf2.copy mirror_a in

@@ -89,7 +89,7 @@ let eq_path (params : Eq_path.params) =
     repetitions = params.Eq_path.repetitions;
     value = (fun (x, y) -> Gf2.equal x y);
     honest =
-      (fun (x, y) -> if Gf2.equal x y then Some Eq_path.Honest else None);
+      (fun (x, y) -> if Gf2.equal x y then Some Strategy.Honest else None);
     accept = (fun (x, y) s -> Eq_path.single_round_accept params x y s);
     attacks = (fun (x, y) -> Eq_path.attack_library params x y);
     costs = (fun _ -> Eq_path.costs params);
@@ -230,67 +230,165 @@ let set_eq (params : Set_eq.params) =
     repetitions = params.Set_eq.repetitions;
     value = (fun (s, t) -> sorted s = sorted t);
     honest =
-      (fun (s, t) -> if sorted s = sorted t then Some Sim.All_left else None);
+      (fun (s, t) -> if sorted s = sorted t then Some Strategy.All_left else None);
     accept = (fun (s, t) strat -> Set_eq.single_round_accept params s t strat);
     attacks =
       (fun _ ->
-        [ ("all-left", Sim.All_left); ("all-right", Sim.All_right);
-          ("geodesic", Sim.Geodesic) ]);
+        [ ("all-left", Strategy.All_left); ("all-right", Strategy.All_right);
+          ("geodesic", Strategy.Geodesic) ]);
     costs = (fun _ -> Set_eq.costs params);
+  }
+
+type rv_instance = {
+  rv_graph : Graph.t;
+  rv_terminals : int list;
+  rv_inputs : Gf2.t array;
+  rv_i : int;
+  rv_j : int;
+}
+
+let rv (params : Rv.params) =
+  let value ri = Rv.rv_value ~inputs:ri.rv_inputs ~i:ri.rv_i ~j:ri.rv_j in
+  {
+    name = "RV rank";
+    model = DQMA_sep;
+    rounds = 1;
+    (* the per-path comparison amplification is internal to Rv.accept *)
+    repetitions = 1;
+    value;
+    honest = (fun ri -> if value ri then Some Rv.Honest_directions else None);
+    accept =
+      (fun ri p ->
+        Rv.accept params ri.rv_graph ~terminals:ri.rv_terminals
+          ~inputs:ri.rv_inputs ~i:ri.rv_i ~j:ri.rv_j p);
+    attacks =
+      (fun ri ->
+        (* every direction claim passing the root's count check; the
+           rest are rejected deterministically *)
+        let t = Array.length ri.rv_inputs in
+        List.filter_map
+          (fun m ->
+            let dirs = Array.init t (fun k -> m land (1 lsl k) <> 0) in
+            let count = ref 0 in
+            Array.iteri (fun k b -> if k <> ri.rv_i && b then incr count) dirs;
+            if !count <> t - ri.rv_j then None
+            else
+              Some
+                ( Printf.sprintf "claim=%s"
+                    (String.concat ""
+                       (List.init t (fun k -> if dirs.(k) then "1" else "0"))),
+                  Rv.Claim dirs ))
+          (List.init (1 lsl t) Fun.id));
+    costs =
+      (fun ri ->
+        let tr =
+          Spanning_tree.build_rooted_at ri.rv_graph ~terminals:ri.rv_terminals
+            ~root_terminal:ri.rv_i
+        in
+        Rv.costs params tr ~t:(Array.length ri.rv_inputs));
+  }
+
+let oneway_forall (proto : Qdp_commcc.Oneway.t)
+    (params : Oneway_compiler.params) =
+  let value mi =
+    Qdp_commcc.Problems.forall_t proto.Qdp_commcc.Oneway.problem mi.inputs
+  in
+  {
+    name = Printf.sprintf "forall_t %s" proto.Qdp_commcc.Oneway.name;
+    model = DQMA_sep;
+    rounds = 1;
+    repetitions = params.Oneway_compiler.repetitions;
+    value;
+    honest = (fun mi -> if value mi then Some Oneway_compiler.Honest else None);
+    accept =
+      (fun mi p ->
+        Oneway_compiler.single_accept params proto mi.graph
+          ~terminals:mi.terminals ~inputs:mi.inputs p);
+    attacks =
+      (fun mi ->
+        let t = Array.length mi.inputs in
+        List.concat
+          (List.init t (fun k ->
+               [
+                 ( Printf.sprintf "constant-x%d" (k + 1),
+                   Oneway_compiler.Constant_of_terminal k );
+                 ( Printf.sprintf "geodesic->x%d" (k + 1),
+                   Oneway_compiler.Depth_geodesic k );
+               ])));
+    costs =
+      (fun mi ->
+        Oneway_compiler.costs params proto mi.graph ~terminals:mi.terminals);
   }
 
 type packed = Packed : ('i, 'p) protocol * 'i -> packed
 
-let demo_suite ~seed =
-  let st = Random.State.make [| seed; 0xd9a |] in
-  let n = 24 and r = 4 in
-  let x = Gf2.random st n in
-  let y =
-    let rec go () =
-      let y = Gf2.random st n in
-      if Gf2.equal x y then go () else y
-    in
-    go ()
-  in
-  let big, small =
-    if Gf2.compare_big_endian x y > 0 then (x, y) else (y, x)
-  in
-  let k = Eq_path.paper_repetitions ~r in
-  let eqp = Eq_path.make ~repetitions:k ~seed ~n ~r () in
-  let gtp = Gt.make ~repetitions:k ~seed ~n ~r () in
-  let rel = Relay.make ~seed ~n ~r:12 () in
-  let dqc = Variants.make ~repetitions:64 ~seed ~n ~r () in
-  let tree_params = Eq_tree.make ~repetitions:k ~seed ~n ~r:2 () in
-  let star = Graph.star 4 in
-  let terminals = [ 1; 2; 3; 4 ] in
-  let mk_multi inputs = { graph = star; terminals; inputs } in
-  [
-    Packed (eq_path eqp, (Gf2.copy x, Gf2.copy x));
-    Packed (eq_path eqp, (Gf2.copy x, Gf2.copy y));
-    Packed (eq_tree tree_params, mk_multi (Array.make 4 (Gf2.copy x)));
-    Packed
-      ( eq_tree tree_params,
-        mk_multi [| Gf2.copy x; Gf2.copy x; Gf2.copy x; Gf2.copy y |] );
-    Packed (gt gtp, (Gf2.copy big, Gf2.copy small));
-    Packed (gt gtp, (Gf2.copy small, Gf2.copy big));
-    Packed (relay rel, (Gf2.copy x, Gf2.copy x));
-    Packed (relay rel, (Gf2.copy x, Gf2.copy y));
-    Packed (dqcma dqc, (Gf2.copy x, Gf2.copy x));
-    Packed (dqcma dqc, (Gf2.copy x, Gf2.copy y));
-    Packed (dma_trivial ~n ~r, (Gf2.copy x, Gf2.copy x));
-    Packed (dma_trivial ~n ~r, (Gf2.copy x, Gf2.copy y));
-    (let rp = { Rpls.n; r; parity_checks = 4 } in
-     Packed (rpls rp, (Gf2.copy x, Gf2.copy x)));
-    (let rp = { Rpls.n; r; parity_checks = 4 } in
-     Packed (rpls rp, (Gf2.copy x, Gf2.copy y)));
-    (let sp = Set_eq.make ~repetitions:k ~seed ~n ~k:3 ~r () in
-     let set = Array.init 3 (fun i -> Gf2.of_int ~width:n (i + 5)) in
-     let perm = [| set.(2); set.(0); set.(1) |] in
-     Packed (set_eq sp, (set, perm)));
-    (let sp = Set_eq.make ~repetitions:k ~seed ~n ~k:3 ~r () in
-     let set = Array.init 3 (fun i -> Gf2.of_int ~width:n (i + 5)) in
-     let other = Array.init 3 (fun i -> Gf2.of_int ~width:n (i + 900)) in
-     Packed (set_eq sp, (set, other)));
-  ]
-
 let evaluate_packed (Packed (p, inst)) = (p.name, evaluate p inst)
+
+(* ------------------------------------------------------------------ *)
+(* Backends and the differential harness                               *)
+(* ------------------------------------------------------------------ *)
+
+type ('i, 'p) network = Random.State.t -> 'i -> 'p -> bool
+type ('i, 'p) backend = Analytic | Network of ('i, 'p) network
+
+let obs_crossval_checks = Qdp_obs.Metrics.counter "crossval.checks"
+
+let obs_crossval_disagreements =
+  Qdp_obs.Metrics.counter "crossval.disagreements"
+
+let obs_crossval_runs = Qdp_obs.Metrics.counter "crossval.network_runs"
+
+let backend_accept ?(trials = 2000) ~st backend p inst prover =
+  match backend with
+  | Analytic -> p.accept inst prover
+  | Network run ->
+      let hits = ref 0 in
+      for _ = 1 to trials do
+        Qdp_obs.Metrics.incr obs_crossval_runs;
+        if run st inst prover then incr hits
+      done;
+      float_of_int !hits /. float_of_int trials
+
+type check = {
+  check_strategy : string;
+  analytic : float;
+  sampled : float;
+  trials : int;
+  tolerance : float;
+  agree : bool;
+}
+
+let cross_validate ?(trials = 2000) ~st ~network p inst =
+  Qdp_obs.Trace.with_span "dqma.cross_validate"
+    ~attrs:(fun () -> [ ("protocol", Qdp_obs.Trace.Str p.name) ])
+  @@ fun () ->
+  let provers =
+    (match p.honest inst with Some h -> [ ("honest", h) ] | None -> [])
+    @ p.attacks inst
+  in
+  List.map
+    (fun (name, prover) ->
+      let analytic = p.accept inst prover in
+      let sampled =
+        backend_accept ~trials ~st (Network network) p inst prover
+      in
+      let tolerance =
+        (* a deterministic verdict (p in {0, 1}) must reproduce
+           exactly; otherwise allow 4 sigmas of sampling noise plus a
+           fixed slack for the finite-trials tail *)
+        if analytic < 1e-9 || analytic > 1. -. 1e-9 then 1e-6
+        else
+          4.
+          *. Float.sqrt (analytic *. (1. -. analytic) /. float_of_int trials)
+          +. 0.01
+      in
+      let agree = Float.abs (analytic -. sampled) <= tolerance in
+      Qdp_obs.Metrics.incr obs_crossval_checks;
+      if not agree then Qdp_obs.Metrics.incr obs_crossval_disagreements;
+      { check_strategy = name; analytic; sampled; trials; tolerance; agree })
+    provers
+
+let pp_check fmt c =
+  Format.fprintf fmt "%-16s analytic %.6f | sampled %.6f (%d trials) | %s"
+    c.check_strategy c.analytic c.sampled c.trials
+    (if c.agree then "agree" else "DISAGREE")

@@ -70,7 +70,7 @@ type multi_instance = {
 }
 
 (** [eq_path params] — Algorithm 3/4 (Theorem 19, path case). *)
-val eq_path : Eq_path.params -> (pair_instance, Eq_path.strategy) protocol
+val eq_path : Eq_path.params -> (pair_instance, Strategy.t) protocol
 
 (** [eq_tree params] — Algorithm 5 (Theorem 19). *)
 val eq_tree : Eq_tree.params -> (multi_instance, Eq_tree.strategy) protocol
@@ -94,16 +94,91 @@ val rpls : Rpls.params -> (pair_instance, Rpls.prover) protocol
 (** [set_eq params] — Set Equality via set fingerprints; instances are
     pairs of element arrays. *)
 val set_eq :
-  Set_eq.params -> (Gf2.t array * Gf2.t array, Sim.chain_strategy) protocol
+  Set_eq.params -> (Gf2.t array * Gf2.t array, Strategy.t) protocol
+
+(** Instances of ranking verification: the network, terminals, inputs,
+    and the claim "terminal [rv_i]'s input is the [rv_j]-th largest". *)
+type rv_instance = {
+  rv_graph : Graph.t;
+  rv_terminals : int list;
+  rv_inputs : Gf2.t array;
+  rv_i : int;
+  rv_j : int;
+}
+
+(** [rv params] — Algorithm 8 (Theorem 29).  The comparison-protocol
+    amplification is internal to [Rv.accept], so [repetitions = 1]
+    here; the attack library enumerates every direction claim that
+    passes the root's count check. *)
+val rv : Rv.params -> (rv_instance, Rv.prover) protocol
+
+(** [oneway_forall proto params] — the Section 6 compiler applied to a
+    one-way protocol, deciding [forall_t f] on a multi-terminal
+    instance. *)
+val oneway_forall :
+  Qdp_commcc.Oneway.t ->
+  Oneway_compiler.params ->
+  (multi_instance, Oneway_compiler.prover) protocol
 
 (** {2 Conformance suite} *)
 
 (** A protocol packaged with a concrete instance, existentially. *)
 type packed = Packed : ('i, 'p) protocol * 'i -> packed
 
-(** [demo_suite ~seed] builds one yes and one no instance of each
-    adapter above (small, fast parameters). *)
-val demo_suite : seed:int -> packed list
-
 (** [evaluate_packed p] runs {!evaluate} under the existential. *)
 val evaluate_packed : packed -> string * evaluation
+
+(** {2 Backends and differential cross-validation}
+
+    Every registered protocol has an analytic acceptance function (the
+    transfer-DP simulator path); several also have a message-passing
+    network realization under {!Qdp_network.Runtime}.  The harness
+    below runs the same instance and prover strategy through both and
+    checks agreement — the network path Monte-Carlo estimates what the
+    analytic path computes exactly. *)
+
+(** A network realization: one sampled run, [true] on accept. *)
+type ('i, 'p) network = Random.State.t -> 'i -> 'p -> bool
+
+(** How to obtain a single-repetition acceptance probability. *)
+type ('i, 'p) backend = Analytic | Network of ('i, 'p) network
+
+(** [backend_accept ?trials ~st backend p inst prover] is the
+    single-repetition acceptance under the chosen backend: exact for
+    [Analytic], a [trials]-sample frequency for [Network] (default
+    2000; each run increments the [crossval.network_runs] counter). *)
+val backend_accept :
+  ?trials:int ->
+  st:Random.State.t ->
+  ('i, 'p) backend ->
+  ('i, 'p) protocol ->
+  'i ->
+  'p ->
+  float
+
+(** One analytic-vs-sampled comparison. *)
+type check = {
+  check_strategy : string;  (** ["honest"] or an attack-library name *)
+  analytic : float;
+  sampled : float;
+  trials : int;
+  tolerance : float;
+      (** [1e-6] when the analytic verdict is deterministic, otherwise
+          four binomial standard deviations plus fixed slack *)
+  agree : bool;
+}
+
+(** [cross_validate ?trials ~st ~network p inst] compares both
+    backends on the honest prover (when defined) and every
+    attack-library strategy.  Increments [crossval.checks] and
+    [crossval.disagreements]. *)
+val cross_validate :
+  ?trials:int ->
+  st:Random.State.t ->
+  network:('i, 'p) network ->
+  ('i, 'p) protocol ->
+  'i ->
+  check list
+
+(** [pp_check] prints a one-line summary of a comparison. *)
+val pp_check : Format.formatter -> check -> unit

@@ -1,4 +1,3 @@
-open Qdp_codes
 open Qdp_fingerprint
 
 type params = { n : int; r : int; seed : int; repetitions : int }
@@ -13,41 +12,20 @@ let make ?repetitions ~seed ~n ~r () =
   in
   { n; r; seed; repetitions }
 
-type strategy = Honest | Constant of Gf2.t | Interpolate | Step of int
-
 let fingerprint params = Fingerprint.standard ~seed:params.seed ~n:params.n
 
 let instance params x y strategy =
   let fp = fingerprint params in
   let hx = Fingerprint.state fp x in
-  let node_state =
-    match strategy with
-    | Honest -> fun _ -> hx
-    | Constant z ->
-        let hz = Fingerprint.state fp z in
-        fun _ -> hz
-    | Interpolate ->
-        let hy = Fingerprint.state fp y in
-        fun j ->
-          States.geodesic hx hy (float_of_int j /. float_of_int params.r)
-    | Step cut ->
-        let hy = Fingerprint.state fp y in
-        fun j -> if j <= cut then hx else hy
-  in
-  {
-    Sim.length = params.r;
-    left_accept = 1.0;
-    left_send = [| hx |];
-    pairs =
-      Array.init (params.r - 1) (fun i ->
-          let s = node_state (i + 1) in
-          ([| s |], [| s |]));
-    final_accept =
-      (fun reg ->
-        if Array.length reg <> 1 then
-          invalid_arg "Eq_path: register shape mismatch";
-        Fingerprint.accept_prob fp y reg.(0));
-  }
+  let hy = Fingerprint.state fp y in
+  Sim.two_state_chain
+    ~embed:(Fingerprint.state fp)
+    ~r:params.r ~left:hx ~right:hy
+    ~final:(fun reg ->
+      if Array.length reg <> 1 then
+        invalid_arg "Eq_path: register shape mismatch";
+      Fingerprint.accept_prob fp y reg.(0))
+    strategy
 
 let single_round_accept params x y strategy =
   Sim.path_accept (instance params x y strategy)
@@ -58,10 +36,10 @@ let accept params x y strategy =
 let attack_library params x y =
   let mid = max 0 (params.r / 2) in
   [
-    ("constant-x", Constant x);
-    ("constant-y", Constant y);
-    ("interpolate", Interpolate);
-    (Printf.sprintf "step@%d" mid, Step mid);
+    ("constant-x", Strategy.Constant x);
+    ("constant-y", Strategy.Constant y);
+    ("interpolate", Strategy.Geodesic);
+    (Printf.sprintf "step@%d" mid, Strategy.Switch mid);
   ]
 
 let best_attack_accept params x y =
@@ -102,18 +80,10 @@ let costs params =
 let fgnp_forwarding_accept params x y strategy =
   let fp = fingerprint params in
   let hx = Fingerprint.state fp x in
+  let hy = Fingerprint.state fp y in
   let node_state =
-    match strategy with
-    | Honest -> fun _ -> hx
-    | Constant z ->
-        let hz = Fingerprint.state fp z in
-        fun _ -> hz
-    | Interpolate ->
-        let hy = Fingerprint.state fp y in
-        fun j -> States.geodesic hx hy (float_of_int j /. float_of_int params.r)
-    | Step cut ->
-        let hy = Fingerprint.state fp y in
-        fun j -> if j <= cut then hx else hy
+    Strategy.node_state ~r:params.r ~left:hx ~right:hy
+      ~embed:(Fingerprint.state fp) strategy
   in
   let r = params.r in
   if r = 1 then Fingerprint.accept_prob fp y hx

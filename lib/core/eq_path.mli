@@ -27,28 +27,21 @@ val paper_repetitions : r:int -> int
     [repetitions = paper_repetitions ~r] by default. *)
 val make : ?repetitions:int -> seed:int -> n:int -> r:int -> unit -> params
 
-(** A product prover strategy: what the intermediate nodes receive. *)
-type strategy =
-  | Honest  (** all registers [|h_x>] — the completeness prover *)
-  | Constant of Gf2.t  (** all registers the fingerprint of a fixed string *)
-  | Interpolate
-      (** node [j] receives the geodesic point [j / r] of the arc from
-          [|h_x>] to [|h_y>] — the strongest known product attack, with
-          single-round acceptance [1 - Theta(1/r)] matching the Lemma
-          17 bound's shape *)
-  | Step of int  (** [|h_x>] up to node [j], [|h_y>] after — an abrupt switch *)
+(** Prover strategies are the shared {!Strategy.t}: [Honest] plays
+    [|h_x>] everywhere, [Geodesic] is the interpolation attack, and
+    [Constant] strings are embedded through the fingerprint map. *)
 
 (** [single_round_accept params x y strategy] is the exact acceptance
     probability of one repetition (all nodes accept). *)
-val single_round_accept : params -> Gf2.t -> Gf2.t -> strategy -> float
+val single_round_accept : params -> Gf2.t -> Gf2.t -> Strategy.t -> float
 
 (** [accept params x y strategy] is the [k]-repetition acceptance
     [single^k]. *)
-val accept : params -> Gf2.t -> Gf2.t -> strategy -> float
+val accept : params -> Gf2.t -> Gf2.t -> Strategy.t -> float
 
 (** [attack_library params x y] names the built-in cheating strategies
     evaluated by {!best_attack_accept}. *)
-val attack_library : params -> Gf2.t -> Gf2.t -> (string * strategy) list
+val attack_library : params -> Gf2.t -> Gf2.t -> (string * Strategy.t) list
 
 (** [best_attack_accept params x y] is the max single-round acceptance
     over the attack library — an empirical lower bound on the
@@ -68,7 +61,7 @@ val soundness_bound_single : r:int -> float
     [v_{r-1}] forwarded.  Halves the proof registers but weakens the
     per-round soundness — the ablation behind the paper's
     symmetrization step (Section 1.3). *)
-val fgnp_forwarding_accept : params -> Gf2.t -> Gf2.t -> strategy -> float
+val fgnp_forwarding_accept : params -> Gf2.t -> Gf2.t -> Strategy.t -> float
 
 (** [fgnp_costs params] accounts the forwarding variant: one register
     per intermediate node per repetition. *)

@@ -13,11 +13,11 @@ let make ?repetitions ~seed ~n ~r () =
   in
   { n; r; seed; repetitions }
 
-type prover = { index : int; eq_strategy : Sim.chain_strategy }
+type prover = { index : int; eq_strategy : Strategy.t }
 
 let honest_prover x y =
   match Qdp_commcc.Problems.gt_witness x y with
-  | Some i -> { index = i; eq_strategy = Sim.All_left }
+  | Some i -> { index = i; eq_strategy = Strategy.All_left }
   | None -> invalid_arg "Gt.honest_prover: GT (x, y) = 0"
 
 (* v_0 sends the fingerprint of its prefix; v_r closes with a SWAP
@@ -50,13 +50,7 @@ let single_round_accept params x y prover =
 let accept params x y prover =
   Sim.repeat_accept params.repetitions (single_round_accept params x y prover)
 
-let eq_strategies r =
-  [
-    ("all-left", Sim.All_left);
-    ("all-right", Sim.All_right);
-    ("geodesic", Sim.Geodesic);
-    (Printf.sprintf "switch@%d" (r / 2), Sim.Switch (r / 2));
-  ]
+let eq_strategies r = Strategy.chain_library ~r
 
 let attack_library params x y =
   let out = ref [] in
@@ -109,10 +103,10 @@ let variant_honest_accept params cmp x y =
   | Gt -> gt_honest x y
   | Lt -> gt_honest y x
   | Ge ->
-      if Gf2.equal x y then eq_branch_accept params x y Sim.All_left
+      if Gf2.equal x y then eq_branch_accept params x y Strategy.All_left
       else gt_honest x y
   | Le ->
-      if Gf2.equal x y then eq_branch_accept params x y Sim.All_left
+      if Gf2.equal x y then eq_branch_accept params x y Strategy.All_left
       else gt_honest y x
 
 let variant_best_attack params cmp x y =

@@ -20,7 +20,7 @@ val make : ?repetitions:int -> seed:int -> n:int -> r:int -> unit -> params
 
 (** A prover strategy: the committed index plus the EQ-subprotocol
     strategy played on the prefixes. *)
-type prover = { index : int; eq_strategy : Sim.chain_strategy }
+type prover = { index : int; eq_strategy : Strategy.t }
 
 (** [honest_prover x y] is the witness index with honest fingerprints
     ([GT (x, y) = 1] required).

@@ -147,7 +147,7 @@ let gap_splice_accept ~seed ~n ~r ~gap x y =
       Sim.path_accept
         (Sim.two_state_chain ~r:gap ~left:hx ~right:hx
            ~final:(fun _ -> 1.0 (* the proof-free node has nothing to test *))
-           Sim.All_left)
+           Strategy.All_left)
   in
   let right_len = r - gap - 1 in
   let right =
@@ -156,7 +156,7 @@ let gap_splice_accept ~seed ~n ~r ~gap x y =
       Sim.path_accept
         (Sim.two_state_chain ~r:right_len ~left:hy ~right:hy
            ~final:(fun reg -> Fingerprint.accept_prob fp y reg.(0))
-           Sim.All_left)
+           Strategy.All_left)
   in
   left *. right
 

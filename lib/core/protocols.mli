@@ -1,0 +1,13 @@
+(** The library's protocol catalog.
+
+    [init ()] installs every protocol implemented in this library into
+    {!Registry} (idempotent; call it from binaries and tests before
+    touching the registry — the library is linked selectively, so
+    module initializers cannot be relied on to run).
+
+    Registration order is the conformance-suite order: EQ path, EQ
+    tree, GT, relay, dQCMA, dMA, RPLS, Set Equality (all in the demo
+    suite), then RV and the Hamming one-way compilation (list/CLI
+    only). *)
+
+val init : unit -> unit

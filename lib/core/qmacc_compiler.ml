@@ -28,7 +28,7 @@ let single_accept params (proto : ('a, 'b) Qma_comm.oneway) xa xb prover =
            if Array.length reg <> 1 then
              invalid_arg "Qmacc_compiler: register shape";
            proto.bob_accept xb reg.(0))
-         Sim.All_left)
+         Strategy.All_left)
     *. pa
   end
 

@@ -1,0 +1,147 @@
+(** The protocol registry — one place where every protocol in the
+    library is declared once, with its paper reference, parameter
+    defaults, demo instances and (when implemented) its message-passing
+    network realization.
+
+    The CLI ([bin/qdp.exe]), the conformance runner
+    ([bin/tables.exe check]) and the benchmark suite all iterate this
+    registry instead of hard-coding per-protocol dispatch.  Protocols
+    register via {!register} — see {!Protocols.init}, which installs the
+    library's catalog — and downstream code works uniformly through the
+    existential {!entry}.  *)
+
+open Qdp_codes
+open Qdp_network
+
+(** {2 Parameter specs} *)
+
+(** The network shapes the multi-terminal entries run on. *)
+type topology = Star | Path | Cycle | Grid
+
+(** [topology_graph topo ~t] is the graph plus its [t] terminal
+    vertices: the star [K_{1,t}], a [2t]-path with every other vertex a
+    terminal, the [2t]-cycle likewise, or the [t x 2] grid with the top
+    row as terminals. *)
+val topology_graph : topology -> t:int -> Graph.t * int list
+
+(** A uniform parameter record every registered protocol draws its
+    concrete parameters from; fields a protocol does not use are
+    ignored ([d] doubles as the RPLS parity-check count and the Hamming
+    tolerance). *)
+type spec = {
+  seed : int;
+  n : int;  (** input length in bits *)
+  r : int;  (** path length / radius *)
+  t : int;  (** terminals (also: elements per set for Set Equality) *)
+  d : int;  (** Hamming tolerance / RPLS parity checks *)
+  repetitions : int option;
+      (** [None] = the protocol's paper-default amplification *)
+  topology : topology;
+}
+
+(** CLI defaults: [seed 42, n 32, r 6, t 4, d 2, None, Star]. *)
+val default_spec : spec
+
+(** {2 Entries} *)
+
+(** Registration metadata, shown by [qdp list]. *)
+type meta = {
+  id : string;  (** short stable identifier, e.g. ["eq"] *)
+  summary : string;
+  reference : string;  (** theorem/algorithm pointer into the paper *)
+  cost_formula : string;  (** the paper's asymptotic cost *)
+}
+
+(** The inputs demo instances are built from; [x <> y] and
+    [big > small] (big-endian) are drawn deterministically from
+    [spec.seed]. *)
+type demo_ctx = {
+  demo_spec : spec;
+  x : Gf2.t;
+  y : Gf2.t;
+  big : Gf2.t;
+  small : Gf2.t;
+}
+
+(** [context_of ?x ?y spec] derives the demo inputs.  Overrides
+    replace the drawn values ([big]/[small] are recomputed). *)
+val context_of : ?x:Gf2.t -> ?y:Gf2.t -> spec -> demo_ctx
+
+(** A registered protocol, existential over its instance and prover
+    types.  [demo_fix] pins the spec fields the demo suite needs
+    (e.g. the relay protocol only makes sense for [r] past the spacing
+    threshold); [demo] builds one yes and one no instance; [network],
+    when present, is the protocol's sampled message-passing
+    realization, the counterpart the differential harness
+    ({!Dqma.cross_validate}) checks the analytic path against;
+    [conformance] admits the entry into {!demo_suite}. *)
+type entry =
+  | Entry : {
+      meta : meta;
+      demo_fix : spec -> spec;
+      protocol : spec -> ('i, 'p) Dqma.protocol;
+      demo : demo_ctx -> 'i * 'i;
+      network : (spec -> ('i, 'p) Dqma.network) option;
+      conformance : bool;
+    }
+      -> entry
+
+(** [register e] appends [e].
+    @raise Invalid_argument on a duplicate id. *)
+val register : entry -> unit
+
+(** [all ()] lists entries in registration order. *)
+val all : unit -> entry list
+
+(** [find id] looks an entry up by its {!meta} id. *)
+val find : string -> entry option
+
+(** [ids ()] lists the registered ids in order. *)
+val ids : unit -> string list
+
+(** {2 Uniform drivers} *)
+
+(** A flattened view of an entry for display. *)
+type info = {
+  info_id : string;
+  info_name : string;  (** the protocol's display name at defaults *)
+  info_model : Dqma.model;
+  info_summary : string;
+  info_reference : string;
+  info_cost : string;
+  info_network : bool;
+  info_conformance : bool;
+}
+
+(** [info ?spec e] instantiates [e] (default {!default_spec}, after
+    [demo_fix]) just enough to read its name and model. *)
+val info : ?spec:spec -> entry -> info
+
+(** [evaluate_demo ?x ?y spec e] builds the entry's protocol and demo
+    instances from [spec] and runs {!Dqma.evaluate} on both; returns
+    [(name, yes evaluation, no evaluation, costs of the yes
+    instance)]. *)
+val evaluate_demo :
+  ?x:Gf2.t ->
+  ?y:Gf2.t ->
+  spec ->
+  entry ->
+  string * Dqma.evaluation * Dqma.evaluation * Report.costs
+
+(** [cross_validate_demo ?trials ~st spec e] runs the differential
+    harness on the entry's demo instances — [None] when the entry has
+    no network realization, otherwise per-instance check lists
+    [("yes", checks); ("no", checks)].  [demo_fix] is applied to
+    [spec] first so the instances match the suite's shapes. *)
+val cross_validate_demo :
+  ?trials:int ->
+  st:Random.State.t ->
+  spec ->
+  entry ->
+  (string * Dqma.check list) list option
+
+(** [demo_suite ~seed] is the conformance suite: one yes and one no
+    instance of every [conformance] entry, in registration order, with
+    the historical small parameters ([n = 24], [r = 4], [t = 4]).  This
+    is what [bin/tables.exe check] prints. *)
+val demo_suite : seed:int -> Dqma.packed list

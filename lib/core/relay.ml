@@ -32,14 +32,14 @@ let relay_positions params =
 
 type prover = {
   relay_strings : Gf2.t array;
-  segment_strategy : Sim.chain_strategy;
+  segment_strategy : Strategy.t;
 }
 
 let honest_prover params x =
   {
     relay_strings =
       Array.make (List.length (relay_positions params)) (Gf2.copy x);
-    segment_strategy = Sim.All_left;
+    segment_strategy = Strategy.All_left;
   }
 
 (* Endpoint strings of the segments: x, relays..., y; and segment edge
@@ -87,7 +87,7 @@ let attack_library params x y =
           Array.init n_relays (fun i -> if i < s then x else y) ))
   in
   let strategies =
-    [ ("geodesic", Sim.Geodesic); ("all-left", Sim.All_left) ]
+    [ ("geodesic", Strategy.Geodesic); ("all-left", Strategy.All_left) ]
   in
   List.concat_map
     (fun (sname, rs) ->

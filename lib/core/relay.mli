@@ -35,7 +35,7 @@ val relay_positions : params -> int list
     disagree. *)
 type prover = {
   relay_strings : Gf2.t array;  (** one per relay position, in order *)
-  segment_strategy : Sim.chain_strategy;
+  segment_strategy : Strategy.t;
 }
 
 (** [honest_prover params x] relays [x] everywhere. *)

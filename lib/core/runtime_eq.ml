@@ -2,7 +2,12 @@ open Qdp_linalg
 open Qdp_fingerprint
 open Qdp_network
 
-type params = { n : int; r : int; seed : int }
+type params = Eq_path.params = {
+  n : int;
+  r : int;
+  seed : int;
+  repetitions : int;
+}
 
 type node_state = {
   role : [ `Left | `Middle | `Right ];
@@ -15,13 +20,9 @@ let run_once st params x y strategy =
   let fp = Fingerprint.standard ~seed:params.seed ~n:params.n in
   let hx = Fingerprint.state fp x in
   let hy_state = Fingerprint.state fp y in
-  let prover_state j =
-    match strategy with
-    | Sim.All_left -> hx
-    | Sim.All_right -> hy_state
-    | Sim.Geodesic ->
-        States.geodesic hx hy_state (float_of_int j /. float_of_int params.r)
-    | Sim.Switch cut -> if j <= cut then hx else hy_state
+  let prover_state =
+    Strategy.node_state ~r:params.r ~left:hx ~right:hy_state
+      ~embed:(Fingerprint.state fp) strategy
   in
   let g = Graph.path params.r in
   let program =

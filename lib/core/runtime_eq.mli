@@ -13,7 +13,15 @@
 open Qdp_codes
 open Qdp_network
 
-type params = { n : int; r : int; seed : int }
+(** Shares {!Eq_path.params} so closed-form and message-passing runs
+    are configured by the same value ([repetitions] is ignored here:
+    each [run_once] is one repetition). *)
+type params = Eq_path.params = {
+  n : int;
+  r : int;
+  seed : int;
+  repetitions : int;
+}
 
 (** [run_once st params x y strategy] executes one repetition and
     returns whether every node accepted, plus the runtime's traffic
@@ -23,7 +31,7 @@ val run_once :
   params ->
   Gf2.t ->
   Gf2.t ->
-  Sim.chain_strategy ->
+  Strategy.t ->
   bool * Runtime.stats
 
 (** [estimate_acceptance st ~trials params x y strategy] is the
@@ -34,5 +42,5 @@ val estimate_acceptance :
   params ->
   Gf2.t ->
   Gf2.t ->
-  Sim.chain_strategy ->
+  Strategy.t ->
   float

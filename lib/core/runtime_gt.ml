@@ -2,12 +2,15 @@ open Qdp_linalg
 open Qdp_codes
 open Qdp_network
 
-type prover = { node_index : int -> int; chain : Sim.chain_strategy }
+type prover = { node_index : int -> int; chain : Strategy.t }
 
 let honest x y =
   match Qdp_commcc.Problems.gt_witness x y with
-  | Some i -> { node_index = (fun _ -> i); chain = Sim.All_left }
+  | Some i -> { node_index = (fun _ -> i); chain = Strategy.All_left }
   | None -> invalid_arg "Runtime_gt.honest: GT (x, y) = 0"
+
+let of_prover (p : Gt.prover) =
+  { node_index = (fun _ -> p.Gt.index); chain = p.Gt.eq_strategy }
 
 type message = { idx : int; reg : Vec.t }
 
@@ -25,11 +28,7 @@ let run_once st (params : Gt.params) x y prover =
   (* per-node chain states built from that node's claimed index *)
   let chain_state j i =
     let hx, hy = Gt.prefix_states params i x y in
-    match prover.chain with
-    | Sim.All_left -> hx
-    | Sim.All_right -> hy
-    | Sim.Geodesic -> States.geodesic hx hy (float_of_int j /. float_of_int r)
-    | Sim.Switch cut -> if j <= cut then hx else hy
+    Strategy.node_state ~r ~left:hx ~right:hy prover.chain j
   in
   let program =
     {

@@ -17,12 +17,17 @@ open Qdp_network
     strategy for the prefix-fingerprint registers. *)
 type prover = {
   node_index : int -> int;  (** claimed index at node [j], [0 <= j <= r] *)
-  chain : Sim.chain_strategy;
+  chain : Strategy.t;
 }
 
 (** [honest x y] commits to the witness index everywhere.
     @raise Invalid_argument when [GT (x, y) = 0]. *)
 val honest : Gf2.t -> Gf2.t -> prover
+
+(** [of_prover p] lifts a closed-form {!Gt.prover} (one committed
+    index) to the runtime shape — the bridge the differential harness
+    runs both backends through. *)
+val of_prover : Gt.prover -> prover
 
 (** [run_once st params x y prover] executes one repetition; returns
     the global verdict and traffic stats.  Nodes check their claimed

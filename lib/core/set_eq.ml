@@ -80,12 +80,7 @@ let best_attack_accept params s t =
       Qdp_log.attack_candidate ~proto:"set_eq" name p;
       if p > best then (p, name) else (best, best_name))
     (0., "none")
-    [
-      ("all-left", Sim.All_left);
-      ("all-right", Sim.All_right);
-      ("geodesic", Sim.Geodesic);
-      (Printf.sprintf "switch@%d" (params.r / 2), Sim.Switch (params.r / 2));
-    ]
+    (Strategy.chain_library ~r:params.r)
 
 let costs params =
   let q = params.amplify * Fingerprint.qubits_of_n params.n in

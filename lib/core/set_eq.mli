@@ -46,11 +46,11 @@ val set_overlap : params -> Gf2.t array -> Gf2.t array -> float
     set fingerprints (final SWAP test at [v_r] against its own set
     fingerprint). *)
 val single_round_accept :
-  params -> Gf2.t array -> Gf2.t array -> Sim.chain_strategy -> float
+  params -> Gf2.t array -> Gf2.t array -> Strategy.t -> float
 
 (** [accept] is the [repetitions]-fold power. *)
 val accept :
-  params -> Gf2.t array -> Gf2.t array -> Sim.chain_strategy -> float
+  params -> Gf2.t array -> Gf2.t array -> Strategy.t -> float
 
 (** [best_attack_accept params s t] maximizes over the chain-strategy
     library. *)

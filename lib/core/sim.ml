@@ -268,17 +268,8 @@ let down_tree_accept inst =
 
 let repeat_accept k p = Float.pow p (float_of_int k)
 
-type chain_strategy = All_left | All_right | Geodesic | Switch of int
-
-let two_state_chain ~r ~left ~right ~final strategy =
-  let node_state =
-    match strategy with
-    | All_left -> fun _ -> left
-    | All_right -> fun _ -> right
-    | Geodesic ->
-        fun j -> States.geodesic left right (float_of_int j /. float_of_int r)
-    | Switch cut -> fun j -> if j <= cut then left else right
-  in
+let two_state_chain ?embed ~r ~left ~right ~final strategy =
+  let node_state = Strategy.node_state ~r ~left ~right ?embed strategy in
   {
     length = r;
     left_accept = 1.0;

@@ -104,24 +104,15 @@ val down_tree_accept : down_tree_instance -> float
     strategy in each copy. *)
 val repeat_accept : int -> float -> float
 
-(** A prover strategy on a chain whose two ends hold the states [left]
-    and [right]: what single-register state each intermediate node
-    receives. *)
-type chain_strategy =
-  | All_left  (** every node gets [left] — honest when ends agree *)
-  | All_right
-  | Geodesic
-      (** node [j] gets the great-circle point [j / r] from [left] to
-          [right] — the strongest known product attack *)
-  | Switch of int  (** [left] up to the given node, [right] after *)
-
 (** [two_state_chain ~r ~left ~right ~final strategy] assembles the
-    corresponding {!path_instance} ([v_0] sends [left]; [final] is
-    [v_r]'s acceptance). *)
+    {!path_instance} a {!Strategy.t} describes ([v_0] sends [left];
+    [final] is [v_r]'s acceptance).  [embed] realizes
+    {!Strategy.Constant} strings as states. *)
 val two_state_chain :
+  ?embed:(Qdp_codes.Gf2.t -> Qdp_linalg.Vec.t) ->
   r:int ->
   left:Qdp_linalg.Vec.t ->
   right:Qdp_linalg.Vec.t ->
   final:(register -> float) ->
-  chain_strategy ->
+  Strategy.t ->
   path_instance

@@ -1,0 +1,39 @@
+open Qdp_codes
+
+type t =
+  | Honest
+  | All_left
+  | All_right
+  | Constant of Gf2.t
+  | Geodesic
+  | Switch of int
+
+let name = function
+  | Honest -> "honest"
+  | All_left -> "all-left"
+  | All_right -> "all-right"
+  | Constant _ -> "constant"
+  | Geodesic -> "geodesic"
+  | Switch cut -> Printf.sprintf "switch@%d" cut
+
+let chain_library ~r =
+  [
+    ("all-left", All_left);
+    ("all-right", All_right);
+    ("geodesic", Geodesic);
+    (Printf.sprintf "switch@%d" (r / 2), Switch (r / 2));
+  ]
+
+let node_state ~r ~left ~right ?embed strategy =
+  match strategy with
+  | Honest | All_left -> fun _ -> left
+  | All_right -> fun _ -> right
+  | Constant z -> (
+      match embed with
+      | Some f ->
+          let s = f z in
+          fun _ -> s
+      | None -> invalid_arg "Strategy.node_state: Constant needs ~embed")
+  | Geodesic ->
+      fun j -> States.geodesic left right (float_of_int j /. float_of_int r)
+  | Switch cut -> fun j -> if j <= cut then left else right

@@ -1,0 +1,44 @@
+(** The shared cheating-strategy vocabulary for every chain-shaped
+    protocol in the library.
+
+    Historically {!Eq_path} and {!Sim} each carried their own strategy
+    enum (Honest/Constant/Interpolate/Step vs
+    All_left/All_right/Geodesic/Switch) describing the same object: a
+    product prover on a chain whose two ends hold distinguished states.
+    This module is the single type both sides — and every registry
+    entry — now speak. *)
+
+open Qdp_codes
+open Qdp_linalg
+
+(** What single-register state each intermediate node [j] of a chain
+    [v_0 .. v_r] receives, given the two end states [left] and
+    [right]. *)
+type t =
+  | Honest  (** every node gets [left] — the completeness prover *)
+  | All_left  (** alias of the honest play when the ends agree *)
+  | All_right  (** every node gets [right] *)
+  | Constant of Gf2.t
+      (** every node gets the embedding of a fixed string (requires an
+          [embed] function at interpretation time) *)
+  | Geodesic
+      (** node [j] gets the great-circle point [j / r] from [left] to
+          [right] — the strongest known product attack *)
+  | Switch of int  (** [left] up to the given node, [right] after *)
+
+(** [name s] is a short stable identifier ("honest", "all-left",
+    "geodesic", "switch@5", ...). *)
+val name : t -> string
+
+(** [chain_library ~r] is the standard soundness-experiment library on
+    a length-[r] chain: all-left, all-right, geodesic and the midpoint
+    switch, under the names the tables print. *)
+val chain_library : r:int -> (string * t) list
+
+(** [node_state ~r ~left ~right ?embed s] interprets [s] as the
+    function from intermediate node index [j] (with [1 <= j <= r - 1])
+    to the state that node receives.  [embed] realizes [Constant]
+    strings as states.
+    @raise Invalid_argument on [Constant _] without [embed]. *)
+val node_state :
+  r:int -> left:Vec.t -> right:Vec.t -> ?embed:(Gf2.t -> Vec.t) -> t -> int -> Vec.t

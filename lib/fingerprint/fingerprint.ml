@@ -5,8 +5,28 @@ type t = { code : Linear_code.t }
 
 let make code = { code }
 
+(* [standard] is deterministic in (seed, n), and attack searches /
+   repeated instance builds call it with the same few keys over and
+   over — memoize the constructed family.  The table is tiny (a code
+   per distinct key); a size cap bounds pathological sweeps. *)
+let cache_hits = Qdp_obs.Metrics.counter "fingerprint.cache.hits"
+let cache_misses = Qdp_obs.Metrics.counter "fingerprint.cache.misses"
+let standard_cache : (int * int, t) Hashtbl.t = Hashtbl.create 64
+let standard_cache_limit = 512
+
 let standard ~seed ~n =
-  { code = Linear_code.random ~seed ~n ~m:(8 * n) }
+  let key = (seed, n) in
+  match Hashtbl.find_opt standard_cache key with
+  | Some fp ->
+      Qdp_obs.Metrics.incr cache_hits;
+      fp
+  | None ->
+      Qdp_obs.Metrics.incr cache_misses;
+      let fp = { code = Linear_code.random ~seed ~n ~m:(8 * n) } in
+      if Hashtbl.length standard_cache >= standard_cache_limit then
+        Hashtbl.reset standard_cache;
+      Hashtbl.add standard_cache key fp;
+      fp
 
 let code fp = fp.code
 let input_bits fp = Linear_code.message_length fp.code

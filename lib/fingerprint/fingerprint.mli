@@ -24,7 +24,12 @@ val make : Linear_code.t -> t
 (** [standard ~seed ~n] is the default family for [n]-bit inputs: a
     seeded random systematic code of rate 1/8 ([m = 8 n]), whose
     relative distance concentrates near 1/2 so the single-measurement
-    soundness error [(1 - delta)^2] is ~1/4. *)
+    soundness error [(1 - delta)^2] is ~1/4.
+
+    Construction is memoized per [(seed, n)] — repeated instance
+    builds in attack searches hit a process-wide cache (observable via
+    the [fingerprint.cache.hits]/[fingerprint.cache.misses]
+    counters). *)
 val standard : seed:int -> n:int -> t
 
 (** [code fp] is the underlying code. *)

@@ -19,7 +19,8 @@ let test_demo_suite_meets_spec () =
     (fun packed ->
       let name, e = Dqma.evaluate_packed packed in
       Alcotest.(check bool) (name ^ " meets spec") true e.Dqma.meets_spec)
-    (Dqma.demo_suite ~seed:17)
+    (Protocols.init ();
+     Registry.demo_suite ~seed:17)
 
 let test_eq_path_adapter_consistent () =
   let n = 20 and r = 4 in

@@ -17,7 +17,7 @@ let test_eq_path_r1 () =
   let p = Eq_path.make ~repetitions:3 ~seed:1 ~n:16 ~r:1 () in
   let x = Gf2.random rng 16 in
   check_float ~eps:1e-12 "complete" 1.
-    (Eq_path.accept p x (Gf2.copy x) Eq_path.Honest);
+    (Eq_path.accept p x (Gf2.copy x) Strategy.Honest);
   let y =
     let z = Gf2.copy x in
     Gf2.set z 0 (not (Gf2.get z 0));
@@ -40,7 +40,7 @@ let test_eq_path_n1 () =
   let p = Eq_path.make ~repetitions:2 ~seed:3 ~n:1 ~r:3 () in
   let one = Gf2.of_string "1" and zero = Gf2.of_string "0" in
   check_float ~eps:1e-12 "complete" 1.
-    (Eq_path.accept p one (Gf2.copy one) Eq_path.Honest);
+    (Eq_path.accept p one (Gf2.copy one) Strategy.Honest);
   let best, _ = Eq_path.best_attack_accept p one zero in
   Alcotest.(check bool) "distinct bits attackable below bound" true
     (best <= Eq_path.soundness_bound_single ~r:3 +. 1e-9)
@@ -86,7 +86,7 @@ let test_set_eq_k1 () =
   let p = Set_eq.make ~repetitions:2 ~seed:6 ~n:16 ~k:1 ~r:3 () in
   let x = Gf2.random rng 16 in
   check_float ~eps:1e-9 "singleton equal" 1.
-    (Set_eq.accept p [| x |] [| Gf2.copy x |] Sim.All_left);
+    (Set_eq.accept p [| x |] [| Gf2.copy x |] Strategy.All_left);
   let y =
     let z = Gf2.copy x in
     Gf2.set z 3 (not (Gf2.get z 3));

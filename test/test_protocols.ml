@@ -29,7 +29,7 @@ let test_eq_path_perfect_completeness () =
     check_float ~eps:1e-12
       (Printf.sprintf "r=%d" r)
       1.
-      (Eq_path.accept p x (Gf2.copy x) Eq_path.Honest)
+      (Eq_path.accept p x (Gf2.copy x) Strategy.Honest)
   done
 
 let test_eq_path_soundness_bound () =
@@ -60,7 +60,7 @@ let test_eq_path_interpolation_scaling () =
   let x, y = distinct_pair rng 64 in
   let reject r =
     let p = Eq_path.make ~repetitions:1 ~seed:4 ~n:64 ~r () in
-    1. -. Eq_path.single_round_accept p x y Eq_path.Interpolate
+    1. -. Eq_path.single_round_accept p x y Strategy.Geodesic
   in
   let r8 = reject 8 and r16 = reject 16 in
   let ratio = r8 /. r16 in
@@ -76,7 +76,7 @@ let test_fgnp_forwarding_variant () =
   let p = Eq_path.make ~repetitions:1 ~seed:44 ~n ~r () in
   let x, y = distinct_pair rng n in
   Alcotest.(check (float 1e-12)) "forwarding completeness" 1.
-    (Eq_path.fgnp_forwarding_accept p x (Gf2.copy x) Eq_path.Honest);
+    (Eq_path.fgnp_forwarding_accept p x (Gf2.copy x) Strategy.Honest);
   let sym_attack, _ = Eq_path.best_attack_accept p x y in
   let fwd_attack =
     List.fold_left
@@ -428,15 +428,15 @@ let test_node_splitting_reduction () =
 (* --- runtime execution agrees with the closed form --- *)
 
 let test_runtime_matches_closed_form () =
-  let params = { Runtime_eq.n = 16; r = 4; seed = 27 } in
+  let params = { Runtime_eq.n = 16; r = 4; seed = 27; repetitions = 1 } in
   let closed_params = Eq_path.make ~repetitions:1 ~seed:27 ~n:16 ~r:4 () in
   let x, y = distinct_pair rng 16 in
   let closed =
-    Eq_path.single_round_accept closed_params x y (Eq_path.Constant x)
+    Eq_path.single_round_accept closed_params x y (Strategy.Constant x)
   in
   let st = Random.State.make [| 0x81 |] in
   let sampled =
-    Runtime_eq.estimate_acceptance st ~trials:3000 params x y Sim.All_left
+    Runtime_eq.estimate_acceptance st ~trials:3000 params x y Strategy.All_left
   in
   Alcotest.(check bool)
     (Printf.sprintf "sampled %.3f vs closed %.3f" sampled closed)
@@ -444,10 +444,10 @@ let test_runtime_matches_closed_form () =
     (Float.abs (sampled -. closed) < 0.05)
 
 let test_runtime_honest () =
-  let params = { Runtime_eq.n = 16; r = 5; seed = 28 } in
+  let params = { Runtime_eq.n = 16; r = 5; seed = 28; repetitions = 1 } in
   let x = Gf2.random rng 16 in
   let st = Random.State.make [| 0x82 |] in
-  let ok, stats = Runtime_eq.run_once st params x (Gf2.copy x) Sim.All_left in
+  let ok, stats = Runtime_eq.run_once st params x (Gf2.copy x) Strategy.All_left in
   Alcotest.(check bool) "honest run accepts" true ok;
   Alcotest.(check int) "r messages" 5 stats.Runtime.messages
 

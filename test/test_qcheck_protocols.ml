@@ -23,7 +23,7 @@ let prop_eq_path_perfect_completeness =
       let st = Random.State.make [| seed; 1 |] in
       let x = Gf2.random st n in
       let p = Eq_path.make ~repetitions:2 ~seed ~n ~r () in
-      Eq_path.accept p x (Gf2.copy x) Eq_path.Honest >= 1.0 -. 1e-9)
+      Eq_path.accept p x (Gf2.copy x) Strategy.Honest >= 1.0 -. 1e-9)
 
 let prop_eq_path_attacks_below_bound =
   QCheck.Test.make ~name:"EQ path: every attack below the Lemma 17 bound"
@@ -47,7 +47,7 @@ let prop_eq_path_accept_is_probability =
       let st = Random.State.make [| seed; 3 |] in
       let x, y = distinct_pair st n in
       let p = Eq_path.make ~repetitions:1 ~seed ~n ~r () in
-      let v = Eq_path.single_round_accept p x y (Eq_path.Step (cut mod r)) in
+      let v = Eq_path.single_round_accept p x y (Strategy.Switch (cut mod r)) in
       v >= -1e-12 && v <= 1. +. 1e-12)
 
 let prop_gt_completeness =

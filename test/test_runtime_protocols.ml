@@ -41,11 +41,11 @@ let test_runtime_gt_converges () =
   done;
   if !idx >= 0 then begin
     let prover =
-      { Runtime_gt.node_index = (fun _ -> !idx); chain = Sim.Geodesic }
+      { Runtime_gt.node_index = (fun _ -> !idx); chain = Strategy.Geodesic }
     in
     let closed =
       Gt.single_round_accept params y x
-        { Gt.index = !idx; eq_strategy = Sim.Geodesic }
+        { Gt.index = !idx; eq_strategy = Strategy.Geodesic }
     in
     let st = Random.State.make [| 2 |] in
     let sampled =
@@ -69,7 +69,7 @@ let test_runtime_gt_index_mismatch_caught () =
   let prover =
     {
       Runtime_gt.node_index = (fun j -> if j <= r / 2 then i else other);
-      chain = Sim.All_left;
+      chain = Strategy.All_left;
     }
   in
   let st = Random.State.make [| 3 |] in

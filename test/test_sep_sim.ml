@@ -27,7 +27,7 @@ let test_matches_product_engine () =
       Sim.path_accept
         (Sim.two_state_chain ~r ~left:x_state ~right:y_state
            ~final:(fun reg -> Cx.norm2 (Vec.dot y_state reg.(0)))
-           Sim.Geodesic)
+           Strategy.Geodesic)
     in
     check_float ~eps:1e-10 (Printf.sprintf "r=%d" r) sim sep
   done

@@ -75,7 +75,7 @@ let test_path_honest_accepts () =
   let inst =
     Sim.two_state_chain ~r:5 ~left:s ~right:s
       ~final:(fun reg -> Cx.norm2 (Vec.dot s reg.(0)))
-      Sim.All_left
+      Strategy.All_left
   in
   check_float ~eps:1e-12 "honest chain accepts" 1. (Sim.path_accept inst)
 

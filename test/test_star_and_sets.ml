@@ -125,7 +125,7 @@ let test_set_eq_completeness () =
   let s = random_set rng params in
   let permuted = [| s.(2); s.(0); s.(1) |] in
   check_float ~eps:1e-9 "equal sets accepted" 1.
-    (Set_eq.accept params s permuted Sim.All_left)
+    (Set_eq.accept params s permuted Strategy.All_left)
 
 let test_set_eq_soundness () =
   let params = Set_eq.make ~repetitions:1 ~seed:4 ~n:24 ~k:3 ~r:5 () in
