@@ -1,4 +1,4 @@
-.PHONY: all build test check tables bench fmt clean
+.PHONY: all build test check tables bench faults fmt clean
 
 all: build
 
@@ -16,6 +16,11 @@ tables:
 
 bench:
 	dune exec bench/main.exe
+
+# Graceful-degradation sweep: writes BENCH_faults.json, exits non-zero
+# on any soundness or monotonicity violation.
+faults:
+	dune exec bin/qdp.exe -- faults --seed 42
 
 # Requires the ocamlformat binary (not vendored); version pinned in
 # .ocamlformat so results are reproducible wherever it is installed.

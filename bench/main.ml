@@ -118,6 +118,31 @@ let bench_network =
                           entry)))))
        (Registry.all ()))
 
+(* --- fault layer: one recovered execution per fault-tolerant entry --- *)
+
+let bench_faults =
+  let open Qdp_faults in
+  let spec = { Registry.default_spec with n = 24; r = 3; t = 3 } in
+  Test.make_grouped ~name:"faults"
+    (List.filter_map
+       (fun entry ->
+         match Registry.fault_suite spec entry with
+         | None -> None
+         | Some suite ->
+             let case = List.hd suite.Registry.fs_yes in
+             Some
+               (Test.make ~name:("faulty_" ^ suite.Registry.fs_id)
+                  (Staged.stage (fun () ->
+                       let proto_st = Random.State.make [| 0x4af |] in
+                       let env =
+                         Plan.env Plan.Drop ~strength:0.1
+                           ~st:(Random.State.make [| 0x4af; 1 |])
+                       in
+                       ignore
+                         (Plan.execute Plan.Reject_on_timeout (fun () ->
+                              case.Registry.fc_run proto_st env))))))
+       (Registry.all ()))
+
 (* --- Table 3 --- *)
 
 let bench_table3 =
@@ -180,6 +205,7 @@ let tests =
       bench_table1;
       bench_protocols;
       bench_network;
+      bench_faults;
       bench_table3;
       bench_extensions;
     ]

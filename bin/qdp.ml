@@ -168,15 +168,16 @@ let entry_cmd entry =
 
 let list_cmd =
   let run () =
-    Format.printf "%-7s %-22s %-11s %-9s %-6s %-18s %s@." "ID" "PROTOCOL"
-      "MODEL" "BACKENDS" "SUITE" "REFERENCE" "COST";
+    Format.printf "%-7s %-22s %-11s %-9s %-7s %-6s %-18s %s@." "ID" "PROTOCOL"
+      "MODEL" "BACKENDS" "FAULTS" "SUITE" "REFERENCE" "COST";
     List.iter
       (fun entry ->
         let i = Registry.info entry in
-        Format.printf "%-7s %-22s %-11s %-9s %-6s %-18s %s@."
+        Format.printf "%-7s %-22s %-11s %-9s %-7s %-6s %-18s %s@."
           i.Registry.info_id i.Registry.info_name
           (Format.asprintf "%a" Dqma.pp_model i.Registry.info_model)
           (if i.Registry.info_network then "both" else "analytic")
+          (if i.Registry.info_fault_tolerant then "yes" else "-")
           (if i.Registry.info_conformance then "yes" else "-")
           i.Registry.info_reference i.Registry.info_cost)
       (Registry.all ())
@@ -267,12 +268,111 @@ let xval_cmd =
       const run $ seed_arg $ n_arg $ r_arg $ t_arg $ d_arg $ reps_arg
       $ topology_arg $ trials_arg $ protocol_arg $ metrics_arg $ trace_arg)
 
+let faults_cmd =
+  let open Qdp_faults in
+  let trials_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "trials" ] ~docv:"TRIALS"
+          ~doc:"Monte-Carlo runs per (strategy, strength) point.")
+  in
+  let points_arg =
+    Arg.(
+      value & opt int 11
+      & info [ "points" ] ~docv:"POINTS"
+          ~doc:"Grid points between 0 and --max-strength.")
+  in
+  let max_strength_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "max-strength" ] ~docv:"P"
+          ~doc:"Largest fault strength swept.")
+  in
+  let protocol_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "protocol" ] ~docv:"ID"
+          ~doc:
+            "Sweep only this protocol (repeatable; default: every \
+             fault-tolerant entry).")
+  in
+  let kind_arg =
+    let kind_conv = Arg.enum (List.map (fun k -> (Plan.name k, k)) Plan.all) in
+    Arg.(
+      value
+      & opt_all kind_conv []
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Sweep only this fault kind (repeatable; default: every kind \
+             applicable to the entry's link type).")
+  in
+  let recovery_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("reject-on-timeout", Plan.Reject_on_timeout);
+               ("degraded-verdict", Plan.Degraded_verdict);
+               ("retry", Plan.Retry 2);
+             ])
+          Plan.Reject_on_timeout
+      & info [ "recovery" ] ~docv:"MODE"
+          ~doc:
+            "Recovery discipline: reject-on-timeout, degraded-verdict, or \
+             retry (budget 2, triggered by detected faults only).")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_faults.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the JSON decay curves.")
+  in
+  let run seed n r t d reps topo trials points max_strength protocols kinds
+      recovery out metrics trace =
+    with_obs ~cmd:"faults" metrics trace @@ fun () ->
+    let spec =
+      { Registry.seed; n; r; t; d; repetitions = reps; topology = topo }
+    in
+    let cfg =
+      {
+        Sweep.seed;
+        trials;
+        grid = Sweep.default_grid ~points ~max_strength ();
+        recovery;
+        protocols = (match protocols with [] -> None | ids -> Some ids);
+        kinds = (match kinds with [] -> None | ks -> Some ks);
+        spec;
+      }
+    in
+    let sw = Sweep.run cfg in
+    Format.printf "@[<v>%a@]@." Sweep.pp_summary sw;
+    Sweep.write_json out sw;
+    Format.printf "decay curves written to %s@." out;
+    if Sweep.violations sw > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Sweep fault strengths over every fault-tolerant protocol and \
+          verify graceful degradation: soundness must never exceed the \
+          noiseless bound (contractivity), completeness must decay \
+          monotonically.")
+    Term.(
+      const run $ seed_arg $ n_arg $ r_arg $ t_arg $ d_arg $ reps_arg
+      $ topology_arg $ trials_arg $ points_arg $ max_strength_arg
+      $ protocol_arg $ kind_arg $ recovery_arg $ out_arg $ metrics_arg
+      $ trace_arg)
+
 let main =
   Cmd.group
     (Cmd.info "qdp" ~version:"1.0.0"
        ~doc:
          "Distributed quantum Merlin-Arthur protocols \
           (Hasegawa-Kundu-Nishimura, PODC 2024).")
-    (List.map entry_cmd (Registry.all ()) @ [ list_cmd; check_cmd; xval_cmd ])
+    (List.map entry_cmd (Registry.all ())
+    @ [ list_cmd; check_cmd; xval_cmd; faults_cmd ])
 
 let () = exit (Cmd.eval main)

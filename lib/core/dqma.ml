@@ -329,6 +329,10 @@ let evaluate_packed (Packed (p, inst)) = (p.name, evaluate p inst)
 (* ------------------------------------------------------------------ *)
 
 type ('i, 'p) network = Random.State.t -> 'i -> 'p -> bool
+
+type ('i, 'p) faulty_network =
+  Random.State.t -> Fault_env.t -> 'i -> 'p -> Runtime.verdict array * Runtime.stats
+
 type ('i, 'p) backend = Analytic | Network of ('i, 'p) network
 
 let obs_crossval_checks = Qdp_obs.Metrics.counter "crossval.checks"
@@ -358,7 +362,7 @@ type check = {
   agree : bool;
 }
 
-let cross_validate ?(trials = 2000) ~st ~network p inst =
+let cross_validate ?(trials = 2000) ?(z = 5.) ~st ~network p inst =
   Qdp_obs.Trace.with_span "dqma.cross_validate"
     ~attrs:(fun () -> [ ("protocol", Qdp_obs.Trace.Str p.name) ])
   @@ fun () ->
@@ -369,20 +373,25 @@ let cross_validate ?(trials = 2000) ~st ~network p inst =
   List.map
     (fun (name, prover) ->
       let analytic = p.accept inst prover in
-      let sampled =
-        backend_accept ~trials ~st (Network network) p inst prover
-      in
+      let hits = ref 0 in
+      for _ = 1 to trials do
+        Qdp_obs.Metrics.incr obs_crossval_runs;
+        if network st inst prover then incr hits
+      done;
+      let sampled = float_of_int !hits /. float_of_int trials in
+      (* a deterministic verdict (p in {0, 1}) must reproduce exactly;
+         otherwise the analytic value must fall inside the z-sigma
+         Wilson score interval of the sampled frequency *)
+      let deterministic = analytic < 1e-9 || analytic > 1. -. 1e-9 in
+      let iv = Runtime.wilson ~z ~hits:!hits ~trials () in
       let tolerance =
-        (* a deterministic verdict (p in {0, 1}) must reproduce
-           exactly; otherwise allow 4 sigmas of sampling noise plus a
-           fixed slack for the finite-trials tail *)
-        if analytic < 1e-9 || analytic > 1. -. 1e-9 then 1e-6
-        else
-          4.
-          *. Float.sqrt (analytic *. (1. -. analytic) /. float_of_int trials)
-          +. 0.01
+        if deterministic then 1e-6
+        else (iv.Runtime.upper -. iv.Runtime.lower) /. 2.
       in
-      let agree = Float.abs (analytic -. sampled) <= tolerance in
+      let agree =
+        if deterministic then Float.abs (analytic -. sampled) <= 1e-6
+        else analytic >= iv.Runtime.lower && analytic <= iv.Runtime.upper
+      in
       Qdp_obs.Metrics.incr obs_crossval_checks;
       if not agree then Qdp_obs.Metrics.incr obs_crossval_disagreements;
       { check_strategy = name; analytic; sampled; trials; tolerance; agree })

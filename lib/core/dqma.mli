@@ -140,6 +140,13 @@ val evaluate_packed : packed -> string * evaluation
 (** A network realization: one sampled run, [true] on accept. *)
 type ('i, 'p) network = Random.State.t -> 'i -> 'p -> bool
 
+(** A fault-aware network realization: one sampled run under a
+    {!Fault_env.t}, returning the raw per-node verdicts and stats so
+    the fault layer ([Qdp_faults]) can apply recovery semantics
+    (timeout-as-reject, degraded verdicts of the survivors, retry). *)
+type ('i, 'p) faulty_network =
+  Random.State.t -> Fault_env.t -> 'i -> 'p -> Runtime.verdict array * Runtime.stats
+
 (** How to obtain a single-repetition acceptance probability. *)
 type ('i, 'p) backend = Analytic | Network of ('i, 'p) network
 
@@ -164,16 +171,20 @@ type check = {
   trials : int;
   tolerance : float;
       (** [1e-6] when the analytic verdict is deterministic, otherwise
-          four binomial standard deviations plus fixed slack *)
+          the half-width of the Wilson score interval *)
   agree : bool;
 }
 
-(** [cross_validate ?trials ~st ~network p inst] compares both
+(** [cross_validate ?trials ?z ~st ~network p inst] compares both
     backends on the honest prover (when defined) and every
-    attack-library strategy.  Increments [crossval.checks] and
-    [crossval.disagreements]. *)
+    attack-library strategy.  Deterministic analytic verdicts must
+    reproduce to 1e-6; probabilistic ones must place the analytic value
+    inside the [z]-sigma (default 5) Wilson score interval of the
+    sampled frequency ({!Qdp_network.Runtime.wilson}).  Increments
+    [crossval.checks] and [crossval.disagreements]. *)
 val cross_validate :
   ?trials:int ->
+  ?z:float ->
   st:Random.State.t ->
   network:('i, 'p) network ->
   ('i, 'p) protocol ->

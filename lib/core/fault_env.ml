@@ -1,0 +1,17 @@
+open Qdp_linalg
+open Qdp_network
+
+type t = {
+  spec : Fault.spec;
+  st : Random.State.t;
+  qnoise : (Random.State.t -> Vec.t -> Vec.t) option;
+}
+
+let make ?qnoise ~st spec = { spec; st; qnoise }
+let perfect ~st = { spec = Fault.none; st; qnoise = None }
+
+let apply_qnoise env st v =
+  match env.qnoise with Some f -> f st v | None -> v
+
+let injector ?(corrupt = fun _ m -> m) env =
+  Fault.make ~corrupt ~st:env.st env.spec

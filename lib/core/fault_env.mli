@@ -1,0 +1,34 @@
+(** The fault environment a protocol backend runs under.
+
+    Bridges the declarative, payload-agnostic {!Qdp_network.Fault.spec}
+    to the protocol backends: alongside the spec it carries the
+    injector RNG (separate from the protocol's own randomness, so a
+    deterministic plan never shifts protocol coin flips) and an
+    optional corruption action on *quantum registers* — typically a
+    sampled CPTP channel built by [Qdp_faults.Noise].  Each backend
+    lifts that register action into its own payload type (and
+    classical-payload backends substitute bit flips). *)
+
+open Qdp_linalg
+open Qdp_network
+
+type t = {
+  spec : Fault.spec;
+  st : Random.State.t;  (** fault-injection RNG *)
+  qnoise : (Random.State.t -> Vec.t -> Vec.t) option;
+      (** corruption of a forwarded quantum register *)
+}
+
+val make :
+  ?qnoise:(Random.State.t -> Vec.t -> Vec.t) -> st:Random.State.t -> Fault.spec -> t
+
+(** A no-fault environment (still needs an RNG for uniformity). *)
+val perfect : st:Random.State.t -> t
+
+(** [apply_qnoise env st v] applies the register corruption, or is the
+    identity when the environment carries none. *)
+val apply_qnoise : t -> Random.State.t -> Vec.t -> Vec.t
+
+(** [injector ?corrupt env] compiles the environment into a runtime
+    injector over the backend's payload type. *)
+val injector : ?corrupt:(Random.State.t -> 'm -> 'm) -> t -> 'm Fault.t

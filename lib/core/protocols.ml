@@ -33,6 +33,13 @@ let eq_entry =
             let params = eq_params s in
             fun st (x, y) strategy ->
               fst (Runtime_eq.run_once st params x y strategy));
+      faulty =
+        Some
+          (fun s ->
+            let params = eq_params s in
+            fun st env (x, y) strategy ->
+              Runtime_eq.run_faulty st env params x y strategy);
+      quantum_links = true;
       conformance = true;
     }
 
@@ -73,6 +80,14 @@ let eqt_entry =
                 (Runtime_tree.run_once st params mi.Dqma.graph
                    ~terminals:mi.Dqma.terminals ~inputs:mi.Dqma.inputs
                    strategy));
+      faulty =
+        Some
+          (fun s ->
+            let params = eqt_params s in
+            fun st env (mi : Dqma.multi_instance) strategy ->
+              Runtime_tree.run_faulty st env params mi.Dqma.graph
+                ~terminals:mi.Dqma.terminals ~inputs:mi.Dqma.inputs strategy);
+      quantum_links = true;
       conformance = true;
     }
 
@@ -99,6 +114,14 @@ let gt_entry =
             let params = gt_params s in
             fun st (x, y) prover ->
               fst (Runtime_gt.run_once st params x y (Runtime_gt.of_prover prover)));
+      faulty =
+        Some
+          (fun s ->
+            let params = gt_params s in
+            fun st env (x, y) prover ->
+              Runtime_gt.run_faulty st env params x y
+                (Runtime_gt.of_prover prover));
+      quantum_links = true;
       conformance = true;
     }
 
@@ -117,6 +140,8 @@ let relay_entry =
         (fun s -> Dqma.relay (Relay.make ~seed:s.seed ~n:s.n ~r:s.r ()));
       demo = (fun ctx -> (copy_pair ctx.x ctx.x, copy_pair ctx.x ctx.y));
       network = None;
+      faulty = None;
+      quantum_links = false;
       conformance = true;
     }
 
@@ -138,6 +163,8 @@ let dqcma_entry =
                ~r:s.r ()));
       demo = (fun ctx -> (copy_pair ctx.x ctx.x, copy_pair ctx.x ctx.y));
       network = None;
+      faulty = None;
+      quantum_links = false;
       conformance = true;
     }
 
@@ -158,6 +185,12 @@ let dma_entry =
         Some
           (fun s ->
             fun _st (x, y) prover -> fst (Runtime_dma.run ~r:s.r x y prover));
+      faulty =
+        Some
+          (fun s ->
+            fun st env (x, y) prover ->
+              Runtime_dma.run_faulty st env ~r:s.r x y prover);
+      quantum_links = false;
       conformance = true;
     }
 
@@ -182,6 +215,13 @@ let rpls_entry =
           (fun s ->
             let params = rpls_params s in
             fun st (x, y) prover -> fst (Rpls.run_once st params x y prover));
+      faulty =
+        Some
+          (fun s ->
+            let params = rpls_params s in
+            fun st env (x, y) prover ->
+              Rpls.run_faulty st env params x y prover);
+      quantum_links = false;
       conformance = true;
     }
 
@@ -213,6 +253,8 @@ let seteq_entry =
           in
           ((set, perm), (Array.map Gf2.copy set, other)));
       network = None;
+      faulty = None;
+      quantum_links = false;
       conformance = true;
     }
 
@@ -252,6 +294,8 @@ let rv_entry =
              smallest, so rank 1 is true for the former only *)
           (mk (s.t - 1) 1, mk 0 1));
       network = None;
+      faulty = None;
+      quantum_links = false;
       conformance = false;
     }
 
@@ -275,6 +319,8 @@ let ham_entry =
                ~r ~t:s.t ~n:s.n ()));
       demo = multi_of_ctx;
       network = None;
+      faulty = None;
+      quantum_links = false;
       conformance = false;
     }
 

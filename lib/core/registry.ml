@@ -65,6 +65,8 @@ type entry =
       protocol : spec -> ('i, 'p) Dqma.protocol;
       demo : demo_ctx -> 'i * 'i;
       network : (spec -> ('i, 'p) Dqma.network) option;
+      faulty : (spec -> ('i, 'p) Dqma.faulty_network) option;
+      quantum_links : bool;
       conformance : bool;
     }
       -> entry
@@ -90,6 +92,7 @@ type info = {
   info_reference : string;
   info_cost : string;
   info_network : bool;
+  info_fault_tolerant : bool;
   info_conformance : bool;
 }
 
@@ -103,6 +106,7 @@ let info ?(spec = default_spec) (Entry e) =
     info_reference = e.meta.reference;
     info_cost = e.meta.cost_formula;
     info_network = e.network <> None;
+    info_fault_tolerant = e.faulty <> None;
     info_conformance = e.conformance;
   }
 
@@ -124,6 +128,56 @@ let cross_validate_demo ?trials ~st spec (Entry e) =
           ("yes", Dqma.cross_validate ?trials ~st ~network p yes);
           ("no", Dqma.cross_validate ?trials ~st ~network p no);
         ]
+
+(* ------------------------------------------------------------------ *)
+(* Fault experiments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type fault_case = {
+  fc_strategy : string;
+  fc_analytic : float;
+  fc_run : Random.State.t -> Fault_env.t -> Runtime.verdict array * Runtime.stats;
+}
+
+type fault_suite = {
+  fs_id : string;
+  fs_name : string;
+  fs_quantum_links : bool;
+  fs_yes : fault_case list;
+  fs_no : fault_case list;
+}
+
+let fault_suite spec (Entry e) =
+  match e.faulty with
+  | None -> None
+  | Some mk ->
+      let spec = e.demo_fix spec in
+      let p = e.protocol spec in
+      let run = mk spec in
+      let cases inst provers =
+        List.map
+          (fun (name, prover) ->
+            {
+              fc_strategy = name;
+              fc_analytic = p.Dqma.accept inst prover;
+              fc_run = (fun st env -> run st env inst prover);
+            })
+          provers
+      in
+      let yes, no = e.demo (context_of spec) in
+      let honest_of inst =
+        match p.Dqma.honest inst with
+        | Some h -> [ ("honest", h) ]
+        | None -> []
+      in
+      Some
+        {
+          fs_id = e.meta.id;
+          fs_name = p.Dqma.name;
+          fs_quantum_links = e.quantum_links;
+          fs_yes = cases yes (honest_of yes);
+          fs_no = cases no (honest_of no @ p.Dqma.attacks no);
+        }
 
 let demo_suite ~seed =
   let base = { default_spec with seed; n = 24; r = 4; t = 4 } in

@@ -74,6 +74,11 @@ val context_of : ?x:Gf2.t -> ?y:Gf2.t -> spec -> demo_ctx
     when present, is the protocol's sampled message-passing
     realization, the counterpart the differential harness
     ({!Dqma.cross_validate}) checks the analytic path against;
+    [faulty], when present, is the same realization run under a fault
+    environment (the [fault_tolerant] capability — `qdp faults` sweeps
+    every entry that has one); [quantum_links] records whether the
+    realization forwards quantum registers (so the fault sweep knows
+    whether channel noise or classical bit flips apply);
     [conformance] admits the entry into {!demo_suite}. *)
 type entry =
   | Entry : {
@@ -82,6 +87,8 @@ type entry =
       protocol : spec -> ('i, 'p) Dqma.protocol;
       demo : demo_ctx -> 'i * 'i;
       network : (spec -> ('i, 'p) Dqma.network) option;
+      faulty : (spec -> ('i, 'p) Dqma.faulty_network) option;
+      quantum_links : bool;
       conformance : bool;
     }
       -> entry
@@ -110,6 +117,7 @@ type info = {
   info_reference : string;
   info_cost : string;
   info_network : bool;
+  info_fault_tolerant : bool;
   info_conformance : bool;
 }
 
@@ -139,6 +147,40 @@ val cross_validate_demo :
   spec ->
   entry ->
   (string * Dqma.check list) list option
+
+(** {2 Fault experiments}
+
+    The monomorphic view of an entry the fault layer ([Qdp_faults])
+    sweeps: the existential is unpacked here, once, so the sweep can
+    iterate protocols, strategies and fault plans without touching
+    entry internals. *)
+
+(** One (instance, prover strategy) pair ready to execute under a
+    fault environment.  [fc_analytic] is the exact noiseless
+    single-repetition acceptance — the baseline both invariants
+    (soundness contractivity, completeness decay) are measured
+    against. *)
+type fault_case = {
+  fc_strategy : string;
+  fc_analytic : float;
+  fc_run : Random.State.t -> Fault_env.t -> Runtime.verdict array * Runtime.stats;
+}
+
+(** An entry's fault-experiment package: the honest prover on the yes
+    instance ([fs_yes]) and the honest prover (if defined) plus the
+    whole attack library on the no instance ([fs_no]). *)
+type fault_suite = {
+  fs_id : string;
+  fs_name : string;
+  fs_quantum_links : bool;
+  fs_yes : fault_case list;
+  fs_no : fault_case list;
+}
+
+(** [fault_suite spec e] unpacks [e] for the fault sweep — [None] when
+    the entry has no fault-aware realization.  [demo_fix] is applied to
+    [spec] first, as in {!cross_validate_demo}. *)
+val fault_suite : spec -> entry -> fault_suite option
 
 (** [demo_suite ~seed] is the conformance suite: one yes and one no
     instance of every [conformance] entry, in registration order, with

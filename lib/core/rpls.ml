@@ -31,7 +31,7 @@ type node_state = {
   mutable verdict : Runtime.verdict;
 }
 
-let run_once st params x y prover =
+let run_with ?faults st params x y prover =
   let w = proofs_of params prover in
   (* shared randomness: the same parity vectors at every node *)
   let seeds =
@@ -60,6 +60,11 @@ let run_once st params x y prover =
               let payload = Array.to_list state.parities in
               (state, List.map (fun v -> (v, payload)) (Graph.neighbours g id))
           | 2 ->
+              (* timeout-as-reject: silence from any neighbour is as
+                 damning as a mismatching parity *)
+              let senders = List.sort_uniq compare (List.map fst inbox) in
+              if List.length senders <> List.length (Graph.neighbours g id)
+              then state.verdict <- Runtime.Reject;
               List.iter
                 (fun (_, payload) ->
                   List.iteri
@@ -73,8 +78,25 @@ let run_once st params x y prover =
       finish = (fun ~id:_ state -> state.verdict);
     }
   in
-  let verdicts, stats = Runtime.run g ~rounds:2 program in
+  Runtime.run ?faults g ~rounds:2 program
+
+let run_once st params x y prover =
+  let verdicts, stats = run_with st params x y prover in
   (Runtime.global_verdict verdicts = Runtime.Accept, stats)
+
+(* Classical payloads again: corruption flips one parity bit of the
+   exchanged check vector. *)
+let flip_parity st = function
+  | [] -> []
+  | payload ->
+      let a = Array.of_list payload in
+      let i = Random.State.int st (Array.length a) in
+      a.(i) <- not a.(i);
+      Array.to_list a
+
+let run_faulty st (env : Fault_env.t) params x y prover =
+  let faults = Fault_env.injector ~corrupt:flip_parity env in
+  run_with ~faults st params x y prover
 
 let costs params =
   {

@@ -41,6 +41,19 @@ val run_once :
   prover ->
   bool * Qdp_network.Runtime.stats
 
+(** [run_faulty st env params x y prover] is {!run_once} under the
+    fault environment; corruption flips one exchanged parity bit per
+    corrupted message.  Returns raw per-node verdicts for the fault
+    layer's recovery semantics. *)
+val run_faulty :
+  Random.State.t ->
+  Fault_env.t ->
+  params ->
+  Gf2.t ->
+  Gf2.t ->
+  prover ->
+  Qdp_network.Runtime.verdict array * Qdp_network.Runtime.stats
+
 (** [costs params] — [n] proof bits per node, [parity_checks] message
     bits per edge per direction. *)
 val costs : params -> Report.costs

@@ -8,7 +8,7 @@ type node_state = {
   mutable verdict : Runtime.verdict;
 }
 
-let run ~r x y prover =
+let run_with ?faults ~r x y prover =
   let g = Graph.path r in
   let proofs =
     match prover with
@@ -40,6 +40,11 @@ let run ~r x y prover =
               in
               (state, out)
           | 2 ->
+              (* timeout-as-reject: silence from any neighbour is as
+                 damning as a mismatching proof *)
+              let senders = List.sort_uniq compare (List.map fst inbox) in
+              if List.length senders <> List.length (Graph.neighbours g id)
+              then state.verdict <- Runtime.Reject;
               List.iter
                 (fun (_, s) ->
                   if not (String.equal s (Gf2.to_string state.proof)) then
@@ -50,7 +55,25 @@ let run ~r x y prover =
       finish = (fun ~id:_ state -> state.verdict);
     }
   in
-  let verdicts, stats = Runtime.run g ~rounds:2 program in
+  Runtime.run ?faults g ~rounds:2 program
+
+let run ~r x y prover =
+  let verdicts, stats = run_with ~r x y prover in
   (Runtime.global_verdict verdicts = Runtime.Accept, stats)
+
+(* Classical payloads: corruption flips one uniformly chosen proof
+   bit in flight — the bit-flip model of noisy classical links. *)
+let flip_bit st s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Random.State.int st (Bytes.length b) in
+    Bytes.set b i (if Bytes.get b i = '0' then '1' else '0');
+    Bytes.to_string b
+  end
+
+let run_faulty _st (env : Fault_env.t) ~r x y prover =
+  let faults = Fault_env.injector ~corrupt:flip_bit env in
+  run_with ~faults ~r x y prover
 
 let bits_per_node ~n = n

@@ -18,5 +18,18 @@ type prover = Honest of Gf2.t | Assignment of Gf2.t array
     traffic stats. *)
 val run : r:int -> Gf2.t -> Gf2.t -> prover -> bool * Runtime.stats
 
+(** [run_faulty st env ~r x y prover] is {!run} under the fault
+    environment; in-flight corruption flips one proof bit per corrupted
+    message (the classical bit-flip link model).  Returns raw per-node
+    verdicts for the fault layer's recovery semantics. *)
+val run_faulty :
+  Random.State.t ->
+  Fault_env.t ->
+  r:int ->
+  Gf2.t ->
+  Gf2.t ->
+  prover ->
+  Runtime.verdict array * Runtime.stats
+
 (** [bits_per_node ~n] is the proof cost: [n]. *)
 val bits_per_node : n:int -> int

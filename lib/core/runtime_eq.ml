@@ -16,7 +16,7 @@ type node_state = {
   mutable verdict : Runtime.verdict;
 }
 
-let run_once st params x y strategy =
+let run_with ?faults st params x y strategy =
   let fp = Fingerprint.standard ~seed:params.seed ~n:params.n in
   let hx = Fingerprint.state fp x in
   let hy_state = Fingerprint.state fp y in
@@ -75,12 +75,18 @@ let run_once st params x y strategy =
       finish = (fun ~id:_ state -> state.verdict);
     }
   in
-  let verdicts, stats = Runtime.run g ~rounds:2 program in
+  Runtime.run ?faults g ~rounds:2 program
+
+let run_once st params x y strategy =
+  let verdicts, stats = run_with st params x y strategy in
   (Runtime.global_verdict verdicts = Runtime.Accept, stats)
 
+(* Payloads are bare fingerprint registers, so the environment's
+   register noise is the payload corruptor. *)
+let run_faulty st (env : Fault_env.t) params x y strategy =
+  let faults = Fault_env.injector ~corrupt:(Fault_env.apply_qnoise env) env in
+  run_with ~faults st params x y strategy
+
 let estimate_acceptance st ~trials params x y strategy =
-  let hits = ref 0 in
-  for _ = 1 to trials do
-    if fst (run_once st params x y strategy) then incr hits
-  done;
-  float_of_int !hits /. float_of_int trials
+  Runtime.estimate_acceptance ~st ~trials (fun st ->
+      fst (run_once st params x y strategy))

@@ -34,6 +34,21 @@ val run_once :
   Strategy.t ->
   bool * Runtime.stats
 
+(** [run_faulty st env params x y strategy] executes one repetition
+    under the fault environment: forwarded fingerprint registers pass
+    through [env]'s register noise when the plan corrupts them, links
+    drop/duplicate per the plan, crashed nodes freeze.  Returns the
+    raw per-node verdicts so the fault layer can apply its recovery
+    semantics (degraded verdicts need to know who was down). *)
+val run_faulty :
+  Random.State.t ->
+  Fault_env.t ->
+  params ->
+  Gf2.t ->
+  Gf2.t ->
+  Strategy.t ->
+  Runtime.verdict array * Runtime.stats
+
 (** [estimate_acceptance st ~trials params x y strategy] is the
     empirical acceptance frequency. *)
 val estimate_acceptance :

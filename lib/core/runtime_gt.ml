@@ -22,7 +22,7 @@ type node_state = {
   mutable verdict : Runtime.verdict;
 }
 
-let run_once st (params : Gt.params) x y prover =
+let run_with ?faults st (params : Gt.params) x y prover =
   let r = params.Gt.r in
   let g = Graph.path r in
   (* per-node chain states built from that node's claimed index *)
@@ -104,12 +104,21 @@ let run_once st (params : Gt.params) x y prover =
       finish = (fun ~id:_ state -> state.verdict);
     }
   in
-  let verdicts, stats = Runtime.run g ~rounds:2 program in
+  Runtime.run ?faults g ~rounds:2 program
+
+let run_once st (params : Gt.params) x y prover =
+  let verdicts, stats = run_with st params x y prover in
   (Runtime.global_verdict verdicts = Runtime.Accept, stats)
 
+(* Messages pair a classical index header with a quantum register; the
+   environment's register noise corrupts the register and leaves the
+   header intact (header corruption is a classical fault the index
+   comparison already catches deterministically). *)
+let run_faulty st (env : Fault_env.t) params x y prover =
+  let corrupt st m = { m with reg = Fault_env.apply_qnoise env st m.reg } in
+  let faults = Fault_env.injector ~corrupt env in
+  run_with ~faults st params x y prover
+
 let estimate_acceptance st ~trials params x y prover =
-  let hits = ref 0 in
-  for _ = 1 to trials do
-    if fst (run_once st params x y prover) then incr hits
-  done;
-  float_of_int !hits /. float_of_int trials
+  Runtime.estimate_acceptance ~st ~trials (fun st ->
+      fst (run_once st params x y prover))

@@ -36,6 +36,20 @@ val of_prover : Gt.prover -> prover
 val run_once :
   Random.State.t -> Gt.params -> Gf2.t -> Gf2.t -> prover -> bool * Runtime.stats
 
+(** [run_faulty st env params x y prover] executes one repetition under
+    the fault environment; register noise corrupts the forwarded prefix
+    fingerprints (the classical index header is left to the
+    deterministic neighbour comparison).  Returns raw per-node verdicts
+    for the fault layer's recovery semantics. *)
+val run_faulty :
+  Random.State.t ->
+  Fault_env.t ->
+  Gt.params ->
+  Gf2.t ->
+  Gf2.t ->
+  prover ->
+  Runtime.verdict array * Runtime.stats
+
 (** [estimate_acceptance st ~trials params x y prover] is the
     empirical acceptance frequency. *)
 val estimate_acceptance :

@@ -8,7 +8,7 @@ type node_state = {
   mutable verdict : Runtime.verdict;
 }
 
-let run_once st params g ~terminals ~inputs strategy =
+let run_with ?faults st params g ~terminals ~inputs strategy =
   let fp =
     Fingerprint.standard ~seed:params.Eq_tree.seed ~n:params.Eq_tree.n
   in
@@ -32,6 +32,15 @@ let run_once st params g ~terminals ~inputs strategy =
     | None -> ()
   done;
   let root = Spanning_tree.root tr in
+  let child_count =
+    let c = Array.make size 0 in
+    for v = 0 to size - 1 do
+      match Spanning_tree.parent tr v with
+      | Some p -> c.(p) <- c.(p) + 1
+      | None -> ()
+    done;
+    c
+  in
   let program =
     {
       Runtime.init =
@@ -56,6 +65,12 @@ let run_once st params g ~terminals ~inputs strategy =
               | Some reg, Some p -> (state, [ (p, reg) ])
               | _ -> (state, []))
           | 2 ->
+              (* timeout-as-reject: every tree child must report *)
+              let senders =
+                List.length (List.sort_uniq compare (List.map fst inbox))
+              in
+              if senders < child_count.(id) then
+                state.verdict <- Runtime.Reject;
               (match (state.kept, inbox) with
               | Some own, _ :: _ ->
                   let sents = List.map (fun (_, reg) -> [| reg |]) inbox in
@@ -77,12 +92,17 @@ let run_once st params g ~terminals ~inputs strategy =
       finish = (fun ~id:_ state -> state.verdict);
     }
   in
-  let verdicts, stats = Runtime.run tree_g ~rounds:2 program in
+  Runtime.run ?faults tree_g ~rounds:2 program
+
+let run_once st params g ~terminals ~inputs strategy =
+  let verdicts, stats = run_with st params g ~terminals ~inputs strategy in
   (Runtime.global_verdict verdicts = Runtime.Accept, stats)
 
+(* Payloads are bare fingerprint registers, as in the path backend. *)
+let run_faulty st (env : Fault_env.t) params g ~terminals ~inputs strategy =
+  let faults = Fault_env.injector ~corrupt:(Fault_env.apply_qnoise env) env in
+  run_with ~faults st params g ~terminals ~inputs strategy
+
 let estimate_acceptance st ~trials params g ~terminals ~inputs strategy =
-  let hits = ref 0 in
-  for _ = 1 to trials do
-    if fst (run_once st params g ~terminals ~inputs strategy) then incr hits
-  done;
-  float_of_int !hits /. float_of_int trials
+  Runtime.estimate_acceptance ~st ~trials (fun st ->
+      fst (run_once st params g ~terminals ~inputs strategy))

@@ -23,6 +23,20 @@ val run_once :
   Eq_tree.strategy ->
   bool * Runtime.stats
 
+(** [run_faulty st env params g ~terminals ~inputs strategy] is
+    {!run_once} under the fault environment (register noise on the
+    leaf-to-root fingerprint messages, link faults, crashes), returning
+    raw per-node verdicts for the fault layer's recovery semantics. *)
+val run_faulty :
+  Random.State.t ->
+  Fault_env.t ->
+  Eq_tree.params ->
+  Graph.t ->
+  terminals:int list ->
+  inputs:Gf2.t array ->
+  Eq_tree.strategy ->
+  Runtime.verdict array * Runtime.stats
+
 (** [estimate_acceptance st ~trials params g ~terminals ~inputs
     strategy] is the empirical acceptance frequency. *)
 val estimate_acceptance :

@@ -1,0 +1,104 @@
+open Qdp_linalg
+open Qdp_quantum
+
+type t =
+  | Depolarize of float
+  | Dephase of float
+  | Kraus of Mat.t list
+  | Mix of float * t * t
+
+let depolarize p =
+  if p < 0. || p > 1. then invalid_arg "Noise.depolarize: p not in [0,1]";
+  Depolarize p
+
+let dephase p =
+  if p < 0. || p > 1. then invalid_arg "Noise.dephase: p not in [0,1]";
+  Dephase p
+
+let of_channel ch = Kraus (Channel.kraus ch)
+
+let mix p a b =
+  if p < 0. || p > 1. then invalid_arg "Noise.mix: p not in [0,1]";
+  Mix (p, a, b)
+
+let rec name = function
+  | Depolarize p -> Printf.sprintf "depolarize(%g)" p
+  | Dephase p -> Printf.sprintf "dephase(%g)" p
+  | Kraus ops -> Printf.sprintf "kraus(%d)" (List.length ops)
+  | Mix (p, a, b) -> Printf.sprintf "mix(%g, %s, %s)" p (name a) (name b)
+
+(* Sample a computational-basis index with probability |v_i|^2 / |v|^2. *)
+let sample_basis st v =
+  let re = Vec.raw_re v and im = Vec.raw_im v in
+  let d = Array.length re in
+  let total = ref 0. in
+  for i = 0 to d - 1 do
+    total := !total +. (re.(i) *. re.(i)) +. (im.(i) *. im.(i))
+  done;
+  if !total <= 0. then invalid_arg "Noise.sample_basis: zero vector";
+  let u = Random.State.float st !total in
+  let acc = ref 0. and hit = ref (d - 1) in
+  (try
+     for i = 0 to d - 1 do
+       acc := !acc +. (re.(i) *. re.(i)) +. (im.(i) *. im.(i));
+       if u < !acc then begin
+         hit := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !hit
+
+(* One quantum trajectory of a Kraus decomposition on a pure state:
+   branch [i] is taken with probability ||K_i v||^2 (normalized over the
+   branches, so sub-normalized inputs are handled), and the
+   post-selected state is renormalized. *)
+let kraus_trajectory st ops v =
+  let branches = List.map (fun k -> Mat.apply k v) ops in
+  let weights = List.map (fun w -> let n = Vec.norm w in n *. n) branches in
+  let total = List.fold_left ( +. ) 0. weights in
+  if total <= 0. then invalid_arg "Noise.apply: Kraus branches annihilate state";
+  let u = Random.State.float st total in
+  let rec pick acc bs ws =
+    match (bs, ws) with
+    | [ b ], _ -> b
+    | b :: bs, w :: ws -> if u < acc +. w then b else pick (acc +. w) bs ws
+    | _ -> assert false
+  in
+  Vec.normalize (pick 0. branches weights)
+
+let rec apply t st v =
+  match t with
+  | Depolarize p ->
+      if Random.State.float st 1. < p then
+        let d = Vec.dim v in
+        Vec.basis d (Random.State.int st d)
+      else v
+  | Dephase p ->
+      if Random.State.float st 1. < p then
+        Vec.basis (Vec.dim v) (sample_basis st v)
+      else v
+  | Kraus ops -> kraus_trajectory st ops v
+  | Mix (p, a, b) ->
+      if Random.State.float st 1. < p then apply a st v else apply b st v
+
+(* The completely-depolarizing channel rho -> tr(rho) I/d, as the d^2
+   Kraus operators (1/sqrt d) |j><k|. *)
+let replace_uniform d =
+  let s = Cx.re (1. /. Float.sqrt (float_of_int d)) in
+  let ops = ref [] in
+  for j = d - 1 downto 0 do
+    for k = d - 1 downto 0 do
+      let m = Mat.create d d in
+      Mat.set m j k s;
+      ops := m :: !ops
+    done
+  done;
+  Channel.of_kraus !ops
+
+let rec to_channel ~dim = function
+  | Depolarize p -> Channel.mix p (replace_uniform dim) (Channel.identity dim)
+  | Dephase p -> Channel.mix p (Channel.dephase dim) (Channel.identity dim)
+  | Kraus ops -> Channel.of_kraus ops
+  | Mix (p, a, b) ->
+      Channel.mix p (to_channel ~dim a) (to_channel ~dim b)

@@ -1,0 +1,53 @@
+(** Link noise as sampled quantum trajectories.
+
+    The paper's soundness analyses survive channel noise for free: a
+    CPTP map applied to a forwarded proof register composes with the
+    (arbitrary) prover strategy into another valid strategy, and the
+    trace distance contracts under channels (Fact 4) — so noise can
+    only *lower* a cheating prover's acceptance, never raise it above
+    the noiseless soundness bound.  This module realizes such noise on
+    the pure-state payloads of the sampled backends by Monte-Carlo
+    trajectory unwinding: each application samples one Kraus branch
+    with the Born weights, so averaging over runs reproduces the
+    channel exactly ({!to_channel} gives the density-matrix semantics
+    the test suite validates against). *)
+
+open Qdp_linalg
+open Qdp_quantum
+
+(** A noise model; built by the smart constructors below. *)
+type t =
+  | Depolarize of float
+      (** w.p. [p] replace the register with a uniformly random
+          computational basis state *)
+  | Dephase of float
+      (** w.p. [p] measure in the computational basis and forward the
+          post-measurement state *)
+  | Kraus of Mat.t list  (** sample a branch of an explicit Kraus family *)
+  | Mix of float * t * t  (** apply the first model w.p. [p] *)
+
+(** @raise Invalid_argument when [p] is outside [0,1]. *)
+val depolarize : float -> t
+
+(** @raise Invalid_argument when [p] is outside [0,1]. *)
+val dephase : float -> t
+
+(** [of_channel ch] samples trajectories of an arbitrary channel. *)
+val of_channel : Channel.t -> t
+
+(** [mix p a b] applies [a] w.p. [p], [b] otherwise.
+    @raise Invalid_argument when [p] is outside [0,1]. *)
+val mix : float -> t -> t -> t
+
+(** A short display name, e.g. ["depolarize(0.1)"]. *)
+val name : t -> string
+
+(** [apply t st v] is one sampled trajectory of [t] on the (normalized)
+    register [v]; the result is normalized.  Shaped to plug directly
+    into {!Qdp_core.Fault_env.make}'s [qnoise]. *)
+val apply : t -> Random.State.t -> Vec.t -> Vec.t
+
+(** [to_channel ~dim t] is the exact CPTP map whose trajectory average
+    {!apply} realizes on [dim]-dimensional registers — the validation
+    target for the property tests. *)
+val to_channel : dim:int -> t -> Channel.t

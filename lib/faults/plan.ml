@@ -1,0 +1,174 @@
+open Qdp_network
+open Qdp_core
+
+type kind =
+  | Drop
+  | Duplicate
+  | Flip
+  | Depolarize
+  | Dephase
+  | Mixed
+  | Crash
+  | Omission
+  | Babble
+
+let all =
+  [ Drop; Duplicate; Flip; Depolarize; Dephase; Mixed; Crash; Omission; Babble ]
+
+let name = function
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Flip -> "flip"
+  | Depolarize -> "depolarize"
+  | Dephase -> "dephase"
+  | Mixed -> "mixed"
+  | Crash -> "crash"
+  | Omission -> "omission"
+  | Babble -> "babble"
+
+let of_name s = List.find_opt (fun k -> name k = s) all
+
+let applicable ~quantum_links =
+  List.filter
+    (fun k ->
+      match k with
+      | Flip -> not quantum_links
+      | Depolarize | Dephase | Mixed -> quantum_links
+      | Drop | Duplicate | Crash | Omission | Babble -> true)
+    all
+
+(* The node the per-node fault models target: node 1 exists in every
+   realized topology (paths have >= 2 nodes, the star's node 1 is a
+   leaf terminal). *)
+let victim = 1
+
+let spec kind ~strength:p =
+  let link l = { Fault.none with default_link = l } in
+  let node m = { Fault.none with nodes = [ (victim, m) ] } in
+  match kind with
+  | Drop -> link { Fault.perfect_link with drop = p }
+  | Duplicate -> link { Fault.perfect_link with duplicate = p }
+  (* payload corruption: the per-delivery probability lives in the
+     noise model itself, so every forwarded register passes through a
+     strength-p channel (corrupt = 1) *)
+  | Flip -> link { Fault.perfect_link with corrupt = p }
+  | Depolarize | Dephase | Mixed ->
+      link { Fault.perfect_link with corrupt = 1. }
+  | Crash -> node (Fault.Crash { from_round = 1; prob = p })
+  | Omission -> node (Fault.Omit p)
+  | Babble -> node (Fault.Babble p)
+
+let noise kind ~strength:p =
+  match kind with
+  | Depolarize -> Some (Noise.depolarize p)
+  | Dephase -> Some (Noise.dephase p)
+  | Mixed -> Some (Noise.mix 0.5 (Noise.depolarize p) (Noise.dephase p))
+  | Babble ->
+      (* a babbled extra copy on a quantum link carries a fully
+         scrambled register *)
+      Some (Noise.depolarize 1.)
+  | Drop | Duplicate | Flip | Crash | Omission -> None
+
+let env kind ~strength ~st =
+  let qnoise =
+    Option.map (fun n -> Noise.apply n) (noise kind ~strength)
+  in
+  Fault_env.make ?qnoise ~st (spec kind ~strength)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery semantics                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type recovery =
+  | Reject_on_timeout
+  | Degraded_verdict
+  | Retry of int
+
+let recovery_name = function
+  | Reject_on_timeout -> "reject-on-timeout"
+  | Degraded_verdict -> "degraded-verdict"
+  | Retry k -> Printf.sprintf "retry(%d)" k
+
+type outcome = {
+  accepted : bool;
+  attempts : int;
+  protocol_errors : int;
+  injected : int;
+  down : int list;
+}
+
+let obs_runs = Qdp_obs.Metrics.counter "faults.runs"
+let obs_injected = Qdp_obs.Metrics.counter "faults.injected"
+let obs_errors = Qdp_obs.Metrics.counter "faults.protocol_errors"
+let obs_retries = Qdp_obs.Metrics.counter "faults.retries"
+
+let strict_accept verdicts (stats : Runtime.stats) =
+  stats.down = []
+  && Array.for_all (fun v -> v = Runtime.Accept) verdicts
+
+let degraded_accept verdicts (stats : Runtime.stats) =
+  let up = ref 0 and ok = ref true in
+  Array.iteri
+    (fun i v ->
+      if not (List.mem i stats.down) then begin
+        incr up;
+        if v <> Runtime.Accept then ok := false
+      end)
+    verdicts;
+  !up > 0 && !ok
+
+let attempt ~accept_of run =
+  Qdp_obs.Metrics.incr obs_runs;
+  match run () with
+  | verdicts, (stats : Runtime.stats) ->
+      let injected =
+        match stats.faults with
+        | Some c -> Fault.total_injected c
+        | None -> 0
+      in
+      Qdp_obs.Metrics.incr obs_injected ~by:injected;
+      (accept_of verdicts stats, injected, 0, stats.down)
+  | exception Runtime.Protocol_error _ ->
+      (* a babbling or corrupted node broke the protocol contract:
+         report, count, reject — never abort the sweep *)
+      Qdp_obs.Metrics.incr obs_errors;
+      (false, 0, 1, [])
+
+let execute recovery run =
+  match recovery with
+  | Reject_on_timeout ->
+      let accepted, injected, errors, down =
+        attempt ~accept_of:strict_accept run
+      in
+      { accepted; attempts = 1; protocol_errors = errors; injected; down }
+  | Degraded_verdict ->
+      let accepted, injected, errors, down =
+        attempt ~accept_of:degraded_accept run
+      in
+      { accepted; attempts = 1; protocol_errors = errors; injected; down }
+  | Retry budget ->
+      (* Soundness-preserving retry: an attempt is re-run only when a
+         fault was *detected* (injected events or a protocol error) —
+         the verdict itself never triggers a retry, so the decision
+         rule composes with any prover strategy. *)
+      let rec go attempts_left acc_attempts acc_injected acc_errors =
+        let accepted, injected, errors, down =
+          attempt ~accept_of:strict_accept run
+        in
+        let acc_attempts = acc_attempts + 1 in
+        let acc_injected = acc_injected + injected in
+        let acc_errors = acc_errors + errors in
+        if (injected > 0 || errors > 0) && attempts_left > 0 then begin
+          Qdp_obs.Metrics.incr obs_retries;
+          go (attempts_left - 1) acc_attempts acc_injected acc_errors
+        end
+        else
+          {
+            accepted;
+            attempts = acc_attempts;
+            protocol_errors = acc_errors;
+            injected = acc_injected;
+            down;
+          }
+      in
+      go (max 0 budget) 0 0 0

@@ -1,0 +1,81 @@
+(** Declarative fault plans and recovery semantics.
+
+    A {!kind} names one axis of the fault model at a scalar strength
+    [p]; {!env} compiles (kind, strength) into the
+    {!Qdp_core.Fault_env.t} the protocol backends execute under.
+    {!execute} wraps one such execution in a {!recovery} discipline and
+    reports what happened — including structured
+    {!Qdp_network.Runtime.Protocol_error}s, which are recorded and
+    turned into rejections rather than aborting a sweep. *)
+
+open Qdp_core
+open Qdp_network
+
+(** The fault axes the sweep explores.  [Flip] (classical payload bit
+    flips) applies only to classical-link backends; [Depolarize],
+    [Dephase] and [Mixed] (the even {!Noise.mix} of both) only to
+    quantum-link backends; the rest are payload-agnostic. *)
+type kind =
+  | Drop  (** link loses each message w.p. [p] *)
+  | Duplicate  (** link delivers each message twice w.p. [p] *)
+  | Flip  (** classical payload corrupted w.p. [p] *)
+  | Depolarize  (** strength-[p] depolarizing channel on every link use *)
+  | Dephase  (** strength-[p] dephasing channel on every link use *)
+  | Mixed  (** even mixture of the two channels above *)
+  | Crash  (** node 1 crash-stops from round 1 w.p. [p] *)
+  | Omission  (** node 1 loses each outgoing message w.p. [p] *)
+  | Babble  (** node 1 emits an extra corrupted copy w.p. [p] *)
+
+val all : kind list
+val name : kind -> string
+val of_name : string -> kind option
+
+(** The kinds meaningful for an entry, keyed by
+    {!Qdp_core.Registry.fault_suite}'s [fs_quantum_links]. *)
+val applicable : quantum_links:bool -> kind list
+
+(** [spec kind ~strength] is the payload-agnostic injection plan. *)
+val spec : kind -> strength:float -> Fault.spec
+
+(** [noise kind ~strength] is the register noise model the kind carries
+    ([None] for purely classical kinds). *)
+val noise : kind -> strength:float -> Noise.t option
+
+(** [env kind ~strength ~st] compiles the full fault environment:
+    {!spec} plus {!noise} lifted through {!Noise.apply}. *)
+val env : kind -> strength:float -> st:Random.State.t -> Fault_env.t
+
+(** {2 Recovery} *)
+
+(** What the verifiers do about detected faults. *)
+type recovery =
+  | Reject_on_timeout
+      (** a crashed node (or any rejecting survivor) fails the run —
+          the conservative discipline the soundness sweep uses *)
+  | Degraded_verdict
+      (** the surviving nodes decide; down nodes are excluded *)
+  | Retry of int
+      (** re-run (up to the budget) while faults are *detected* —
+          injected events or a protocol error — never based on the
+          verdict, so soundness composes; the final attempt decides
+          with {!Reject_on_timeout} semantics *)
+
+val recovery_name : recovery -> string
+
+(** What one recovered execution did.  [injected] and
+    [protocol_errors] accumulate across retry attempts; [down] is the
+    final attempt's crash list. *)
+type outcome = {
+  accepted : bool;
+  attempts : int;
+  protocol_errors : int;
+  injected : int;
+  down : int list;
+}
+
+(** [execute recovery run] performs [run] (one
+    {!Qdp_core.Registry.fault_case} execution) under the recovery
+    discipline.  Increments the [faults.runs] / [faults.injected] /
+    [faults.protocol_errors] / [faults.retries] counters. *)
+val execute :
+  recovery -> (unit -> Runtime.verdict array * Runtime.stats) -> outcome

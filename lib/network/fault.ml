@@ -1,0 +1,152 @@
+(* Payload-generic fault injection for the message-passing runtime.
+
+   This module is deliberately mechanism-only: it knows how to decide,
+   per delivery and per node, whether a message is dropped, duplicated
+   or corrupted and whether a node is down — it does not know what a
+   payload *is*.  The corruption function is supplied by whoever
+   compiles a plan (protocol backends lift quantum channel noise or
+   classical bit flips into their own payload type), and the richer
+   declarative layer lives in [Qdp_faults]. *)
+
+type link = { drop : float; duplicate : float; corrupt : float }
+
+let perfect_link = { drop = 0.; duplicate = 0.; corrupt = 0. }
+
+type node =
+  | Crash of { from_round : int; prob : float }
+  | Omit of float
+  | Babble of float
+
+type spec = {
+  default_link : link;
+  links : ((int * int) * link) list;
+  nodes : (int * node) list;
+}
+
+let none = { default_link = perfect_link; links = []; nodes = [] }
+
+let is_none s =
+  s.links = [] && s.nodes = []
+  && s.default_link.drop = 0.
+  && s.default_link.duplicate = 0.
+  && s.default_link.corrupt = 0.
+
+type counts = {
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
+  mutable suppressed : int;
+  mutable crashed : int;
+}
+
+let zero_counts () =
+  {
+    delivered = 0;
+    dropped = 0;
+    duplicated = 0;
+    corrupted = 0;
+    suppressed = 0;
+    crashed = 0;
+  }
+
+let total_injected c =
+  c.dropped + c.duplicated + c.corrupted + c.suppressed + c.crashed
+
+type 'm t = {
+  spec : spec;
+  st : Random.State.t;
+  corrupt_payload : Random.State.t -> 'm -> 'm;
+  counts : counts;
+  down_from : (int * int) list;
+      (* [(node, round)]: node is down from that round on, sampled once
+         per injector so a crash is a single event per execution *)
+}
+
+let make ?(corrupt = fun _ m -> m) ~st spec =
+  let counts = zero_counts () in
+  let down_from =
+    List.filter_map
+      (fun (id, model) ->
+        match model with
+        | Crash { from_round; prob } ->
+            if prob > 0. && Random.State.float st 1. < prob then begin
+              counts.crashed <- counts.crashed + 1;
+              Some (id, from_round)
+            end
+            else None
+        | Omit _ | Babble _ -> None)
+      spec.nodes
+  in
+  { spec; st; corrupt_payload = corrupt; counts; down_from }
+
+let counts inj = inj.counts
+
+let node_up inj ~round ~id =
+  match List.assoc_opt id inj.down_from with
+  | Some from_round -> round < from_round
+  | None -> true
+
+let down inj ~rounds =
+  List.sort compare
+    (List.filter_map
+       (fun (id, from_round) -> if from_round <= rounds then Some id else None)
+       inj.down_from)
+
+let suppress inj ~n = inj.counts.suppressed <- inj.counts.suppressed + n
+
+let node_model inj id = List.assoc_opt id inj.spec.nodes
+
+let link_model inj ~src ~dst =
+  let e = (min src dst, max src dst) in
+  match List.assoc_opt e inj.spec.links with
+  | Some l -> l
+  | None -> inj.spec.default_link
+
+let hit inj p = p > 0. && Random.State.float inj.st 1. < p
+
+let deliver inj ~round:_ ~src ~dst m =
+  let c = inj.counts in
+  let omitted =
+    match node_model inj src with
+    | Some (Omit p) -> hit inj p
+    | _ -> false
+  in
+  if omitted then begin
+    c.dropped <- c.dropped + 1;
+    []
+  end
+  else begin
+    let link = link_model inj ~src ~dst in
+    if hit inj link.drop then begin
+      c.dropped <- c.dropped + 1;
+      []
+    end
+    else begin
+      let payload =
+        if hit inj link.corrupt then begin
+          c.corrupted <- c.corrupted + 1;
+          inj.corrupt_payload inj.st m
+        end
+        else m
+      in
+      let deliveries =
+        if hit inj link.duplicate then begin
+          c.duplicated <- c.duplicated + 1;
+          [ payload; payload ]
+        end
+        else [ payload ]
+      in
+      let deliveries =
+        match node_model inj src with
+        | Some (Babble p) when hit inj p ->
+            (* noisy chatter: an extra, independently corrupted copy *)
+            c.duplicated <- c.duplicated + 1;
+            c.corrupted <- c.corrupted + 1;
+            deliveries @ [ inj.corrupt_payload inj.st m ]
+        | _ -> deliveries
+      in
+      c.delivered <- c.delivered + List.length deliveries;
+      deliveries
+    end
+  end

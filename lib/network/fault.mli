@@ -1,0 +1,93 @@
+(** Payload-generic fault injection for the {!Runtime} engine.
+
+    A {!spec} declares *where* faults strike — per-link drop /
+    duplication / corruption probabilities and per-node crash-stop,
+    omission or babbling models — while staying agnostic about message
+    contents.  {!make} compiles a spec into an injector carrying its
+    own RNG (kept separate from the protocol's randomness so a purely
+    deterministic plan, e.g. a pinned crash, never perturbs the
+    protocol's own coin flips), a payload corruption function supplied
+    by the protocol backend, and mutable {!counts} of every injected
+    event.  The richer declarative layer — quantum channels as
+    corruptors, named plans, recovery semantics, sweeps — lives in the
+    [Qdp_faults] library. *)
+
+(** Per-delivery probabilities on a link. *)
+type link = {
+  drop : float;  (** message lost *)
+  duplicate : float;  (** message delivered twice *)
+  corrupt : float;  (** payload passed through the corruption function *)
+}
+
+(** All-zero probabilities. *)
+val perfect_link : link
+
+(** Per-node fault models. *)
+type node =
+  | Crash of { from_round : int; prob : float }
+      (** with probability [prob] (sampled once per execution) the node
+          is crash-stopped from [from_round] on: it neither executes
+          rounds nor reads its inbox *)
+  | Omit of float  (** each outgoing message is silently lost w.p. [p] *)
+  | Babble of float
+      (** each outgoing message gains an extra corrupted copy w.p. [p] *)
+
+(** A declarative fault plan: the default link model applies to every
+    delivery, [links] overrides specific undirected edges (keys as
+    [(min, max)]), [nodes] attaches node models. *)
+type spec = {
+  default_link : link;
+  links : ((int * int) * link) list;
+  nodes : (int * node) list;
+}
+
+(** The empty plan (no faults). *)
+val none : spec
+
+(** [is_none s] holds when [s] can never inject anything. *)
+val is_none : spec -> bool
+
+(** Mutable tally of injected events for one execution. *)
+type counts = {
+  mutable delivered : int;  (** messages actually handed to inboxes *)
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
+  mutable suppressed : int;  (** inbox messages discarded at down nodes *)
+  mutable crashed : int;  (** crash events that fired this execution *)
+}
+
+val zero_counts : unit -> counts
+
+(** [total_injected c] sums every fault event (everything except
+    [delivered]); zero means the execution was effectively fault-free. *)
+val total_injected : counts -> int
+
+(** A compiled injector over payloads ['m]. *)
+type 'm t
+
+(** [make ?corrupt ~st spec] compiles [spec].  [corrupt] (default: the
+    identity) realizes payload corruption — protocol backends lift
+    quantum channel noise or classical bit flips into their payload
+    type here.  Crash decisions are sampled immediately from [st]. *)
+val make : ?corrupt:(Random.State.t -> 'm -> 'm) -> st:Random.State.t -> spec -> 'm t
+
+(** The injector's (mutable) event tally. *)
+val counts : 'm t -> counts
+
+(** [node_up inj ~round ~id] is false when [id] is crash-stopped in
+    [round]. *)
+val node_up : 'm t -> round:int -> id:int -> bool
+
+(** [down inj ~rounds] lists the nodes crash-stopped at or before the
+    final round, sorted. *)
+val down : 'm t -> rounds:int -> int list
+
+(** [suppress inj ~n] records [n] inbox messages discarded at a down
+    node (called by the runtime). *)
+val suppress : 'm t -> n:int -> unit
+
+(** [deliver inj ~round ~src ~dst m] applies the source-node and link
+    models to one sent message and returns the payloads to enqueue
+    (empty = dropped, two = duplicated), updating {!counts}. *)
+val deliver : 'm t -> round:int -> src:int -> dst:int -> 'm -> 'm list

@@ -3,6 +3,18 @@ type verdict = Accept | Reject
 let global_verdict vs =
   if Array.for_all (fun v -> v = Accept) vs then Accept else Reject
 
+exception Protocol_error of { node : int; round : int; target : int }
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_error { node; round; target } ->
+        Some
+          (Printf.sprintf
+             "Runtime.Protocol_error: node %d sent to non-neighbour %d in \
+              round %d"
+             node target round)
+    | _ -> None)
+
 type ('s, 'm) program = {
   init : int -> 's;
   round : round:int -> id:int -> 's -> inbox:(int * 'm) list -> 's * (int * 'm) list;
@@ -13,6 +25,8 @@ type stats = {
   messages : int;
   rounds_run : int;
   per_edge : ((int * int) * int) list;
+  down : int list;
+  faults : Fault.counts option;
 }
 
 (* Observability: all updates below are inert until [Qdp_obs.set_enabled],
@@ -23,7 +37,7 @@ let obs_round_messages = Qdp_obs.Metrics.histogram "runtime.round_messages"
 let obs_edges_active = Qdp_obs.Metrics.gauge "runtime.edges_active"
 let obs_payload_words = Qdp_obs.Metrics.gauge "runtime.max_payload_words"
 
-let run g ~rounds program =
+let run ?faults g ~rounds program =
   let n = Graph.size g in
   Qdp_obs.Metrics.incr obs_runs;
   Qdp_obs.Trace.with_span "runtime.run"
@@ -35,6 +49,11 @@ let run g ~rounds program =
   let inboxes = Array.make n [] in
   let edge_count = Hashtbl.create 16 in
   let total = ref 0 in
+  let node_up ~round ~id =
+    match faults with
+    | None -> true
+    | Some inj -> Fault.node_up inj ~round ~id
+  in
   for r = 1 to rounds do
     let before = !total in
     Qdp_obs.Trace.with_span "runtime.round"
@@ -43,31 +62,46 @@ let run g ~rounds program =
     @@ fun () ->
     let outboxes = Array.make n [] in
     for u = 0 to n - 1 do
-      let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(u) in
-      let state', out = program.round ~round:r ~id:u states.(u) ~inbox in
-      states.(u) <- state';
-      List.iter
-        (fun (dest, _) ->
-          if not (Graph.has_edge g u dest) then
-            invalid_arg
-              (Printf.sprintf "Runtime.run: node %d sent to non-neighbour %d" u
-                 dest))
-        out;
-      outboxes.(u) <- out
+      if node_up ~round:r ~id:u then begin
+        let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(u) in
+        let state', out = program.round ~round:r ~id:u states.(u) ~inbox in
+        states.(u) <- state';
+        List.iter
+          (fun (dest, _) ->
+            if not (Graph.has_edge g u dest) then
+              raise (Protocol_error { node = u; round = r; target = dest }))
+          out;
+        outboxes.(u) <- out
+      end
+      else begin
+        (* crash-stopped: the node freezes and its inbox is lost *)
+        match faults with
+        | Some inj when inboxes.(u) <> [] ->
+            Fault.suppress inj ~n:(List.length inboxes.(u))
+        | _ -> ()
+      end
     done;
     Array.fill inboxes 0 n [];
     Array.iteri
       (fun u out ->
         List.iter
           (fun (dest, payload) ->
-            inboxes.(dest) <- (u, payload) :: inboxes.(dest);
-            incr total;
-            if obs_on then
-              Qdp_obs.Metrics.set_max obs_payload_words
-                (float_of_int (Obj.reachable_words (Obj.repr payload)));
-            let e = (min u dest, max u dest) in
-            let c = try Hashtbl.find edge_count e with Not_found -> 0 in
-            Hashtbl.replace edge_count e (c + 1))
+            let deliveries =
+              match faults with
+              | None -> [ payload ]
+              | Some inj -> Fault.deliver inj ~round:r ~src:u ~dst:dest payload
+            in
+            List.iter
+              (fun payload ->
+                inboxes.(dest) <- (u, payload) :: inboxes.(dest);
+                incr total;
+                if obs_on then
+                  Qdp_obs.Metrics.set_max obs_payload_words
+                    (float_of_int (Obj.reachable_words (Obj.repr payload)));
+                let e = (min u dest, max u dest) in
+                let c = try Hashtbl.find edge_count e with Not_found -> 0 in
+                Hashtbl.replace edge_count e (c + 1))
+              deliveries)
           out)
       outboxes;
     Qdp_obs.Metrics.incr obs_messages ~by:(!total - before);
@@ -81,15 +115,65 @@ let run g ~rounds program =
       (Hashtbl.fold (fun e c acc -> (e, c) :: acc) edge_count [])
   in
   Qdp_obs.Metrics.set_max obs_edges_active (float_of_int (List.length per_edge));
-  (verdicts, { messages = !total; rounds_run = rounds; per_edge })
+  let down, fault_counts =
+    match faults with
+    | None -> ([], None)
+    | Some inj -> (Fault.down inj ~rounds, Some (Fault.counts inj))
+  in
+  ( verdicts,
+    {
+      messages = !total;
+      rounds_run = rounds;
+      per_edge;
+      down;
+      faults = fault_counts;
+    } )
 
 let run_accepts g ~rounds program =
   let verdicts, _ = run g ~rounds program in
   global_verdict verdicts = Accept
 
-let estimate_acceptance ~trials f =
+let estimate_acceptance ~st ~trials f =
   let hits = ref 0 in
   for _ = 1 to trials do
-    if f () then incr hits
+    if f st then incr hits
   done;
   float_of_int !hits /. float_of_int trials
+
+(* ------------------------------------------------------------------ *)
+(* Wilson score intervals                                              *)
+(* ------------------------------------------------------------------ *)
+
+type interval = {
+  point : float;
+  lower : float;
+  upper : float;
+  ci_trials : int;
+}
+
+let wilson ?(z = 4.) ~hits ~trials () =
+  if trials <= 0 then invalid_arg "Runtime.wilson: trials must be positive";
+  if hits < 0 || hits > trials then invalid_arg "Runtime.wilson: hits";
+  let n = float_of_int trials in
+  let p = float_of_int hits /. n in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. n) in
+  let centre = (p +. (z2 /. (2. *. n))) /. denom in
+  let half =
+    z
+    *. Float.sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n)))
+    /. denom
+  in
+  {
+    point = p;
+    lower = Float.max 0. (centre -. half);
+    upper = Float.min 1. (centre +. half);
+    ci_trials = trials;
+  }
+
+let estimate_acceptance_ci ?z ~st ~trials f =
+  let hits = ref 0 in
+  for _ = 1 to trials do
+    if f st then incr hits
+  done;
+  wilson ?z ~hits:!hits ~trials ()

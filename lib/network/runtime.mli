@@ -6,7 +6,13 @@
     the last round every node outputs accept or reject.  This engine
     executes such node programs on a {!Graph.t}, enforces that messages
     travel only along edges, and accounts per-edge traffic so protocol
-    implementations can report their measured message complexity. *)
+    implementations can report their measured message complexity.
+
+    Executions can optionally run under a {!Fault} injector: messages
+    are then dropped, duplicated or corrupted per the fault plan and
+    crash-stopped nodes freeze, with every injected event tallied in
+    the returned {!stats}.  The injector carries its own RNG, so the
+    protocol's randomness is untouched by the fault layer. *)
 
 (** Per-node verdict after the final round. *)
 type verdict = Accept | Reject
@@ -14,6 +20,12 @@ type verdict = Accept | Reject
 (** [global_verdict vs] is [Accept] iff every node accepts — the
     acceptance criterion of distributed verification. *)
 val global_verdict : verdict array -> verdict
+
+(** Raised when a node addresses a message to a non-neighbour: a bug
+    in the node program (or byzantine behaviour a fault harness wants
+    to observe), reported with full structure so callers can record it
+    instead of aborting a whole sweep. *)
+exception Protocol_error of { node : int; round : int; target : int }
 
 (** A node program over state ['s] and message payloads ['m].  The
     runtime calls [init] once, [round] once per round (with the inbox
@@ -27,21 +39,54 @@ type ('s, 'm) program = {
 
 (** Traffic accounting for one execution. *)
 type stats = {
-  messages : int;  (** total messages delivered *)
+  messages : int;  (** total messages delivered (after fault injection) *)
   rounds_run : int;
   per_edge : ((int * int) * int) list;
       (** messages per undirected edge, edges as [(min, max)] *)
+  down : int list;  (** nodes crash-stopped by the final round, sorted *)
+  faults : Fault.counts option;
+      (** injected-event tally; [None] when no injector was attached *)
 }
 
-(** [run g ~rounds program] executes the program and returns per-node
-    verdicts with traffic stats.
-    @raise Invalid_argument if a node addresses a non-neighbour. *)
-val run : Graph.t -> rounds:int -> ('s, 'm) program -> verdict array * stats
+(** [run ?faults g ~rounds program] executes the program and returns
+    per-node verdicts with traffic stats.  With [faults], deliveries
+    pass through the injector and crash-stopped nodes stop executing
+    (their state freezes; their verdict is whatever [finish] makes of
+    it — recovery semantics beyond that live in [Qdp_faults]).
+    @raise Protocol_error if a node addresses a non-neighbour. *)
+val run :
+  ?faults:'m Fault.t -> Graph.t -> rounds:int -> ('s, 'm) program -> verdict array * stats
 
 (** [run_accepts g ~rounds program] is [true] iff all nodes accept. *)
 val run_accepts : Graph.t -> rounds:int -> ('s, 'm) program -> bool
 
-(** [estimate_acceptance ~trials f] runs the randomized thunk [f]
-    (typically a {!run_accepts} closure) [trials] times and returns the
-    empirical acceptance frequency. *)
-val estimate_acceptance : trials:int -> (unit -> bool) -> float
+(** [estimate_acceptance ~st ~trials f] runs the randomized trial [f]
+    (typically a [run_once] closure) [trials] times on the explicit
+    RNG state [st] and returns the empirical acceptance frequency.
+    Threading [st] — never the global RNG — keeps every experiment
+    bit-reproducible from a seed. *)
+val estimate_acceptance :
+  st:Random.State.t -> trials:int -> (Random.State.t -> bool) -> float
+
+(** {2 Confidence intervals} *)
+
+(** A Wilson score interval around an empirical frequency. *)
+type interval = {
+  point : float;  (** the raw frequency hits/trials *)
+  lower : float;
+  upper : float;
+  ci_trials : int;
+}
+
+(** [wilson ?z ~hits ~trials ()] is the Wilson score interval at
+    critical value [z] (default 4, i.e. a ~1e-4 two-sided tail) —
+    unlike the normal approximation it stays inside [0, 1] and behaves
+    at the endpoints, which is exactly where deterministic-verdict
+    protocols live.
+    @raise Invalid_argument on [trials <= 0] or [hits] out of range. *)
+val wilson : ?z:float -> hits:int -> trials:int -> unit -> interval
+
+(** [estimate_acceptance_ci ?z ~st ~trials f] is {!estimate_acceptance}
+    returning the full {!interval} instead of a bare frequency. *)
+val estimate_acceptance_ci :
+  ?z:float -> st:Random.State.t -> trials:int -> (Random.State.t -> bool) -> interval

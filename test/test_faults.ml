@@ -1,0 +1,386 @@
+(* The fault-injection layer: injector mechanics, trajectory noise vs
+   exact channels, recovery semantics, and the sweep's two invariants
+   (soundness contractivity, monotone completeness decay) as
+   properties. *)
+
+open Qdp_linalg
+open Qdp_quantum
+open Qdp_network
+open Qdp_core
+open Qdp_faults
+
+let () = Protocols.init ()
+
+let small_spec =
+  { Registry.default_spec with Registry.n = 16; r = 3; t = 3 }
+
+let suite_of id =
+  match Registry.find id with
+  | None -> Alcotest.failf "no registry entry %s" id
+  | Some e -> (
+      match Registry.fault_suite small_spec e with
+      | Some s -> s
+      | None -> Alcotest.failf "%s has no fault suite" id)
+
+(* --- injector mechanics --- *)
+
+let mk_inj ?corrupt ~seed spec =
+  Fault.make ?corrupt ~st:(Random.State.make [| seed |]) spec
+
+let link l = { Fault.none with Fault.default_link = l }
+
+let test_deliver_drop () =
+  let inj = mk_inj ~seed:1 (link { Fault.perfect_link with drop = 1. }) in
+  Alcotest.(check (list int)) "dropped" []
+    (Fault.deliver inj ~round:1 ~src:0 ~dst:1 7);
+  let c = Fault.counts inj in
+  Alcotest.(check int) "dropped count" 1 c.Fault.dropped;
+  Alcotest.(check int) "delivered count" 0 c.Fault.delivered;
+  Alcotest.(check bool) "injected" true (Fault.total_injected c > 0)
+
+let test_deliver_duplicate () =
+  let inj = mk_inj ~seed:1 (link { Fault.perfect_link with duplicate = 1. }) in
+  Alcotest.(check (list int)) "two copies" [ 7; 7 ]
+    (Fault.deliver inj ~round:1 ~src:0 ~dst:1 7);
+  let c = Fault.counts inj in
+  Alcotest.(check int) "duplicated count" 1 c.Fault.duplicated;
+  Alcotest.(check int) "delivered count" 2 c.Fault.delivered
+
+let test_deliver_corrupt () =
+  let corrupt _st m = m + 100 in
+  let inj =
+    mk_inj ~corrupt ~seed:1 (link { Fault.perfect_link with corrupt = 1. })
+  in
+  Alcotest.(check (list int)) "corrupted payload" [ 107 ]
+    (Fault.deliver inj ~round:1 ~src:0 ~dst:1 7);
+  Alcotest.(check int) "corrupted count" 1 (Fault.counts inj).Fault.corrupted
+
+let test_deliver_omit_babble () =
+  let corrupt _st m = m + 100 in
+  let omit =
+    mk_inj ~seed:1 { Fault.none with Fault.nodes = [ (0, Fault.Omit 1.) ] }
+  in
+  Alcotest.(check (list int)) "omitted at source" []
+    (Fault.deliver omit ~round:1 ~src:0 ~dst:1 7);
+  Alcotest.(check (list int)) "other sources unaffected" [ 7 ]
+    (Fault.deliver omit ~round:1 ~src:2 ~dst:1 7);
+  let babble =
+    mk_inj ~corrupt ~seed:1
+      { Fault.none with Fault.nodes = [ (0, Fault.Babble 1.) ] }
+  in
+  Alcotest.(check (list int)) "extra corrupted copy" [ 7; 107 ]
+    (Fault.deliver babble ~round:1 ~src:0 ~dst:1 7);
+  let c = Fault.counts babble in
+  Alcotest.(check int) "babble duplicated" 1 c.Fault.duplicated;
+  Alcotest.(check int) "babble corrupted" 1 c.Fault.corrupted
+
+let test_perfect_plan_is_none () =
+  Alcotest.(check bool) "none is none" true (Fault.is_none Fault.none);
+  Alcotest.(check bool) "drop plan is not" false
+    (Fault.is_none (link { Fault.perfect_link with drop = 0.5 }))
+
+(* --- crash-stop through the runtime --- *)
+
+let echo_program g =
+  {
+    Runtime.init = (fun _ -> 0);
+    round =
+      (fun ~round ~id heard ~inbox ->
+        match round with
+        | 1 -> (heard, List.map (fun v -> (v, ())) (Graph.neighbours g id))
+        | _ -> (heard + List.length inbox, []));
+    finish = (fun ~id:_ heard -> if heard > 0 then Runtime.Accept else Reject);
+  }
+
+let test_runtime_crash () =
+  let g = Graph.path 3 in
+  let spec =
+    { Fault.none with
+      Fault.nodes = [ (1, Fault.Crash { from_round = 1; prob = 1. }) ] }
+  in
+  let faults = mk_inj ~seed:3 spec in
+  let verdicts, stats = Runtime.run ~faults g ~rounds:2 (echo_program g) in
+  Alcotest.(check (list int)) "down list" [ 1 ] stats.Runtime.down;
+  (* node 1 froze before sending: its neighbours heard one less *)
+  Alcotest.(check bool) "crashed node rejects (heard nothing)" true
+    (verdicts.(1) = Runtime.Reject);
+  let c = Option.get stats.Runtime.faults in
+  Alcotest.(check int) "crash counted" 1 c.Fault.crashed;
+  Alcotest.(check bool) "inbox suppressed" true (c.Fault.suppressed > 0)
+
+let test_stats_without_faults () =
+  let g = Graph.path 3 in
+  let _, stats = Runtime.run g ~rounds:2 (echo_program g) in
+  Alcotest.(check (list int)) "no down nodes" [] stats.Runtime.down;
+  Alcotest.(check bool) "no fault counts" true (stats.Runtime.faults = None)
+
+(* --- recovery semantics --- *)
+
+let test_execute_protocol_error () =
+  let o =
+    Plan.execute Plan.Reject_on_timeout (fun () ->
+        raise (Runtime.Protocol_error { node = 2; round = 1; target = 9 }))
+  in
+  Alcotest.(check bool) "rejected" false o.Plan.accepted;
+  Alcotest.(check int) "reported" 1 o.Plan.protocol_errors
+
+let test_execute_retry_budget () =
+  let calls = ref 0 in
+  let suite = suite_of "rpls" in
+  let case = List.hd suite.Registry.fs_yes in
+  let proto_st = Random.State.make [| 11 |] in
+  let env =
+    Plan.env Plan.Drop ~strength:1. ~st:(Random.State.make [| 11; 1 |])
+  in
+  let o =
+    Plan.execute (Plan.Retry 3) (fun () ->
+        incr calls;
+        case.Registry.fc_run proto_st env)
+  in
+  (* drop = 1 injects every time, so the whole budget is spent *)
+  Alcotest.(check int) "budget exhausted" 4 !calls;
+  Alcotest.(check int) "attempts recorded" 4 o.Plan.attempts;
+  Alcotest.(check bool) "faults accumulated" true (o.Plan.injected > 0);
+  let clean = Random.State.make [| 12 |] in
+  let perfect = Fault_env.perfect ~st:(Random.State.make [| 12; 1 |]) in
+  let o' =
+    Plan.execute (Plan.Retry 3) (fun () ->
+        case.Registry.fc_run clean perfect)
+  in
+  Alcotest.(check int) "clean run: single attempt" 1 o'.Plan.attempts;
+  Alcotest.(check bool) "clean run accepts" true o'.Plan.accepted
+
+(* --- Wilson intervals --- *)
+
+let test_wilson () =
+  let iv = Runtime.wilson ~hits:0 ~trials:100 () in
+  Alcotest.(check (float 1e-9)) "zero hits lower" 0. iv.Runtime.lower;
+  let iv = Runtime.wilson ~hits:100 ~trials:100 () in
+  Alcotest.(check (float 1e-9)) "all hits upper" 1. iv.Runtime.upper;
+  let iv = Runtime.wilson ~hits:50 ~trials:100 () in
+  Alcotest.(check bool) "interval brackets the point" true
+    (iv.Runtime.lower < iv.Runtime.point && iv.Runtime.point < iv.Runtime.upper);
+  let narrow = Runtime.wilson ~z:1. ~hits:50 ~trials:100 () in
+  Alcotest.(check bool) "smaller z is narrower" true
+    (narrow.Runtime.upper -. narrow.Runtime.lower
+    < iv.Runtime.upper -. iv.Runtime.lower);
+  Alcotest.(check bool) "rejects bad input" true
+    (try ignore (Runtime.wilson ~hits:5 ~trials:0 ()); false
+     with Invalid_argument _ -> true)
+
+(* --- trajectory noise vs the exact channel --- *)
+
+let density samples st model psi =
+  let dim = Vec.dim psi in
+  let acc = ref (Mat.create dim dim) in
+  for _ = 1 to samples do
+    let out = Noise.apply model st psi in
+    acc := Mat.add !acc (Mat.outer out out)
+  done;
+  Mat.scale (Cx.re (1. /. float_of_int samples)) !acc
+
+let random_state st dim =
+  Vec.normalize
+    (Vec.init dim (fun _ ->
+         Cx.make (Random.State.float st 2. -. 1.) (Random.State.float st 2. -. 1.)))
+
+let test_noise_matches_channel () =
+  let st = Random.State.make [| 0xace |] in
+  let dim = 4 in
+  let psi = random_state st dim in
+  let rho = Mat.outer psi psi in
+  let models =
+    [
+      Noise.depolarize 0.3;
+      Noise.dephase 0.45;
+      Noise.mix 0.5 (Noise.depolarize 0.6) (Noise.dephase 0.2);
+      Noise.of_channel (Channel.dephase dim);
+    ]
+  in
+  List.iter
+    (fun model ->
+      let ch = Noise.to_channel ~dim model in
+      Alcotest.(check bool)
+        (Noise.name model ^ " trace preserving")
+        true
+        (Channel.is_trace_preserving ch);
+      let expected = Channel.apply ch rho in
+      let sampled = density 12000 st model psi in
+      let dist = Mat.frobenius_norm (Mat.sub expected sampled) in
+      if dist > 0.06 then
+        Alcotest.failf "%s trajectory average off by %.4f" (Noise.name model)
+          dist)
+    models
+
+(* --- determinism --- *)
+
+let tiny_sweep () =
+  {
+    (Sweep.default ~seed:7) with
+    Sweep.trials = 30;
+    grid = [ 0.; 0.25; 0.5 ];
+    protocols = Some [ "rpls" ];
+    kinds = Some [ Plan.Drop; Plan.Crash ];
+    spec = { small_spec with Registry.seed = 7 };
+  }
+
+let test_sweep_deterministic () =
+  let a = Sweep.to_json (Sweep.run (tiny_sweep ())) in
+  let b = Sweep.to_json (Sweep.run (tiny_sweep ())) in
+  Alcotest.(check string) "same seed, byte-identical JSON" a b
+
+let test_fault_plan_deterministic () =
+  let suite = suite_of "rpls" in
+  let case = List.hd suite.Registry.fs_no in
+  let run () =
+    let proto_st = Random.State.make [| 21 |] in
+    let env =
+      Plan.env Plan.Flip ~strength:0.4 ~st:(Random.State.make [| 21; 1 |])
+    in
+    case.Registry.fc_run proto_st env
+  in
+  let v1, s1 = run () in
+  let v2, s2 = run () in
+  Alcotest.(check bool) "verdicts identical" true (v1 = v2);
+  Alcotest.(check bool) "stats identical" true (s1 = s2)
+
+(* --- the sweep invariants as properties --- *)
+
+(* Soundness contractivity (Fact 4): no fault kind at any strength may
+   push a no-instance acceptance above the noiseless analytic bound
+   (beyond the Wilson interval's statistical slack). *)
+let prop_soundness_contractive =
+  QCheck.Test.make ~name:"soundness never exceeds the noiseless bound"
+    ~count:12
+    QCheck.(pair (int_bound 1000) (int_range 0 5))
+    (fun (p1000, kind_idx) ->
+      let strength = float_of_int p1000 /. 1000. in
+      let suite = suite_of "rpls" in
+      let kind = List.nth (Plan.applicable ~quantum_links:false) kind_idx in
+      let bound =
+        List.fold_left
+          (fun acc c -> Float.max acc c.Registry.fc_analytic)
+          0. suite.Registry.fs_no
+      in
+      let trials = 80 in
+      let proto_st = Random.State.make [| 31; p1000; kind_idx |] in
+      let env =
+        Plan.env kind ~strength
+          ~st:(Random.State.make [| 31; p1000; kind_idx; 1 |])
+      in
+      let hits = ref 0 in
+      List.iter
+        (fun case ->
+          let h = ref 0 in
+          for _ = 1 to trials do
+            let o =
+              Plan.execute Plan.Reject_on_timeout (fun () ->
+                  case.Registry.fc_run proto_st env)
+            in
+            if o.Plan.accepted then incr h
+          done;
+          hits := max !hits !h)
+        suite.Registry.fs_no;
+      let iv = Runtime.wilson ~hits:!hits ~trials () in
+      iv.Runtime.lower <= bound +. 1e-9)
+
+(* Crashing a node that has already said everything it will say must
+   not change anyone's verdict under degraded recovery: EQ's left
+   endpoint only acts in round 1, so a round-2 crash is neutral. *)
+let prop_crash_of_leaf_neutral =
+  QCheck.Test.make ~name:"round-2 crash of EQ's left endpoint is neutral"
+    ~count:20 QCheck.small_nat (fun seed ->
+      let suite = suite_of "eq" in
+      List.for_all
+        (fun (case : Registry.fault_case) ->
+          let clean =
+            case.Registry.fc_run
+              (Random.State.make [| seed |])
+              (Fault_env.perfect ~st:(Random.State.make [| seed; 1 |]))
+          in
+          let crash_spec =
+            { Fault.none with
+              Fault.nodes = [ (0, Fault.Crash { from_round = 2; prob = 1. }) ]
+            }
+          in
+          let crashed =
+            case.Registry.fc_run
+              (Random.State.make [| seed |])
+              (Fault_env.make ~st:(Random.State.make [| seed; 1 |]) crash_spec)
+          in
+          let v_clean, _ = clean and v_crash, stats = crashed in
+          stats.Runtime.down = [ 0 ] && v_clean = v_crash)
+        (suite.Registry.fs_yes @ suite.Registry.fs_no))
+
+(* Completeness under crash noise decays linearly with the crash
+   probability: accept rate ~ 1 - p under strict recovery. *)
+let prop_crash_completeness_tracks_prob =
+  QCheck.Test.make ~name:"crash completeness tracks 1 - p" ~count:6
+    (QCheck.int_bound 800) (fun p1000 ->
+      let strength = float_of_int p1000 /. 1000. in
+      let suite = suite_of "dma" in
+      let case = List.hd suite.Registry.fs_yes in
+      let trials = 150 in
+      let proto_st = Random.State.make [| 41; p1000 |] in
+      let env =
+        Plan.env Plan.Crash ~strength
+          ~st:(Random.State.make [| 41; p1000; 1 |])
+      in
+      let hits = ref 0 in
+      for _ = 1 to trials do
+        let o =
+          Plan.execute Plan.Reject_on_timeout (fun () ->
+              case.Registry.fc_run proto_st env)
+        in
+        if o.Plan.accepted then incr hits
+      done;
+      let iv = Runtime.wilson ~hits:!hits ~trials () in
+      iv.Runtime.lower <= 1. -. strength +. 1e-9
+      && 1. -. strength <= iv.Runtime.upper +. 1e-9)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "injector",
+        [
+          Alcotest.test_case "drop" `Quick test_deliver_drop;
+          Alcotest.test_case "duplicate" `Quick test_deliver_duplicate;
+          Alcotest.test_case "corrupt" `Quick test_deliver_corrupt;
+          Alcotest.test_case "omit and babble" `Quick test_deliver_omit_babble;
+          Alcotest.test_case "empty plan" `Quick test_perfect_plan_is_none;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "crash-stop" `Quick test_runtime_crash;
+          Alcotest.test_case "fault-free stats" `Quick
+            test_stats_without_faults;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "protocol error reported" `Quick
+            test_execute_protocol_error;
+          Alcotest.test_case "retry budget" `Quick test_execute_retry_budget;
+        ] );
+      ("wilson", [ Alcotest.test_case "interval sanity" `Quick test_wilson ]);
+      ( "noise",
+        [
+          Alcotest.test_case "trajectories average to the channel" `Slow
+            test_noise_matches_channel;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "sweep JSON byte-identical" `Quick
+            test_sweep_deterministic;
+          Alcotest.test_case "faulty run reproducible" `Quick
+            test_fault_plan_deterministic;
+        ] );
+      ( "invariants",
+        qcheck
+          [
+            prop_soundness_contractive;
+            prop_crash_of_leaf_neutral;
+            prop_crash_completeness_tracks_prob;
+          ] );
+    ]

@@ -248,14 +248,15 @@ let test_runtime_rejects_non_neighbour () =
       finish = (fun ~id:_ () -> Runtime.Accept);
     }
   in
-  Alcotest.(check bool) "raises" true
+  Alcotest.(check bool) "raises structured error" true
     (try
        ignore (Runtime.run g ~rounds:1 program);
        false
-     with Invalid_argument _ -> true)
+     with Runtime.Protocol_error { node; round; target } ->
+       node >= 0 && round = 1 && target = (node + 2) mod 4)
 
 let test_estimate_acceptance () =
-  let p = Runtime.estimate_acceptance ~trials:500 (fun () -> Random.State.bool rng) in
+  let p = Runtime.estimate_acceptance ~st:rng ~trials:500 Random.State.bool in
   Alcotest.(check bool) "coin near half" true (Float.abs (p -. 0.5) < 0.1)
 
 let () =
