@@ -1,4 +1,4 @@
-.PHONY: all build test check tables bench faults fmt clean
+.PHONY: all build test check tables bench perf faults fmt clean
 
 all: build
 
@@ -16,6 +16,11 @@ tables:
 
 bench:
 	dune exec bench/main.exe
+
+# Sequential-vs-parallel wall-clock per workload group; honors
+# QDP_JOBS for the parallel column.  Writes BENCH_perf.json.
+perf:
+	dune exec bench/main.exe -- perf
 
 # Graceful-degradation sweep: writes BENCH_faults.json, exits non-zero
 # on any soundness or monotonicity violation.

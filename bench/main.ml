@@ -1,7 +1,10 @@
 (* Bechamel timing benchmarks, one group per regenerated table plus a
-   substrate group.  Each benchmark times the (exact) acceptance
-   computation the tables harness relies on, so the wall-clock cost of
-   every experiment in EXPERIMENTS.md is tracked here. *)
+   substrate group and a parallel-layer group.  Each benchmark times
+   the (exact) acceptance computation the tables harness relies on, so
+   the wall-clock cost of every experiment in EXPERIMENTS.md is
+   tracked here.  Running with the single argument [perf] skips the
+   bechamel pass and only emits BENCH_perf.json, the sequential-vs-
+   parallel comparison used by CI. *)
 
 open Bechamel
 open Toolkit
@@ -198,6 +201,66 @@ let bench_extensions =
           ignore (Smp.accept_on_inputs smp xsmp ysmp)));
     ]
 
+(* --- parallel layer --- *)
+
+(* The pool-backed workloads, shared between the bechamel [par] group
+   (timed at whatever --jobs/QDP_JOBS is in force) and the [perf]
+   A/B harness below.  Each closure is fully seeded so repeated calls
+   compute identical results at any job count. *)
+
+let perf_attack_search =
+  let n = 160 in
+  let stp = Random.State.make [| 0x7e1 |] in
+  let x = Gf2.random stp n in
+  let y = Gf2.xor x (Gf2.random_weight stp n 3) in
+  let params = Eq_path.make ~seed:3 ~n ~r:48 () in
+  fun () -> ignore (Eq_path.best_attack_accept params x y)
+
+let perf_fault_sweep =
+  let cfg =
+    let open Qdp_faults.Sweep in
+    {
+      (default ~seed:11) with
+      trials = 40;
+      grid = default_grid ~points:5 ();
+      protocols = Some [ "eq"; "rpls" ];
+      spec = { Registry.default_spec with seed = 11; n = 16; r = 3; t = 3 };
+    }
+  in
+  fun () -> ignore (Qdp_faults.Sweep.run cfg)
+
+let perf_monte_carlo =
+  let spec = { Registry.default_spec with n = 24; r = 3; t = 3 } in
+  let entries = List.filter_map Registry.find [ "eq"; "gt" ] in
+  fun () ->
+    let st' = Random.State.make [| 0x51 |] in
+    List.iter
+      (fun entry ->
+        ignore (Registry.cross_validate_demo ~trials:160 ~st:st' spec entry))
+      entries
+
+let perf_mat_mul =
+  let open Qdp_linalg in
+  let stm = Random.State.make [| 0x31 |] in
+  let rand _ _ =
+    Cx.make
+      (Random.State.float stm 2. -. 1.)
+      (Random.State.float stm 2. -. 1.)
+  in
+  let a = Mat.init 192 192 rand in
+  let b = Mat.init 192 192 rand in
+  fun () -> ignore (Mat.mul a b)
+
+let bench_par =
+  Test.make_grouped ~name:"par"
+    [
+      Test.make ~name:"attack_search_path_n96"
+        (Staged.stage perf_attack_search);
+      Test.make ~name:"fault_sweep_eq_rpls" (Staged.stage perf_fault_sweep);
+      Test.make ~name:"xval_eq_gt_t160" (Staged.stage perf_monte_carlo);
+      Test.make ~name:"mat_mul_192" (Staged.stage perf_mat_mul);
+    ]
+
 let tests =
   Test.make_grouped ~name:"qdp"
     [
@@ -208,6 +271,7 @@ let tests =
       bench_faults;
       bench_table3;
       bench_extensions;
+      bench_par;
     ]
 
 let benchmark () =
@@ -279,8 +343,67 @@ let dump_obs () =
   Qdp_obs.Metrics.reset ();
   Qdp_obs.Trace.clear ()
 
+(* Wall-clock A/B harness for the parallel layer: each group runs the
+   identical seeded workload with the pool pinned to one job and then
+   to the ambient job count (QDP_JOBS or the core count), and
+   BENCH_perf.json records both times plus the speedup.  Because the
+   workloads are jobs-invariant by construction, the two runs compute
+   byte-identical results and the comparison is pure scheduling.  On a
+   single-core host the "parallel" column is expected to be slower
+   (domain oversubscription); the CI runner provides the multi-core
+   reading. *)
+let dump_perf () =
+  let jobs_target = Qdp_par.jobs () in
+  let groups =
+    [
+      ("attack_search", 10, perf_attack_search);
+      ("fault_sweep", 1, perf_fault_sweep);
+      ("monte_carlo_xval", 1, perf_monte_carlo);
+      ("mat_mul", 16, perf_mat_mul);
+    ]
+  in
+  let time_at jobs reps work =
+    Qdp_par.set_jobs jobs;
+    work ();
+    let best = ref infinity in
+    for _ = 1 to 2 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to reps do
+        work ()
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  (* All sequential baselines run before the first parallel pass, so
+     no pool domain exists yet to share the GC with. *)
+  let seqs =
+    List.map (fun (_, reps, work) -> time_at 1 reps work) groups
+  in
+  let rows =
+    List.map2
+      (fun (name, reps, work) seq ->
+        let par = time_at jobs_target reps work in
+        Printf.sprintf
+          "{\"group\":\"%s\",\"sequential_s\":%.6f,\"parallel_s\":%.6f,\"speedup\":%.3f}"
+          name seq par (seq /. par))
+      groups seqs
+  in
+  Qdp_par.set_jobs jobs_target;
+  let oc = open_out "BENCH_perf.json" in
+  Printf.fprintf oc "{\"jobs\":%d,\"groups\":[\n%s\n]}\n" jobs_target
+    (String.concat ",\n" rows);
+  close_out oc
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "perf" then (
+    dump_perf ();
+    exit 0)
+
 let () =
   dump_obs ();
+  dump_perf ();
   let window =
     match winsize Unix.stdout with
     | Some (w, h) -> { Bechamel_notty.w; h }

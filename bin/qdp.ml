@@ -46,6 +46,18 @@ let trace_arg =
 (* Run [f] under a root span named after the subcommand; when --metrics
    or --trace was given, enable observability first and dump the
    requested outputs afterwards (also on exceptions). *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel regions (default: $(b,QDP_JOBS) \
+           or the machine's recommended domain count; 1 = fully sequential). \
+           Results are byte-identical at every value.")
+
+let apply_jobs jobs = Option.iter Qdp_par.set_jobs jobs
+
 let with_obs ~cmd metrics trace f =
   if metrics <> None || trace <> None then Qdp_obs.set_enabled true;
   (* A dump failure (bad path, full disk) should not mask a completed
@@ -139,8 +151,9 @@ let parse_input ~n = function
 (* The one runner every protocol subcommand shares: build the spec
    from the flags, let the entry derive its yes/no demo instances, and
    report the uniform evaluation of both. *)
-let run_entry entry verbose seed n r t d reps topo x y metrics trace =
+let run_entry entry verbose seed n r t d reps topo x y jobs metrics trace =
   setup_logs verbose;
+  apply_jobs jobs;
   let info = Registry.info entry in
   with_obs ~cmd:info.Registry.info_id metrics trace @@ fun () ->
   let spec =
@@ -164,7 +177,7 @@ let entry_cmd entry =
     Term.(
       const (run_entry entry)
       $ verbose_arg $ seed_arg $ n_arg $ r_arg $ t_arg $ d_arg $ reps_arg
-      $ topology_arg $ x_arg $ y_arg $ metrics_arg $ trace_arg)
+      $ topology_arg $ x_arg $ y_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 let list_cmd =
   let run () =
@@ -187,7 +200,8 @@ let list_cmd =
     Term.(const run $ const ())
 
 let check_cmd =
-  let run seed metrics trace =
+  let run seed jobs metrics trace =
+    apply_jobs jobs;
     with_obs ~cmd:"check" metrics trace @@ fun () ->
     let suite = Registry.demo_suite ~seed in
     let failures = ref 0 in
@@ -203,7 +217,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Run the conformance suite over every protocol.")
-    Term.(const run $ seed_arg $ metrics_arg $ trace_arg)
+    Term.(const run $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg)
 
 let xval_cmd =
   let trials_arg =
@@ -220,7 +234,8 @@ let xval_cmd =
           ~doc:"Cross-validate a single protocol (default: all with a \
                 network backend).")
   in
-  let run seed n r t d reps topo trials protocol metrics trace =
+  let run seed n r t d reps topo trials protocol jobs metrics trace =
+    apply_jobs jobs;
     with_obs ~cmd:"xval" metrics trace @@ fun () ->
     let spec =
       { Registry.seed; n; r; t; d; repetitions = reps; topology = topo }
@@ -266,7 +281,8 @@ let xval_cmd =
           message-passing runtime.")
     Term.(
       const run $ seed_arg $ n_arg $ r_arg $ t_arg $ d_arg $ reps_arg
-      $ topology_arg $ trials_arg $ protocol_arg $ metrics_arg $ trace_arg)
+      $ topology_arg $ trials_arg $ protocol_arg $ jobs_arg $ metrics_arg
+      $ trace_arg)
 
 let faults_cmd =
   let open Qdp_faults in
@@ -331,7 +347,8 @@ let faults_cmd =
           ~doc:"Where to write the JSON decay curves.")
   in
   let run seed n r t d reps topo trials points max_strength protocols kinds
-      recovery out metrics trace =
+      recovery out jobs metrics trace =
+    apply_jobs jobs;
     with_obs ~cmd:"faults" metrics trace @@ fun () ->
     let spec =
       { Registry.seed; n; r; t; d; repetitions = reps; topology = topo }
@@ -363,8 +380,8 @@ let faults_cmd =
     Term.(
       const run $ seed_arg $ n_arg $ r_arg $ t_arg $ d_arg $ reps_arg
       $ topology_arg $ trials_arg $ points_arg $ max_strength_arg
-      $ protocol_arg $ kind_arg $ recovery_arg $ out_arg $ metrics_arg
-      $ trace_arg)
+      $ protocol_arg $ kind_arg $ recovery_arg $ out_arg $ jobs_arg
+      $ metrics_arg $ trace_arg)
 
 let main =
   Cmd.group

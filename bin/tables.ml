@@ -822,8 +822,8 @@ let all () =
   variants ();
   check ()
 
-(* Split `--metrics FILE` / `--trace FILE` out of argv; what remains
-   selects the table as before. *)
+(* Split `--metrics FILE` / `--trace FILE` / `--jobs N` out of argv;
+   what remains selects the table as before. *)
 let parse_args () =
   let metrics = ref None and trace = ref None and rest = ref [] in
   let argv = Sys.argv in
@@ -836,6 +836,13 @@ let parse_args () =
     | "--trace" when !i + 1 < Array.length argv ->
         incr i;
         trace := Some argv.(!i)
+    | "--jobs" when !i + 1 < Array.length argv -> (
+        incr i;
+        match int_of_string_opt argv.(!i) with
+        | Some j when j >= 1 -> Qdp_par.set_jobs j
+        | Some _ | None ->
+            Printf.eprintf "tables: --jobs expects a positive integer\n";
+            exit 2)
     | a -> rest := a :: !rest);
     incr i
   done;

@@ -52,12 +52,9 @@ let evaluate p inst =
   in
   let best_attack, best_attack_name =
     Qdp_log.attack_search ~proto:"dqma" @@ fun () ->
-    List.fold_left
-      (fun (best, name) (n, prover) ->
-        let a = amplify (p.accept inst prover) in
-        Qdp_log.attack_candidate ~proto:p.name n a;
-        if a > best then (a, n) else (best, name))
-      (0., "none") (p.attacks inst)
+    Qdp_log.best_candidate ~proto:p.name
+      ~score:(fun prover -> amplify (p.accept inst prover))
+      (p.attacks inst)
   in
   let meets_spec =
     if instance_is_yes then honest_accept >= 2. /. 3.
@@ -346,12 +343,12 @@ let backend_accept ?(trials = 2000) ~st backend p inst prover =
   match backend with
   | Analytic -> p.accept inst prover
   | Network run ->
-      let hits = ref 0 in
-      for _ = 1 to trials do
-        Qdp_obs.Metrics.incr obs_crossval_runs;
-        if run st inst prover then incr hits
-      done;
-      float_of_int !hits /. float_of_int trials
+      let hits =
+        Qdp_par.monte_carlo_hits ~st ~trials (fun st ->
+            Qdp_obs.Metrics.incr obs_crossval_runs;
+            run st inst prover)
+      in
+      float_of_int hits /. float_of_int trials
 
 type check = {
   check_strategy : string;
@@ -370,32 +367,41 @@ let cross_validate ?(trials = 2000) ?(z = 5.) ~st ~network p inst =
     (match p.honest inst with Some h -> [ ("honest", h) ] | None -> [])
     @ p.attacks inst
   in
-  List.map
-    (fun (name, prover) ->
-      let analytic = p.accept inst prover in
-      let hits = ref 0 in
-      for _ = 1 to trials do
-        Qdp_obs.Metrics.incr obs_crossval_runs;
-        if network st inst prover then incr hits
-      done;
-      let sampled = float_of_int !hits /. float_of_int trials in
-      (* a deterministic verdict (p in {0, 1}) must reproduce exactly;
-         otherwise the analytic value must fall inside the z-sigma
-         Wilson score interval of the sampled frequency *)
-      let deterministic = analytic < 1e-9 || analytic > 1. -. 1e-9 in
-      let iv = Runtime.wilson ~z ~hits:!hits ~trials () in
-      let tolerance =
-        if deterministic then 1e-6
-        else (iv.Runtime.upper -. iv.Runtime.lower) /. 2.
-      in
-      let agree =
-        if deterministic then Float.abs (analytic -. sampled) <= 1e-6
-        else analytic >= iv.Runtime.lower && analytic <= iv.Runtime.upper
-      in
-      Qdp_obs.Metrics.incr obs_crossval_checks;
-      if not agree then Qdp_obs.Metrics.incr obs_crossval_disagreements;
-      { check_strategy = name; analytic; sampled; trials; tolerance; agree })
-    provers
+  (* One sampling state per strategy, split off [st] in list order on
+     the calling domain, so the per-strategy comparisons can run on
+     any number of domains without perturbing each other's randomness
+     — verdicts are byte-identical at every [--jobs] value. *)
+  let tagged =
+    Array.of_list
+      (List.map (fun (name, prover) -> (name, prover, Random.State.split st)) provers)
+  in
+  Array.to_list
+  @@ Qdp_par.parallel_map_array ~chunk:1
+       (fun (name, prover, pst) ->
+         let analytic = p.accept inst prover in
+         let hits =
+           Qdp_par.monte_carlo_hits ~st:pst ~trials (fun st ->
+               Qdp_obs.Metrics.incr obs_crossval_runs;
+               network st inst prover)
+         in
+         let sampled = float_of_int hits /. float_of_int trials in
+         (* a deterministic verdict (p in {0, 1}) must reproduce exactly;
+            otherwise the analytic value must fall inside the z-sigma
+            Wilson score interval of the sampled frequency *)
+         let deterministic = analytic < 1e-9 || analytic > 1. -. 1e-9 in
+         let iv = Runtime.wilson ~z ~hits ~trials () in
+         let tolerance =
+           if deterministic then 1e-6
+           else (iv.Runtime.upper -. iv.Runtime.lower) /. 2.
+         in
+         let agree =
+           if deterministic then Float.abs (analytic -. sampled) <= 1e-6
+           else analytic >= iv.Runtime.lower && analytic <= iv.Runtime.upper
+         in
+         Qdp_obs.Metrics.incr obs_crossval_checks;
+         if not agree then Qdp_obs.Metrics.incr obs_crossval_disagreements;
+         { check_strategy = name; analytic; sampled; trials; tolerance; agree })
+       tagged
 
 let pp_check fmt c =
   Format.fprintf fmt "%-16s analytic %.6f | sampled %.6f (%d trials) | %s"

@@ -181,7 +181,10 @@ type check = {
     reproduce to 1e-6; probabilistic ones must place the analytic value
     inside the [z]-sigma (default 5) Wilson score interval of the
     sampled frequency ({!Qdp_network.Runtime.wilson}).  Increments
-    [crossval.checks] and [crossval.disagreements]. *)
+    [crossval.checks] and [crossval.disagreements].  Strategies are
+    compared in parallel on the [Qdp_par] pool, each sampling from an
+    RNG state split off [st] in strategy order, so the check list is
+    byte-identical at every [--jobs] value. *)
 val cross_validate :
   ?trials:int ->
   ?z:float ->

@@ -47,12 +47,8 @@ let best_attack_accept params x y =
     ~attrs:(fun () ->
       [ ("n", Qdp_obs.Trace.Int params.n); ("r", Qdp_obs.Trace.Int params.r) ])
   @@ fun () ->
-  List.fold_left
-    (fun (best, best_name) (name, s) ->
-      let p = single_round_accept params x y s in
-      Qdp_log.attack_candidate ~proto:"eq_path" name p;
-      if p > best then (p, name) else (best, best_name))
-    (0., "none")
+  Qdp_log.best_candidate ~proto:"eq_path"
+    ~score:(fun s -> single_round_accept params x y s)
     (attack_library params x y)
 
 let soundness_bound_single ~r =

@@ -83,12 +83,9 @@ let best_attack_accept params g ~terminals ~inputs =
         ("terminals", Qdp_obs.Trace.Int (List.length terminals)) ])
   @@ fun () ->
   let attacks = attack_library ~inputs in
-  List.fold_left
-    (fun (best, best_name) (name, s) ->
-      let p = single_round_accept params g ~terminals ~inputs s in
-      Qdp_log.attack_candidate ~proto:"eq_tree" name p;
-      if p > best then (p, name) else (best, best_name))
-    (0., "none") attacks
+  Qdp_log.best_candidate ~proto:"eq_tree"
+    ~score:(fun s -> single_round_accept params g ~terminals ~inputs s)
+    attacks
 
 let costs params tr =
   let q = Fingerprint.qubits_of_n params.n in

@@ -71,12 +71,8 @@ let best_attack_accept params x y =
     ~attrs:(fun () ->
       [ ("n", Qdp_obs.Trace.Int params.n); ("r", Qdp_obs.Trace.Int params.r) ])
   @@ fun () ->
-  List.fold_left
-    (fun (best, best_name) (name, p) ->
-      let a = single_round_accept params x y p in
-      Qdp_log.attack_candidate ~proto:"gt" name a;
-      if a > best then (a, name) else (best, best_name))
-    (0., "none")
+  Qdp_log.best_candidate ~proto:"gt"
+    ~score:(fun p -> single_round_accept params x y p)
     (attack_library params x y)
 
 type comparison = Gt | Ge | Lt | Le
@@ -90,12 +86,10 @@ let eq_branch_accept params x y strategy =
 
 let best_eq_branch_attack params x y =
   Qdp_log.attack_search ~proto:"gt.eq_branch" @@ fun () ->
-  List.fold_left
-    (fun best (name, s) ->
-      let p = eq_branch_accept params x y s in
-      Qdp_log.attack_candidate ~proto:"gt.eq_branch" name p;
-      Float.max best p)
-    0. (eq_strategies params.r)
+  fst
+    (Qdp_log.best_candidate ~proto:"gt.eq_branch"
+       ~score:(fun s -> eq_branch_accept params x y s)
+       (eq_strategies params.r))
 
 let variant_honest_accept params cmp x y =
   let gt_honest x y = single_round_accept params x y (honest_prover x y) in

@@ -102,21 +102,26 @@ let max_pairwise_overlap_random st ~qubits ~count =
     Vec.normalize (Vec.init dim (fun _ -> Cx.make (gaussian ()) (gaussian ())))
   in
   let states = Array.init count (fun _ -> random_state ()) in
-  let best = ref 0. in
   Qdp_log.attack_search ~proto:"lower_bounds.state_packing"
     ~attrs:(fun () ->
       [ ("qubits", Qdp_obs.Trace.Int qubits);
         ("count", Qdp_obs.Trace.Int count) ])
   @@ fun () ->
-  for i = 0 to count - 1 do
-    for j = i + 1 to count - 1 do
-      let ov = Cx.abs (Vec.dot states.(i) states.(j)) in
-      if ov > !best then best := ov
-    done
-  done;
+  (* O(count^2) pairs; [max] is exact, so splitting the outer loop
+     over the pool returns bit-identical overlaps at any job count *)
+  let best =
+    Qdp_par.parallel_reduce ~chunk:1 ~neutral:0. ~combine:Float.max 0 count
+      (fun i ->
+        let b = ref 0. in
+        for j = i + 1 to count - 1 do
+          let ov = Cx.abs (Vec.dot states.(i) states.(j)) in
+          if ov > !b then b := ov
+        done;
+        !b)
+  in
   Qdp_log.Log.debug (fun m ->
-      m "lower_bounds state_packing: max overlap %.6g over %d states" !best count);
-  !best
+      m "lower_bounds state_packing: max overlap %.6g over %d states" best count);
+  best
 
 let fingerprint_family_max_overlap ~seed ~n =
   if n > 12 then invalid_arg "fingerprint_family_max_overlap: n <= 12";

@@ -83,11 +83,22 @@ let best_attack_accept params proto g ~terminals ~inputs =
                 (Printf.sprintf "geodesic->x%d" (k + 1), Depth_geodesic k);
               ]))
   in
-  List.fold_left
-    (fun (best, best_name) (name, p) ->
-      let a = single_accept params proto g ~terminals ~inputs p in
-      if a > best then (a, name) else (best, best_name))
-    (0., "none") attacks
+  (* unlogged search: score on the pool, fold in candidate order *)
+  let arr = Array.of_list attacks in
+  let scores =
+    Qdp_par.parallel_map_array ~chunk:1
+      (fun (_, p) -> single_accept params proto g ~terminals ~inputs p)
+      arr
+  in
+  let best = ref 0. and best_name = ref "none" in
+  Array.iteri
+    (fun i (name, _) ->
+      if scores.(i) > !best then begin
+        best := scores.(i);
+        best_name := name
+      end)
+    arr;
+  (!best, !best_name)
 
 let costs params proto g ~terminals =
   let t = List.length terminals in

@@ -22,3 +22,23 @@ let attack_candidate ~proto name p =
 let attack_search ~proto ?attrs f =
   Qdp_obs.Metrics.incr obs_searches;
   Qdp_obs.Trace.with_span ?attrs (proto ^ ".attack_search") f
+
+(* Candidate grids are independent, so score them on the domain pool;
+   the results are then replayed in list order through
+   [attack_candidate] and the max fold, so logs, metrics and
+   tie-breaking (first strict improvement wins) are exactly those of
+   the sequential search, at every job count. *)
+let best_candidate ~proto ~score candidates =
+  let arr = Array.of_list candidates in
+  let scores = Qdp_par.parallel_map_array ~chunk:1 (fun (_, c) -> score c) arr in
+  let best = ref 0. and best_name = ref "none" in
+  Array.iteri
+    (fun i (name, _) ->
+      let a = scores.(i) in
+      attack_candidate ~proto name a;
+      if a > !best then begin
+        best := a;
+        best_name := name
+      end)
+    arr;
+  (!best, !best_name)

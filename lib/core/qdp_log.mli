@@ -18,3 +18,14 @@ val attack_search :
   ?attrs:(unit -> (string * Qdp_obs.Trace.value) list) ->
   (unit -> 'a) ->
   'a
+
+(** [best_candidate ~proto ~score candidates] scores every
+    [(name, candidate)] on the [Qdp_par] pool, then replays the
+    results in list order through {!attack_candidate} and a
+    first-strict-improvement max fold — the returned
+    [(best score, best name)], the debug log and the metrics are
+    byte-identical to a sequential search at every [--jobs] value.
+    Returns [(0., "none")] on an empty list (or when nothing beats
+    0). *)
+val best_candidate :
+  proto:string -> score:('c -> float) -> (string * 'c) list -> float * string

@@ -104,12 +104,8 @@ let best_attack_accept params x y =
         ("r", Qdp_obs.Trace.Int params.r);
         ("spacing", Qdp_obs.Trace.Int params.spacing) ])
   @@ fun () ->
-  List.fold_left
-    (fun (best, best_name) (name, p) ->
-      let a = accept params x y p in
-      Qdp_log.attack_candidate ~proto:"relay" name a;
-      if a > best then (a, name) else (best, best_name))
-    (0., "none")
+  Qdp_log.best_candidate ~proto:"relay"
+    ~score:(fun p -> accept params x y p)
     (attack_library params x y)
 
 let costs params =

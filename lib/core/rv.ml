@@ -101,19 +101,30 @@ let best_attack_accept params g ~terminals ~inputs ~i ~j =
     (* flip the cheapest-to-lie directions to fix the count *)
     let want_ge = c < target in
     let flips_needed = abs (target - c) in
-    let candidates = ref [] in
-    for k = 0 to t - 1 do
-      if k <> i && truth.(k) <> want_ge then begin
-        let p =
+    (* score the flippable directions on the pool, then log and
+       accumulate in the original k order *)
+    let flippable =
+      Array.of_list
+        (List.filter
+           (fun k -> k <> i && truth.(k) <> want_ge)
+           (List.init t (fun k -> k)))
+    in
+    let scores =
+      Qdp_par.parallel_map_array ~chunk:1
+        (fun k ->
           Sim.repeat_accept params.repetitions
-            (path_accept_for_claim params tr ~inputs ~i ~k ~claim_ge:want_ge)
-        in
+            (path_accept_for_claim params tr ~inputs ~i ~k ~claim_ge:want_ge))
+        flippable
+    in
+    let candidates = ref [] in
+    Array.iteri
+      (fun idx k ->
+        let p = scores.(idx) in
         Qdp_log.attack_candidate ~proto:"rv"
           (Printf.sprintf "flip-%d->%s" k (if want_ge then ">=" else "<"))
           p;
-        candidates := (p, k) :: !candidates
-      end
-    done;
+        candidates := (p, k) :: !candidates)
+      flippable;
     let sorted =
       List.sort (fun (p1, _) (p2, _) -> Float.compare p2 p1) !candidates
     in

@@ -74,12 +74,8 @@ let best_attack_accept params s t =
         ("k", Qdp_obs.Trace.Int params.k);
         ("r", Qdp_obs.Trace.Int params.r) ])
   @@ fun () ->
-  List.fold_left
-    (fun (best, best_name) (name, strat) ->
-      let p = single_round_accept params s t strat in
-      Qdp_log.attack_candidate ~proto:"set_eq" name p;
-      if p > best then (p, name) else (best, best_name))
-    (0., "none")
+  Qdp_log.best_candidate ~proto:"set_eq"
+    ~score:(fun strat -> single_round_accept params s t strat)
     (Strategy.chain_library ~r:params.r)
 
 let costs params =

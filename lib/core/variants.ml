@@ -52,11 +52,22 @@ let best_attack_accept params x y =
     :: List.init (params.r - 1) (fun j ->
            (Printf.sprintf "switch@%d" (j + 1), switch j))
   in
-  List.fold_left
-    (fun (best, best_name) (name, p) ->
-      let a = single_accept params x y p in
-      if a > best then (a, name) else (best, best_name))
-    (0., "none") candidates
+  (* unlogged search: score on the pool, fold in candidate order *)
+  let arr = Array.of_list candidates in
+  let scores =
+    Qdp_par.parallel_map_array ~chunk:1
+      (fun (_, p) -> single_accept params x y p)
+      arr
+  in
+  let best = ref 0. and best_name = ref "none" in
+  Array.iteri
+    (fun i (name, _) ->
+      if scores.(i) > !best then begin
+        best := scores.(i);
+        best_name := name
+      end)
+    arr;
+  (!best, !best_name)
 
 let costs params =
   let q = Fingerprint.qubits_of_n params.n in

@@ -178,14 +178,31 @@ let sweep_entry cfg ~pi entry =
                   (Plan.applicable ~quantum_links:suite.fs_quantum_links))
               ks
       in
+      (* The kinds x strengths grid is embarrassingly parallel: every
+         point re-seeds from its stable (protocol, kind, grid, side,
+         case) indices (see [case_measure]), so measuring the
+         flattened grid on the pool and regrouping into per-kind
+         curves is bit-identical to the sequential double loop. *)
+      let flat =
+        Array.of_list
+          (List.concat_map
+             (fun kind ->
+               let ki = index_of kind Plan.all in
+               List.mapi (fun xi p -> (kind, ki, xi, p)) cfg.grid)
+             kinds)
+      in
+      let measured =
+        Qdp_par.parallel_map_array ~chunk:1
+          (fun (kind, ki, xi, p) ->
+            sweep_point cfg ~ids:(pi, ki, xi) kind p suite ~bound)
+          flat
+      in
+      let npoints = List.length cfg.grid in
       let curves =
-        List.map
-          (fun kind ->
-            let ki = index_of kind Plan.all in
+        List.mapi
+          (fun k kind ->
             let points =
-              List.mapi
-                (fun xi p -> sweep_point cfg ~ids:(pi, ki, xi) kind p suite ~bound)
-                cfg.grid
+              Array.to_list (Array.sub measured (k * npoints) npoints)
             in
             {
               cv_kind = kind;

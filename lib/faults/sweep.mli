@@ -87,9 +87,11 @@ type t = {
 (** Total invariant failures (what the CLI's exit code reports). *)
 val violations : t -> int
 
-(** [run cfg] executes the sweep.  All randomness derives from
-    [cfg.seed] plus stable (protocol, kind, grid, case) indices, so a
-    rerun is bit-identical and restricting [protocols]/[kinds] never
+(** [run cfg] executes the sweep, measuring each protocol's
+    kinds x strengths grid in parallel on the [Qdp_par] pool.  All
+    randomness derives from [cfg.seed] plus stable (protocol, kind,
+    grid, case) indices, so a rerun is bit-identical — at any
+    [--jobs] value — and restricting [protocols]/[kinds] never
     shifts the seeds of what is still swept.  Each point increments
     [faults.points]; failed soundness checks increment
     [faults.soundness_violations]. *)

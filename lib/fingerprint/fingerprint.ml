@@ -7,25 +7,46 @@ let make code = { code }
 
 (* [standard] is deterministic in (seed, n), and attack searches /
    repeated instance builds call it with the same few keys over and
-   over — memoize the constructed family.  The table is tiny (a code
-   per distinct key); a size cap bounds pathological sweeps. *)
+   over — memoize the constructed family.  The table is shared across
+   domains, so every lookup/insert holds [cache_lock]; the code
+   construction itself runs unlocked (two domains racing on a fresh
+   key both build the same code, and the loser adopts the winner's
+   copy).  At the size cap one arbitrary binding is evicted, not the
+   whole table, so hot keys survive a sweep over many cold ones. *)
 let cache_hits = Qdp_obs.Metrics.counter "fingerprint.cache.hits"
 let cache_misses = Qdp_obs.Metrics.counter "fingerprint.cache.misses"
+let cache_lock = Mutex.create ()
 let standard_cache : (int * int, t) Hashtbl.t = Hashtbl.create 64
 let standard_cache_limit = 512
 
+let evict_one () =
+  match Hashtbl.fold (fun k _ _ -> Some k) standard_cache None with
+  | Some k -> Hashtbl.remove standard_cache k
+  | None -> ()
+
 let standard ~seed ~n =
   let key = (seed, n) in
+  Mutex.lock cache_lock;
   match Hashtbl.find_opt standard_cache key with
   | Some fp ->
+      Mutex.unlock cache_lock;
       Qdp_obs.Metrics.incr cache_hits;
       fp
   | None ->
+      Mutex.unlock cache_lock;
       Qdp_obs.Metrics.incr cache_misses;
       let fp = { code = Linear_code.random ~seed ~n ~m:(8 * n) } in
-      if Hashtbl.length standard_cache >= standard_cache_limit then
-        Hashtbl.reset standard_cache;
-      Hashtbl.add standard_cache key fp;
+      Mutex.lock cache_lock;
+      let fp =
+        match Hashtbl.find_opt standard_cache key with
+        | Some racing_winner -> racing_winner
+        | None ->
+            if Hashtbl.length standard_cache >= standard_cache_limit then
+              evict_one ();
+            Hashtbl.add standard_cache key fp;
+            fp
+      in
+      Mutex.unlock cache_lock;
       fp
 
 let code fp = fp.code

@@ -29,7 +29,9 @@ val make : Linear_code.t -> t
     Construction is memoized per [(seed, n)] — repeated instance
     builds in attack searches hit a process-wide cache (observable via
     the [fingerprint.cache.hits]/[fingerprint.cache.misses]
-    counters). *)
+    counters).  The cache is mutex-guarded and safe to hit from
+    concurrent domains; at capacity it evicts one binding at a time,
+    so hot keys survive sweeps over many cold ones. *)
 val standard : seed:int -> n:int -> t
 
 (** [code fp] is the underlying code. *)

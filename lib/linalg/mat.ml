@@ -57,10 +57,17 @@ let scale z a =
   done;
   m
 
+(* Dense kernels go row-parallel past this many scalar
+   multiply-accumulates: below it the pool's scheduling overhead beats
+   the arithmetic.  Each outer index owns a disjoint slice of the
+   result and the per-cell accumulation order is unchanged, so the
+   floats are bit-identical at any job count. *)
+let par_cutoff = 1 lsl 16
+
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: shape mismatch";
   let m = create a.rows b.cols in
-  for i = 0 to a.rows - 1 do
+  let row i =
     for k = 0 to a.cols - 1 do
       let ar = a.re.((i * a.cols) + k) and ai = a.im.((i * a.cols) + k) in
       if ar <> 0. || ai <> 0. then
@@ -71,7 +78,13 @@ let mul a b =
           m.im.(idx) <- m.im.(idx) +. (ar *. bi) +. (ai *. br)
         done
     done
-  done;
+  in
+  if a.rows * a.cols * b.cols >= par_cutoff then
+    Qdp_par.parallel_for 0 a.rows row
+  else
+    for i = 0 to a.rows - 1 do
+      row i
+    done;
   m
 
 let apply m v =
@@ -107,7 +120,7 @@ let trace m =
 
 let tensor a b =
   let m = create (a.rows * b.rows) (a.cols * b.cols) in
-  for ia = 0 to a.rows - 1 do
+  let row_block ia =
     for ja = 0 to a.cols - 1 do
       let ar = a.re.((ia * a.cols) + ja) and ai = a.im.((ia * a.cols) + ja) in
       if ar <> 0. || ai <> 0. then
@@ -121,7 +134,13 @@ let tensor a b =
           done
         done
     done
-  done;
+  in
+  if a.rows * a.cols * b.rows * b.cols >= par_cutoff then
+    Qdp_par.parallel_for 0 a.rows row_block
+  else
+    for ia = 0 to a.rows - 1 do
+      row_block ia
+    done;
   m
 
 let tensor_list = function

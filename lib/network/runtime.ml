@@ -134,11 +134,8 @@ let run_accepts g ~rounds program =
   global_verdict verdicts = Accept
 
 let estimate_acceptance ~st ~trials f =
-  let hits = ref 0 in
-  for _ = 1 to trials do
-    if f st then incr hits
-  done;
-  float_of_int !hits /. float_of_int trials
+  let hits = Qdp_par.monte_carlo_hits ~st ~trials f in
+  float_of_int hits /. float_of_int trials
 
 (* ------------------------------------------------------------------ *)
 (* Wilson score intervals                                              *)
@@ -151,7 +148,7 @@ type interval = {
   ci_trials : int;
 }
 
-let wilson ?(z = 4.) ~hits ~trials () =
+let wilson ?(z = 5.) ~hits ~trials () =
   if trials <= 0 then invalid_arg "Runtime.wilson: trials must be positive";
   if hits < 0 || hits > trials then invalid_arg "Runtime.wilson: hits";
   let n = float_of_int trials in
@@ -172,8 +169,5 @@ let wilson ?(z = 4.) ~hits ~trials () =
   }
 
 let estimate_acceptance_ci ?z ~st ~trials f =
-  let hits = ref 0 in
-  for _ = 1 to trials do
-    if f st then incr hits
-  done;
-  wilson ?z ~hits:!hits ~trials ()
+  let hits = Qdp_par.monte_carlo_hits ~st ~trials f in
+  wilson ?z ~hits ~trials ()

@@ -61,10 +61,13 @@ val run :
 val run_accepts : Graph.t -> rounds:int -> ('s, 'm) program -> bool
 
 (** [estimate_acceptance ~st ~trials f] runs the randomized trial [f]
-    (typically a [run_once] closure) [trials] times on the explicit
-    RNG state [st] and returns the empirical acceptance frequency.
-    Threading [st] — never the global RNG — keeps every experiment
-    bit-reproducible from a seed. *)
+    (typically a [run_once] closure) [trials] times and returns the
+    empirical acceptance frequency.  The trials execute on the
+    [Qdp_par] pool in fixed chunks of [Qdp_par.mc_chunk], each chunk
+    on an RNG state split off [st] in chunk order, so the frequency —
+    and the post-call position of [st] — are byte-identical at every
+    [--jobs] value.  Threading [st] — never the global RNG — keeps
+    every experiment bit-reproducible from a seed. *)
 val estimate_acceptance :
   st:Random.State.t -> trials:int -> (Random.State.t -> bool) -> float
 
@@ -79,10 +82,13 @@ type interval = {
 }
 
 (** [wilson ?z ~hits ~trials ()] is the Wilson score interval at
-    critical value [z] (default 4, i.e. a ~1e-4 two-sided tail) —
-    unlike the normal approximation it stays inside [0, 1] and behaves
-    at the endpoints, which is exactly where deterministic-verdict
-    protocols live.
+    critical value [z] (default 5, a ~6e-7 two-sided tail — the same
+    width the differential cross-validation harness
+    ([Dqma.cross_validate]) demands, so ad-hoc callers and the harness
+    agree on what "statistically consistent" means) — unlike the
+    normal approximation it stays inside [0, 1] and behaves at the
+    endpoints, which is exactly where deterministic-verdict protocols
+    live.
     @raise Invalid_argument on [trials <= 0] or [hits] out of range. *)
 val wilson : ?z:float -> hits:int -> trials:int -> unit -> interval
 

@@ -1,14 +1,18 @@
 (* Wall clock in seconds with a monotonic clamp: [Unix.gettimeofday]
    can step backwards under NTP adjustment, which would produce
    negative span durations, so [now] never returns a value smaller
-   than the previous reading. *)
+   than a previously observed one.  The clamp is a CAS loop over an
+   atomic so concurrent domains can neither tear the stored maximum
+   nor pin another domain's reading backwards. *)
 
-let last = ref neg_infinity
+let last = Atomic.make neg_infinity
 
 let now () =
   let t = Unix.gettimeofday () in
-  if t < !last then !last
-  else begin
-    last := t;
-    t
-  end
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last prev t then t
+    else clamp ()
+  in
+  clamp ()

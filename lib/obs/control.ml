@@ -1,8 +1,9 @@
 (* Global on/off switch for all observability.  Every metric update and
-   span entry checks this single mutable bool first, so with the switch
-   off the instrumented hot paths pay one load + branch and closures
-   passed to the recording functions are never evaluated. *)
+   span entry checks this single atomic bool first, so with the switch
+   off the instrumented hot paths pay one load + branch (from any
+   domain) and closures passed to the recording functions are never
+   evaluated. *)
 
-let enabled = ref false
-let on () = !enabled
-let set b = enabled := b
+let enabled = Atomic.make false
+let on () = Atomic.get enabled
+let set b = Atomic.set enabled b

@@ -1,10 +1,12 @@
-(* Process-local metrics registry: named counters, gauges and
-   log-scale histograms.  Single-process semantics — plain mutable
-   fields, no atomics — because the engines are sequential; every
-   update is guarded by the global {!Control} switch so disabled runs
-   pay one branch per call site. *)
+(* Process-global metrics registry: named counters, gauges and
+   log-scale histograms, safe to update from any domain now that the
+   engines fan work out over the Qdp_par pool.  Counters are a single
+   atomic fetch-and-add; gauge and histogram updates (multi-field) and
+   registry registration hold [lock].  Every update is still guarded
+   by the global {!Control} switch first, so disabled runs pay one
+   branch (an atomic load) per call site and never touch the lock. *)
 
-type counter = { mutable count : int }
+type counter = { count : int Atomic.t }
 type gauge = { mutable value : float; mutable touched : bool }
 
 (* Log-scale histogram: bucket 0 holds non-positive observations,
@@ -32,7 +34,22 @@ let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 (* registration order, for stable export *)
 let order : string list ref = ref []
 
+(* Guards [registry]/[order] and every multi-field mutation (gauges,
+   histograms, snapshots, reset). *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
 let register name mk describe =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some m -> (
       match describe m with
@@ -49,7 +66,7 @@ let register name mk describe =
 let counter name =
   register name
     (fun () ->
-      let c = { count = 0 } in
+      let c = { count = Atomic.make 0 } in
       (Counter c, c))
     (function Counter c -> Some c | _ -> None)
 
@@ -78,16 +95,18 @@ let histogram ?(base = 2.) name =
       (Histogram h, h))
     (function Histogram h -> Some h | _ -> None)
 
-let incr ?(by = 1) c = if Control.on () then c.count <- c.count + by
+let incr ?(by = 1) c =
+  if Control.on () then ignore (Atomic.fetch_and_add c.count by)
 
 let set g v =
-  if Control.on () then begin
+  if Control.on () then
+    locked @@ fun () ->
     g.value <- v;
     g.touched <- true
-  end
 
 let set_max g v =
   if Control.on () then
+    locked @@ fun () ->
     if (not g.touched) || v > g.value then begin
       g.value <- v;
       g.touched <- true
@@ -104,6 +123,7 @@ let bucket_index h v =
 let observe h v =
   if Control.on () then begin
     let i = bucket_index h v in
+    locked @@ fun () ->
     h.buckets.(i) <- h.buckets.(i) + 1;
     h.sum <- h.sum +. v;
     h.observations <- h.observations + 1;
@@ -144,7 +164,7 @@ type view = Counter_v of int | Gauge_v of float | Histogram_v of hview
 type snapshot = (string * view) list
 
 let view_of = function
-  | Counter c -> Counter_v c.count
+  | Counter c -> Counter_v (Atomic.get c.count)
   | Gauge g -> Gauge_v g.value
   | Histogram h ->
       let buckets = ref [] in
@@ -163,13 +183,15 @@ let view_of = function
         }
 
 let snapshot () =
+  locked @@ fun () ->
   List.rev_map (fun name -> (name, view_of (Hashtbl.find registry name))) !order
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.count <- 0
+      | Counter c -> Atomic.set c.count 0
       | Gauge g ->
           g.value <- 0.;
           g.touched <- false

@@ -8,7 +8,14 @@
     Everything is inert until {!set_enabled}[ true]: updates cost one
     branch and closures passed to the recording functions are never
     evaluated, so instrumented hot paths are unaffected in normal
-    runs. *)
+    runs.
+
+    Both sinks are safe to feed from concurrent domains (the engines
+    parallelize over [Qdp_par]): counters and span ids are atomic,
+    multi-field updates and the trace ring take an internal mutex, and
+    span nesting is tracked per domain — a span opened on a pool
+    worker is a root span of that worker, not a child of whatever the
+    submitting domain had open. *)
 
 module Metrics = Metrics
 module Trace = Trace

@@ -23,26 +23,47 @@ let buf = ref (Array.make default_capacity (None : span option))
 let write = ref 0
 let stored = ref 0
 let dropped_spans = ref 0
-let next_id = ref 0
-let stack : int list ref = ref []
+
+(* Guards the ring state above ([epoch], [buf], [write], [stored],
+   [dropped_spans]): spans complete concurrently on pool domains.  Ids
+   are allocated atomically outside the lock, and the open-span stack
+   is domain-local — nesting is a per-domain notion (a span opened on
+   a worker is a root of that worker's tree, not a child of whatever
+   the submitting domain had open). *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let next_id = Atomic.make 0
+let stack_key = Domain.DLS.new_key (fun () -> ref ([] : int list))
 
 let clear () =
+  locked @@ fun () ->
   Array.fill !buf 0 (Array.length !buf) None;
   write := 0;
   stored := 0;
   dropped_spans := 0;
-  stack := [];
+  Domain.DLS.get stack_key := [];
   epoch := Clock.now ()
 
 let set_capacity n =
   if n < 1 then invalid_arg "Qdp_obs.Trace.set_capacity: n >= 1";
-  buf := Array.make n None;
+  locked (fun () -> buf := Array.make n None);
   clear ()
 
-let capacity () = Array.length !buf
-let dropped () = !dropped_spans
+let capacity () = locked (fun () -> Array.length !buf)
+let dropped () = locked (fun () -> !dropped_spans)
 
 let record sp =
+  locked @@ fun () ->
   let b = !buf in
   let n = Array.length b in
   if !stored = n then incr dropped_spans else incr stored;
@@ -51,6 +72,7 @@ let record sp =
 
 (* Oldest-first contents of the ring buffer. *)
 let spans () =
+  locked @@ fun () ->
   let b = !buf in
   let n = Array.length b in
   let first = if !stored = n then !write else 0 in
@@ -62,8 +84,8 @@ let spans () =
 let with_span ?attrs name f =
   if not (Control.on ()) then f ()
   else begin
-    incr next_id;
-    let id = !next_id in
+    let id = Atomic.fetch_and_add next_id 1 + 1 in
+    let stack = Domain.DLS.get stack_key in
     let parent = match !stack with [] -> -1 | p :: _ -> p in
     let depth = List.length !stack in
     stack := id :: !stack;

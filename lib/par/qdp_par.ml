@@ -1,0 +1,233 @@
+(* Reusable work-sharing pool over stdlib [Domain].  Workers are
+   spawned lazily on the first parallel region and kept for the life
+   of the process; a region pushes closures on a shared queue and the
+   submitting domain helps drain it while it waits, so nested regions
+   cannot deadlock even with a single worker.  See qdp_par.mli for the
+   determinism contract. *)
+
+(* -- job budget ---------------------------------------------------- *)
+
+(* 0 = not yet resolved; resolution happens on first [jobs ()] call so
+   [set_jobs] (the [--jobs] flag) wins over the environment. *)
+let configured = Atomic.make 0
+
+let resolve_jobs () =
+  match Sys.getenv_opt "QDP_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs () =
+  let j = Atomic.get configured in
+  if j > 0 then j
+  else begin
+    let j = resolve_jobs () in
+    (* a concurrent [set_jobs] wins the race on purpose *)
+    ignore (Atomic.compare_and_set configured 0 j);
+    Atomic.get configured
+  end
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Qdp_par.set_jobs: need at least one job";
+  Atomic.set configured n
+
+(* -- pool ---------------------------------------------------------- *)
+
+let lock = Mutex.create ()
+let wake = Condition.create ()
+
+(* All of the following are guarded by [lock]. *)
+let queue : (unit -> unit) Queue.t = Queue.create ()
+let stopping = ref false
+let spawned : unit Domain.t list ref = ref []
+
+let worker () =
+  let rec next () =
+    Mutex.lock lock;
+    let rec await () =
+      if !stopping then None
+      else
+        match Queue.take_opt queue with
+        | Some t -> Some t
+        | None ->
+            Condition.wait wake lock;
+            await ()
+    in
+    let task = await () in
+    Mutex.unlock lock;
+    match task with
+    | None -> ()
+    | Some t ->
+        t ();
+        next ()
+  in
+  next ()
+
+(* Called with [lock] held.  Workers beyond the first region's needs
+   are added if [set_jobs] raised the budget later. *)
+let ensure_workers target =
+  while List.length !spawned < target do
+    spawned := Domain.spawn worker :: !spawned
+  done
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock lock;
+      stopping := true;
+      Condition.broadcast wake;
+      let ds = !spawned in
+      spawned := [];
+      Mutex.unlock lock;
+      List.iter Domain.join ds)
+
+(* Runs every closure in [tasks], distributing all but the first over
+   the pool.  Re-raises the earliest (by task index) exception, with
+   its backtrace, once every task has finished. *)
+let run_tasks (tasks : (unit -> unit) array) =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else if n = 1 || jobs () = 1 then Array.iter (fun t -> t ()) tasks
+  else begin
+    let remaining = Atomic.make n in
+    (* cell [i] is written by the domain running task [i] only; the
+       final read is ordered after all writes by [remaining]. *)
+    let errors = Array.make n None in
+    let wrap i () =
+      (try tasks.(i) ()
+       with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+      Atomic.decr remaining;
+      Mutex.lock lock;
+      Condition.broadcast wake;
+      Mutex.unlock lock
+    in
+    Mutex.lock lock;
+    ensure_workers (min (jobs ()) n - 1);
+    for i = 1 to n - 1 do
+      Queue.push (wrap i) queue
+    done;
+    Condition.broadcast wake;
+    Mutex.unlock lock;
+    wrap 0 ();
+    (* Help until the whole region is done.  The queue may hand us
+       tasks from other (nested) regions — that is the point: a caller
+       blocked on an inner region keeps the pool busy. *)
+    let rec help () =
+      if Atomic.get remaining > 0 then begin
+        Mutex.lock lock;
+        match Queue.take_opt queue with
+        | Some t ->
+            Mutex.unlock lock;
+            t ();
+            help ()
+        | None ->
+            if Atomic.get remaining > 0 then Condition.wait wake lock;
+            Mutex.unlock lock;
+            help ()
+      end
+    in
+    help ();
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      errors
+  end
+
+(* -- chunked loops ------------------------------------------------- *)
+
+let chunk_size ?chunk n =
+  match chunk with
+  | Some c when c >= 1 -> c
+  | Some _ -> invalid_arg "Qdp_par: chunk must be >= 1"
+  | None -> max 1 ((n + (4 * jobs ()) - 1) / (4 * jobs ()))
+
+let parallel_for ?chunk lo hi body =
+  let n = hi - lo in
+  if n <= 0 then ()
+  else if jobs () = 1 then
+    for i = lo to hi - 1 do
+      body i
+    done
+  else begin
+    let c = chunk_size ?chunk n in
+    let nchunks = (n + c - 1) / c in
+    if nchunks <= 1 then
+      for i = lo to hi - 1 do
+        body i
+      done
+    else
+      run_tasks
+        (Array.init nchunks (fun k () ->
+             let b = lo + (k * c) in
+             let e = min hi (b + c) in
+             for i = b to e - 1 do
+               body i
+             done))
+  end
+
+let parallel_map_array ?chunk f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if jobs () = 1 || n = 1 then Array.map f arr
+  else begin
+    let out = Array.make n None in
+    parallel_for ?chunk 0 n (fun i -> out.(i) <- Some (f arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let parallel_reduce ?chunk ~neutral ~combine lo hi f =
+  let n = hi - lo in
+  if n <= 0 then neutral
+  else if jobs () = 1 then begin
+    let acc = ref neutral in
+    for i = lo to hi - 1 do
+      acc := combine !acc (f i)
+    done;
+    !acc
+  end
+  else begin
+    let c = chunk_size ?chunk n in
+    let nchunks = (n + c - 1) / c in
+    let partial = Array.make nchunks None in
+    run_tasks
+      (Array.init nchunks (fun k () ->
+           let b = lo + (k * c) in
+           let e = min hi (b + c) in
+           let acc = ref (f b) in
+           for i = b + 1 to e - 1 do
+             acc := combine !acc (f i)
+           done;
+           partial.(k) <- Some !acc));
+    Array.fold_left
+      (fun acc p -> match p with Some v -> combine acc v | None -> acc)
+      neutral partial
+  end
+
+(* -- deterministic Monte-Carlo ------------------------------------- *)
+
+let mc_chunk = 64
+
+let monte_carlo_hits ~st ~trials f =
+  if trials <= 0 then 0
+  else begin
+    let nchunks = (trials + mc_chunk - 1) / mc_chunk in
+    (* Split in chunk order on the calling domain: both the chunk
+       states and the post-call position of [st] are independent of
+       the job count. *)
+    let states = Array.make nchunks st in
+    for k = 0 to nchunks - 1 do
+      states.(k) <- Random.State.split st
+    done;
+    let hits = Array.make nchunks 0 in
+    parallel_for ~chunk:1 0 nchunks (fun k ->
+        let b = k * mc_chunk in
+        let e = min trials (b + mc_chunk) in
+        let s = states.(k) in
+        let h = ref 0 in
+        for _ = b + 1 to e do
+          if f s then incr h
+        done;
+        hits.(k) <- !h);
+    Array.fold_left ( + ) 0 hits
+  end

@@ -1,0 +1,246 @@
+(* Tests for the Qdp_par domain pool: scheduling semantics (coverage,
+   exception propagation, nesting, jobs=1 equivalence), the
+   deterministic split-RNG Monte-Carlo contract (jobs=1 vs jobs=4
+   byte-identity of acceptance estimates, fault-sweep curves and
+   cross-validation verdicts), and concurrent hammering of the
+   Fingerprint memo from 4 domains. *)
+
+module Par = Qdp_par
+
+let () = Qdp_core.Protocols.init ()
+
+let with_jobs n f =
+  let old = Par.jobs () in
+  Par.set_jobs n;
+  Fun.protect ~finally:(fun () -> Par.set_jobs old) f
+
+(* --- pool semantics --- *)
+
+let test_for_covers () =
+  with_jobs 4 (fun () ->
+      let hits = Array.make 1000 0 in
+      Par.parallel_for 0 1000 (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check bool)
+        "each index ran exactly once" true
+        (Array.for_all (( = ) 1) hits);
+      Par.parallel_for 7 3 (fun _ -> Alcotest.fail "empty range ran");
+      let sum = Atomic.make 0 in
+      Par.parallel_for ~chunk:3 0 100 (fun i ->
+          ignore (Atomic.fetch_and_add sum i));
+      Alcotest.(check int) "custom chunk covers" 4950 (Atomic.get sum))
+
+let test_map () =
+  with_jobs 4 (fun () ->
+      let arr = Array.init 257 (fun i -> i) in
+      let doubled = Par.parallel_map_array (fun x -> (2 * x) + 1) arr in
+      Alcotest.(check (array int))
+        "map matches sequential"
+        (Array.map (fun x -> (2 * x) + 1) arr)
+        doubled;
+      Alcotest.(check (array int))
+        "empty array" [||]
+        (Par.parallel_map_array (fun x -> x) [||]))
+
+let test_reduce () =
+  with_jobs 4 (fun () ->
+      let total =
+        Par.parallel_reduce ~neutral:0 ~combine:( + ) 0 1001 (fun i -> i)
+      in
+      Alcotest.(check int) "sum 0..1000" 500500 total;
+      let best =
+        Par.parallel_reduce ~neutral:neg_infinity ~combine:Float.max 0 100
+          (fun i -> float_of_int ((i * 37) mod 89))
+      in
+      let expect = ref neg_infinity in
+      for i = 0 to 99 do
+        expect := Float.max !expect (float_of_int ((i * 37) mod 89))
+      done;
+      Alcotest.(check (float 0.)) "max reduce" !expect best;
+      Alcotest.(check int) "empty range is neutral" 42
+        (Par.parallel_reduce ~neutral:42 ~combine:( + ) 5 5 (fun _ -> 1)))
+
+exception Boom of int
+
+let test_exception_propagates () =
+  with_jobs 4 (fun () ->
+      let ran_after = ref false in
+      (try
+         Par.parallel_for ~chunk:1 0 64 (fun i ->
+             if i = 13 then raise (Boom i));
+         Alcotest.fail "exception swallowed"
+       with Boom 13 -> ran_after := true);
+      Alcotest.(check bool) "Boom 13 re-raised" true !ran_after;
+      (* the pool must stay usable after a failed region *)
+      let sum = Atomic.make 0 in
+      Par.parallel_for 0 100 (fun _ -> ignore (Atomic.fetch_and_add sum 1));
+      Alcotest.(check int) "pool alive after exception" 100 (Atomic.get sum))
+
+let test_nested () =
+  with_jobs 4 (fun () ->
+      let grid = Array.make_matrix 16 16 0 in
+      Par.parallel_for ~chunk:1 0 16 (fun i ->
+          Par.parallel_for ~chunk:1 0 16 (fun j -> grid.(i).(j) <- (i * 16) + j));
+      let ok = ref true in
+      Array.iteri
+        (fun i row ->
+          Array.iteri (fun j v -> if v <> (i * 16) + j then ok := false) row)
+        grid;
+      Alcotest.(check bool) "nested regions complete" true !ok)
+
+let test_jobs_one_sequential () =
+  with_jobs 1 (fun () ->
+      let trace = ref [] in
+      Par.parallel_for 0 20 (fun i -> trace := i :: !trace);
+      Alcotest.(check (list int))
+        "jobs=1 runs in order on the caller"
+        (List.init 20 (fun i -> 19 - i))
+        !trace)
+
+let test_set_jobs_invalid () =
+  Alcotest.check_raises "set_jobs 0 rejected"
+    (Invalid_argument "Qdp_par.set_jobs: need at least one job") (fun () ->
+      Par.set_jobs 0)
+
+(* --- deterministic Monte-Carlo --- *)
+
+let mc_hits ~jobs ~seed ~trials =
+  with_jobs jobs (fun () ->
+      let st = Random.State.make [| seed |] in
+      let hits =
+        Par.monte_carlo_hits ~st ~trials (fun s -> Random.State.bool s)
+      in
+      (* the caller's state must also advance identically *)
+      (hits, Random.State.int st 1_000_000))
+
+let test_mc_jobs_invariant () =
+  List.iter
+    (fun (seed, trials) ->
+      let h1 = mc_hits ~jobs:1 ~seed ~trials in
+      let h4 = mc_hits ~jobs:4 ~seed ~trials in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "seed %d trials %d: jobs 1 = jobs 4" seed trials)
+        h1 h4)
+    [ (1, 1); (2, 63); (3, 64); (4, 65); (5, 1000); (6, 2048) ];
+  Alcotest.(check int) "trials <= 0 gives 0 hits" 0
+    (Par.monte_carlo_hits ~st:(Random.State.make [| 9 |]) ~trials:0 (fun _ ->
+         true))
+
+let qcheck_estimate_acceptance =
+  QCheck.Test.make ~count:20
+    ~name:"estimate_acceptance identical at jobs 1 and jobs 4"
+    QCheck.(pair (int_bound 10_000) (int_range 1 600))
+    (fun (seed, trials) ->
+      let estimate jobs =
+        with_jobs jobs (fun () ->
+            let st = Random.State.make [| seed; 77 |] in
+            Qdp_network.Runtime.estimate_acceptance ~st ~trials (fun s ->
+                Random.State.float s 1. < 0.3))
+      in
+      estimate 1 = estimate 4)
+
+(* --- integration: sweep curves and cross-validation verdicts --- *)
+
+let small_spec =
+  { Qdp_core.Registry.default_spec with Qdp_core.Registry.n = 16; r = 3; t = 3 }
+
+let sweep_json ~jobs ~seed =
+  with_jobs jobs (fun () ->
+      let cfg =
+        { (Qdp_faults.Sweep.default ~seed) with
+          Qdp_faults.Sweep.trials = 30;
+          grid = [ 0.; 0.25; 0.5 ];
+          protocols = Some [ "eq"; "rpls" ];
+          spec = { small_spec with Qdp_core.Registry.seed }
+        }
+      in
+      Qdp_faults.Sweep.to_json (Qdp_faults.Sweep.run cfg))
+
+let test_sweep_jobs_invariant () =
+  Alcotest.(check string)
+    "sweep JSON identical at jobs 1 and jobs 4"
+    (sweep_json ~jobs:1 ~seed:42)
+    (sweep_json ~jobs:4 ~seed:42)
+
+let xval_verdicts ~jobs ~seed =
+  with_jobs jobs (fun () ->
+      let spec = { small_spec with Qdp_core.Registry.seed } in
+      List.concat_map
+        (fun id ->
+          match Qdp_core.Registry.find id with
+          | None -> Alcotest.failf "no registry entry %s" id
+          | Some e -> (
+              let st = Random.State.make [| seed; 5 |] in
+              match
+                Qdp_core.Registry.cross_validate_demo ~trials:400 ~st spec e
+              with
+              | None -> Alcotest.failf "%s has no network backend" id
+              | Some per_instance ->
+                  List.concat_map
+                    (fun (inst, checks) ->
+                      List.map
+                        (fun c ->
+                          Format.asprintf "%s: %a" inst Qdp_core.Dqma.pp_check
+                            c)
+                        checks)
+                    per_instance))
+        [ "eq"; "gt" ])
+
+let test_xval_jobs_invariant () =
+  Alcotest.(check (list string))
+    "cross-validation verdicts identical at jobs 1 and jobs 4"
+    (xval_verdicts ~jobs:1 ~seed:11)
+    (xval_verdicts ~jobs:4 ~seed:11)
+
+(* --- fingerprint memo hammered from 4 domains --- *)
+
+let test_fingerprint_hammer () =
+  with_jobs 1 (fun () ->
+      (* raw domains on purpose: bypass the pool so the cache sees
+         genuinely concurrent find/add/evict traffic *)
+      (* key space (300 seeds x 3 sizes) exceeds the 512-entry cap, so
+         the single-binding eviction path runs under contention too *)
+      let worker d () =
+        for i = 0 to 399 do
+          let seed = 1000 + (((7 * i) + d) mod 300) in
+          let n = 8 + (4 * ((i + d) mod 3)) in
+          let fp = Qdp_fingerprint.Fingerprint.standard ~seed ~n in
+          let fp' = Qdp_fingerprint.Fingerprint.standard ~seed ~n in
+          if
+            Qdp_fingerprint.Fingerprint.input_bits fp <> n
+            || Qdp_fingerprint.Fingerprint.input_bits fp' <> n
+          then failwith "bad fingerprint from concurrent cache"
+        done
+      in
+      let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+      List.iter Domain.join domains;
+      let a = Qdp_fingerprint.Fingerprint.standard ~seed:1000 ~n:8 in
+      let b = Qdp_fingerprint.Fingerprint.standard ~seed:1000 ~n:8 in
+      Alcotest.(check bool) "cache still memoizes" true (a == b))
+
+let () =
+  Alcotest.run "par"
+    [ ( "pool",
+        [ Alcotest.test_case "parallel_for coverage" `Quick test_for_covers;
+          Alcotest.test_case "parallel_map_array" `Quick test_map;
+          Alcotest.test_case "parallel_reduce" `Quick test_reduce;
+          Alcotest.test_case "exceptions propagate" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "nested regions" `Quick test_nested;
+          Alcotest.test_case "jobs=1 is sequential" `Quick
+            test_jobs_one_sequential;
+          Alcotest.test_case "set_jobs validation" `Quick test_set_jobs_invalid
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "monte_carlo_hits jobs-invariant" `Quick
+            test_mc_jobs_invariant;
+          QCheck_alcotest.to_alcotest qcheck_estimate_acceptance;
+          Alcotest.test_case "sweep curves jobs-invariant" `Slow
+            test_sweep_jobs_invariant;
+          Alcotest.test_case "cross-validation jobs-invariant" `Slow
+            test_xval_jobs_invariant
+        ] );
+      ( "shared-state",
+        [ Alcotest.test_case "fingerprint cache, 4 domains" `Quick
+            test_fingerprint_hammer
+        ] )
+    ]
