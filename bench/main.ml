@@ -28,16 +28,16 @@ let distinct_pair n =
 
 let bench_substrate =
   let open Qdp_linalg in
-  let gaussian () =
-    let u1 = Float.max 1e-12 (Random.State.float st 1.) in
-    let u2 = Random.State.float st 1. in
-    Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+  let runit n =
+    Vec.normalize (Vec.init n (fun _ -> Cx.re (States.gaussian st)))
   in
-  let runit n = Vec.normalize (Vec.init n (fun _ -> Cx.re (gaussian ()))) in
   let a256 = runit 256 and b256 = runit 256 in
   let regs = List.init 4 (fun _ -> runit 64) in
   let herm =
-    let m = Mat.init 24 24 (fun _ _ -> Cx.make (gaussian ()) (gaussian ())) in
+    let m =
+      Mat.init 24 24 (fun _ _ ->
+          Cx.make (States.gaussian st) (States.gaussian st))
+    in
     Mat.scale (Cx.re 0.5) (Mat.add m (Mat.adjoint m))
   in
   let chain =
@@ -169,6 +169,10 @@ let bench_table3 =
           ignore (Qma_star_reduction.best_cut pc)));
       Test.make ~name:"exact_entangled_opt_r3" (Staged.stage (fun () ->
           ignore (Exact.optimal_entangled_attack cfg ~x_state:xs ~y_state:ys)));
+      (* one node longer than the pre-batching harness could afford *)
+      Test.make ~name:"exact_entangled_opt_r4" (Staged.stage (fun () ->
+          let cfg4 = { Exact.r = 4; qubits = 1 } in
+          ignore (Exact.optimal_entangled_attack cfg4 ~x_state:xs ~y_state:ys)));
     ]
 
 (* --- extensions: variants, sets, runtime executions --- *)
@@ -199,6 +203,59 @@ let bench_extensions =
           ignore (Qdp_quantum.Schur.projector ~d:2 [ 3; 1 ])));
       Test.make ~name:"smp_eq_x4" (Staged.stage (fun () ->
           ignore (Smp.accept_on_inputs smp xsmp ysmp)));
+    ]
+
+(* --- batched Gram pipeline --- *)
+
+(* The pre-change Gram kernel, kept verbatim as the A/B baseline: one
+   full scalar circuit pass per basis proof, then a boxed Vec.dot per
+   Gram entry. *)
+let naive_attack_gram cfg ~x_state ~y_state =
+  let open Qdp_linalg in
+  let pdim = 1 lsl Exact.proof_qubits cfg in
+  let outs =
+    Array.init pdim (fun i ->
+        Qdp_quantum.Pure.global_vector
+          (Exact.final_state cfg ~x_state ~y_state ~proof:(Vec.basis pdim i)))
+  in
+  Mat.init pdim pdim (fun i j -> Vec.dot outs.(i) outs.(j))
+
+(* The perf workload: the full entangled-attack Gram pipeline on the
+   largest path instance the tables exercise (r = 3, 2-qubit
+   fingerprints: a 256-proof batch of dimension-4096 states). *)
+let gram_cfg = { Exact.r = 3; qubits = 2 }
+let gram_xs = Exact.toy_state ~qubits:2 5
+let gram_ys = Exact.toy_state ~qubits:2 11
+
+let perf_gram_attack () =
+  ignore (Exact.attack_gram gram_cfg ~x_state:gram_xs ~y_state:gram_ys)
+
+let bench_batch =
+  let open Qdp_linalg in
+  let stb = Random.State.make [| 0x6a7 |] in
+  let b2048 =
+    Batch.init 2048 8 (fun _ _ ->
+        Cx.make (States.gaussian stb) (States.gaussian stb))
+  in
+  let m64 =
+    Mat.init 64 64 (fun _ _ ->
+        Cx.make (States.gaussian stb) (States.gaussian stb))
+  in
+  let src =
+    Batch.init 64 32 (fun _ _ ->
+        Cx.make (States.gaussian stb) (States.gaussian stb))
+  in
+  let dst = Batch.create 64 32 in
+  let cfg1 = { Exact.r = 3; qubits = 1 } in
+  let xs1 = Exact.toy_state ~qubits:1 5 and ys1 = Exact.toy_state ~qubits:1 11 in
+  Test.make_grouped ~name:"batch"
+    [
+      Test.make ~name:"gram_2048x8" (Staged.stage (fun () ->
+          ignore (Batch.gram b2048)));
+      Test.make ~name:"apply_into_64x32" (Staged.stage (fun () ->
+          Batch.apply_into m64 ~src ~dst));
+      Test.make ~name:"attack_gram_r3_q1" (Staged.stage (fun () ->
+          ignore (Exact.attack_gram cfg1 ~x_state:xs1 ~y_state:ys1)));
     ]
 
 (* --- parallel layer --- *)
@@ -271,6 +328,7 @@ let tests =
       bench_faults;
       bench_table3;
       bench_extensions;
+      bench_batch;
       bench_par;
     ]
 
@@ -352,6 +410,21 @@ let dump_obs () =
    single-core host the "parallel" column is expected to be slower
    (domain oversubscription); the CI runner provides the multi-core
    reading. *)
+let host_cores () =
+  match open_in "/proc/cpuinfo" with
+  | exception Sys_error _ -> Domain.recommended_domain_count ()
+  | ic ->
+      let n = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.length line >= 9 && String.sub line 0 9 = "processor"
+           then incr n
+         done
+       with End_of_file -> ());
+      close_in ic;
+      if !n > 0 then !n else Domain.recommended_domain_count ()
+
 let dump_perf () =
   let jobs_target = Qdp_par.jobs () in
   let groups =
@@ -360,6 +433,7 @@ let dump_perf () =
       ("fault_sweep", 1, perf_fault_sweep);
       ("monte_carlo_xval", 1, perf_monte_carlo);
       ("mat_mul", 16, perf_mat_mul);
+      ("gram_batch", 4, perf_gram_attack);
     ]
   in
   let time_at jobs reps work =
@@ -381,6 +455,24 @@ let dump_perf () =
   let seqs =
     List.map (fun (_, reps, work) -> time_at 1 reps work) groups
   in
+  (* Kernel A/B: both columns sequential (jobs = 1), so the speedup is
+     purely the batched rewrite (blocked Gram, fused projections,
+     blit-based register moves) against the pre-change per-proof
+     kernel — the parallel win on top of it is the gram_batch group
+     above. *)
+  let kernels =
+    let batched = time_at 1 1 perf_gram_attack in
+    let naive =
+      time_at 1 1 (fun () ->
+          ignore
+            (naive_attack_gram gram_cfg ~x_state:gram_xs ~y_state:gram_ys))
+    in
+    [
+      Printf.sprintf
+        "{\"kernel\":\"entangled_gram_r3_q2\",\"naive_s\":%.6f,\"batched_s\":%.6f,\"speedup\":%.3f}"
+        naive batched (naive /. batched);
+    ]
+  in
   let rows =
     List.map2
       (fun (name, reps, work) seq ->
@@ -392,7 +484,11 @@ let dump_perf () =
   in
   Qdp_par.set_jobs jobs_target;
   let oc = open_out "BENCH_perf.json" in
-  Printf.fprintf oc "{\"jobs\":%d,\"groups\":[\n%s\n]}\n" jobs_target
+  Printf.fprintf oc
+    "{\"jobs\":%d,\n\"host\":{\"cores\":%d,\"recommended_domains\":%d},\n\"kernels\":[\n%s\n],\n\"groups\":[\n%s\n]}\n"
+    jobs_target (host_cores ())
+    (Domain.recommended_domain_count ())
+    (String.concat ",\n" kernels)
     (String.concat ",\n" rows);
   close_out oc
 

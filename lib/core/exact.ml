@@ -8,25 +8,22 @@ let proof_qubits cfg = 2 * cfg.qubits * (cfg.r - 1)
 let toy_state ~qubits k =
   let dim = 1 lsl qubits in
   let st = Random.State.make [| k; qubits; 0x707 |] in
-  let gaussian () =
-    let u1 = Float.max 1e-12 (Random.State.float st 1.) in
-    let u2 = Random.State.float st 1. in
-    Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
-  in
   (* real amplitudes: fingerprint-like, so the geodesic interpolation
      attack is the natural product benchmark *)
-  Vec.normalize (Vec.init dim (fun _ -> Cx.re (gaussian ())))
+  Vec.normalize (Vec.init dim (fun _ -> Cx.re (States.gaussian st)))
 
 let layout cfg =
   let b = cfg.qubits in
-  let regs = ref [ ("L", b) ] in
-  for j = 1 to cfg.r - 1 do
-    regs := !regs @ [ (Printf.sprintf "R%d0" j, b); (Printf.sprintf "R%d1" j, b) ]
-  done;
-  for j = 1 to cfg.r - 1 do
-    regs := !regs @ [ (Printf.sprintf "C%d" j, 1) ]
-  done;
-  Pure.layout !regs
+  let pairs =
+    List.concat_map
+      (fun j ->
+        [ (Printf.sprintf "R%d0" j, b); (Printf.sprintf "R%d1" j, b) ])
+      (List.init (cfg.r - 1) (fun j -> j + 1))
+  in
+  let coins =
+    List.init (cfg.r - 1) (fun j -> (Printf.sprintf "C%d" (j + 1), 1))
+  in
+  Pure.layout ((("L", b) :: pairs) @ coins)
 
 (* The pipeline is linear in the proof: build the final (unnormalized)
    global state for a given proof filling the intermediate registers. *)
@@ -62,6 +59,55 @@ let accept_prob cfg ~x_state ~y_state ~proof =
   if cfg.r < 2 then Cx.norm2 (Vec.dot y_state x_state)
   else Pure.norm2 (final_state cfg ~x_state ~y_state ~proof)
 
+(* Columns of the initial batch: [pre (x) e_p (x) e_0] for every basis
+   proof [p] — built directly (one nonzero row per (amplitude of pre,
+   column) pair) instead of tensoring [pdim] separate globals. *)
+let basis_proof_batch ~pre ~pdim ~coin_dim =
+  let predim = Vec.dim pre in
+  let b = Batch.create (predim * pdim * coin_dim) pdim in
+  let bre = Batch.raw_re b and bim = Batch.raw_im b in
+  let pr = Vec.raw_re pre and pi = Vec.raw_im pre in
+  for a = 0 to predim - 1 do
+    for p = 0 to pdim - 1 do
+      let row = ((a * pdim) + p) * coin_dim in
+      bre.((row * pdim) + p) <- pr.(a);
+      bim.((row * pdim) + p) <- pi.(a)
+    done
+  done;
+  b
+
+(* One batched sweep of the circuit over all [2^proof_qubits] basis
+   proofs: the per-proof passes of the scalar pipeline collapse into
+   blits and batched GEMMs on a [2^total x pdim] column batch. *)
+let final_state_batch cfg ~x_state ~y_state =
+  let r = cfg.r in
+  if r < 2 then invalid_arg "Exact.final_state_batch: r >= 2";
+  let lay = layout cfg in
+  let pdim = 1 lsl proof_qubits cfg in
+  let init = basis_proof_batch ~pre:x_state ~pdim ~coin_dim:(1 lsl (r - 1)) in
+  let s = ref (Pure.batch_of_global lay init) in
+  for j = 1 to r - 1 do
+    let c = Printf.sprintf "C%d" j in
+    s := Pure.apply_on_batch !s [ c ] Gates.hadamard;
+    s :=
+      Pure.controlled_swap_batch !s ~control:c (Printf.sprintf "R%d0" j)
+        (Printf.sprintf "R%d1" j)
+  done;
+  s := Pure.project_sym_batch !s [ "L"; "R10" ];
+  for j = 1 to r - 2 do
+    s :=
+      Pure.project_sym_batch !s
+        [ Printf.sprintf "R%d1" j; Printf.sprintf "R%d0" (j + 1) ]
+  done;
+  s :=
+    Pure.apply_on_batch !s
+      [ Printf.sprintf "R%d1" (r - 1) ]
+      (Mat.of_vec y_state);
+  !s
+
+let attack_gram cfg ~x_state ~y_state =
+  Batch.gram (Pure.batch_data (final_state_batch cfg ~x_state ~y_state))
+
 let product_proof cfg pairs =
   if Array.length pairs <> cfg.r - 1 then
     invalid_arg "Exact.product_proof: need r - 1 pairs";
@@ -74,19 +120,16 @@ let product_proof cfg pairs =
 let honest_proof cfg state =
   product_proof cfg (Array.init (cfg.r - 1) (fun _ -> (state, state)))
 
+let top_eigpair g =
+  let evals, evecs = Eig.hermitian g in
+  let n = Mat.rows g in
+  (evals.(n - 1), Vec.init n (fun i -> Mat.get evecs i (n - 1)))
+
 let optimal_entangled_attack cfg ~x_state ~y_state =
   if cfg.r < 2 then (Cx.norm2 (Vec.dot y_state x_state), Vec.basis 1 0)
   else begin
-    let pdim = 1 lsl proof_qubits cfg in
-    let outs =
-      Array.init pdim (fun i ->
-          Pure.global_vector
-            (final_state cfg ~x_state ~y_state ~proof:(Vec.basis pdim i)))
-    in
-    let gram = Mat.init pdim pdim (fun i j -> Vec.dot outs.(i) outs.(j)) in
-    let evals, evecs = Eig.hermitian gram in
-    let top = evals.(pdim - 1) in
-    let opt = Vec.init pdim (fun i -> Mat.get evecs i (pdim - 1)) in
+    let gram = attack_gram cfg ~x_state ~y_state in
+    let top, opt = top_eigpair gram in
     (Float.max 0. top, opt)
   end
 
@@ -124,18 +167,30 @@ let star_final_state cfg ~root_state ~leaf_states ~proof =
 let star_accept_prob cfg ~root_state ~leaf_states ~proof =
   Pure.norm2 (star_final_state cfg ~root_state ~leaf_states ~proof)
 
-let optimal_entangled_star_attack cfg ~root_state ~leaf_states =
+let star_final_state_batch cfg ~root_state ~leaf_states =
+  if Array.length leaf_states <> cfg.t - 1 then
+    invalid_arg "Exact.star_accept_prob: need t - 1 leaf states";
+  let lay = star_layout cfg in
   let pdim = 1 lsl (2 * cfg.star_qubits) in
-  let outs =
-    Array.init pdim (fun i ->
-        Pure.global_vector
-          (star_final_state cfg ~root_state ~leaf_states
-             ~proof:(Vec.basis pdim i)))
-  in
-  let gram = Mat.init pdim pdim (fun i j -> Vec.dot outs.(i) outs.(j)) in
-  let evals, evecs = Eig.hermitian gram in
-  let top = evals.(pdim - 1) in
-  (Float.max 0. top, Vec.init pdim (fun i -> Mat.get evecs i (pdim - 1)))
+  let pre = Vec.tensor_list (root_state :: Array.to_list leaf_states) in
+  let init = basis_proof_batch ~pre ~pdim ~coin_dim:2 in
+  let s = ref (Pure.batch_of_global lay init) in
+  s := Pure.apply_on_batch !s [ "C" ] Gates.hadamard;
+  s := Pure.controlled_swap_batch !s ~control:"C" "R0" "R1";
+  s :=
+    Pure.project_sym_batch !s
+      ("R0" :: List.init (cfg.t - 1) (fun i -> Printf.sprintf "L%d" (i + 1)));
+  s := Pure.project_sym_batch !s [ "X"; "R1" ];
+  !s
+
+let star_attack_gram cfg ~root_state ~leaf_states =
+  Batch.gram
+    (Pure.batch_data (star_final_state_batch cfg ~root_state ~leaf_states))
+
+let optimal_entangled_star_attack cfg ~root_state ~leaf_states =
+  let gram = star_attack_gram cfg ~root_state ~leaf_states in
+  let top, opt = top_eigpair gram in
+  (Float.max 0. top, opt)
 
 let optimal_split_attack st cfg ~x_state ~y_state ~cut_qubits ~sweeps =
   let pq = proof_qubits cfg in
@@ -143,67 +198,20 @@ let optimal_split_attack st cfg ~x_state ~y_state ~cut_qubits ~sweeps =
     invalid_arg "Exact.optimal_split_attack: cut inside the proof";
   if cfg.r < 2 then Cx.norm2 (Vec.dot y_state x_state)
   else begin
-    let pdim = 1 lsl pq in
     let d1 = 1 lsl cut_qubits and d2 = 1 lsl (pq - cut_qubits) in
-    let outs =
-      Array.init pdim (fun i ->
-          Pure.global_vector
-            (final_state cfg ~x_state ~y_state ~proof:(Vec.basis pdim i)))
-    in
-    let gram = Mat.init pdim pdim (fun i j -> Vec.dot outs.(i) outs.(j)) in
-    let gaussian () =
-      let u1 = Float.max 1e-12 (Random.State.float st 1.) in
-      let u2 = Random.State.float st 1. in
-      Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
-    in
-    let xi1 =
-      ref (Vec.normalize (Vec.init d1 (fun _ -> Cx.make (gaussian ()) (gaussian ()))))
-    in
-    let xi2 =
-      ref (Vec.normalize (Vec.init d2 (fun _ -> Cx.make (gaussian ()) (gaussian ()))))
-    in
-    let top_eigvec g =
-      let evals, evecs = Eig.hermitian g in
-      let n = Mat.rows g in
-      (evals.(n - 1), Vec.init n (fun i -> Mat.get evecs i (n - 1)))
-    in
+    let gram = attack_gram cfg ~x_state ~y_state in
+    let xi1 = ref (States.random_unit st d1) in
+    let xi2 = ref (States.random_unit st d2) in
     let value = ref 0. in
     for _ = 1 to sweeps do
-      (* optimize xi1 with xi2 fixed *)
-      let g1 =
-        Mat.init d1 d1 (fun i i' ->
-            let acc = ref Cx.zero in
-            for j = 0 to d2 - 1 do
-              for j' = 0 to d2 - 1 do
-                acc :=
-                  Cx.add !acc
-                    (Cx.mul
-                       (Cx.mul (Cx.conj (Vec.get !xi2 j))
-                          (Mat.get gram ((i * d2) + j) ((i' * d2) + j')))
-                       (Vec.get !xi2 j'))
-              done
-            done;
-            !acc)
-      in
-      let _, v1 = top_eigvec g1 in
+      (* optimize xi1 with xi2 fixed: contract the minor (second)
+         factor of the acceptance form with xi2 *)
+      let g1 = Mat.quad_minor gram !xi2 in
+      let _, v1 = top_eigpair g1 in
       xi1 := v1;
-      (* optimize xi2 with xi1 fixed *)
-      let g2 =
-        Mat.init d2 d2 (fun j j' ->
-            let acc = ref Cx.zero in
-            for i = 0 to d1 - 1 do
-              for i' = 0 to d1 - 1 do
-                acc :=
-                  Cx.add !acc
-                    (Cx.mul
-                       (Cx.mul (Cx.conj (Vec.get !xi1 i))
-                          (Mat.get gram ((i * d2) + j) ((i' * d2) + j')))
-                       (Vec.get !xi1 i'))
-              done
-            done;
-            !acc)
-      in
-      let lambda, v2 = top_eigvec g2 in
+      (* optimize xi2 with xi1 fixed: contract the major factor *)
+      let g2 = Mat.quad_major gram !xi1 in
+      let lambda, v2 = top_eigpair g2 in
       xi2 := v2;
       value := Float.max 0. lambda
     done;

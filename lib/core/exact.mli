@@ -27,12 +27,33 @@ val proof_qubits : config -> int
     away from 0 and 1. *)
 val toy_state : qubits:int -> int -> Vec.t
 
+(** [final_state cfg ~x_state ~y_state ~proof] is the (unnormalized)
+    global state after the full coin-purified run: circuit, all
+    symmetric projections, and [v_r]'s POVM element.  Its squared norm
+    is {!accept_prob}. *)
+val final_state :
+  config ->
+  x_state:Vec.t ->
+  y_state:Vec.t ->
+  proof:Vec.t ->
+  Qdp_quantum.Pure.t
+
 (** [accept_prob cfg ~x_state ~y_state ~proof] executes Algorithm 3
     exactly: [v_0] prepares [x_state]; the given (arbitrary, possibly
     entangled) [proof] of dimension [2^(proof_qubits cfg)] fills the
     intermediate registers; coins are purified; [v_r] measures the
     projector onto [y_state]. *)
 val accept_prob : config -> x_state:Vec.t -> y_state:Vec.t -> proof:Vec.t -> float
+
+(** [attack_gram cfg ~x_state ~y_state] is the acceptance form
+    [V^dagger V] of the protocol on the proof space
+    ([2^(proof_qubits cfg)] square): entry [(p, q)] is the inner
+    product of the final states for basis proofs [|p>] and [|q>].  All
+    basis proofs run as one column batch through the batched circuit
+    kernels and the Gram matrix is one blocked {!Batch.gram} sweep.
+    The quadratic form [<xi| G |xi>] is the acceptance probability of
+    proof [|xi>]. *)
+val attack_gram : config -> x_state:Vec.t -> y_state:Vec.t -> Mat.t
 
 (** [product_proof cfg pairs] assembles the product proof
     [(x) (a_j (x) b_j)] — the dQMA^sep,sep proof class. *)
@@ -63,12 +84,29 @@ val best_product_attack : config -> x_state:Vec.t -> y_state:Vec.t -> float
 
 type star_config = { t : int; star_qubits : int }
 
+(** [star_final_state cfg ~root_state ~leaf_states ~proof] is the
+    (unnormalized) global state after the full star run; its squared
+    norm is {!star_accept_prob}.
+    @raise Invalid_argument unless [Array.length leaf_states = t - 1]. *)
+val star_final_state :
+  star_config ->
+  root_state:Vec.t ->
+  leaf_states:Vec.t array ->
+  proof:Vec.t ->
+  Qdp_quantum.Pure.t
+
 (** [star_accept_prob cfg ~root_state ~leaf_states ~proof] executes
     the protocol exactly for an arbitrary (possibly entangled)
     two-register [proof] of dimension [2^(2 star_qubits)].
     @raise Invalid_argument unless [Array.length leaf_states = t - 1]. *)
 val star_accept_prob :
   star_config -> root_state:Vec.t -> leaf_states:Vec.t array -> proof:Vec.t -> float
+
+(** [star_attack_gram cfg ~root_state ~leaf_states] is the acceptance
+    form on the two-register proof space, computed by the batched
+    pipeline (see {!attack_gram}). *)
+val star_attack_gram :
+  star_config -> root_state:Vec.t -> leaf_states:Vec.t array -> Mat.t
 
 (** [optimal_entangled_star_attack cfg ~root_state ~leaf_states] is
     the exact optimum over all proofs (top eigenvalue of the

@@ -93,15 +93,7 @@ let splice_breaks_soundness proto s =
 
 let max_pairwise_overlap_random st ~qubits ~count =
   let dim = 1 lsl qubits in
-  let gaussian () =
-    let u1 = Float.max 1e-12 (Random.State.float st 1.) in
-    let u2 = Random.State.float st 1. in
-    Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
-  in
-  let random_state () =
-    Vec.normalize (Vec.init dim (fun _ -> Cx.make (gaussian ()) (gaussian ())))
-  in
-  let states = Array.init count (fun _ -> random_state ()) in
+  let states = Array.init count (fun _ -> States.random_unit st dim) in
   Qdp_log.attack_search ~proto:"lower_bounds.state_packing"
     ~attrs:(fun () ->
       [ ("qubits", Qdp_obs.Trace.Int qubits);

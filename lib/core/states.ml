@@ -1,5 +1,17 @@
 open Qdp_linalg
 
+(* The one Box-Muller sampler: every engine that draws Gaussian
+   amplitudes (toy fingerprints, random attack initializations,
+   state-packing experiments) shares this exact draw sequence, so
+   seeded outputs stay byte-identical across call sites. *)
+let gaussian st =
+  let u1 = Float.max 1e-12 (Random.State.float st 1.) in
+  let u2 = Random.State.float st 1. in
+  Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2)
+
+let random_unit st dim =
+  Vec.normalize (Vec.init dim (fun _ -> Cx.make (gaussian st) (gaussian st)))
+
 let angle u w =
   let c = (Vec.dot u w).Complex.re in
   Float.acos (Float.max (-1.) (Float.min 1. c))

@@ -2,6 +2,18 @@
 
 open Qdp_linalg
 
+(** [gaussian st] is one standard-normal draw (Box-Muller, two uniform
+    draws from [st]).  The single shared sampler: every seeded engine
+    draws through it, so sampling sequences are identical across call
+    sites. *)
+val gaussian : Random.State.t -> float
+
+(** [random_unit st dim] is a Haar-ish random unit vector: [dim]
+    complex entries with independent Gaussian parts (imaginary part
+    drawn before real part, matching OCaml's right-to-left argument
+    order — part of the frozen draw sequence), normalized. *)
+val random_unit : Random.State.t -> int -> Vec.t
+
 (** [geodesic u w t] is the point at parameter [t in [0, 1]] on the
     great-circle arc from the unit vector [u] to the unit vector [w]
     (real inner product assumed, as for fingerprints):

@@ -87,11 +87,11 @@ let mul a b =
     done;
   m
 
-let apply m v =
-  if m.cols <> Vec.dim v then invalid_arg "Mat.apply: shape mismatch";
+let apply_into m v ~dst =
+  if m.cols <> Vec.dim v then invalid_arg "Mat.apply_into: shape mismatch";
+  if m.rows <> Vec.dim dst then invalid_arg "Mat.apply_into: dst dimension";
   let vr = Vec.raw_re v and vi = Vec.raw_im v in
-  let out = Vec.create m.rows in
-  let outr = Vec.raw_re out and outi = Vec.raw_im out in
+  let outr = Vec.raw_re dst and outi = Vec.raw_im dst in
   for i = 0 to m.rows - 1 do
     let sr = ref 0. and si = ref 0. in
     let base = i * m.cols in
@@ -102,7 +102,11 @@ let apply m v =
     done;
     outr.(i) <- !sr;
     outi.(i) <- !si
-  done;
+  done
+
+let apply m v =
+  let out = Vec.create m.rows in
+  apply_into m v ~dst:out;
   out
 
 let adjoint m = init m.cols m.rows (fun i j -> Cx.conj (get m j i))
@@ -183,6 +187,98 @@ let pp fmt m =
     done;
     Format.fprintf fmt "]@]@\n"
   done
+
+(* Partial quadratic forms on one tensor factor of a bilinear form
+   G on C^{big * sub}: both run as two GEMM-shaped passes (contract the
+   right index with v, then the left index with conj v) over the raw
+   float arrays, so they cost O(n^2 * f) instead of the naive
+   O(n^2 * f^2) boxed-complex quadruple loop (n = rows, f = the
+   contracted factor's dimension). *)
+
+(* out[i, i'] = sum_{j, j'} conj v_j * G[(i sub + j), (i' sub + j')] * v_j' *)
+let quad_minor g v =
+  let n = g.rows in
+  if g.cols <> n then invalid_arg "Mat.quad_minor: not square";
+  let sub = Vec.dim v in
+  if sub <= 0 || n mod sub <> 0 then invalid_arg "Mat.quad_minor: bad factor";
+  let big = n / sub in
+  let vr = Vec.raw_re v and vi = Vec.raw_im v in
+  (* t[r, i'] = sum_j' G[r, i' sub + j'] * v_j' *)
+  let tre = Array.make (n * big) 0. and tim = Array.make (n * big) 0. in
+  for r = 0 to n - 1 do
+    let grow = r * n in
+    for i' = 0 to big - 1 do
+      let base = grow + (i' * sub) in
+      let sr = ref 0. and si = ref 0. in
+      for j' = 0 to sub - 1 do
+        let ar = g.re.(base + j') and ai = g.im.(base + j') in
+        sr := !sr +. (ar *. vr.(j')) -. (ai *. vi.(j'));
+        si := !si +. (ar *. vi.(j')) +. (ai *. vr.(j'))
+      done;
+      tre.((r * big) + i') <- !sr;
+      tim.((r * big) + i') <- !si
+    done
+  done;
+  (* out[i, i'] = sum_j conj v_j * t[(i sub + j), i'] *)
+  let out = create big big in
+  for i = 0 to big - 1 do
+    for i' = 0 to big - 1 do
+      let sr = ref 0. and si = ref 0. in
+      for j = 0 to sub - 1 do
+        let k = ((((i * sub) + j) * big) + i') in
+        let br = tre.(k) and bi = tim.(k) in
+        sr := !sr +. (vr.(j) *. br) +. (vi.(j) *. bi);
+        si := !si +. (vr.(j) *. bi) -. (vi.(j) *. br)
+      done;
+      out.re.((i * big) + i') <- !sr;
+      out.im.((i * big) + i') <- !si
+    done
+  done;
+  out
+
+(* out[j, j'] = sum_{i, i'} conj u_i * G[(i sub + j), (i' sub + j')] * u_i' *)
+let quad_major g u =
+  let n = g.rows in
+  if g.cols <> n then invalid_arg "Mat.quad_major: not square";
+  let big = Vec.dim u in
+  if big <= 0 || n mod big <> 0 then invalid_arg "Mat.quad_major: bad factor";
+  let sub = n / big in
+  let ur = Vec.raw_re u and ui = Vec.raw_im u in
+  (* t[r, j'] = sum_i' G[r, i' sub + j'] * u_i' *)
+  let tre = Array.make (n * sub) 0. and tim = Array.make (n * sub) 0. in
+  for r = 0 to n - 1 do
+    let grow = r * n in
+    for j' = 0 to sub - 1 do
+      let sr = ref 0. and si = ref 0. in
+      for i' = 0 to big - 1 do
+        let k = grow + (i' * sub) + j' in
+        let ar = g.re.(k) and ai = g.im.(k) in
+        sr := !sr +. (ar *. ur.(i')) -. (ai *. ui.(i'));
+        si := !si +. (ar *. ui.(i')) +. (ai *. ur.(i'))
+      done;
+      tre.((r * sub) + j') <- !sr;
+      tim.((r * sub) + j') <- !si
+    done
+  done;
+  (* out[j, j'] = sum_i conj u_i * t[(i sub + j), j'] *)
+  let out = create sub sub in
+  for j = 0 to sub - 1 do
+    for j' = 0 to sub - 1 do
+      let sr = ref 0. and si = ref 0. in
+      for i = 0 to big - 1 do
+        let k = ((((i * sub) + j) * sub) + j') in
+        let br = tre.(k) and bi = tim.(k) in
+        sr := !sr +. (ur.(i) *. br) +. (ui.(i) *. bi);
+        si := !si +. (ur.(i) *. bi) -. (ui.(i) *. br)
+      done;
+      out.re.((j * sub) + j') <- !sr;
+      out.im.((j * sub) + j') <- !si
+    done
+  done;
+  out
+
+let raw_re m = m.re
+let raw_im m = m.im
 
 let swap_gate d =
   init (d * d) (d * d) (fun i j ->

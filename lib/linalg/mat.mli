@@ -42,6 +42,12 @@ val mul : t -> t -> t
 (** [apply m v] is the matrix-vector product [m v]. *)
 val apply : t -> Vec.t -> Vec.t
 
+(** [apply_into m v ~dst] overwrites [dst] with [m v] without
+    allocating — the hot-loop form of {!apply} ([v] and [dst] must be
+    distinct vectors).
+    @raise Invalid_argument on dimension mismatch. *)
+val apply_into : t -> Vec.t -> dst:Vec.t -> unit
+
 (** [adjoint m] is the conjugate transpose. *)
 val adjoint : t -> t
 
@@ -85,3 +91,31 @@ val pp : Format.formatter -> t -> unit
 (** [swap_gate d] is the unitary on [C^d (x) C^d] exchanging the two
     factors. *)
 val swap_gate : int -> t
+
+(** Partial quadratic forms on a bilinear form [g] over
+    [C^big (x) C^sub] (rows and columns indexed [i * sub + j]).  Both
+    contract one tensor factor against a fixed vector in two
+    GEMM-shaped unboxed passes — O(rows^2 * factor) instead of the
+    naive O(rows^2 * factor^2) — and power the alternating eigenproblem
+    ascents of the split-proof and product-pair attack optimizers. *)
+
+(** [quad_minor g v] is the [big x big] matrix with entry [(i, i')]
+    equal to [sum_{j j'} conj v_j * g[(i sub + j), (i' sub + j')] *
+    v_j'] where [sub = Vec.dim v].
+    @raise Invalid_argument unless [g] is square with [Vec.dim v]
+    dividing its size. *)
+val quad_minor : t -> Vec.t -> t
+
+(** [quad_major g u] is the [sub x sub] matrix with entry [(j, j')]
+    equal to [sum_{i i'} conj u_i * g[(i sub + j), (i' sub + j')] *
+    u_i'] where [big = Vec.dim u] and [sub = rows g / big].
+    @raise Invalid_argument unless [g] is square with [Vec.dim u]
+    dividing its size. *)
+val quad_major : t -> Vec.t -> t
+
+(** Direct access to the underlying row-major storage (entry [(i, j)]
+    at [i * cols + j]); used by the batched simulator kernels.
+    Mutating these mutates the matrix. *)
+val raw_re : t -> float array
+
+val raw_im : t -> float array

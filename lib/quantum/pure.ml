@@ -39,7 +39,11 @@ let total_qubits l = l.total
 
 let index_of_name l name =
   let rec find i =
-    if i >= Array.length l.names then raise Not_found
+    if i >= Array.length l.names then
+      invalid_arg
+        (Printf.sprintf "Pure: unknown register %S (layout has %s)" name
+           (String.concat ", "
+              (Array.to_list (Array.map (Printf.sprintf "%S") l.names))))
     else if String.equal l.names.(i) name then i
     else find (i + 1)
   in
@@ -107,33 +111,47 @@ let scatter total positions =
     !g
 
 let rest_positions total positions =
-  List.filter (fun p -> not (List.mem p positions)) (List.init total (fun p -> p))
+  let selected = Array.make total false in
+  List.iter (fun p -> selected.(p) <- true) positions;
+  List.filter (fun p -> not selected.(p)) (List.init total (fun p -> p))
 
-let apply_on s names m =
-  let total = s.lay.total in
-  let positions = positions_of_names s.lay names in
-  let k = List.length positions in
+(* Shared shape of the single-state and batched local-operator
+   kernels: the scatter tables for the selected positions and their
+   complement. *)
+let local_op_tables lay positions k m =
   if Mat.rows m <> 1 lsl k || Mat.cols m <> 1 lsl k then
     invalid_arg "Pure.apply_on: operator dimension mismatch";
+  let total = lay.total in
   let sel_scatter = scatter total positions in
   let rest = rest_positions total positions in
   let rest_scatter = scatter total rest in
   let subdim = 1 lsl k in
   let sel_index = Array.init subdim sel_scatter in
+  (sel_index, rest_scatter, subdim, 1 lsl List.length rest)
+
+let apply_on s names m =
+  let positions = positions_of_names s.lay names in
+  let k = List.length positions in
+  let sel_index, rest_scatter, subdim, restdim =
+    local_op_tables s.lay positions k m
+  in
   let out = Vec.create (Vec.dim s.vec) in
-  let sub = Vec.create subdim in
+  (* One gather buffer and one result buffer, reused across every
+     rest-subspace iteration — the kernel allocates nothing inside the
+     loop. *)
+  let sub = Vec.create subdim and res = Vec.create subdim in
   let vr = Vec.raw_re s.vec and vi = Vec.raw_im s.vec in
   let outr = Vec.raw_re out and outi = Vec.raw_im out in
   let subr = Vec.raw_re sub and subi = Vec.raw_im sub in
-  for rv = 0 to (1 lsl List.length rest) - 1 do
+  let resr = Vec.raw_re res and resi = Vec.raw_im res in
+  for rv = 0 to restdim - 1 do
     let base = rest_scatter rv in
     for a = 0 to subdim - 1 do
       let g = base lor sel_index.(a) in
       subr.(a) <- vr.(g);
       subi.(a) <- vi.(g)
     done;
-    let res = Mat.apply m sub in
-    let resr = Vec.raw_re res and resi = Vec.raw_im res in
+    Mat.apply_into m sub ~dst:res;
     for a = 0 to subdim - 1 do
       let g = base lor sel_index.(a) in
       outr.(g) <- resr.(a);
@@ -148,8 +166,11 @@ let field_mask_shift l i =
   let shift = l.total - l.offsets.(i) - w in
   (((1 lsl w) - 1) lsl shift, shift)
 
-let permute_registers s names pi =
-  let l = s.lay in
+(* Equal-width register slots to permute: their field masks/shifts,
+   validated once.  [perm_index_map] turns a permutation of the slots
+   into the allocation-free global-index map [g -> g']: slot [slot] of
+   the image holds the field read from slot [inv pi slot]. *)
+let perm_slots l names =
   let idxs = Array.map (index_of_name l) names in
   let w0 = l.widths.(idxs.(0)) in
   Array.iter
@@ -157,32 +178,37 @@ let permute_registers s names pi =
       if l.widths.(i) <> w0 then
         invalid_arg "Pure.permute_registers: width mismatch")
     idxs;
-  let k = Array.length names in
+  Array.map (field_mask_shift l) idxs
+
+let perm_index_map ms pi =
+  let k = Array.length ms in
   if Array.length pi <> k then invalid_arg "Pure.permute_registers: perm size";
-  let ms = Array.map (field_mask_shift l) idxs in
   let inv = Symmetric.inverse pi in
+  let clear_mask = Array.fold_left (fun acc (m, _) -> acc lor m) 0 ms |> lnot in
+  fun g ->
+    let g' = ref (g land clear_mask) in
+    for slot = 0 to k - 1 do
+      let m_src, sh_src = ms.(inv.(slot)) in
+      let _, sh_dst = ms.(slot) in
+      g' := !g' lor (((g land m_src) lsr sh_src) lsl sh_dst)
+    done;
+    !g'
+
+let permute_registers s names pi =
+  let map = perm_index_map (perm_slots s.lay names) pi in
   let out = Vec.create (Vec.dim s.vec) in
   let vr = Vec.raw_re s.vec and vi = Vec.raw_im s.vec in
   let outr = Vec.raw_re out and outi = Vec.raw_im out in
-  let clear_mask =
-    Array.fold_left (fun acc (m, _) -> acc lor m) 0 ms |> lnot
-  in
   for g = 0 to Vec.dim s.vec - 1 do
-    let fields = Array.map (fun (m, sh) -> (g land m) lsr sh) ms in
-    let g' = ref (g land clear_mask) in
-    for slot = 0 to k - 1 do
-      let _, sh = ms.(slot) in
-      g' := !g' lor (fields.(inv.(slot)) lsl sh)
-    done;
-    outr.(!g') <- vr.(g);
-    outi.(!g') <- vi.(g)
+    let g' = map g in
+    outr.(g') <- vr.(g);
+    outi.(g') <- vi.(g)
   done;
   { s with vec = out }
 
 let swap_registers s a b = permute_registers s [| a; b |] [| 1; 0 |]
 
-let controlled_swap s ~control a b =
-  let l = s.lay in
+let cswap_index_map l ~control a b =
   let ci = index_of_name l control in
   if l.widths.(ci) <> 1 then invalid_arg "Pure.controlled_swap: control width";
   let cmask, _ = field_mask_shift l ci in
@@ -191,32 +217,45 @@ let controlled_swap s ~control a b =
     invalid_arg "Pure.controlled_swap: width mismatch";
   let ma, sha = field_mask_shift l ia in
   let mb, shb = field_mask_shift l ib in
+  fun g ->
+    if g land cmask = 0 then g
+    else
+      let fa = (g land ma) lsr sha and fb = (g land mb) lsr shb in
+      g land lnot (ma lor mb) lor (fb lsl sha) lor (fa lsl shb)
+
+let controlled_swap s ~control a b =
+  let map = cswap_index_map s.lay ~control a b in
   let out = Vec.create (Vec.dim s.vec) in
   let vr = Vec.raw_re s.vec and vi = Vec.raw_im s.vec in
   let outr = Vec.raw_re out and outi = Vec.raw_im out in
   for g = 0 to Vec.dim s.vec - 1 do
-    let g' =
-      if g land cmask = 0 then g
-      else
-        let fa = (g land ma) lsr sha and fb = (g land mb) lsr shb in
-        g land lnot (ma lor mb) lor (fb lsl sha) lor (fa lsl shb)
-    in
+    let g' = map g in
     outr.(g') <- vr.(g);
     outi.(g') <- vi.(g)
   done;
   { s with vec = out }
 
+(* Fused symmetrizer: all k! permutations accumulate straight into one
+   output vector — no per-permutation full-dimension temporaries. *)
 let project_sym s names =
   let arr = Array.of_list names in
+  let ms = perm_slots s.lay arr in
   let perms = Symmetric.permutations (Array.length arr) in
   let fact = float_of_int (List.length perms) in
   let acc = Vec.create (Vec.dim s.vec) in
+  let vr = Vec.raw_re s.vec and vi = Vec.raw_im s.vec in
+  let accr = Vec.raw_re acc and acci = Vec.raw_im acc in
   List.iter
     (fun pi ->
-      let permuted = permute_registers s arr pi in
-      Vec.axpy ~alpha:Cx.one permuted.vec acc)
+      let map = perm_index_map ms pi in
+      for g = 0 to Vec.dim s.vec - 1 do
+        let g' = map g in
+        accr.(g') <- accr.(g') +. vr.(g);
+        acci.(g') <- acci.(g') +. vi.(g)
+      done)
     perms;
-  { s with vec = Vec.scale (Cx.re (1. /. fact)) acc }
+  Vec.scale_inplace (Cx.re (1. /. fact)) acc;
+  { s with vec = acc }
 
 let outcome_probabilities s name =
   let l = s.lay in
@@ -264,6 +303,119 @@ let measure st s name =
     end
   done;
   (!outcome, normalize { s with vec = out })
+
+(* ------------------------------------------------------------------ *)
+(* Batched execution: a [2^total x count] column batch pushed through  *)
+(* the same circuit in one blocked sweep.  The batch layout keeps      *)
+(* entry [g] of every column contiguous, so every index remap is an    *)
+(* [Array.blit] of [count] floats and the local-operator kernel is a   *)
+(* GEMM over a reused [subdim x count] scratch pair.  All kernels      *)
+(* compute each output cell with a fixed accumulation order, so the    *)
+(* results are bit-identical at every job count.                       *)
+(* ------------------------------------------------------------------ *)
+
+type batch = { blay : layout; data : Batch.t }
+
+let batch_of_global l b =
+  if Batch.dim b <> 1 lsl l.total then invalid_arg "Pure.batch_of_global: dimension";
+  { blay = l; data = b }
+
+let batch_of_states l states =
+  match states with
+  | [] -> invalid_arg "Pure.batch_of_states: empty"
+  | s0 :: rest ->
+      List.iter
+        (fun s ->
+          if s.lay != l && s.lay <> l then
+            invalid_arg "Pure.batch_of_states: layout mismatch")
+        (s0 :: rest);
+      {
+        blay = l;
+        data = Batch.of_cols (Array.of_list (List.map global_vector states));
+      }
+
+let batch_layout b = b.blay
+let batch_data b = b.data
+let batch_count b = Batch.count b.data
+let batch_column b c = { lay = b.blay; vec = Batch.col b.data c }
+
+(* Remap rows of the batch along an index map [g -> g']; the map must
+   be injective (a permutation of the basis), as for register
+   permutations and controlled swaps. *)
+let remap_batch b map =
+  let count = Batch.count b.data in
+  let dim = Batch.dim b.data in
+  let out = Batch.create dim count in
+  let vr = Batch.raw_re b.data and vi = Batch.raw_im b.data in
+  let outr = Batch.raw_re out and outi = Batch.raw_im out in
+  for g = 0 to dim - 1 do
+    let g' = map g in
+    Array.blit vr (g * count) outr (g' * count) count;
+    Array.blit vi (g * count) outi (g' * count) count
+  done;
+  { b with data = out }
+
+let apply_on_batch b names m =
+  let positions = positions_of_names b.blay names in
+  let k = List.length positions in
+  let sel_index, rest_scatter, subdim, restdim =
+    local_op_tables b.blay positions k m
+  in
+  let count = Batch.count b.data in
+  let dim = Batch.dim b.data in
+  let out = Batch.create dim count in
+  let sub = Batch.create subdim count and res = Batch.create subdim count in
+  let vr = Batch.raw_re b.data and vi = Batch.raw_im b.data in
+  let outr = Batch.raw_re out and outi = Batch.raw_im out in
+  let subr = Batch.raw_re sub and subi = Batch.raw_im sub in
+  let resr = Batch.raw_re res and resi = Batch.raw_im res in
+  for rv = 0 to restdim - 1 do
+    let base = rest_scatter rv in
+    for a = 0 to subdim - 1 do
+      let g = base lor sel_index.(a) in
+      Array.blit vr (g * count) subr (a * count) count;
+      Array.blit vi (g * count) subi (a * count) count
+    done;
+    Batch.apply_into m ~src:sub ~dst:res;
+    for a = 0 to subdim - 1 do
+      let g = base lor sel_index.(a) in
+      Array.blit resr (a * count) outr (g * count) count;
+      Array.blit resi (a * count) outi (g * count) count
+    done
+  done;
+  { b with data = out }
+
+let permute_registers_batch b names pi =
+  remap_batch b (perm_index_map (perm_slots b.blay names) pi)
+
+let controlled_swap_batch b ~control x y =
+  remap_batch b (cswap_index_map b.blay ~control x y)
+
+(* Fused batched symmetrizer: every permutation accumulates row-adds
+   into the single output batch. *)
+let project_sym_batch b names =
+  let arr = Array.of_list names in
+  let ms = perm_slots b.blay arr in
+  let perms = Symmetric.permutations (Array.length arr) in
+  let fact = float_of_int (List.length perms) in
+  let count = Batch.count b.data in
+  let dim = Batch.dim b.data in
+  let acc = Batch.create dim count in
+  let vr = Batch.raw_re b.data and vi = Batch.raw_im b.data in
+  let accr = Batch.raw_re acc and acci = Batch.raw_im acc in
+  List.iter
+    (fun pi ->
+      let map = perm_index_map ms pi in
+      for g = 0 to dim - 1 do
+        let src = g * count and dst = map g * count in
+        for c = 0 to count - 1 do
+          accr.(dst + c) <- accr.(dst + c) +. vr.(src + c);
+          acci.(dst + c) <- acci.(dst + c) +. vi.(src + c)
+        done
+      done)
+    perms;
+  Batch.scale_real_inplace (1. /. fact) acc;
+  { b with data = acc }
 
 let reduced_density s names =
   let total = s.lay.total in
