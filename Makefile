@@ -1,4 +1,4 @@
-.PHONY: all build test check tables bench perf faults fmt clean
+.PHONY: all build test check tables bench perf profile perf-diff faults fmt clean
 
 all: build
 
@@ -18,9 +18,22 @@ bench:
 	dune exec bench/main.exe
 
 # Sequential-vs-parallel wall-clock per workload group; honors
-# QDP_JOBS for the parallel column.  Writes BENCH_perf.json.
+# QDP_JOBS for the parallel column.  Writes BENCH_perf.json (and an
+# empty-shell BENCH_calib.json; use `make profile` to populate it).
 perf:
 	dune exec bench/main.exe -- perf
+
+# perf plus attribution: per-group flat profile / tree / domain
+# busy-idle split on stderr, kernel calibration samples in
+# BENCH_calib.json.
+profile:
+	dune exec bench/main.exe -- perf --profile
+
+# Noise-aware gate between two perf artifacts, e.g.
+# `make perf-diff OLD=BENCH_perf.base.json NEW=BENCH_perf.json`.
+# Exits 1 on any regression over the threshold.
+perf-diff:
+	dune exec bin/qdp.exe -- perf diff $(OLD) $(NEW)
 
 # Graceful-degradation sweep: writes BENCH_faults.json, exits non-zero
 # on any soundness or monotonicity violation.

@@ -387,12 +387,25 @@ let dump_obs () =
         }
       in
       ignore (Runtime.run g ~rounds:3 flood);
+      (* One small fault sweep so the faults.* counters in the snapshot
+         reflect real injected-and-recovered executions rather than
+         sitting at zero. *)
+      let fault_cfg =
+        let open Qdp_faults.Sweep in
+        {
+          (default ~seed:27) with
+          trials = 4;
+          grid = default_grid ~points:2 ();
+          protocols = Some [ "eq" ];
+          spec = { Registry.default_spec with seed = 27; n = 16; r = 3; t = 3 };
+        }
+      in
+      ignore (Qdp_faults.Sweep.run fault_cfg);
       let snap = Qdp_obs.Metrics.snapshot () in
-      let spans = List.length (Qdp_obs.Trace.spans ()) in
+      let spans, dropped = Qdp_obs.Trace.snapshot () in
       let json =
         Printf.sprintf "{\"trace\":{\"spans\":%d,\"dropped\":%d},\n\"metrics_snapshot\":%s}\n"
-          spans
-          (Qdp_obs.Trace.dropped ())
+          (List.length spans) dropped
           (String.trim (Qdp_obs.Metrics.to_json snap))
       in
       let oc = open_out "BENCH_obs.json" in
@@ -490,7 +503,28 @@ let dump_perf () =
     (Domain.recommended_domain_count ())
     (String.concat ",\n" kernels)
     (String.concat ",\n" rows);
-  close_out oc
+  close_out oc;
+  (* Under --profile: one fresh attributed pass per group at the
+     ambient job count, reported to stderr so BENCH_perf.json and
+     stdout are unchanged.  The per-group reset keeps each report's
+     domain busy/idle split scoped to that workload alone. *)
+  if Qdp_obs.Prof.on () then
+    List.iter
+      (fun (name, _, work) ->
+        Qdp_obs.Prof.reset ();
+        work ();
+        Format.eprintf "--- profile: %s (jobs = %d) ---@\n%a@?" name
+          jobs_target Qdp_obs.Prof.report ())
+      groups;
+  (* Always emitted: an empty calibration list when sampling is off,
+     per-kernel MAC/seconds/allocation samples under --profile. *)
+  Qdp_obs.Calib.write_json "BENCH_calib.json"
+
+let () =
+  if Array.exists (String.equal "--profile") Sys.argv then begin
+    Qdp_obs.Prof.set_enabled true;
+    Qdp_obs.Calib.set_enabled true
+  end
 
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "perf" then (

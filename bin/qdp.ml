@@ -43,9 +43,6 @@ let trace_arg =
           "Enable observability and write the span trace (one JSON object per \
            line) to $(docv) on exit.")
 
-(* Run [f] under a root span named after the subcommand; when --metrics
-   or --trace was given, enable observability first and dump the
-   requested outputs afterwards (also on exceptions). *)
 let jobs_arg =
   Arg.(
     value
@@ -56,10 +53,80 @@ let jobs_arg =
            or the machine's recommended domain count; 1 = fully sequential). \
            Results are byte-identical at every value.")
 
-let apply_jobs jobs = Option.iter Qdp_par.set_jobs jobs
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Enable the scoped profiler and kernel calibration sampling; on \
+           exit print the flat profile, the caller->callee attribution tree \
+           and the per-domain busy/idle split to stderr.")
 
-let with_obs ~cmd metrics trace f =
-  if metrics <> None || trace <> None then Qdp_obs.set_enabled true;
+let calib_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "calib" ] ~docv:"FILE"
+        ~doc:
+          "Enable calibration sampling (implied by $(b,--profile)) and write \
+           the per-kernel (MACs, seconds, words) samples to $(docv) on exit.")
+
+let progress_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some 1.) (some float) None
+    & info [ "progress" ] ~docv:"SECONDS"
+        ~doc:
+          "Emit live progress heartbeats for long grids to stderr, at most \
+           one per $(docv) (default 1; 0 = every tick).")
+
+let progress_json_arg =
+  Arg.(
+    value & flag
+    & info [ "progress-json" ]
+        ~doc:
+          "Format progress heartbeats as single-line JSON instead of human \
+           text.")
+
+(* Every subcommand shares the observability flags; bundle them so the
+   terms stay readable. *)
+type obs_opts = {
+  jobs : int option;
+  metrics : string option;
+  trace : string option;
+  profile : bool;
+  calib : string option;
+  progress : float option;
+  progress_json : bool;
+}
+
+let obs_term =
+  let mk jobs metrics trace profile calib progress progress_json =
+    { jobs; metrics; trace; profile; calib; progress; progress_json }
+  in
+  Term.(
+    const mk $ jobs_arg $ metrics_arg $ trace_arg $ profile_arg $ calib_arg
+    $ progress_arg $ progress_json_arg)
+
+(* Run [f] under a root span and profile section named after the
+   subcommand; enable the switches the flags ask for and dump the
+   requested outputs afterwards (also on exceptions). *)
+let with_obs ~cmd o f =
+  Option.iter Qdp_par.set_jobs o.jobs;
+  if o.metrics <> None || o.trace <> None then Qdp_obs.set_enabled true;
+  if o.profile || o.calib <> None then begin
+    Qdp_obs.Prof.set_enabled true;
+    Qdp_obs.Calib.set_enabled true
+  end;
+  (match o.progress with
+  | Some interval ->
+      Qdp_obs.Progress.configure ~interval_s:interval
+        ~format:
+          (if o.progress_json then Qdp_obs.Progress.Json
+           else Qdp_obs.Progress.Human)
+        ();
+      Qdp_obs.Progress.set_enabled true
+  | None -> ());
   (* A dump failure (bad path, full disk) should not mask a completed
      run with a [Finally_raised] backtrace. *)
   let dump what f file =
@@ -70,11 +137,14 @@ let with_obs ~cmd metrics trace f =
     Option.iter
       (dump "metrics" @@ fun file ->
        Qdp_obs.Metrics.write_json file (Qdp_obs.Metrics.snapshot ()))
-      metrics;
-    Option.iter (dump "trace" Qdp_obs.Trace.write_jsonl) trace
+      o.metrics;
+    Option.iter (dump "trace" Qdp_obs.Trace.write_jsonl) o.trace;
+    Option.iter (dump "calibration" Qdp_obs.Calib.write_json) o.calib;
+    if o.profile then Format.eprintf "%a@?" Qdp_obs.Prof.report ()
   in
   Fun.protect ~finally:finish (fun () ->
-      Qdp_obs.Trace.with_span ("qdp." ^ cmd) f)
+      Qdp_obs.Trace.with_span ("qdp." ^ cmd) @@ fun () ->
+      Qdp_obs.Prof.section cmd f)
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
@@ -151,11 +221,10 @@ let parse_input ~n = function
 (* The one runner every protocol subcommand shares: build the spec
    from the flags, let the entry derive its yes/no demo instances, and
    report the uniform evaluation of both. *)
-let run_entry entry verbose seed n r t d reps topo x y jobs metrics trace =
+let run_entry entry verbose seed n r t d reps topo x y obs =
   setup_logs verbose;
-  apply_jobs jobs;
   let info = Registry.info entry in
-  with_obs ~cmd:info.Registry.info_id metrics trace @@ fun () ->
+  with_obs ~cmd:info.Registry.info_id obs @@ fun () ->
   let spec =
     { Registry.seed; n; r; t; d; repetitions = reps; topology = topo }
   in
@@ -177,7 +246,7 @@ let entry_cmd entry =
     Term.(
       const (run_entry entry)
       $ verbose_arg $ seed_arg $ n_arg $ r_arg $ t_arg $ d_arg $ reps_arg
-      $ topology_arg $ x_arg $ y_arg $ jobs_arg $ metrics_arg $ trace_arg)
+      $ topology_arg $ x_arg $ y_arg $ obs_term)
 
 let list_cmd =
   let run () =
@@ -200,9 +269,8 @@ let list_cmd =
     Term.(const run $ const ())
 
 let check_cmd =
-  let run seed jobs metrics trace =
-    apply_jobs jobs;
-    with_obs ~cmd:"check" metrics trace @@ fun () ->
+  let run seed obs =
+    with_obs ~cmd:"check" obs @@ fun () ->
     let suite = Registry.demo_suite ~seed in
     let failures = ref 0 in
     List.iter
@@ -217,7 +285,7 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Run the conformance suite over every protocol.")
-    Term.(const run $ seed_arg $ jobs_arg $ metrics_arg $ trace_arg)
+    Term.(const run $ seed_arg $ obs_term)
 
 let xval_cmd =
   let trials_arg =
@@ -234,9 +302,8 @@ let xval_cmd =
           ~doc:"Cross-validate a single protocol (default: all with a \
                 network backend).")
   in
-  let run seed n r t d reps topo trials protocol jobs metrics trace =
-    apply_jobs jobs;
-    with_obs ~cmd:"xval" metrics trace @@ fun () ->
+  let run seed n r t d reps topo trials protocol obs =
+    with_obs ~cmd:"xval" obs @@ fun () ->
     let spec =
       { Registry.seed; n; r; t; d; repetitions = reps; topology = topo }
     in
@@ -281,8 +348,7 @@ let xval_cmd =
           message-passing runtime.")
     Term.(
       const run $ seed_arg $ n_arg $ r_arg $ t_arg $ d_arg $ reps_arg
-      $ topology_arg $ trials_arg $ protocol_arg $ jobs_arg $ metrics_arg
-      $ trace_arg)
+      $ topology_arg $ trials_arg $ protocol_arg $ obs_term)
 
 let faults_cmd =
   let open Qdp_faults in
@@ -347,9 +413,8 @@ let faults_cmd =
           ~doc:"Where to write the JSON decay curves.")
   in
   let run seed n r t d reps topo trials points max_strength protocols kinds
-      recovery out jobs metrics trace =
-    apply_jobs jobs;
-    with_obs ~cmd:"faults" metrics trace @@ fun () ->
+      recovery out obs =
+    with_obs ~cmd:"faults" obs @@ fun () ->
     let spec =
       { Registry.seed; n; r; t; d; repetitions = reps; topology = topo }
     in
@@ -380,8 +445,87 @@ let faults_cmd =
     Term.(
       const run $ seed_arg $ n_arg $ r_arg $ t_arg $ d_arg $ reps_arg
       $ topology_arg $ trials_arg $ points_arg $ max_strength_arg
-      $ protocol_arg $ kind_arg $ recovery_arg $ out_arg $ jobs_arg
-      $ metrics_arg $ trace_arg)
+      $ protocol_arg $ kind_arg $ recovery_arg $ out_arg $ obs_term)
+
+(* qdp perf diff OLD NEW — the noise-aware comparator over the
+   BENCH_perf / BENCH_calib / BENCH_obs artifacts; exit 1 on
+   regression (the CI perf gate). *)
+let perf_cmd =
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"OLD" ~doc:"Baseline artifact (JSON).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"NEW" ~doc:"Candidate artifact (JSON).")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt float Qdp_obs.Perf_diff.default_config.Qdp_obs.Perf_diff.threshold
+      & info [ "threshold" ] ~docv:"T"
+          ~doc:
+            "Default relative noise band: a metric regresses when new/old \
+             exceeds 1 + $(docv) (and improves below 1 / (1 + $(docv))).")
+  in
+  let group_threshold_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string float) []
+      & info [ "group-threshold" ] ~docv:"GROUP=T"
+          ~doc:
+            "Per-group threshold override (repeatable), e.g. \
+             $(b,--group-threshold fault_sweep=0.5).")
+  in
+  let min_seconds_arg =
+    Arg.(
+      value
+      & opt float
+          Qdp_obs.Perf_diff.default_config.Qdp_obs.Perf_diff.min_seconds
+      & info [ "min-seconds" ] ~docv:"S"
+          ~doc:
+            "Min-runtime floor: pairs where both sides measured less than \
+             $(docv) seconds are reported but never flagged.")
+  in
+  let run old_file new_file threshold group_thresholds min_seconds =
+    match
+      ( Qdp_obs.Perf_diff.load old_file,
+        Qdp_obs.Perf_diff.load new_file )
+    with
+    | exception Failure msg ->
+        Printf.eprintf "qdp perf diff: %s\n" msg;
+        exit 2
+    | old_, new_ ->
+        let cfg =
+          { Qdp_obs.Perf_diff.threshold; group_thresholds; min_seconds }
+        in
+        let r = Qdp_obs.Perf_diff.diff cfg ~old_ ~new_ in
+        Format.printf "%a@?" Qdp_obs.Perf_diff.pp_report r;
+        let n = Qdp_obs.Perf_diff.regressions r in
+        if n > 0 then begin
+          Printf.eprintf "qdp perf diff: %d regression(s) over threshold\n" n;
+          exit 1
+        end
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two performance artifacts (BENCH_perf.json, \
+            BENCH_calib.json or BENCH_obs.json) with per-group noise \
+            thresholds and a min-runtime floor; exit 1 when any metric \
+            regresses.")
+      Term.(
+        const run $ old_arg $ new_arg $ threshold_arg $ group_threshold_arg
+        $ min_seconds_arg)
+  in
+  Cmd.group
+    (Cmd.info "perf" ~doc:"Performance comparison and regression gating.")
+    [ diff_cmd ]
 
 let main =
   Cmd.group
@@ -390,6 +534,6 @@ let main =
          "Distributed quantum Merlin-Arthur protocols \
           (Hasegawa-Kundu-Nishimura, PODC 2024).")
     (List.map entry_cmd (Registry.all ())
-    @ [ list_cmd; check_cmd; xval_cmd; faults_cmd ])
+    @ [ list_cmd; check_cmd; xval_cmd; faults_cmd; perf_cmd ])
 
 let () = exit (Cmd.eval main)

@@ -822,10 +822,13 @@ let all () =
   variants ();
   check ()
 
-(* Split `--metrics FILE` / `--trace FILE` / `--jobs N` out of argv;
-   what remains selects the table as before. *)
+(* Split `--metrics FILE` / `--trace FILE` / `--jobs N` / `--profile`
+   out of argv; what remains selects the table as before. *)
 let parse_args () =
-  let metrics = ref None and trace = ref None and rest = ref [] in
+  let metrics = ref None
+  and trace = ref None
+  and profile = ref false
+  and rest = ref [] in
   let argv = Sys.argv in
   let i = ref 1 in
   while !i < Array.length argv do
@@ -836,6 +839,7 @@ let parse_args () =
     | "--trace" when !i + 1 < Array.length argv ->
         incr i;
         trace := Some argv.(!i)
+    | "--profile" -> profile := true
     | "--jobs" when !i + 1 < Array.length argv -> (
         incr i;
         match int_of_string_opt argv.(!i) with
@@ -847,11 +851,15 @@ let parse_args () =
     incr i
   done;
   let cmd = match List.rev !rest with c :: _ -> c | [] -> "all" in
-  (cmd, !metrics, !trace)
+  (cmd, !metrics, !trace, !profile)
 
 let () =
-  let cmd, metrics, trace = parse_args () in
+  let cmd, metrics, trace, profile = parse_args () in
   if metrics <> None || trace <> None then Qdp_obs.set_enabled true;
+  if profile then begin
+    Qdp_obs.Prof.set_enabled true;
+    Qdp_obs.Calib.set_enabled true
+  end;
   let write what f file =
     try f file
     with Sys_error msg ->
@@ -862,10 +870,14 @@ let () =
       (write "metrics" @@ fun file ->
        Qdp_obs.Metrics.write_json file (Qdp_obs.Metrics.snapshot ()))
       metrics;
-    Option.iter (write "trace" Qdp_obs.Trace.write_jsonl) trace
+    Option.iter (write "trace" Qdp_obs.Trace.write_jsonl) trace;
+    (* stderr only: the table output on stdout must stay byte-identical
+       whether or not profiling is on. *)
+    if profile then Format.eprintf "%a@?" Qdp_obs.Prof.report ()
   in
   Fun.protect ~finally:dump (fun () ->
-      Qdp_obs.Trace.with_span ("tables." ^ cmd) (fun () ->
+      Qdp_obs.Trace.with_span ("tables." ^ cmd) @@ fun () ->
+      Qdp_obs.Prof.section cmd (fun () ->
           match cmd with
           | "t1" -> table1 ()
           | "t2" -> table2 ()

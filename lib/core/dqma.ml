@@ -363,6 +363,7 @@ let cross_validate ?(trials = 2000) ?(z = 5.) ~st ~network p inst =
   Qdp_obs.Trace.with_span "dqma.cross_validate"
     ~attrs:(fun () -> [ ("protocol", Qdp_obs.Trace.Str p.name) ])
   @@ fun () ->
+  Qdp_obs.Prof.section "cross_validate" @@ fun () ->
   let provers =
     (match p.honest inst with Some h -> [ ("honest", h) ] | None -> [])
     @ p.attacks inst
@@ -375,13 +376,20 @@ let cross_validate ?(trials = 2000) ?(z = 5.) ~st ~network p inst =
     Array.of_list
       (List.map (fun (name, prover) -> (name, prover, Random.State.split st)) provers)
   in
-  Array.to_list
-  @@ Qdp_par.parallel_map_array ~chunk:1
-       (fun (name, prover, pst) ->
+  (* ticks per network run: strategies x trials units in total *)
+  let progress =
+    Qdp_obs.Progress.start
+      ~total:(Array.length tagged * trials)
+      ("xval/" ^ p.name)
+  in
+  let checks =
+    Qdp_par.parallel_map_array ~chunk:1
+      (fun (name, prover, pst) ->
          let analytic = p.accept inst prover in
          let hits =
            Qdp_par.monte_carlo_hits ~st:pst ~trials (fun st ->
                Qdp_obs.Metrics.incr obs_crossval_runs;
+               Qdp_obs.Progress.step progress;
                network st inst prover)
          in
          let sampled = float_of_int hits /. float_of_int trials in
@@ -401,7 +409,10 @@ let cross_validate ?(trials = 2000) ?(z = 5.) ~st ~network p inst =
          Qdp_obs.Metrics.incr obs_crossval_checks;
          if not agree then Qdp_obs.Metrics.incr obs_crossval_disagreements;
          { check_strategy = name; analytic; sampled; trials; tolerance; agree })
-       tagged
+      tagged
+  in
+  Qdp_obs.Progress.finish progress;
+  Array.to_list checks
 
 let pp_check fmt c =
   Format.fprintf fmt "%-16s analytic %.6f | sampled %.6f (%d trials) | %s"

@@ -21,16 +21,29 @@ let attack_candidate ~proto name p =
 
 let attack_search ~proto ?attrs f =
   Qdp_obs.Metrics.incr obs_searches;
-  Qdp_obs.Trace.with_span ?attrs (proto ^ ".attack_search") f
+  Qdp_obs.Trace.with_span ?attrs (proto ^ ".attack_search") @@ fun () ->
+  Qdp_obs.Prof.section (proto ^ ".attack_search") f
 
 (* Candidate grids are independent, so score them on the domain pool;
    the results are then replayed in list order through
    [attack_candidate] and the max fold, so logs, metrics and
    tie-breaking (first strict improvement wins) are exactly those of
-   the sequential search, at every job count. *)
+   the sequential search, at every job count.  The progress handle
+   ticks per scored candidate, from whichever domain scores it. *)
 let best_candidate ~proto ~score candidates =
   let arr = Array.of_list candidates in
-  let scores = Qdp_par.parallel_map_array ~chunk:1 (fun (_, c) -> score c) arr in
+  let progress =
+    Qdp_obs.Progress.start ~total:(Array.length arr) ("attack/" ^ proto)
+  in
+  let scores =
+    Qdp_par.parallel_map_array ~chunk:1
+      (fun (_, c) ->
+        let s = score c in
+        Qdp_obs.Progress.step progress;
+        s)
+      arr
+  in
+  Qdp_obs.Progress.finish progress;
   let best = ref 0. and best_name = ref "none" in
   Array.iteri
     (fun i (name, _) ->

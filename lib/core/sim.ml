@@ -4,18 +4,30 @@ module Spanning_tree = Qdp_network.Spanning_tree
 
 type register = Oneway.bundle
 
+(* Kernel instrumentation for the test kernels that actually execute
+   on the bench/table paths (the analytic helpers in Qdp_quantum's
+   Swap_test/Permutation_test are test-only and carry none): a timing
+   histogram and a call counter per kernel, plus a profiler section so
+   [--profile] attributes simulator time by caller path.  All inert
+   when the respective switch is off. *)
+let swap_calls = Qdp_obs.Metrics.counter "kernel.swap_accept.calls"
+let perm_seconds = Qdp_obs.Metrics.histogram "kernel.perm_accept.seconds"
+let perm_calls = Qdp_obs.Metrics.counter "kernel.perm_accept.calls"
+let path_seconds = Qdp_obs.Metrics.histogram "kernel.path_accept.seconds"
+let path_calls = Qdp_obs.Metrics.counter "kernel.path_accept.calls"
+let tree_seconds = Qdp_obs.Metrics.histogram "kernel.tree_accept.seconds"
+let tree_calls = Qdp_obs.Metrics.counter "kernel.tree_accept.calls"
+let down_tree_seconds = Qdp_obs.Metrics.histogram "kernel.down_tree_accept.seconds"
+let down_tree_calls = Qdp_obs.Metrics.counter "kernel.down_tree_accept.calls"
+
 let swap_accept a b =
+  Qdp_obs.Metrics.incr swap_calls;
   let ov = Cx.norm2 (Oneway.bundle_overlap a b) in
   (1. +. ov) /. 2.
 
-(* Kernel timing histograms: attribute simulator time to the path DP,
-   the permutation test and the tree DPs (all inert when disabled). *)
-let perm_seconds = Qdp_obs.Metrics.histogram "kernel.perm_accept.seconds"
-let path_seconds = Qdp_obs.Metrics.histogram "kernel.path_accept.seconds"
-let tree_seconds = Qdp_obs.Metrics.histogram "kernel.tree_accept.seconds"
-let down_tree_seconds = Qdp_obs.Metrics.histogram "kernel.down_tree_accept.seconds"
-
 let perm_accept regs =
+  Qdp_obs.Metrics.incr perm_calls;
+  Qdp_obs.Prof.section "perm_accept" @@ fun () ->
   Qdp_obs.Metrics.time perm_seconds @@ fun () ->
   let arr = Array.of_list regs in
   let k = Array.length arr in
@@ -52,6 +64,8 @@ type path_instance = {
    The joint acceptance couples only adjacent coins, so a 2-state
    transfer recursion computes the exact expectation. *)
 let path_accept inst =
+  Qdp_obs.Metrics.incr path_calls;
+  Qdp_obs.Prof.section "path_accept" @@ fun () ->
   Qdp_obs.Metrics.time path_seconds @@ fun () ->
   let r = inst.length in
   if r < 1 then invalid_arg "Sim.path_accept: length >= 1";
@@ -114,6 +128,8 @@ let node_test inst kept sents =
   end
 
 let tree_accept st inst =
+  Qdp_obs.Metrics.incr tree_calls;
+  Qdp_obs.Prof.section "tree_accept" @@ fun () ->
   Qdp_obs.Metrics.time tree_seconds @@ fun () ->
   let tr = inst.tree in
   let is_terminal v = Spanning_tree.terminal_of tr v <> None in
@@ -217,6 +233,8 @@ type down_tree_instance = {
 }
 
 let down_tree_accept inst =
+  Qdp_obs.Metrics.incr down_tree_calls;
+  Qdp_obs.Prof.section "down_tree_accept" @@ fun () ->
   Qdp_obs.Metrics.time down_tree_seconds @@ fun () ->
   let tr = inst.dtree in
   let is_terminal v = Spanning_tree.terminal_of tr v <> None in

@@ -159,6 +159,7 @@ let sweep_entry cfg ~pi entry =
       Qdp_obs.Trace.with_span "faults.protocol"
         ~attrs:(fun () -> [ ("id", Qdp_obs.Trace.Str suite.fs_id) ])
       @@ fun () ->
+      Qdp_obs.Prof.section suite.fs_id @@ fun () ->
       let bound =
         List.fold_left (fun acc c -> Float.max acc c.Registry.fc_analytic) 0.
           suite.fs_no
@@ -191,12 +192,19 @@ let sweep_entry cfg ~pi entry =
                List.mapi (fun xi p -> (kind, ki, xi, p)) cfg.grid)
              kinds)
       in
+      let progress =
+        Qdp_obs.Progress.start ~total:(Array.length flat)
+          ("faults/" ^ suite.fs_id)
+      in
       let measured =
         Qdp_par.parallel_map_array ~chunk:1
           (fun (kind, ki, xi, p) ->
-            sweep_point cfg ~ids:(pi, ki, xi) kind p suite ~bound)
+            let pt = sweep_point cfg ~ids:(pi, ki, xi) kind p suite ~bound in
+            Qdp_obs.Progress.step progress;
+            pt)
           flat
       in
+      Qdp_obs.Progress.finish progress;
       let npoints = List.length cfg.grid in
       let curves =
         List.mapi
@@ -224,6 +232,7 @@ let sweep_entry cfg ~pi entry =
 
 let run cfg =
   Qdp_obs.Trace.with_span "faults.sweep" @@ fun () ->
+  Qdp_obs.Prof.section "fault_sweep" @@ fun () ->
   let entries = Registry.all () in
   let selected pi entry =
     let id = (Registry.info entry).Registry.info_id in

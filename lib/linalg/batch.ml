@@ -85,6 +85,12 @@ let apply_into m ~src ~dst =
     invalid_arg "Batch.apply_into: shape mismatch";
   if src.count <> dst.count then
     invalid_arg "Batch.apply_into: column count mismatch";
+  Qdp_obs.Prof.section "batch.apply_into" @@ fun () ->
+  Qdp_obs.Calib.sample ~kernel:"batch.apply_into"
+    ~macs:
+      (float_of_int (Mat.rows m) *. float_of_int (Mat.cols m)
+      *. float_of_int src.count)
+  @@ fun () ->
   let n = src.count in
   let mr = Mat.raw_re m and mi = Mat.raw_im m in
   let sr = src.re and si = src.im in
@@ -129,6 +135,11 @@ let par_cutoff = 1 lsl 16
 
 let gram a =
   let n = a.count and d = a.dim in
+  Qdp_obs.Prof.section "batch.gram" @@ fun () ->
+  (* computed upper triangle only: d MACs per (i, j <= i) cell *)
+  Qdp_obs.Calib.sample ~kernel:"batch.gram"
+    ~macs:(float_of_int d *. float_of_int n *. float_of_int (n + 1) /. 2.)
+  @@ fun () ->
   let g = Mat.create n n in
   let gr = Mat.raw_re g and gi = Mat.raw_im g in
   let ar = a.re and ai = a.im in

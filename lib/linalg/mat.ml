@@ -66,6 +66,10 @@ let par_cutoff = 1 lsl 16
 
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: shape mismatch";
+  Qdp_obs.Calib.sample ~kernel:"mat.mul"
+    ~macs:
+      (float_of_int a.rows *. float_of_int a.cols *. float_of_int b.cols)
+  @@ fun () ->
   let m = create a.rows b.cols in
   let row i =
     for k = 0 to a.cols - 1 do

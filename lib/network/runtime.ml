@@ -44,6 +44,7 @@ let run ?faults g ~rounds program =
     ~attrs:(fun () -> [ ("nodes", Qdp_obs.Trace.Int n);
                         ("rounds", Qdp_obs.Trace.Int rounds) ])
   @@ fun () ->
+  Qdp_obs.Prof.section "runtime" @@ fun () ->
   let obs_on = Qdp_obs.enabled () in
   let states = Array.init n program.init in
   let inboxes = Array.make n [] in
@@ -134,6 +135,7 @@ let run_accepts g ~rounds program =
   global_verdict verdicts = Accept
 
 let estimate_acceptance ~st ~trials f =
+  Qdp_obs.Prof.section "estimate_acceptance" @@ fun () ->
   let hits = Qdp_par.monte_carlo_hits ~st ~trials f in
   float_of_int hits /. float_of_int trials
 
@@ -169,5 +171,6 @@ let wilson ?(z = 5.) ~hits ~trials () =
   }
 
 let estimate_acceptance_ci ?z ~st ~trials f =
+  Qdp_obs.Prof.section "estimate_acceptance" @@ fun () ->
   let hits = Qdp_par.monte_carlo_hits ~st ~trials f in
   wilson ?z ~hits ~trials ()

@@ -1,5 +1,8 @@
-(* Minimal JSON emission (no external dependency): string escaping and
-   float rendering shared by the metrics and trace exporters. *)
+(* Minimal JSON emission and parsing (no external dependency): string
+   escaping and float rendering shared by the metrics and trace
+   exporters, plus the small recursive-descent parser that the
+   perf-diff comparator uses to read the BENCH_*.json artifacts back
+   in. *)
 
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -22,3 +25,194 @@ let str s = "\"" ^ escape s ^ "\""
 (* JSON has no NaN/Infinity literals; map them to null. *)
 let float f =
   if Float.is_finite f then Printf.sprintf "%.17g" f else "null"
+
+(* --- parsing --- *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | String of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let parse_error pos msg =
+  raise (Parse_error (Printf.sprintf "offset %d: %s" pos msg))
+
+(* Recursive-descent parser over the whole input string.  Covers the
+   JSON subset our exporters emit (and standard escapes, so files we
+   did not write still load); numbers go through [float_of_string]. *)
+let parse (s : string) : t =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else parse_error !pos (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let w = String.length word in
+    if !pos + w <= n && String.sub s !pos w = word then begin
+      pos := !pos + w;
+      v
+    end
+    else parse_error !pos (Printf.sprintf "expected %s" word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then parse_error !pos "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let utf8_add buf cp =
+    (* Minimal UTF-8 encoder for decoded \u escapes. *)
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then parse_error !pos "unterminated string";
+      match s.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          incr pos;
+          if !pos >= n then parse_error !pos "truncated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char buf '"'; incr pos
+          | '\\' -> Buffer.add_char buf '\\'; incr pos
+          | '/' -> Buffer.add_char buf '/'; incr pos
+          | 'b' -> Buffer.add_char buf '\b'; incr pos
+          | 'f' -> Buffer.add_char buf '\012'; incr pos
+          | 'n' -> Buffer.add_char buf '\n'; incr pos
+          | 'r' -> Buffer.add_char buf '\r'; incr pos
+          | 't' -> Buffer.add_char buf '\t'; incr pos
+          | 'u' ->
+              incr pos;
+              utf8_add buf (parse_hex4 ())
+          | c -> parse_error !pos (Printf.sprintf "bad escape \\%c" c));
+          loop ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      incr pos
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match float_of_string_opt lit with
+    | Some f -> f
+    | None -> parse_error start (Printf.sprintf "bad number %S" lit)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> parse_error !pos "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                items (v :: acc)
+            | Some ']' ->
+                incr pos;
+                List.rev (v :: acc)
+            | _ -> parse_error !pos "expected , or ] in array"
+          in
+          Arr (items [])
+        end
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let member () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let rec members acc =
+            let kv = member () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                members (kv :: acc)
+            | Some '}' ->
+                incr pos;
+                List.rev (kv :: acc)
+            | _ -> parse_error !pos "expected , or } in object"
+          in
+          Obj (members [])
+        end
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then parse_error !pos "trailing garbage after value";
+  v
+
+(* --- accessors used by the perf-diff comparator --- *)
+
+let member name = function
+  | Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let to_list = function Arr xs -> xs | _ -> []
+
+let num_opt = function
+  | Num f -> Some f
+  | _ -> None
+
+let string_opt = function
+  | String s -> Some s
+  | _ -> None

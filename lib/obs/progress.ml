@@ -1,0 +1,165 @@
+(* Live progress heartbeats for long grids.  A call site opens a
+   handle with the number of work units it expects, ticks it from
+   wherever the units complete (including pool domains), and the
+   module emits at most one line per configured interval — to stderr
+   by default — as human text or single-line JSON.  When the profiler
+   is on, each heartbeat carries the per-domain busy time accumulated
+   since the handle was opened, i.e. live utilization of the grid
+   itself.  Everything is inert until [set_enabled true]; a tick on a
+   disabled handle is one atomic load. *)
+
+type format = Human | Json
+
+let enabled_flag = Atomic.make false
+let on () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Configuration and emission are guarded by one mutex; heartbeats are
+   rare (>= the interval apart) so contention is irrelevant. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let interval = ref 1.0
+let fmt = ref Human
+
+let default_sink line =
+  prerr_string line;
+  prerr_newline ()
+
+let sink = ref default_sink
+
+let configure ?interval_s ?format ?emit () =
+  locked @@ fun () ->
+  (match interval_s with
+  | Some s when s >= 0. -> interval := s
+  | Some _ -> invalid_arg "Qdp_obs.Progress.configure: interval_s >= 0."
+  | None -> ());
+  (match format with Some f -> fmt := f | None -> ());
+  match emit with Some f -> sink := f | None -> ()
+
+type t = {
+  p_label : string;
+  p_total : int;  (* 0 = unknown *)
+  p_t0 : float;
+  p_done : int Atomic.t;
+  (* last emission time; CAS'd so concurrent ticks elect one emitter *)
+  p_last : float Atomic.t;
+  (* per-domain busy seconds at open time, to report utilization of
+     this grid rather than of the whole profile *)
+  p_busy0 : (int * float) list;
+}
+
+let busy_now () =
+  List.map
+    (fun d -> (d.Prof.dom_id, d.Prof.dom_busy_s))
+    (Prof.domain_stats ())
+
+let start ?(total = 0) label =
+  let t0 = if on () then Clock.now () else 0. in
+  {
+    p_label = label;
+    p_total = total;
+    p_t0 = t0;
+    p_done = Atomic.make 0;
+    p_last = Atomic.make t0;
+    p_busy0 = (if on () && Prof.on () then busy_now () else []);
+  }
+
+let grid_busy t =
+  if not (Prof.on ()) then []
+  else
+    List.map
+      (fun (id, b) ->
+        let b0 =
+          match List.assoc_opt id t.p_busy0 with Some b0 -> b0 | None -> 0.
+        in
+        (id, Float.max 0. (b -. b0)))
+      (busy_now ())
+
+let render t ~now ~final =
+  let done_ = Atomic.get t.p_done in
+  let elapsed = Float.max 0. (now -. t.p_t0) in
+  let eta =
+    if (not final) && t.p_total > 0 && done_ > 0 && done_ < t.p_total then
+      Some (elapsed *. float_of_int (t.p_total - done_) /. float_of_int done_)
+    else None
+  in
+  let busy = grid_busy t in
+  match locked (fun () -> !fmt) with
+  | Json ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf
+        (Printf.sprintf "{\"progress\":%s,\"done\":%d" (Json.str t.p_label)
+           done_);
+      if t.p_total > 0 then
+        Buffer.add_string buf (Printf.sprintf ",\"total\":%d" t.p_total);
+      Buffer.add_string buf
+        (Printf.sprintf ",\"elapsed_s\":%s" (Json.float elapsed));
+      (match eta with
+      | Some e -> Buffer.add_string buf (Printf.sprintf ",\"eta_s\":%s" (Json.float e))
+      | None -> ());
+      if final then Buffer.add_string buf ",\"done_flag\":true";
+      if busy <> [] then begin
+        Buffer.add_string buf ",\"domains\":[";
+        List.iteri
+          (fun i (id, b) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf
+              (Printf.sprintf "{\"id\":%d,\"busy_s\":%s}" id (Json.float b)))
+          busy;
+        Buffer.add_char buf ']'
+      end;
+      Buffer.add_char buf '}';
+      Buffer.contents buf
+  | Human ->
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf ("qdp: " ^ t.p_label ^ " ");
+      if t.p_total > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "%d/%d (%.1f%%)" done_ t.p_total
+             (100. *. float_of_int done_ /. float_of_int t.p_total))
+      else Buffer.add_string buf (string_of_int done_);
+      Buffer.add_string buf (Printf.sprintf " elapsed %.1fs" elapsed);
+      (match eta with
+      | Some e -> Buffer.add_string buf (Printf.sprintf " eta %.1fs" e)
+      | None -> ());
+      if final then Buffer.add_string buf " done";
+      if busy <> [] then begin
+        let total_busy = List.fold_left (fun s (_, b) -> s +. b) 0. busy in
+        Buffer.add_string buf
+          (Printf.sprintf " util %.2fx/%d"
+             (if elapsed > 0. then total_busy /. elapsed else 0.)
+             (List.length busy));
+        List.iter
+          (fun (id, b) ->
+            Buffer.add_string buf
+              (Printf.sprintf " d%d=%.0f%%" id
+                 (if elapsed > 0. then 100. *. b /. elapsed else 0.)))
+          busy
+      end;
+      Buffer.contents buf
+
+let emit t ~now ~final =
+  let line = render t ~now ~final in
+  locked (fun () -> !sink line)
+
+let step ?(by = 1) t =
+  if on () then begin
+    ignore (Atomic.fetch_and_add t.p_done by);
+    let now = Clock.now () in
+    let last = Atomic.get t.p_last in
+    let iv = locked (fun () -> !interval) in
+    if now -. last >= iv && Atomic.compare_and_set t.p_last last now then
+      emit t ~now ~final:false
+  end
+
+let finish t = if on () then emit t ~now:(Clock.now ()) ~final:true

@@ -1,0 +1,39 @@
+(** Live progress heartbeats for long grids.
+
+    A grid opens a handle with {!start}, ticks it with {!step} as work
+    units complete (from any domain), and closes it with {!finish}.
+    At most one line per configured interval is emitted — to stderr by
+    default — as human text or single-line JSON, with completed/total
+    counts, elapsed time and an ETA, plus per-domain busy time for the
+    grid when the profiler ({!Prof}) is also on.
+
+    Inert until {!set_enabled} (the [--progress] flag): a tick on a
+    disabled module is a single atomic load, and nothing is ever
+    written. *)
+
+type format = Human | Json
+
+val on : unit -> bool
+val set_enabled : bool -> unit
+
+(** [configure ?interval_s ?format ?emit ()] sets the minimum seconds
+    between heartbeats (default [1.0]; [0.] = every tick), the line
+    format (default [Human]) and the line consumer (default: write to
+    stderr).  Unset options keep their current value.
+    @raise Invalid_argument on a negative interval. *)
+val configure :
+  ?interval_s:float -> ?format:format -> ?emit:(string -> unit) -> unit -> unit
+
+type t
+
+(** [start ?total label] opens a grid named [label] expecting [total]
+    work units ([0] or omitted = unknown, no ETA). *)
+val start : ?total:int -> string -> t
+
+(** [step ?by t] marks [by] (default 1) units complete and emits a
+    heartbeat when the interval has elapsed since the last one.  Safe
+    to call from pool domains. *)
+val step : ?by:int -> t -> unit
+
+(** Emits a final heartbeat for [t] marked as done. *)
+val finish : t -> unit

@@ -7,6 +7,11 @@
 
 module Metrics = Metrics
 module Trace = Trace
+module Prof = Prof
+module Progress = Progress
+module Calib = Calib
+module Perf_diff = Perf_diff
+module Json = Json
 
 let enabled () = Control.on ()
 let set_enabled b = Control.set b

@@ -20,6 +20,24 @@
 module Metrics = Metrics
 module Trace = Trace
 
+(** Scoped profiler: section wall/GC attribution, pool busy/idle
+    accounting.  Own switch ([--profile]), same zero-cost discipline. *)
+module Prof = Prof
+
+(** Live progress heartbeats for long grids ([--progress]). *)
+module Progress = Progress
+
+(** Kernel calibration sampling ([BENCH_calib.json]). *)
+module Calib = Calib
+
+(** Noise-aware comparator behind [qdp perf diff] and the CI perf
+    gate. *)
+module Perf_diff = Perf_diff
+
+(** Minimal JSON emission and parsing shared by the exporters and the
+    comparator. *)
+module Json = Json
+
 (** Current state of the global switch. *)
 val enabled : unit -> bool
 

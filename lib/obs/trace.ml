@@ -70,9 +70,8 @@ let record sp =
   b.(!write) <- Some sp;
   write := (!write + 1) mod n
 
-(* Oldest-first contents of the ring buffer. *)
-let spans () =
-  locked @@ fun () ->
+(* Oldest-first contents of the ring buffer; call with [lock] held. *)
+let contents_unlocked () =
   let b = !buf in
   let n = Array.length b in
   let first = if !stored = n then !write else 0 in
@@ -80,6 +79,13 @@ let spans () =
       match b.((first + i) mod n) with
       | Some sp -> sp
       | None -> assert false)
+
+let spans () = locked contents_unlocked
+
+(* Spans plus the drop counter under one lock acquisition, so
+   exporters reading from a live multi-domain run see a consistent
+   pair. *)
+let snapshot () = locked (fun () -> (contents_unlocked (), !dropped_spans))
 
 let with_span ?attrs name f =
   if not (Control.on ()) then f ()
@@ -159,13 +165,14 @@ let pp_duration fmt d =
    than its children, with registration-id as the tiebreak) and
    indented by recorded depth. *)
 let pp fmt () =
+  let spans, dropped = snapshot () in
   let sorted =
     List.sort
       (fun a b ->
         match Float.compare a.start_s b.start_s with
         | 0 -> compare a.id b.id
         | c -> c)
-      (spans ())
+      spans
   in
   List.iter
     (fun sp ->
@@ -174,5 +181,5 @@ let pp fmt () =
       List.iter (fun (k, v) -> Format.fprintf fmt " %s=%a" k pp_value v) sp.attrs;
       Format.pp_print_newline fmt ())
     sorted;
-  if !dropped_spans > 0 then
-    Format.fprintf fmt "(+%d spans dropped by the ring buffer)@\n" !dropped_spans
+  if dropped > 0 then
+    Format.fprintf fmt "(+%d spans dropped by the ring buffer)@\n" dropped

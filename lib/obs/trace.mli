@@ -32,6 +32,12 @@ val spans : unit -> span list
 (** Number of spans evicted since the last {!clear}/{!set_capacity}. *)
 val dropped : unit -> int
 
+(** [(spans, dropped)] under a single lock acquisition: use this in
+    exporters reading from a live multi-domain run, where calling
+    {!spans} and {!dropped} separately could observe inconsistent
+    pairs. *)
+val snapshot : unit -> span list * int
+
 val capacity : unit -> int
 
 (** [set_capacity n] replaces the sink with an empty ring of size [n]. *)

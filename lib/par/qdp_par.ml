@@ -90,12 +90,16 @@ let run_tasks (tasks : (unit -> unit) array) =
   if n = 0 then ()
   else if n = 1 || jobs () = 1 then Array.iter (fun t -> t ()) tasks
   else begin
+    Qdp_obs.Prof.region @@ fun () ->
     let remaining = Atomic.make n in
     (* cell [i] is written by the domain running task [i] only; the
        final read is ordered after all writes by [remaining]. *)
     let errors = Array.make n None in
     let wrap i () =
-      (try tasks.(i) ()
+      (* [Prof.task] charges the wall time of this unit of work to the
+         busy total of whichever domain executes it — worker or
+         helping caller — for the busy/idle split in profile reports. *)
+      (try Qdp_obs.Prof.task tasks.(i)
        with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
       Atomic.decr remaining;
       Mutex.lock lock;

@@ -14,7 +14,15 @@
     fixed-size chunks whose RNG states are split off the caller's
     state {e in chunk order, independent of the job count}, so the
     result is byte-identical for every value of [--jobs] — parallel
-    runs reproduce sequential runs per seed. *)
+    runs reproduce sequential runs per seed.
+
+    {2 Profiling}
+
+    Parallel regions and their task units are wrapped in
+    [Qdp_obs.Prof.region]/[Qdp_obs.Prof.task], so with [--profile]
+    enabled the profiler reports a per-domain busy/idle split over the
+    pool.  While the profiler is off both hooks cost one atomic-load
+    branch per region/task. *)
 
 (** [jobs ()] is the worker-domain budget for parallel regions.  The
     first call resolves it from the [QDP_JOBS] environment variable

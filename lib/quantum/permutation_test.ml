@@ -6,12 +6,12 @@ let check_dim ~d ~k n =
   in
   if n <> expected then invalid_arg "Permutation_test: dimension mismatch"
 
-let seconds = Qdp_obs.Metrics.histogram "kernel.permutation_test.seconds"
-let calls = Qdp_obs.Metrics.counter "kernel.permutation_test.calls"
+(* The executed test kernels live in [Qdp_core.Sim] (perm_accept /
+   path_accept / swap_accept) and are instrumented there; the analytic
+   helpers here are exercised only by the unit tests, so they carry no
+   metrics. *)
 
 let accept_prob_pure ~d ~k psi =
-  Qdp_obs.Metrics.incr calls;
-  Qdp_obs.Metrics.time seconds @@ fun () ->
   check_dim ~d ~k (Vec.dim psi);
   let p = Symmetric.apply_projector ~d ~k psi in
   let n = Vec.norm p in
@@ -23,8 +23,6 @@ let accept_prob_density ~d ~k rho =
   (Mat.trace (Mat.mul proj rho)).Complex.re
 
 let accept_prob_product states =
-  Qdp_obs.Metrics.incr calls;
-  Qdp_obs.Metrics.time seconds @@ fun () ->
   let arr = Array.of_list states in
   let k = Array.length arr in
   if k = 0 then invalid_arg "Permutation_test.accept_prob_product: empty";

@@ -6,12 +6,7 @@ let pair_dim psi =
   if d * d <> n then invalid_arg "Swap_test: state is not on C^d (x) C^d";
   d
 
-let seconds = Qdp_obs.Metrics.histogram "kernel.swap_test.seconds"
-let calls = Qdp_obs.Metrics.counter "kernel.swap_test.calls"
-
 let accept_prob_product a b =
-  Qdp_obs.Metrics.incr calls;
-  Qdp_obs.Metrics.time seconds @@ fun () ->
   if Vec.dim a <> Vec.dim b then invalid_arg "Swap_test: dimension mismatch";
   let ov = Cx.norm2 (Vec.dot a b) in
   (1. +. ov) /. 2.
@@ -22,8 +17,6 @@ let apply_sym psi =
   Vec.scale (Cx.re 0.5) (Vec.add psi swapped)
 
 let accept_prob_pure psi =
-  Qdp_obs.Metrics.incr calls;
-  Qdp_obs.Metrics.time seconds @@ fun () ->
   let p = apply_sym psi in
   let n = Vec.norm p in
   n *. n

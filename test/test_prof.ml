@@ -1,0 +1,494 @@
+(* Tests for the profiling & cost-attribution layer: Prof section
+   nesting and the attribution tree, GC-allocation attribution,
+   the disabled-mode zero-cost contract, pool busy/idle accounting,
+   Calib sampling and its jobs-invariance, Progress heartbeat content,
+   the Json parser, and the Perf_diff noise-aware comparator. *)
+
+module Prof = Qdp_obs.Prof
+module Calib = Qdp_obs.Calib
+module Progress = Qdp_obs.Progress
+module Perf_diff = Qdp_obs.Perf_diff
+module Json = Qdp_obs.Json
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let with_prof f =
+  Prof.reset ();
+  Prof.set_enabled true;
+  Fun.protect ~finally:(fun () -> Prof.set_enabled false) f
+
+(* --- Prof: sections --- *)
+
+let test_section_nesting () =
+  with_prof (fun () ->
+      let r =
+        Prof.section "a" (fun () ->
+            let b1 = Prof.section "b" (fun () -> 1) in
+            let b2 = Prof.section "b" (fun () -> 2) in
+            let c = Prof.section "c" (fun () -> 4) in
+            b1 + b2 + c)
+      in
+      Alcotest.(check int) "value passes through" 7 r);
+  (* aggregates are recorded at section exit: children before parents *)
+  let paths = List.map (fun e -> e.Prof.e_path) (Prof.entries ()) in
+  Alcotest.(check (list string))
+    "paths in first-recorded (exit) order" [ "a/b"; "a/c"; "a" ] paths;
+  let entry path =
+    match List.find_opt (fun e -> e.Prof.e_path = path) (Prof.entries ()) with
+    | Some e -> e
+    | None -> Alcotest.failf "path %s missing" path
+  in
+  Alcotest.(check int) "a/b aggregated over both calls" 2 (entry "a/b").Prof.e_calls;
+  Alcotest.(check int) "a called once" 1 (entry "a").Prof.e_calls;
+  (match Prof.tree () with
+  | [ root ] ->
+      Alcotest.(check string) "single root" "a" root.Prof.n_name;
+      Alcotest.(check (list string))
+        "children in first-seen order" [ "b"; "c" ]
+        (List.map (fun n -> n.Prof.n_name) root.Prof.n_children);
+      Alcotest.(check bool) "self time clamped at 0" true
+        (root.Prof.n_self_s >= 0.);
+      Alcotest.(check bool) "root wall covers children" true
+        (root.Prof.n_wall_s
+        >= List.fold_left
+             (fun s n -> s +. n.Prof.n_wall_s)
+             0. root.Prof.n_children)
+  | forest -> Alcotest.failf "expected one root, got %d" (List.length forest));
+  let flat_names = List.map (fun r -> r.Prof.r_name) (Prof.flat ()) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " in flat profile") true
+        (List.mem n flat_names))
+    [ "a"; "b"; "c" ];
+  Prof.reset ();
+  Alcotest.(check int) "reset clears entries" 0 (List.length (Prof.entries ()))
+
+let test_gc_attribution () =
+  with_prof (fun () ->
+      Prof.section "alloc" (fun () ->
+          ignore (Sys.opaque_identity (Array.make 200_000 0.))));
+  match Prof.entries () with
+  | [ e ] ->
+      Alcotest.(check string) "path" "alloc" e.Prof.e_path;
+      Alcotest.(check bool) "wall time is non-negative" true (e.Prof.e_wall_s >= 0.);
+      Alcotest.(check bool) "the 200k-word array is attributed" true
+        (e.Prof.e_minor_words +. e.Prof.e_major_words >= 100_000.);
+      Alcotest.(check bool) "word counts are non-negative" true
+        (e.Prof.e_minor_words >= 0.
+        && e.Prof.e_major_words >= 0.
+        && e.Prof.e_promoted_words >= 0.
+        && e.Prof.e_compactions >= 0)
+  | es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+
+let noop () = ()
+
+let test_disabled_noop () =
+  Prof.set_enabled false;
+  Prof.reset ();
+  Alcotest.(check int) "disabled section is transparent" 9
+    (Prof.section "ghost" (fun () -> 9));
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Prof.entries ()));
+  (* zero-cost contract: a disabled hook is one atomic load and must
+     not allocate per call (budget of a few words/call for safety) *)
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    Prof.section "off" noop
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "1000 disabled sections allocated %.0f words" delta)
+    true (delta < 16_000.);
+  Alcotest.(check int) "still nothing recorded" 0 (List.length (Prof.entries ()))
+
+let test_section_exception () =
+  with_prof (fun () ->
+      (try
+         Prof.section "outer" (fun () ->
+             Prof.section "boom" (fun () -> failwith "boom"))
+       with Failure _ -> ());
+      Prof.section "after" (fun () -> ()));
+  let paths = List.map (fun e -> e.Prof.e_path) (Prof.entries ()) in
+  Alcotest.(check bool) "raising section recorded" true
+    (List.mem "outer/boom" paths);
+  Alcotest.(check bool) "stack unwound: next section roots fresh" true
+    (List.mem "after" paths)
+
+let test_domain_stats () =
+  let jobs0 = Qdp_par.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Qdp_par.set_jobs jobs0)
+    (fun () ->
+      with_prof (fun () ->
+          Qdp_par.set_jobs 2;
+          let out = Array.make 64 0. in
+          Qdp_par.parallel_for 0 64 (fun i ->
+              out.(i) <- Float.sqrt (float_of_int i));
+          let count, wall = Prof.regions () in
+          Alcotest.(check bool) "one outermost region recorded" true (count >= 1);
+          Alcotest.(check bool) "region wall non-negative" true (wall >= 0.);
+          let stats = Prof.domain_stats () in
+          Alcotest.(check bool) "pool domains recorded" true (stats <> []);
+          let tasks =
+            List.fold_left (fun s d -> s + d.Prof.dom_tasks) 0 stats
+          in
+          Alcotest.(check bool) "tasks counted" true (tasks > 0);
+          List.iter
+            (fun d ->
+              Alcotest.(check bool) "busy non-negative" true
+                (d.Prof.dom_busy_s >= 0.))
+            stats))
+
+let test_prof_json () =
+  with_prof (fun () -> Prof.section "j" (fun () -> ()));
+  let j = Json.parse (Prof.to_json ()) in
+  (match Json.member "sections" j with
+  | Some (Json.Arr [ s ]) ->
+      Alcotest.(check (option string)) "section path serialized" (Some "j")
+        (Option.bind (Json.member "path" s) Json.string_opt)
+  | _ -> Alcotest.fail "sections array missing");
+  Alcotest.(check bool) "regions object present" true
+    (Json.member "regions" j <> None)
+
+(* --- Calib --- *)
+
+let test_calib_sampling () =
+  Calib.reset ();
+  Calib.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Calib.set_enabled false;
+      Calib.reset ())
+    (fun () ->
+      Alcotest.(check int) "value passes through" 5
+        (Calib.sample ~kernel:"t" ~macs:10. (fun () -> 5));
+      for _ = 1 to 599 do
+        Calib.sample ~kernel:"t" ~macs:10. noop
+      done;
+      match Calib.kernels () with
+      | [ k ] ->
+          Alcotest.(check string) "kernel name" "t" k.Calib.k_name;
+          Alcotest.(check int) "totals keep counting past the cap" 600
+            k.Calib.k_calls;
+          Alcotest.(check (float 1e-6)) "macs accumulate" 6000. k.Calib.k_macs;
+          Alcotest.(check int) "raw samples capped" Calib.max_samples
+            (List.length k.Calib.k_samples)
+      | ks -> Alcotest.failf "expected one kernel, got %d" (List.length ks));
+  Alcotest.(check int) "disabled sample is transparent" 3
+    (Calib.sample ~kernel:"t" ~macs:1. (fun () -> 3));
+  Alcotest.(check int) "disabled sample records nothing" 0
+    (List.length (Calib.kernels ()))
+
+(* The perf-diff inputs must be jobs-invariant: the same workload at
+   jobs = 1 and jobs = 4 records identical kernel names, call counts
+   and MAC totals, and computes bit-identical results. *)
+let test_calib_jobs_invariance () =
+  let open Qdp_linalg in
+  let jobs0 = Qdp_par.jobs () in
+  Calib.reset ();
+  Calib.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Qdp_par.set_jobs jobs0;
+      Calib.set_enabled false;
+      Calib.reset ())
+    (fun () ->
+      let batch () =
+        let st = Random.State.make [| 77 |] in
+        Batch.init 512 16 (fun _ _ ->
+            Cx.make
+              (Random.State.float st 2. -. 1.)
+              (Random.State.float st 2. -. 1.))
+      in
+      let view () =
+        List.map
+          (fun k -> (k.Calib.k_name, k.Calib.k_calls, k.Calib.k_macs))
+          (Calib.kernels ())
+      in
+      Qdp_par.set_jobs 1;
+      let g1 = Batch.gram (batch ()) in
+      let v1 = view () in
+      Calib.reset ();
+      Qdp_par.set_jobs 4;
+      let g4 = Batch.gram (batch ()) in
+      let v4 = view () in
+      Alcotest.(check (list (triple string int (float 0.))))
+        "kernel attribution is jobs-invariant" v1 v4;
+      Alcotest.(check bool) "gram MACs recorded" true
+        (List.exists (fun (n, _, m) -> n = "batch.gram" && m > 0.) v1);
+      Alcotest.(check bool) "results bit-identical across job counts" true
+        (Batch.equal ~eps:0. (Batch.of_cols [| Mat.apply g1 (Vec.basis 16 0) |])
+           (Batch.of_cols [| Mat.apply g4 (Vec.basis 16 0) |])
+        && Mat.equal ~eps:0. g1 g4))
+
+(* --- Progress --- *)
+
+let drain buf =
+  let lines = String.split_on_char '\n' (Buffer.contents buf) in
+  Buffer.clear buf;
+  List.filter (fun l -> l <> "") lines
+
+let with_progress ?(format = Progress.Human) f =
+  let buf = Buffer.create 256 in
+  Progress.configure ~interval_s:0. ~format
+    ~emit:(fun line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    ();
+  Progress.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Progress.set_enabled false;
+      Progress.configure ~interval_s:1.0 ~format:Progress.Human ())
+    (fun () -> f buf)
+
+let test_progress_human () =
+  with_progress (fun buf ->
+      let t = Progress.start ~total:4 "grid/test" in
+      for _ = 1 to 4 do
+        Progress.step t
+      done;
+      Progress.finish t;
+      let lines = drain buf in
+      Alcotest.(check int) "one line per step + the final one" 5
+        (List.length lines);
+      let first = List.hd lines in
+      Alcotest.(check bool) "label and counts" true
+        (contains ~needle:"qdp: grid/test 1/4 (25.0%)" first);
+      Alcotest.(check bool) "eta on a partial line" true
+        (contains ~needle:"eta" first);
+      let last = List.nth lines 4 in
+      Alcotest.(check bool) "final line marked done" true
+        (contains ~needle:"4/4 (100.0%)" last && contains ~needle:" done" last))
+
+let test_progress_json () =
+  with_progress ~format:Progress.Json (fun buf ->
+      let t = Progress.start ~total:2 "j" in
+      Progress.step t;
+      Progress.finish t;
+      let lines = drain buf in
+      List.iter (fun l -> ignore (Json.parse l)) lines;
+      let last = List.nth lines (List.length lines - 1) in
+      Alcotest.(check bool) "label serialized" true
+        (contains ~needle:"\"progress\":\"j\"" last);
+      Alcotest.(check bool) "final line flagged" true
+        (contains ~needle:"\"done_flag\":true" last))
+
+let test_progress_disabled () =
+  let buf = Buffer.create 16 in
+  Progress.configure ~interval_s:0.
+    ~emit:(fun line -> Buffer.add_string buf line)
+    ();
+  (* not enabled: every call is a no-op *)
+  let t = Progress.start ~total:2 "off" in
+  Progress.step t;
+  Progress.finish t;
+  Alcotest.(check string) "nothing emitted" "" (Buffer.contents buf);
+  Progress.configure ~interval_s:1.0 ()
+
+let test_progress_bad_interval () =
+  Alcotest.check_raises "negative interval rejected"
+    (Invalid_argument "Qdp_obs.Progress.configure: interval_s >= 0.")
+    (fun () -> Progress.configure ~interval_s:(-1.) ())
+
+(* --- Json parser --- *)
+
+let test_json_parse () =
+  let j =
+    Json.parse
+      "{\"a\":[1,2.5,-3e2],\"s\":\"h\\u0041\\\"x\",\"b\":true,\"n\":null}"
+  in
+  (match Json.member "a" j with
+  | Some (Json.Arr [ x; y; z ]) ->
+      Alcotest.(check (option (float 0.))) "int" (Some 1.) (Json.num_opt x);
+      Alcotest.(check (option (float 0.))) "float" (Some 2.5) (Json.num_opt y);
+      Alcotest.(check (option (float 0.))) "exponent" (Some (-300.))
+        (Json.num_opt z)
+  | _ -> Alcotest.fail "array missing");
+  Alcotest.(check (option string)) "escapes decoded" (Some "hA\"x")
+    (Option.bind (Json.member "s" j) Json.string_opt);
+  Alcotest.(check bool) "bool and null" true
+    (Json.member "b" j = Some (Json.Bool true)
+    && Json.member "n" j = Some Json.Null);
+  let fails s =
+    match Json.parse s with
+    | _ -> false
+    | exception Json.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "truncated input rejected" true (fails "{\"a\":");
+  Alcotest.(check bool) "trailing garbage rejected" true (fails "{} x");
+  Alcotest.(check bool) "bare words rejected" true (fails "nope")
+
+(* --- Perf_diff --- *)
+
+let metric ?(group = "g") ?seconds key value =
+  {
+    Perf_diff.m_key = key;
+    m_group = group;
+    m_value = value;
+    m_seconds = (match seconds with Some s -> s | None -> value);
+  }
+
+let verdict_of config ~old_value ~new_value =
+  let r =
+    Perf_diff.diff config
+      ~old_:[ metric "g.x_s" old_value ]
+      ~new_:[ metric "g.x_s" new_value ]
+  in
+  match r.Perf_diff.compared with
+  | [ c ] -> c.Perf_diff.c_verdict
+  | _ -> Alcotest.fail "expected one comparison"
+
+let test_diff_verdicts () =
+  let cfg = Perf_diff.default_config in
+  let check_verdict name expected ~old_value ~new_value =
+    let pp_verdict fmt v =
+      Format.pp_print_string fmt
+        (match v with
+        | Perf_diff.Regression -> "Regression"
+        | Improvement -> "Improvement"
+        | Within_noise -> "Within_noise"
+        | Below_floor -> "Below_floor")
+    in
+    Alcotest.(check (testable pp_verdict ( = )))
+      name expected
+      (verdict_of cfg ~old_value ~new_value)
+  in
+  check_verdict "self vs self" Perf_diff.Within_noise ~old_value:1.0
+    ~new_value:1.0;
+  check_verdict "2x slower regresses" Perf_diff.Regression ~old_value:1.0
+    ~new_value:2.0;
+  check_verdict "+5% is noise" Perf_diff.Within_noise ~old_value:1.0
+    ~new_value:1.05;
+  check_verdict "2x faster improves" Perf_diff.Improvement ~old_value:1.0
+    ~new_value:0.5;
+  check_verdict "sub-floor 2x never flagged" Perf_diff.Below_floor
+    ~old_value:0.001 ~new_value:0.002;
+  (* per-group override: the same 1.5x passes under a 1.0 threshold *)
+  let lax = { cfg with Perf_diff.group_thresholds = [ ("g", 1.0) ] } in
+  Alcotest.(check bool) "group threshold overrides the default" true
+    (verdict_of lax ~old_value:1.0 ~new_value:1.5 = Perf_diff.Within_noise);
+  let r =
+    Perf_diff.diff cfg
+      ~old_:[ metric "g.a_s" 1.0; metric "g.gone_s" 1.0 ]
+      ~new_:[ metric "g.a_s" 2.0; metric "g.new_s" 1.0 ]
+  in
+  Alcotest.(check int) "regressions counted" 1 (Perf_diff.regressions r);
+  Alcotest.(check (list string)) "only_old" [ "g.gone_s" ] r.Perf_diff.only_old;
+  Alcotest.(check (list string)) "only_new" [ "g.new_s" ] r.Perf_diff.only_new;
+  let report = Format.asprintf "%a" Perf_diff.pp_report r in
+  Alcotest.(check bool) "report flags the regression" true
+    (contains ~needle:"REGRESSION" report);
+  Alcotest.(check bool) "report has the summary line" true
+    (contains ~needle:"1 compared" report || contains ~needle:"compared:" report)
+
+let perf_fixture ~seq ~par =
+  Printf.sprintf
+    "{\"jobs\":4,\"host\":{\"cores\":4,\"recommended_domains\":4},\n\
+     \"kernels\":[{\"kernel\":\"k\",\"naive_s\":1.0,\"batched_s\":0.5,\"speedup\":2.0}],\n\
+     \"groups\":[{\"group\":\"gram_batch\",\"sequential_s\":%.6f,\"parallel_s\":%.6f,\"speedup\":1.0}]}"
+    seq par
+
+let test_diff_extract_perf () =
+  let ms = Perf_diff.metrics_of_string (perf_fixture ~seq:2.0 ~par:1.0) in
+  let keys = List.map (fun m -> m.Perf_diff.m_key) ms in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " extracted") true (List.mem k keys))
+    [
+      "gram_batch.sequential_s";
+      "gram_batch.parallel_s";
+      "kernel.k.naive_s";
+      "kernel.k.batched_s";
+    ];
+  Alcotest.(check bool) "speedup (not a *_s field) skipped" true
+    (not (List.exists (fun k -> contains ~needle:"speedup" k) keys));
+  (* the acceptance fixture pair: self-diff is clean, a synthetic 2x
+     slowdown on a real group trips the gate *)
+  let old_ = Perf_diff.metrics_of_string (perf_fixture ~seq:1.0 ~par:0.5) in
+  let self =
+    Perf_diff.diff Perf_diff.default_config ~old_ ~new_:old_
+  in
+  Alcotest.(check int) "self vs self: no regressions" 0
+    (Perf_diff.regressions self);
+  let slow = Perf_diff.metrics_of_string (perf_fixture ~seq:2.0 ~par:1.0) in
+  Alcotest.(check bool) "2x fixture regresses" true
+    (Perf_diff.regressions
+       (Perf_diff.diff Perf_diff.default_config ~old_ ~new_:slow)
+    > 0)
+
+let test_diff_extract_calib () =
+  let fixture =
+    "{\"calibration\":[{\"kernel\":\"mat.mul\",\"calls\":3,\"total_macs\":100.0,\n\
+     \"total_seconds\":0.5,\"ns_per_mac\":5.0,\"minor_words\":0,\"major_words\":0,\"samples\":[]}]}"
+  in
+  match Perf_diff.metrics_of_string fixture with
+  | [ m ] ->
+      Alcotest.(check string) "key" "mat.mul.ns_per_mac" m.Perf_diff.m_key;
+      Alcotest.(check (float 0.)) "value" 5.0 m.Perf_diff.m_value;
+      Alcotest.(check (float 0.)) "floored on total seconds" 0.5
+        m.Perf_diff.m_seconds
+  | ms -> Alcotest.failf "expected one metric, got %d" (List.length ms)
+
+let test_diff_extract_obs () =
+  let fixture =
+    "{\"trace\":{\"spans\":1,\"dropped\":0},\n\
+     \"metrics_snapshot\":{\"metrics\":[\n\
+     {\"name\":\"runtime.round.seconds\",\"kind\":\"histogram\",\"count\":4,\"sum\":2.0,\"min\":0.4,\"max\":0.6},\n\
+     {\"name\":\"runtime.runs\",\"kind\":\"counter\",\"value\":7},\n\
+     {\"name\":\"xval.empty.seconds\",\"kind\":\"histogram\",\"count\":0,\"sum\":0.0,\"min\":0,\"max\":0}]}}"
+  in
+  match Perf_diff.metrics_of_string fixture with
+  | [ m ] ->
+      Alcotest.(check string) "only the populated .seconds histogram"
+        "runtime.round.seconds.mean" m.Perf_diff.m_key;
+      Alcotest.(check (float 1e-12)) "value is the mean" 0.5 m.Perf_diff.m_value;
+      Alcotest.(check string) "grouped by span name" "runtime.round"
+        m.Perf_diff.m_group
+  | ms -> Alcotest.failf "expected one metric, got %d" (List.length ms)
+
+let test_diff_malformed () =
+  let fails s =
+    match Perf_diff.metrics_of_string s with
+    | _ -> false
+    | exception Failure _ -> true
+  in
+  Alcotest.(check bool) "malformed JSON rejected" true (fails "{\"a\":");
+  Alcotest.(check bool) "unrecognized shape rejected" true (fails "{}")
+
+let () =
+  Alcotest.run "prof"
+    [
+      ( "prof",
+        [
+          Alcotest.test_case "section nesting + tree" `Quick test_section_nesting;
+          Alcotest.test_case "gc attribution" `Quick test_gc_attribution;
+          Alcotest.test_case "disabled no-op + budget" `Quick test_disabled_noop;
+          Alcotest.test_case "exception safety" `Quick test_section_exception;
+          Alcotest.test_case "domain busy/idle" `Quick test_domain_stats;
+          Alcotest.test_case "json export" `Quick test_prof_json;
+        ] );
+      ( "calib",
+        [
+          Alcotest.test_case "sampling + cap" `Quick test_calib_sampling;
+          Alcotest.test_case "jobs invariance" `Quick test_calib_jobs_invariance;
+        ] );
+      ( "progress",
+        [
+          Alcotest.test_case "human heartbeat" `Quick test_progress_human;
+          Alcotest.test_case "json heartbeat" `Quick test_progress_json;
+          Alcotest.test_case "disabled" `Quick test_progress_disabled;
+          Alcotest.test_case "bad interval" `Quick test_progress_bad_interval;
+        ] );
+      ("json", [ Alcotest.test_case "parser" `Quick test_json_parse ]);
+      ( "perf_diff",
+        [
+          Alcotest.test_case "verdicts" `Quick test_diff_verdicts;
+          Alcotest.test_case "extract perf" `Quick test_diff_extract_perf;
+          Alcotest.test_case "extract calib" `Quick test_diff_extract_calib;
+          Alcotest.test_case "extract obs" `Quick test_diff_extract_obs;
+          Alcotest.test_case "malformed input" `Quick test_diff_malformed;
+        ] );
+    ]
