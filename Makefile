@@ -1,4 +1,4 @@
-.PHONY: all build test check tables bench perf profile perf-diff faults fmt clean
+.PHONY: all build test check tables bench perf profile perf-diff faults turns fmt clean
 
 all: build
 
@@ -39,6 +39,12 @@ perf-diff:
 # on any soundness or monotonicity violation.
 faults:
 	dune exec bin/qdp.exe -- faults --seed 42
+
+# Turn-reduction experiment on the interactive equality family:
+# writes BENCH_turns.json (deterministic for a fixed seed at any
+# QDP_JOBS value).
+turns:
+	dune exec bin/qdp.exe -- turns --seed 42
 
 # Requires the ocamlformat binary (not vendored); version pinned in
 # .ocamlformat so results are reproducible wherever it is installed.

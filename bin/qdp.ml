@@ -250,14 +250,15 @@ let entry_cmd entry =
 
 let list_cmd =
   let run () =
-    Format.printf "%-7s %-22s %-11s %-9s %-7s %-6s %-18s %s@." "ID" "PROTOCOL"
-      "MODEL" "BACKENDS" "FAULTS" "SUITE" "REFERENCE" "COST";
+    Format.printf "%-7s %-22s %-11s %-5s %-9s %-7s %-6s %-18s %s@." "ID"
+      "PROTOCOL" "MODEL" "TURNS" "BACKENDS" "FAULTS" "SUITE" "REFERENCE" "COST";
     List.iter
       (fun entry ->
         let i = Registry.info entry in
-        Format.printf "%-7s %-22s %-11s %-9s %-7s %-6s %-18s %s@."
+        Format.printf "%-7s %-22s %-11s %-5d %-9s %-7s %-6s %-18s %s@."
           i.Registry.info_id i.Registry.info_name
           (Format.asprintf "%a" Dqma.pp_model i.Registry.info_model)
+          i.Registry.info_turns
           (if i.Registry.info_network then "both" else "analytic")
           (if i.Registry.info_fault_tolerant then "yes" else "-")
           (if i.Registry.info_conformance then "yes" else "-")
@@ -412,8 +413,18 @@ let faults_cmd =
       & info [ "out" ] ~docv:"FILE"
           ~doc:"Where to write the JSON decay curves.")
   in
+  let turn_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "turn" ] ~docv:"TURN"
+          ~doc:
+            "Aim every fault plan at one 1-based entry of the protocol's \
+             turn schedule; delivery-time faults then fire only inside \
+             that turn (default: every turn).")
+  in
   let run seed n r t d reps topo trials points max_strength protocols kinds
-      recovery out obs =
+      recovery turn out obs =
     with_obs ~cmd:"faults" obs @@ fun () ->
     let spec =
       { Registry.seed; n; r; t; d; repetitions = reps; topology = topo }
@@ -426,6 +437,7 @@ let faults_cmd =
         recovery;
         protocols = (match protocols with [] -> None | ids -> Some ids);
         kinds = (match kinds with [] -> None | ks -> Some ks);
+        turn;
         spec;
       }
     in
@@ -445,7 +457,40 @@ let faults_cmd =
     Term.(
       const run $ seed_arg $ n_arg $ r_arg $ t_arg $ d_arg $ reps_arg
       $ topology_arg $ trials_arg $ points_arg $ max_strength_arg
-      $ protocol_arg $ kind_arg $ recovery_arg $ out_arg $ obs_term)
+      $ protocol_arg $ kind_arg $ recovery_arg $ turn_arg $ out_arg $ obs_term)
+
+(* qdp turns — the turn-reduction experiment over the interactive
+   equality family: acceptance and certificate size at 3, 2 and 1
+   turns, analytic vs sampled, into BENCH_turns.json. *)
+let turns_cmd =
+  let trials_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "trials" ] ~docv:"TRIALS"
+          ~doc:"Monte-Carlo runs per (variant, side) cell.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_turns.json"
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Where to write the JSON comparison.")
+  in
+  let run seed n r trials out obs =
+    with_obs ~cmd:"turns" obs @@ fun () ->
+    let t = Turns_exp.run ~seed ~n ~r ~trials () in
+    Format.printf "@[<v>%a@]@." Turns_exp.pp t;
+    Turns_exp.write_json out t;
+    Format.printf "turn-reduction comparison written to %s@." out
+  in
+  Cmd.v
+    (Cmd.info "turns"
+       ~doc:
+         "Compare the interactive equality family across turn counts \
+          (arXiv:2210.01390 turn reduction): acceptance and soundness, \
+          analytic vs sampled through the turn-based engine, against the \
+          certificate-size blowup of the fewer-turn compilation.")
+    Term.(const run $ seed_arg $ n_arg $ r_arg $ trials_arg $ out_arg $ obs_term)
 
 (* qdp perf diff OLD NEW — the noise-aware comparator over the
    BENCH_perf / BENCH_calib / BENCH_obs artifacts; exit 1 on
@@ -534,6 +579,6 @@ let main =
          "Distributed quantum Merlin-Arthur protocols \
           (Hasegawa-Kundu-Nishimura, PODC 2024).")
     (List.map entry_cmd (Registry.all ())
-    @ [ list_cmd; check_cmd; xval_cmd; faults_cmd; perf_cmd ])
+    @ [ list_cmd; check_cmd; xval_cmd; faults_cmd; turns_cmd; perf_cmd ])
 
 let () = exit (Cmd.eval main)

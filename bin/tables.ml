@@ -3,7 +3,7 @@
    protocols.  See DESIGN.md for the per-experiment index and
    EXPERIMENTS.md for recorded paper-vs-measured results.
 
-   Usage: tables [t1|t2|t3|soundness|tree|ablation|variants|entangled|all] *)
+   Usage: tables [t1|t2|t3|soundness|tree|ablation|variants|entangled|turns|all] *)
 
 open Qdp_codes
 open Qdp_network
@@ -811,6 +811,16 @@ let check () =
     (List.length suite) !failures;
   if !failures > 0 then exit 1
 
+(* The arXiv:2210.01390 turn-reduction table over the interactive
+   equality family.  Deliberately NOT part of [all]: the committed
+   tables_output.txt predates the interactive protocols and must stay
+   byte-identical; the turns table is regenerated by `make turns` /
+   the CI turns job instead. *)
+let turns () =
+  section "Turn reduction -- interactive equality (LMN22, arXiv:2210.01390)";
+  let t = Turns_exp.run ~seed:42 ~n:32 ~r:6 ~trials:2000 () in
+  Format.fprintf fmt "%a@\n" Turns_exp.pp t
+
 let all () =
   table1 ();
   table2 ();
@@ -889,10 +899,11 @@ let () =
           | "variants" -> variants ()
           | "sweep" -> sweep ()
           | "check" -> check ()
+          | "turns" -> turns ()
           | "all" -> all ()
           | other ->
               Format.fprintf fmt
-                "unknown command %s; expected t1|t2|t3|soundness|entangled|tree|ablation|variants|sweep|check|all@\n"
+                "unknown command %s; expected t1|t2|t3|soundness|entangled|tree|ablation|variants|sweep|check|turns|all@\n"
                 other;
               exit 1));
   Format.pp_print_flush fmt ()

@@ -16,6 +16,7 @@ type ('i, 'p) protocol = {
   name : string;
   model : model;
   rounds : int;
+  turns : int;
   repetitions : int;
   value : 'i -> bool;
   honest : 'i -> 'p option;
@@ -41,6 +42,7 @@ let evaluate p inst =
     ~attrs:(fun () ->
       [ ("protocol", Qdp_obs.Trace.Str p.name);
         ("model", Qdp_obs.Trace.Str (Format.asprintf "%a" pp_model p.model));
+        ("turns", Qdp_obs.Trace.Int p.turns);
         ("repetitions", Qdp_obs.Trace.Int p.repetitions) ])
   @@ fun () ->
   let amplify v = Sim.repeat_accept p.repetitions v in
@@ -83,6 +85,7 @@ let eq_path (params : Eq_path.params) =
     name = Printf.sprintf "EQ path (r=%d)" params.Eq_path.r;
     model = DQMA_sep;
     rounds = 1;
+    turns = 1;
     repetitions = params.Eq_path.repetitions;
     value = (fun (x, y) -> Gf2.equal x y);
     honest =
@@ -97,6 +100,7 @@ let eq_tree (params : Eq_tree.params) =
     name = "EQ^t tree";
     model = DQMA_sep;
     rounds = 1;
+    turns = 1;
     repetitions = params.Eq_tree.repetitions;
     value =
       (fun mi -> Array.for_all (fun v -> Gf2.equal v mi.inputs.(0)) mi.inputs);
@@ -120,6 +124,7 @@ let gt (params : Gt.params) =
     name = Printf.sprintf "GT path (r=%d)" params.Gt.r;
     model = DQMA_sep;
     rounds = 1;
+    turns = 1;
     repetitions = params.Gt.repetitions;
     value = (fun (x, y) -> Gf2.compare_big_endian x y > 0);
     honest =
@@ -136,6 +141,7 @@ let relay (params : Relay.params) =
     name = Printf.sprintf "EQ relay (r=%d)" params.Relay.r;
     model = DQMA_sep;
     rounds = 1;
+    turns = 1;
     (* relay segments amplify internally; no outer repetition *)
     repetitions = 1;
     value = (fun (x, y) -> Gf2.equal x y);
@@ -152,6 +158,7 @@ let dqcma (params : Variants.params) =
     name = Printf.sprintf "dQCMA EQ (r=%d)" params.Variants.r;
     model = DQCMA;
     rounds = 1;
+    turns = 1;
     repetitions = params.Variants.repetitions;
     value = (fun (x, y) -> Gf2.equal x y);
     honest =
@@ -175,6 +182,7 @@ let dma_trivial ~n ~r =
     name = Printf.sprintf "dMA trivial (r=%d)" r;
     model = DMA;
     rounds = 1;
+    turns = 1;
     repetitions = 1;
     value = (fun (x, y) -> Gf2.equal x y);
     honest =
@@ -200,6 +208,7 @@ let rpls (params : Rpls.params) =
     name = Printf.sprintf "RPLS EQ (r=%d)" params.Rpls.r;
     model = DMA;
     rounds = 1;
+    turns = 1;
     repetitions = 1;
     value = (fun (x, y) -> Gf2.equal x y);
     honest =
@@ -215,6 +224,22 @@ let rpls (params : Rpls.params) =
     costs = (fun _ -> Rpls.costs params);
   }
 
+let ieq (params : Ieq.params) =
+  Ieq.validate params;
+  {
+    name = Printf.sprintf "iEQ path (%d-turn)" params.Ieq.turns;
+    model = DMA;
+    rounds = 1;
+    turns = params.Ieq.turns;
+    repetitions = params.Ieq.repetitions;
+    value = (fun (x, y) -> Gf2.equal x y);
+    honest =
+      (fun (x, y) -> if Gf2.equal x y then Some Ieq.Answer_x else None);
+    accept = (fun inst p -> Ieq.accept params inst p);
+    attacks = (fun _ -> Ieq.attacks params);
+    costs = (fun _ -> Ieq.costs params);
+  }
+
 let set_eq (params : Set_eq.params) =
   let sorted s =
     let l = List.map Gf2.to_string (Array.to_list s) in
@@ -224,6 +249,7 @@ let set_eq (params : Set_eq.params) =
     name = Printf.sprintf "SetEq (k=%d, r=%d)" params.Set_eq.k params.Set_eq.r;
     model = DQMA_sep;
     rounds = 1;
+    turns = 1;
     repetitions = params.Set_eq.repetitions;
     value = (fun (s, t) -> sorted s = sorted t);
     honest =
@@ -250,6 +276,7 @@ let rv (params : Rv.params) =
     name = "RV rank";
     model = DQMA_sep;
     rounds = 1;
+    turns = 1;
     (* the per-path comparison amplification is internal to Rv.accept *)
     repetitions = 1;
     value;
@@ -294,6 +321,7 @@ let oneway_forall (proto : Qdp_commcc.Oneway.t)
     name = Printf.sprintf "forall_t %s" proto.Qdp_commcc.Oneway.name;
     model = DQMA_sep;
     rounds = 1;
+    turns = 1;
     repetitions = params.Oneway_compiler.repetitions;
     value;
     honest = (fun mi -> if value mi then Some Oneway_compiler.Honest else None);

@@ -30,6 +30,15 @@ type ('i, 'p) protocol = {
   name : string;
   model : model;
   rounds : int;
+  turns : int;
+      (** prover↔verifier message turns in the interactive-proof sense
+          ({!Qdp_network.Runtime.Turn.message_turns}): 1 for every
+          one-shot Merlin→Arthur protocol, >1 for the dQIP family
+          (arXiv:2210.01390).  The acceptance functions below already
+          average over the verifier's public coins, so {!evaluate} and
+          {!cross_validate} treat interactive protocols uniformly —
+          the sampled backend draws the coins, the analytic backend
+          enumerates them. *)
   repetitions : int;  (** parallel repetitions applied by {!evaluate} *)
   value : 'i -> bool;  (** the predicate being verified *)
   honest : 'i -> 'p option;
@@ -90,6 +99,13 @@ val dma_trivial : n:int -> r:int -> (pair_instance, Runtime_dma.prover) protocol
 
 (** [rpls params] — the randomized proof-labeling scheme (FPSP19). *)
 val rpls : Rpls.params -> (pair_instance, Rpls.prover) protocol
+
+(** [ieq params] — the interactive equality family (arXiv:2210.01390):
+    the first [turns > 1] protocols in the registry, plus their
+    turn-reduced 1-turn compilation with the factor-q certificate
+    blowup.  Realized on the network by {!Runtime_ieq} through
+    {!Qdp_network.Runtime.run_turns}. *)
+val ieq : Ieq.params -> (pair_instance, Ieq.prover) protocol
 
 (** [set_eq params] — Set Equality via set fingerprints; instances are
     pairs of element arrays. *)

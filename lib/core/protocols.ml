@@ -225,6 +225,75 @@ let rpls_entry =
       conformance = true;
     }
 
+(* The interactive family: one entry per turn count, so the registry,
+   fault sweeps and the turns experiment can address each variant.
+   Conformance is off (they are additions, not paper tables); the
+   demo/bench suites still cross-validate and fault-sweep them. *)
+let ieq_params turns (s : Registry.spec) =
+  {
+    Ieq.n = s.Registry.n;
+    r = s.Registry.r;
+    turns;
+    repetitions = Option.value s.Registry.repetitions ~default:2;
+  }
+
+(* Demo pair for the interactive family.  The no-instance is the
+   root-rich {!Ieq.adversarial_pair}, so every attack accepts with the
+   protocol's worst-case probability instead of an instance-specific 0
+   — that exercises the probabilistic branch of cross-validation and
+   gives the fault sweep's contractivity gate its genuine
+   noiseless-soundness slack. *)
+let ieq_demo params ctx =
+  let x, y = Ieq.adversarial_pair params ctx.Registry.x in
+  (copy_pair x x, (x, y))
+
+let ieq_entry turns =
+  let meta : Registry.meta =
+    match turns with
+    | 3 ->
+        {
+          id = "ieq3";
+          summary = "3-turn interactive equality (public-coin chain)";
+          reference = "LMN22 (arXiv:2210.01390)";
+          cost_formula = "O(log n) bits/node, 3 turns";
+        }
+    | 2 ->
+        {
+          id = "ieq2";
+          summary = "2-turn interactive equality (coins, then response)";
+          reference = "LMN22 (arXiv:2210.01390)";
+          cost_formula = "O(log n) bits/node, 2 turns";
+        }
+    | _ ->
+        {
+          id = "ieq1";
+          summary = "Turn-reduced equality: full table certificate";
+          reference = "LMN22 (arXiv:2210.01390, turn reduction)";
+          cost_formula = "O(n log n) bits/node, 1 turn";
+        }
+  in
+  Registry.Entry
+    {
+      meta;
+      demo_fix = Fun.id;
+      protocol = (fun s -> Dqma.ieq (ieq_params turns s));
+      demo = (fun ctx -> ieq_demo (ieq_params turns ctx.demo_spec) ctx);
+      network =
+        Some
+          (fun s ->
+            let params = ieq_params turns s in
+            fun st (x, y) prover ->
+              fst (Runtime_ieq.run_once st params x y prover));
+      faulty =
+        Some
+          (fun s ->
+            let params = ieq_params turns s in
+            fun st env (x, y) prover ->
+              Runtime_ieq.run_faulty st env params x y prover);
+      quantum_links = false;
+      conformance = false;
+    }
+
 let seteq_entry =
   Registry.Entry
     {
@@ -341,5 +410,8 @@ let init () =
         seteq_entry;
         rv_entry;
         ham_entry;
+        ieq_entry 3;
+        ieq_entry 2;
+        ieq_entry 1;
       ]
   end

@@ -88,6 +88,7 @@ type info = {
   info_id : string;
   info_name : string;
   info_model : Dqma.model;
+  info_turns : int;
   info_summary : string;
   info_reference : string;
   info_cost : string;
@@ -102,6 +103,7 @@ let info ?(spec = default_spec) (Entry e) =
     info_id = e.meta.id;
     info_name = p.Dqma.name;
     info_model = p.Dqma.model;
+    info_turns = p.Dqma.turns;
     info_summary = e.meta.summary;
     info_reference = e.meta.reference;
     info_cost = e.meta.cost_formula;
@@ -144,6 +146,7 @@ type fault_case = {
 type fault_suite = {
   fs_id : string;
   fs_name : string;
+  fs_turns : int;
   fs_quantum_links : bool;
   fs_yes : fault_case list;
   fs_no : fault_case list;
@@ -176,6 +179,7 @@ let fault_suite spec (Entry e) =
         {
           fs_id = e.meta.id;
           fs_name = p.Dqma.name;
+          fs_turns = p.Dqma.turns;
           fs_quantum_links = e.quantum_links;
           fs_yes = cases yes (honest_of yes);
           fs_no = cases no (honest_of no @ p.Dqma.attacks no);

@@ -113,6 +113,7 @@ type info = {
   info_id : string;
   info_name : string;  (** the protocol's display name at defaults *)
   info_model : Dqma.model;
+  info_turns : int;  (** prover↔verifier message turns; 1 = one-shot *)
   info_summary : string;
   info_reference : string;
   info_cost : string;
@@ -172,6 +173,9 @@ type fault_case = {
 type fault_suite = {
   fs_id : string;
   fs_name : string;
+  fs_turns : int;
+      (** message turns of the protocol, so sweeps can aim a plan's
+          [turn] target at a real schedule entry *)
   fs_quantum_links : bool;
   fs_yes : fault_case list;
   fs_no : fault_case list;

@@ -1,0 +1,49 @@
+(** The turn-reduction experiment ([qdp turns]): acceptance, soundness
+    and certificate size of the {!Ieq} family across turn counts.
+
+    One row per variant (3, 2 and 1 turns), comparing the analytic
+    acceptance against the sampled turn-engine frequency on the honest
+    yes-instance and on the best attack against the
+    {!Ieq.adversarial_pair} no-instance — the measured form of the
+    arXiv:2210.01390 turn-reduction tradeoff: fewer turns, factor-q
+    bigger certificates, same soundness.
+
+    Sampling uses {!Qdp_network.Runtime.estimate_acceptance} with a
+    per-cell RNG reseeded from stable [(seed, turns, side)] indices,
+    so the result — and the JSON artifact — is byte-identical at every
+    [--jobs] value. *)
+
+type row = {
+  tr_turns : int;  (** message turns ({!Qdp_network.Runtime.Turn.message_turns}) *)
+  tr_schedule : int;  (** schedule entries executed per interaction *)
+  tr_field : int;  (** the fingerprint field size q *)
+  tr_cert_bits : int;  (** per-node certificate, classical bits *)
+  tr_msg_bits : int;  (** per-edge verification traffic, classical bits *)
+  tr_bound : float;  (** analytic soundness upper bound (n-1)/q *)
+  tr_honest_analytic : float;
+  tr_honest_sampled : float;
+  tr_attack : string;  (** name of the best attack-library strategy *)
+  tr_attack_analytic : float;
+  tr_attack_sampled : float;
+}
+
+type t = {
+  tx_seed : int;
+  tx_n : int;
+  tx_r : int;
+  tx_trials : int;
+  tx_rows : row list;  (** 3-, 2-, then 1-turn variant *)
+}
+
+(** [run ~seed ~n ~r ~trials ()] measures all three variants. *)
+val run : seed:int -> n:int -> r:int -> trials:int -> unit -> t
+
+(** [to_json t] is the single-line JSON rendering (trailing newline),
+    floats printed with 6 decimals. *)
+val to_json : t -> string
+
+(** [write_json file t] writes {!to_json} to [file]. *)
+val write_json : string -> t -> unit
+
+(** [pp] prints the acceptance-vs-turns table. *)
+val pp : Format.formatter -> t -> unit

@@ -42,9 +42,9 @@ let applicable ~quantum_links =
    leaf terminal). *)
 let victim = 1
 
-let spec kind ~strength:p =
-  let link l = { Fault.none with default_link = l } in
-  let node m = { Fault.none with nodes = [ (victim, m) ] } in
+let spec ?turn kind ~strength:p =
+  let link l = { Fault.none with default_link = l; turn } in
+  let node m = { Fault.none with nodes = [ (victim, m) ]; turn } in
   match kind with
   | Drop -> link { Fault.perfect_link with drop = p }
   | Duplicate -> link { Fault.perfect_link with duplicate = p }
@@ -69,11 +69,11 @@ let noise kind ~strength:p =
       Some (Noise.depolarize 1.)
   | Drop | Duplicate | Flip | Crash | Omission -> None
 
-let env kind ~strength ~st =
+let env ?turn kind ~strength ~st =
   let qnoise =
     Option.map (fun n -> Noise.apply n) (noise kind ~strength)
   in
-  Fault_env.make ?qnoise ~st (spec kind ~strength)
+  Fault_env.make ?qnoise ~st (spec ?turn kind ~strength)
 
 (* ------------------------------------------------------------------ *)
 (* Recovery semantics                                                  *)

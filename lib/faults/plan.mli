@@ -34,16 +34,20 @@ val of_name : string -> kind option
     {!Qdp_core.Registry.fault_suite}'s [fs_quantum_links]. *)
 val applicable : quantum_links:bool -> kind list
 
-(** [spec kind ~strength] is the payload-agnostic injection plan. *)
-val spec : kind -> strength:float -> Fault.spec
+(** [spec ?turn kind ~strength] is the payload-agnostic injection
+    plan.  [turn] scopes delivery-time injection to one 1-based entry
+    of the runtime's turn schedule ([Fault.spec.turn]) — on one-shot
+    protocols the verifier block is entry 2, so a plan targeting any
+    other turn is inert there. *)
+val spec : ?turn:int -> kind -> strength:float -> Fault.spec
 
 (** [noise kind ~strength] is the register noise model the kind carries
     ([None] for purely classical kinds). *)
 val noise : kind -> strength:float -> Noise.t option
 
-(** [env kind ~strength ~st] compiles the full fault environment:
-    {!spec} plus {!noise} lifted through {!Noise.apply}. *)
-val env : kind -> strength:float -> st:Random.State.t -> Fault_env.t
+(** [env ?turn kind ~strength ~st] compiles the full fault
+    environment: {!spec} plus {!noise} lifted through {!Noise.apply}. *)
+val env : ?turn:int -> kind -> strength:float -> st:Random.State.t -> Fault_env.t
 
 (** {2 Recovery} *)
 

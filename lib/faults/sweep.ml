@@ -8,6 +8,7 @@ type config = {
   recovery : Plan.recovery;
   protocols : string list option;
   kinds : Plan.kind list option;
+  turn : int option;
   spec : Registry.spec;
 }
 
@@ -24,6 +25,7 @@ let default ~seed =
     recovery = Plan.Reject_on_timeout;
     protocols = None;
     kinds = None;
+    turn = None;
     spec = { Registry.default_spec with seed };
   }
 
@@ -61,6 +63,7 @@ type t = {
   sw_seed : int;
   sw_trials : int;
   sw_recovery : Plan.recovery;
+  sw_turn : int option;
   sw_grid : float list;
   sw_protocols : proto list;
   sw_soundness_violations : int;
@@ -92,7 +95,7 @@ let case_measure cfg ~ids:(pi, ki, xi, side, ci) kind p
     (case : Registry.fault_case) =
   let proto_st = Random.State.make [| cfg.seed; pi; ki; xi; side; ci; 0 |] in
   let fault_st = Random.State.make [| cfg.seed; pi; ki; xi; side; ci; 1 |] in
-  let env = Plan.env kind ~strength:p ~st:fault_st in
+  let env = Plan.env ?turn:cfg.turn kind ~strength:p ~st:fault_st in
   let hits = ref 0 and errors = ref 0 and injected = ref 0 in
   for _ = 1 to cfg.trials do
     let o = Plan.execute cfg.recovery (fun () -> case.fc_run proto_st env) in
@@ -262,6 +265,7 @@ let run cfg =
     sw_seed = cfg.seed;
     sw_trials = cfg.trials;
     sw_recovery = cfg.recovery;
+    sw_turn = cfg.turn;
     sw_grid = cfg.grid;
     sw_protocols = protos;
     sw_soundness_violations =
@@ -326,10 +330,16 @@ let json_proto pr =
     (String.concat "," (List.map json_curve pr.pr_curves))
 
 let to_json sw =
+  let turn_field =
+    match sw.sw_turn with
+    | None -> ""
+    | Some t -> Printf.sprintf "\"turn\":%d," t
+  in
   Printf.sprintf
-    "{\"seed\":%d,\"trials\":%d,\"recovery\":\"%s\",\"grid\":[%s],\"protocols\":[%s],\"soundness_violations\":%d,\"monotonicity_violations\":%d}\n"
+    "{\"seed\":%d,\"trials\":%d,\"recovery\":\"%s\",%s\"grid\":[%s],\"protocols\":[%s],\"soundness_violations\":%d,\"monotonicity_violations\":%d}\n"
     sw.sw_seed sw.sw_trials
     (escape (Plan.recovery_name sw.sw_recovery))
+    turn_field
     (String.concat "," (List.map fl sw.sw_grid))
     (String.concat "," (List.map json_proto sw.sw_protocols))
     sw.sw_soundness_violations sw.sw_monotonicity_violations
@@ -340,8 +350,12 @@ let write_json path sw =
   close_out oc
 
 let pp_summary ppf sw =
-  Format.fprintf ppf "fault sweep: seed %d, %d trials/point, recovery %s@,"
-    sw.sw_seed sw.sw_trials (Plan.recovery_name sw.sw_recovery);
+  Format.fprintf ppf "fault sweep: seed %d, %d trials/point, recovery %s%s@,"
+    sw.sw_seed sw.sw_trials
+    (Plan.recovery_name sw.sw_recovery)
+    (match sw.sw_turn with
+    | None -> ""
+    | Some t -> Printf.sprintf ", turn %d" t);
   List.iter
     (fun pr ->
       Format.fprintf ppf "@,%s (%s links, soundness bound %.4f):@," pr.pr_id

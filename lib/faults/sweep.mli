@@ -30,6 +30,9 @@ type config = {
   recovery : Plan.recovery;
   protocols : string list option;  (** [None] = every fault-aware entry *)
   kinds : Plan.kind list option;  (** [None] = every applicable kind *)
+  turn : int option;
+      (** aim every plan at one schedule turn ({!Plan.spec}'s [?turn]);
+          [None] = faults strike every turn, the historical behaviour *)
   spec : Registry.spec;
 }
 
@@ -78,6 +81,7 @@ type t = {
   sw_seed : int;
   sw_trials : int;
   sw_recovery : Plan.recovery;
+  sw_turn : int option;
   sw_grid : float list;
   sw_protocols : proto list;
   sw_soundness_violations : int;
@@ -97,7 +101,9 @@ val violations : t -> int
     [faults.soundness_violations]. *)
 val run : config -> t
 
-(** Deterministic single-line JSON (floats as [%.6f]). *)
+(** Deterministic single-line JSON (floats as [%.6f]).  The [turn]
+    field appears only when the sweep targeted one, so untargeted
+    sweeps keep their historical byte layout. *)
 val to_json : t -> string
 
 val write_json : string -> t -> unit

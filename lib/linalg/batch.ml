@@ -128,11 +128,6 @@ let is_real b =
    owner — bit-identical at every job count. *)
 let gram_tile = 32
 
-(* Same threshold family as [Mat.par_cutoff]: below this many scalar
-   multiply-accumulates the scheduling overhead beats the arithmetic
-   and the kernel stays on the calling domain. *)
-let par_cutoff = 1 lsl 16
-
 let gram a =
   let n = a.count and d = a.dim in
   Qdp_obs.Prof.section "batch.gram" @@ fun () ->
@@ -177,7 +172,7 @@ let gram a =
         done
       done
   in
-  if d * n * n >= par_cutoff then Qdp_par.parallel_for 0 tiles tile
+  if d * n * n >= Mat.par_mac_cutoff then Qdp_par.parallel_for 0 tiles tile
   else
     for t = 0 to tiles - 1 do
       tile t

@@ -69,7 +69,7 @@ val is_real : t -> bool
     accumulation per entry runs over the vector index in ascending
     order, and parallel tiles own disjoint output rows, so the result
     is bit-identical at every [--jobs] value.  Small batches (below a
-    [Mat.par_cutoff]-style threshold) stay on the calling domain. *)
+    [Mat.par_mac_cutoff] threshold) stay on the calling domain. *)
 val gram : t -> Mat.t
 
 (** Direct access to the underlying storage (entry [(g, c)] at

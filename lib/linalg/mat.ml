@@ -57,12 +57,7 @@ let scale z a =
   done;
   m
 
-(* Dense kernels go row-parallel past this many scalar
-   multiply-accumulates: below it the pool's scheduling overhead beats
-   the arithmetic.  Each outer index owns a disjoint slice of the
-   result and the per-cell accumulation order is unchanged, so the
-   floats are bit-identical at any job count. *)
-let par_cutoff = 1 lsl 16
+let par_mac_cutoff = 1 lsl 16
 
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: shape mismatch";
@@ -83,7 +78,7 @@ let mul a b =
         done
     done
   in
-  if a.rows * a.cols * b.cols >= par_cutoff then
+  if a.rows * a.cols * b.cols >= par_mac_cutoff then
     Qdp_par.parallel_for 0 a.rows row
   else
     for i = 0 to a.rows - 1 do
@@ -143,7 +138,7 @@ let tensor a b =
         done
     done
   in
-  if a.rows * a.cols * b.rows * b.cols >= par_cutoff then
+  if a.rows * a.cols * b.rows * b.cols >= par_mac_cutoff then
     Qdp_par.parallel_for 0 a.rows row_block
   else
     for ia = 0 to a.rows - 1 do

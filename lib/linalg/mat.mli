@@ -36,6 +36,18 @@ val add : t -> t -> t
 val sub : t -> t -> t
 val scale : Cx.t -> t -> t
 
+(** Parallelism threshold for the dense kernels, in scalar
+    multiply-accumulates: a kernel whose MAC count meets the cutoff
+    goes row-parallel on the [Qdp_par] pool, below it the pool's
+    scheduling overhead beats the arithmetic and it stays on the
+    calling domain.  {!mul}, {!tensor} and [Batch.gram] all compare
+    against this single constant (2{^16}), so retuning the threshold —
+    or deriving it from the ROADMAP item-5 cost model — happens in one
+    place.  Parallel slices own disjoint output rows and keep the
+    per-cell accumulation order, so the floats are bit-identical at
+    any job count either side of the cutoff. *)
+val par_mac_cutoff : int
+
 (** [mul a b] is the matrix product. *)
 val mul : t -> t -> t
 

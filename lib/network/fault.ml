@@ -21,9 +21,10 @@ type spec = {
   default_link : link;
   links : ((int * int) * link) list;
   nodes : (int * node) list;
+  turn : int option;
 }
 
-let none = { default_link = perfect_link; links = []; nodes = [] }
+let none = { default_link = perfect_link; links = []; nodes = []; turn = None }
 
 let is_none s =
   s.links = [] && s.nodes = []
@@ -82,6 +83,9 @@ let make ?(corrupt = fun _ m -> m) ~st spec =
 
 let counts inj = inj.counts
 
+let active inj ~turn =
+  match inj.spec.turn with None -> true | Some t -> t = turn
+
 let node_up inj ~round ~id =
   match List.assoc_opt id inj.down_from with
   | Some from_round -> round < from_round
@@ -104,6 +108,36 @@ let link_model inj ~src ~dst =
   | None -> inj.spec.default_link
 
 let hit inj p = p > 0. && Random.State.float inj.st 1. < p
+
+(* Prover→node writes travel outside the communication graph (the
+   prover addresses every node directly), so only the default link
+   model applies — there is no edge to look up and no sending node
+   whose omission/babble model could fire. *)
+let deliver_direct inj ~dst:_ m =
+  let c = inj.counts in
+  let link = inj.spec.default_link in
+  if hit inj link.drop then begin
+    c.dropped <- c.dropped + 1;
+    []
+  end
+  else begin
+    let payload =
+      if hit inj link.corrupt then begin
+        c.corrupted <- c.corrupted + 1;
+        inj.corrupt_payload inj.st m
+      end
+      else m
+    in
+    let deliveries =
+      if hit inj link.duplicate then begin
+        c.duplicated <- c.duplicated + 1;
+        [ payload; payload ]
+      end
+      else [ payload ]
+    in
+    c.delivered <- c.delivered + List.length deliveries;
+    deliveries
+  end
 
 let deliver inj ~round:_ ~src ~dst m =
   let c = inj.counts in

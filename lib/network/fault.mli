@@ -34,11 +34,17 @@ type node =
 
 (** A declarative fault plan: the default link model applies to every
     delivery, [links] overrides specific undirected edges (keys as
-    [(min, max)]), [nodes] attaches node models. *)
+    [(min, max)]), [nodes] attaches node models.  [turn], when set,
+    restricts delivery-time faults (link drop/duplicate/corrupt,
+    omission, babble, prover-write faults) to that 1-based entry of
+    the runtime's turn schedule; crash-stop is a global node event and
+    ignores the target.  [None] means every turn — the historical
+    behaviour, and the only thing one-shot executions ever see. *)
 type spec = {
   default_link : link;
   links : ((int * int) * link) list;
   nodes : (int * node) list;
+  turn : int option;
 }
 
 (** The empty plan (no faults). *)
@@ -75,6 +81,11 @@ val make : ?corrupt:(Random.State.t -> 'm -> 'm) -> st:Random.State.t -> spec ->
 (** The injector's (mutable) event tally. *)
 val counts : 'm t -> counts
 
+(** [active inj ~turn] is false when the plan targets a specific
+    schedule turn and [turn] is not it — the runtime then bypasses
+    delivery-time injection for the whole turn. *)
+val active : 'm t -> turn:int -> bool
+
 (** [node_up inj ~round ~id] is false when [id] is crash-stopped in
     [round]. *)
 val node_up : 'm t -> round:int -> id:int -> bool
@@ -91,3 +102,9 @@ val suppress : 'm t -> n:int -> unit
     models to one sent message and returns the payloads to enqueue
     (empty = dropped, two = duplicated), updating {!counts}. *)
 val deliver : 'm t -> round:int -> src:int -> dst:int -> 'm -> 'm list
+
+(** [deliver_direct inj ~dst m] applies the default link model to one
+    prover→node write (there is no graph edge and no sending node, so
+    per-edge overrides and omission/babble models do not apply),
+    returning the payloads to absorb and updating {!counts}. *)
+val deliver_direct : 'm t -> dst:int -> 'm -> 'm list

@@ -3,17 +3,73 @@ type verdict = Accept | Reject
 let global_verdict vs =
   if Array.for_all (fun v -> v = Accept) vs then Accept else Reject
 
-exception Protocol_error of { node : int; round : int; target : int }
+exception Protocol_error of { node : int; round : int; turn : int; target : int }
 
 let () =
   Printexc.register_printer (function
-    | Protocol_error { node; round; target } ->
+    | Protocol_error { node; round; turn; target } ->
         Some
           (Printf.sprintf
              "Runtime.Protocol_error: node %d sent to non-neighbour %d in \
-              round %d"
-             node target round)
+              round %d of turn %d"
+             node target round turn)
     | _ -> None)
+
+module Turn = struct
+  type t =
+    | Prover
+    | Verifier of { rounds : int; coin_range : int }
+
+  let one_shot ~rounds = [ Prover; Verifier { rounds; coin_range = 0 } ]
+
+  let total_rounds schedule =
+    List.fold_left
+      (fun acc -> function
+        | Prover -> acc
+        | Verifier { rounds; _ } -> acc + rounds)
+      0 schedule
+
+  let message_turns schedule =
+    (* Turns in the interactive-proof sense: prover messages always
+       count; a verifier turn counts only when its coins reach the
+       prover, i.e. a prover turn still follows.  Coins the verifier
+       keeps to itself are just private verification randomness. *)
+    let rec go acc = function
+      | [] -> acc
+      | Prover :: rest -> go (acc + 1) rest
+      | Verifier { coin_range; _ } :: rest ->
+          let revealed =
+            coin_range > 1
+            && List.exists (function Prover -> true | Verifier _ -> false) rest
+          in
+          go (if revealed then acc + 1 else acc) rest
+    in
+    go 0 schedule
+end
+
+module Transcript = struct
+  type 'm entry =
+    | Prover_messages of (int * 'm) list
+    | Verifier_coins of int array
+
+  (* Entries are consed as the schedule advances, so the head is the
+     latest turn; [entries] restores schedule order. *)
+  type 'm t = { rev_entries : 'm entry list }
+
+  let empty = { rev_entries = [] }
+  let push t e = { rev_entries = e :: t.rev_entries }
+  let entries t = List.rev t.rev_entries
+
+  let coins t ~turn =
+    match List.nth_opt (entries t) (turn - 1) with
+    | Some (Verifier_coins c) -> c
+    | Some (Prover_messages _) | None -> [||]
+
+  let prover_messages t ~turn =
+    match List.nth_opt (entries t) (turn - 1) with
+    | Some (Prover_messages ms) -> ms
+    | Some (Verifier_coins _) | None -> []
+end
 
 type ('s, 'm) program = {
   init : int -> 's;
@@ -21,9 +77,25 @@ type ('s, 'm) program = {
   finish : id:int -> 's -> verdict;
 }
 
+type ('s, 'm) turn_program = {
+  tp_init : int -> 's;
+  tp_deliver : turn:int -> id:int -> 's -> 'm -> 's;
+  tp_round :
+    turn:int ->
+    round:int ->
+    coin:int ->
+    id:int ->
+    's ->
+    inbox:(int * 'm) list ->
+    's * (int * 'm) list;
+  tp_finish : transcript:'m Transcript.t -> id:int -> 's -> verdict;
+}
+
 type stats = {
   messages : int;
   rounds_run : int;
+  turns_run : int;
+  prover_messages : int;
   per_edge : ((int * int) * int) list;
   down : int list;
   faults : Fault.counts option;
@@ -36,26 +108,41 @@ let obs_messages = Qdp_obs.Metrics.counter "runtime.messages"
 let obs_round_messages = Qdp_obs.Metrics.histogram "runtime.round_messages"
 let obs_edges_active = Qdp_obs.Metrics.gauge "runtime.edges_active"
 let obs_payload_words = Qdp_obs.Metrics.gauge "runtime.max_payload_words"
+let obs_prover_messages = Qdp_obs.Metrics.counter "runtime.prover_messages"
 
-let run ?faults g ~rounds program =
+let run_turns ?faults ?st g ~schedule ~prover program =
   let n = Graph.size g in
+  let schedule_rounds = Turn.total_rounds schedule in
   Qdp_obs.Metrics.incr obs_runs;
   Qdp_obs.Trace.with_span "runtime.run"
     ~attrs:(fun () -> [ ("nodes", Qdp_obs.Trace.Int n);
-                        ("rounds", Qdp_obs.Trace.Int rounds) ])
+                        ("rounds", Qdp_obs.Trace.Int schedule_rounds);
+                        ("turns", Qdp_obs.Trace.Int (List.length schedule)) ])
   @@ fun () ->
   Qdp_obs.Prof.section "runtime" @@ fun () ->
   let obs_on = Qdp_obs.enabled () in
-  let states = Array.init n program.init in
+  let states = Array.init n program.tp_init in
   let inboxes = Array.make n [] in
   let edge_count = Hashtbl.create 16 in
   let total = ref 0 in
+  let prover_total = ref 0 in
+  let round_no = ref 0 in
+  let transcript = ref Transcript.empty in
+  (* Crash-stop is a global node event — a node that went down in turn
+     k does not come back in turn k+1 — so [node_up] always consults
+     the injector.  Delivery-time faults, in contrast, honour the
+     plan's turn target. *)
   let node_up ~round ~id =
     match faults with
     | None -> true
     | Some inj -> Fault.node_up inj ~round ~id
   in
-  for r = 1 to rounds do
+  let faults_for ~turn =
+    match faults with
+    | Some inj when Fault.active inj ~turn -> Some inj
+    | Some _ | None -> None
+  in
+  let run_round ~turn ~inj ~coins r =
     let before = !total in
     Qdp_obs.Trace.with_span "runtime.round"
       ~attrs:(fun () -> [ ("round", Qdp_obs.Trace.Int r);
@@ -65,12 +152,15 @@ let run ?faults g ~rounds program =
     for u = 0 to n - 1 do
       if node_up ~round:r ~id:u then begin
         let inbox = List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(u) in
-        let state', out = program.round ~round:r ~id:u states.(u) ~inbox in
+        let coin = if Array.length coins = 0 then 0 else coins.(u) in
+        let state', out =
+          program.tp_round ~turn ~round:r ~coin ~id:u states.(u) ~inbox
+        in
         states.(u) <- state';
         List.iter
           (fun (dest, _) ->
             if not (Graph.has_edge g u dest) then
-              raise (Protocol_error { node = u; round = r; target = dest }))
+              raise (Protocol_error { node = u; round = r; turn; target = dest }))
           out;
         outboxes.(u) <- out
       end
@@ -88,7 +178,7 @@ let run ?faults g ~rounds program =
         List.iter
           (fun (dest, payload) ->
             let deliveries =
-              match faults with
+              match inj with
               | None -> [ payload ]
               | Some inj -> Fault.deliver inj ~round:r ~src:u ~dst:dest payload
             in
@@ -107,9 +197,66 @@ let run ?faults g ~rounds program =
       outboxes;
     Qdp_obs.Metrics.incr obs_messages ~by:(!total - before);
     Qdp_obs.Metrics.observe obs_round_messages (float_of_int (!total - before))
-  done;
+  in
+  List.iteri
+    (fun i entry ->
+      let turn = i + 1 in
+      match entry with
+      | Turn.Prover ->
+          let writes = prover ~turn !transcript in
+          let inj = faults_for ~turn in
+          let delivered = ref [] in
+          List.iter
+            (fun (dst, payload) ->
+              if dst < 0 || dst >= n then
+                raise
+                  (Protocol_error
+                     { node = -1; round = !round_no; turn; target = dst });
+              let copies =
+                match inj with
+                | None -> [ payload ]
+                | Some inj -> Fault.deliver_direct inj ~dst payload
+              in
+              List.iter
+                (fun payload ->
+                  if node_up ~round:(!round_no + 1) ~id:dst then begin
+                    states.(dst) <-
+                      program.tp_deliver ~turn ~id:dst states.(dst) payload;
+                    incr prover_total;
+                    delivered := (dst, payload) :: !delivered
+                  end
+                  else
+                    match faults with
+                    | Some inj -> Fault.suppress inj ~n:1
+                    | None -> ())
+                copies)
+            writes;
+          Qdp_obs.Metrics.incr obs_prover_messages ~by:(List.length !delivered);
+          transcript :=
+            Transcript.push !transcript
+              (Transcript.Prover_messages (List.rev !delivered))
+      | Turn.Verifier { rounds; coin_range } ->
+          let coins =
+            if coin_range > 1 then
+              match st with
+              | None ->
+                  invalid_arg
+                    "Runtime.run_turns: a verifier turn draws coins but no ~st \
+                     was supplied"
+              | Some st -> Array.init n (fun _ -> Random.State.int st coin_range)
+            else [||]
+          in
+          transcript :=
+            Transcript.push !transcript (Transcript.Verifier_coins coins);
+          let inj = faults_for ~turn in
+          for _ = 1 to rounds do
+            incr round_no;
+            run_round ~turn ~inj ~coins !round_no
+          done)
+    schedule;
+  let transcript = !transcript in
   let verdicts =
-    Array.init n (fun u -> program.finish ~id:u states.(u))
+    Array.init n (fun u -> program.tp_finish ~transcript ~id:u states.(u))
   in
   let per_edge =
     List.sort compare
@@ -119,16 +266,42 @@ let run ?faults g ~rounds program =
   let down, fault_counts =
     match faults with
     | None -> ([], None)
-    | Some inj -> (Fault.down inj ~rounds, Some (Fault.counts inj))
+    | Some inj -> (Fault.down inj ~rounds:!round_no, Some (Fault.counts inj))
   in
   ( verdicts,
     {
       messages = !total;
-      rounds_run = rounds;
+      rounds_run = !round_no;
+      turns_run = List.length schedule;
+      prover_messages = !prover_total;
       per_edge;
       down;
       faults = fault_counts;
-    } )
+    },
+    transcript )
+
+let run ?faults g ~rounds program =
+  (* The historical one-shot pipeline: the certificate is baked into
+     [init], so the prover turn carries nothing, the verifier turn is
+     deterministic (no coins, no RNG touched) and verdicts, traffic
+     and fault behaviour are exactly those of the pre-turn engine. *)
+  let tp =
+    {
+      tp_init = program.init;
+      tp_deliver = (fun ~turn:_ ~id:_ s _ -> s);
+      tp_round =
+        (fun ~turn:_ ~round ~coin:_ ~id s ~inbox ->
+          program.round ~round ~id s ~inbox);
+      tp_finish = (fun ~transcript:_ ~id s -> program.finish ~id s);
+    }
+  in
+  let verdicts, stats, _ =
+    run_turns ?faults g
+      ~schedule:(Turn.one_shot ~rounds)
+      ~prover:(fun ~turn:_ _ -> [])
+      tp
+  in
+  (verdicts, stats)
 
 let run_accepts g ~rounds program =
   let verdicts, _ = run g ~rounds program in

@@ -1,4 +1,5 @@
-(** Synchronous round-based message-passing runtime.
+(** Synchronous round-based message-passing runtime with interactive
+    turn schedules.
 
     Distributed verification protocols (Definition 5/6) run in a fixed
     number of synchronous rounds: in every round each node reads its
@@ -8,11 +9,25 @@
     travel only along edges, and accounts per-edge traffic so protocol
     implementations can report their measured message complexity.
 
+    An execution is driven by a {e turn schedule} ({!Turn.t} list): in
+    a prover turn the (untrusted, centralised) prover writes a message
+    directly to any subset of nodes; in a verifier turn each node first
+    receives fresh private randomness (its {e coin} for that turn) and
+    then the nodes run a block of synchronous communication rounds on
+    the graph.  The classic one-shot dMA pipeline — Merlin distributes
+    certificates, Arthur's nodes verify — is the special case
+    {!Turn.one_shot}, and {!run} executes exactly that schedule, so all
+    one-shot protocols pass through the same engine as the multi-turn
+    dQIP family of Le Gall–Miyamoto–Nishimura (arXiv:2210.01390).
+
     Executions can optionally run under a {!Fault} injector: messages
     are then dropped, duplicated or corrupted per the fault plan and
     crash-stopped nodes freeze, with every injected event tallied in
     the returned {!stats}.  The injector carries its own RNG, so the
-    protocol's randomness is untouched by the fault layer. *)
+    protocol's randomness is untouched by the fault layer.  A fault
+    plan may target a single turn of the schedule
+    ([Fault.spec.turn]); delivery-time faults then fire only inside
+    that turn. *)
 
 (** Per-node verdict after the final round. *)
 type verdict = Accept | Reject
@@ -21,26 +36,117 @@ type verdict = Accept | Reject
     acceptance criterion of distributed verification. *)
 val global_verdict : verdict array -> verdict
 
-(** Raised when a node addresses a message to a non-neighbour: a bug
-    in the node program (or byzantine behaviour a fault harness wants
-    to observe), reported with full structure so callers can record it
-    instead of aborting a whole sweep. *)
-exception Protocol_error of { node : int; round : int; target : int }
+(** Raised when a node (or the prover) addresses a message to a
+    non-neighbour (resp. a non-existent node): a bug in the node
+    program (or byzantine behaviour a fault harness wants to observe),
+    reported with full structure — including the schedule turn it
+    happened in — so callers can record it instead of aborting a whole
+    sweep.  [node] is [-1] when the offender is the prover. *)
+exception Protocol_error of { node : int; round : int; turn : int; target : int }
 
-(** A node program over state ['s] and message payloads ['m].  The
-    runtime calls [init] once, [round] once per round (with the inbox
-    holding [(sender, payload)] pairs in sender order), and [finish]
-    after the last round. *)
+(** {2 Turn schedules} *)
+
+module Turn : sig
+  (** One entry of an interactive execution schedule.
+
+      [Prover] lets the prover write one message to any subset of
+      nodes (delivered via the program's [tp_deliver], outside the
+      communication graph — the prover speaks to every node directly
+      in the dQIP model).
+
+      [Verifier { rounds; coin_range }] first deals each node a fresh
+      uniform coin in [\[0, coin_range)] (no randomness is consumed at
+      all when [coin_range <= 1] — the deterministic-verifier case),
+      then runs [rounds] synchronous communication rounds on the
+      graph.  The global round counter keeps increasing across
+      verifier turns, so round-indexed fault plans are unambiguous. *)
+  type t =
+    | Prover
+    | Verifier of { rounds : int; coin_range : int }
+
+  (** [one_shot ~rounds] is the classic dMA schedule: one prover turn
+      (the certificate), then a deterministic-coin verifier turn of
+      [rounds] communication rounds. *)
+  val one_shot : rounds:int -> t list
+
+  (** Total communication rounds over all verifier entries. *)
+  val total_rounds : t list -> int
+
+  (** Number of turns in the interactive-proof sense of
+      arXiv:2210.01390: every prover turn counts, and a verifier turn
+      counts iff its coins are later revealed to the prover (i.e. a
+      prover turn follows it and [coin_range > 1]).  Private
+      verification randomness is not a message turn, so
+      [message_turns (one_shot ~rounds)] is [1]. *)
+  val message_turns : t list -> int
+end
+
+(** {2 Transcripts} *)
+
+module Transcript : sig
+  (** What one schedule entry contributed to the interaction. *)
+  type 'm entry =
+    | Prover_messages of (int * 'm) list
+        (** [(node, payload)] prover writes as delivered (after any
+            fault injection), in write order *)
+    | Verifier_coins of int array
+        (** the per-node coins dealt at the start of the verifier
+            turn; [[||]] when [coin_range <= 1] *)
+
+  type 'm t
+
+  (** Entries in schedule order; after a full execution there is one
+      per schedule entry. *)
+  val entries : 'm t -> 'm entry list
+
+  (** [coins t ~turn] is the coin array recorded at schedule entry
+      [turn] (1-based), or [[||]] if that entry was not a coin-dealing
+      verifier turn. *)
+  val coins : 'm t -> turn:int -> int array
+
+  (** [prover_messages t ~turn] is the delivered prover writes at
+      schedule entry [turn] (1-based), or [[]]. *)
+  val prover_messages : 'm t -> turn:int -> (int * 'm) list
+end
+
+(** A node program over state ['s] and message payloads ['m] for the
+    one-shot engine.  The runtime calls [init] once, [round] once per
+    round (with the inbox holding [(sender, payload)] pairs in sender
+    order), and [finish] after the last round. *)
 type ('s, 'm) program = {
   init : int -> 's;
   round : round:int -> id:int -> 's -> inbox:(int * 'm) list -> 's * (int * 'm) list;
   finish : id:int -> 's -> verdict;
 }
 
+(** A node program for the turn-based engine.  [tp_init] runs once per
+    node; [tp_deliver] absorbs one prover write into the node's state;
+    [tp_round] is the per-round step — [turn] is the 1-based schedule
+    index, [round] the global round counter and [coin] the node's coin
+    for the current verifier turn (0 when [coin_range <= 1]); and
+    [tp_finish] decides, with the full interaction {!Transcript.t} in
+    hand, after the schedule is exhausted. *)
+type ('s, 'm) turn_program = {
+  tp_init : int -> 's;
+  tp_deliver : turn:int -> id:int -> 's -> 'm -> 's;
+  tp_round :
+    turn:int ->
+    round:int ->
+    coin:int ->
+    id:int ->
+    's ->
+    inbox:(int * 'm) list ->
+    's * (int * 'm) list;
+  tp_finish : transcript:'m Transcript.t -> id:int -> 's -> verdict;
+}
+
 (** Traffic accounting for one execution. *)
 type stats = {
-  messages : int;  (** total messages delivered (after fault injection) *)
+  messages : int;  (** total node-to-node messages delivered (after fault injection) *)
   rounds_run : int;
+  turns_run : int;  (** schedule entries executed *)
+  prover_messages : int;
+      (** prover writes delivered to nodes (after fault injection) *)
   per_edge : ((int * int) * int) list;
       (** messages per undirected edge, edges as [(min, max)] *)
   down : int list;  (** nodes crash-stopped by the final round, sorted *)
@@ -48,11 +154,38 @@ type stats = {
       (** injected-event tally; [None] when no injector was attached *)
 }
 
-(** [run ?faults g ~rounds program] executes the program and returns
-    per-node verdicts with traffic stats.  With [faults], deliveries
-    pass through the injector and crash-stopped nodes stop executing
-    (their state freezes; their verdict is whatever [finish] makes of
-    it — recovery semantics beyond that live in [Qdp_faults]).
+(** [run_turns ?faults ?st g ~schedule ~prover program] executes the
+    turn schedule and returns per-node verdicts, traffic stats and the
+    full transcript.  The [prover] callback is invoked once per prover
+    turn with the transcript so far (coins dealt in earlier verifier
+    turns are visible — the public-coin model) and returns the
+    [(node, payload)] writes for that turn.  [st] supplies the
+    verifier's coin randomness and is required iff some verifier turn
+    has [coin_range > 1]; the engine draws exactly [Graph.size g]
+    coins per such turn, so executions are reproducible from the seed
+    at any [--jobs] value.  With [faults], node-to-node deliveries
+    pass through the injector as in {!run}, prover writes pass through
+    the default link model, and both are bypassed on turns outside the
+    plan's [turn] target (crash-stop remains global: a crashed node
+    does not come back between turns).
+    @raise Protocol_error if a node addresses a non-neighbour or the
+    prover addresses a node outside the graph.
+    @raise Invalid_argument if coins are needed and [st] is missing. *)
+val run_turns :
+  ?faults:'m Fault.t ->
+  ?st:Random.State.t ->
+  Graph.t ->
+  schedule:Turn.t list ->
+  prover:(turn:int -> 'm Transcript.t -> (int * 'm) list) ->
+  ('s, 'm) turn_program ->
+  verdict array * stats * 'm Transcript.t
+
+(** [run ?faults g ~rounds program] executes the one-shot schedule
+    {!Turn.one_shot} through {!run_turns} — the program's certificate
+    is baked into [init], the prover turn carries nothing, and the
+    verifier turn is deterministic, so behaviour (verdicts, stats
+    fields shared with the pre-turn engine, RNG consumption: none) is
+    unchanged from the historical one-shot runtime.
     @raise Protocol_error if a node addresses a non-neighbour. *)
 val run :
   ?faults:'m Fault.t -> Graph.t -> rounds:int -> ('s, 'm) program -> verdict array * stats

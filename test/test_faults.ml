@@ -119,7 +119,7 @@ let test_stats_without_faults () =
 let test_execute_protocol_error () =
   let o =
     Plan.execute Plan.Reject_on_timeout (fun () ->
-        raise (Runtime.Protocol_error { node = 2; round = 1; target = 9 }))
+        raise (Runtime.Protocol_error { node = 2; round = 1; turn = 2; target = 9 }))
   in
   Alcotest.(check bool) "rejected" false o.Plan.accepted;
   Alcotest.(check int) "reported" 1 o.Plan.protocol_errors

@@ -252,8 +252,9 @@ let test_runtime_rejects_non_neighbour () =
     (try
        ignore (Runtime.run g ~rounds:1 program);
        false
-     with Runtime.Protocol_error { node; round; target } ->
-       node >= 0 && round = 1 && target = (node + 2) mod 4)
+     with Runtime.Protocol_error { node; round; turn; target } ->
+       (* the one-shot schedule is prover turn 1 + verifier turn 2 *)
+       node >= 0 && round = 1 && turn = 2 && target = (node + 2) mod 4)
 
 let test_estimate_acceptance () =
   let p = Runtime.estimate_acceptance ~st:rng ~trials:500 Random.State.bool in
