@@ -1,4 +1,4 @@
-.PHONY: all build test check tables bench perf profile perf-diff faults turns fmt clean
+.PHONY: all build test check tables bench perf profile perf-diff faults turns dist chaos fmt clean
 
 all: build
 
@@ -45,6 +45,18 @@ faults:
 # QDP_JOBS value).
 turns:
 	dune exec bin/qdp.exe -- turns --seed 42
+
+# Seq vs domains vs processes comparison on a fixed seeded workload:
+# writes BENCH_dist.json (digests + chaos event accounting only, so
+# it is byte-stable across reruns), wall-clock to stderr.
+dist:
+	dune exec bench/main.exe -- dist
+
+# Chaos self-check: run the distributed workload under injected
+# worker crashes/hangs/corruption and verify the result digest is
+# byte-identical to the sequential baseline.  Exits 1 on divergence.
+chaos:
+	dune exec bin/qdp.exe -- dist chaos --trials 120
 
 # Requires the ocamlformat binary (not vendored); version pinned in
 # .ocamlformat so results are reproducible wherever it is installed.

@@ -520,11 +520,124 @@ let dump_perf () =
      per-kernel MAC/seconds/allocation samples under --profile. *)
   Qdp_obs.Calib.write_json "BENCH_calib.json"
 
+(* -- seq vs domains vs processes (BENCH_dist.json) ------------------
+
+   One fully-seeded sharded workload (cross-validation + fault sweep)
+   executed under four scheduling modes.  The JSON holds only
+   deterministic content — per-mode result digests, the chaos pass's
+   event accounting, and the cross-mode agreement bit — so the
+   artifact is byte-stable across reruns at fixed seeds and CI can
+   diff it.  Wall-clock seconds go to stderr only.
+
+   Mode order is forced: both process modes must run before the
+   domains mode, because OCaml 5 forbids [Unix.fork] once the Qdp_par
+   pool has ever spawned a domain. *)
+
+let dist_workload () =
+  let spec = { Registry.default_spec with seed = 11; n = 16; r = 3; t = 3 } in
+  let buf = Buffer.create 4096 in
+  let st = Random.State.make [| 0x51 |] in
+  List.iter
+    (fun entry ->
+      match
+        Registry.cross_validate_demo ~trials:160 ~st spec entry
+      with
+      | None -> ()
+      | Some results ->
+          let id = (Registry.info entry).Registry.info_id in
+          List.iter
+            (fun (label, cs) ->
+              List.iter
+                (fun (c : Dqma.check) ->
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s %s %s %.17g %.17g %d %.17g %b\n" id
+                       label c.Dqma.check_strategy c.Dqma.analytic
+                       c.Dqma.sampled c.Dqma.trials c.Dqma.tolerance
+                       c.Dqma.agree))
+                cs)
+            results)
+    (List.filter_map Registry.find [ "eq"; "gt" ]);
+  let cfg =
+    let open Qdp_faults.Sweep in
+    {
+      (default ~seed:11) with
+      trials = 40;
+      grid = default_grid ~points:5 ();
+      protocols = Some [ "eq"; "rpls" ];
+      spec;
+    }
+  in
+  Buffer.add_string buf (Qdp_faults.Sweep.to_json (Qdp_faults.Sweep.run cfg));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let dump_dist () =
+  Qdp_obs.set_enabled true;
+  Qdp_dist.set_shard_timeout 2.0;
+  Qdp_dist.set_chaos_seed 42;
+  let dist_counters =
+    [ "tasks"; "results"; "retries"; "crashes"; "hangs"; "corrupt"; "degraded" ]
+  in
+  let counter snap name =
+    match Qdp_obs.Metrics.find snap ("dist." ^ name) with
+    | Some (Qdp_obs.Metrics.Counter_v v) -> v
+    | _ -> 0
+  in
+  let run_mode ~mode ~jobs ~workers ~chaos =
+    Qdp_par.set_jobs jobs;
+    Qdp_dist.set_workers workers;
+    Qdp_dist.set_chaos chaos;
+    let before = Qdp_obs.Metrics.snapshot () in
+    let t0 = Unix.gettimeofday () in
+    let digest = dist_workload () in
+    let dt = Unix.gettimeofday () -. t0 in
+    let after = Qdp_obs.Metrics.snapshot () in
+    Printf.eprintf "dist: %-16s %6.2fs  (workers=%d jobs=%d chaos=%g)\n%!"
+      mode dt workers jobs chaos;
+    let events =
+      if chaos > 0. then
+        Printf.sprintf ",\"events\":{%s}"
+          (String.concat ","
+             (List.map
+                (fun name ->
+                  Printf.sprintf "\"%s\":%d" name
+                    (counter after name - counter before name))
+                dist_counters))
+      else ""
+    in
+    ( digest,
+      Printf.sprintf
+        "{\"mode\":\"%s\",\"workers\":%d,\"jobs\":%d,\"chaos\":%g,\"digest\":\"%s\"%s}"
+        mode workers jobs chaos digest events )
+  in
+  (* Explicit lets: a list literal would evaluate right-to-left and
+     start the domain pool before the process modes get to fork. *)
+  let procs = run_mode ~mode:"processes" ~jobs:1 ~workers:4 ~chaos:0.0 in
+  let chaos = run_mode ~mode:"processes_chaos" ~jobs:1 ~workers:4 ~chaos:0.5 in
+  let doms = run_mode ~mode:"domains" ~jobs:4 ~workers:0 ~chaos:0.0 in
+  let seq = run_mode ~mode:"seq" ~jobs:1 ~workers:0 ~chaos:0.0 in
+  let modes = [ procs; chaos; doms; seq ] in
+  let digests = List.map fst modes in
+  let agree = List.for_all (String.equal (List.hd digests)) digests in
+  let oc = open_out "BENCH_dist.json" in
+  Printf.fprintf oc "{\"modes\":[\n%s\n],\n\"agree\":%b}\n"
+    (String.concat ",\n" (List.map snd modes))
+    agree;
+  close_out oc;
+  if not agree then begin
+    prerr_endline "dist: modes disagree — sharding broke determinism";
+    exit 1
+  end
+
 let () =
   if Array.exists (String.equal "--profile") Sys.argv then begin
     Qdp_obs.Prof.set_enabled true;
     Qdp_obs.Calib.set_enabled true
   end
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "dist" then (
+    dump_dist ();
+    exit 0)
 
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "perf" then (

@@ -80,6 +80,40 @@ let progress_arg =
           "Emit live progress heartbeats for long grids to stderr, at most \
            one per $(docv) (default 1; 0 = every tick).")
 
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker processes for the sharded grids (default: $(b,QDP_WORKERS) \
+           or 0 = in-process).  The coordinator supervises them — crash, \
+           hang and corruption recovery with retry/backoff — and results \
+           are byte-identical to $(b,--workers 0) at every value.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Deadline for one protocol execution and for one worker shard \
+           (default: $(b,QDP_TIMEOUT) or 300 for executions, \
+           $(b,QDP_DIST_TIMEOUT) or 30 for shards; <= 0 disables).  An \
+           overrun execution rejects (timeout-as-reject); an overrun shard \
+           is killed and reassigned.")
+
+let chaos_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "chaos" ] ~docv:"P"
+        ~doc:
+          "Chaos injection probability (default: $(b,QDP_CHAOS) or 0).  \
+           Each worker shard attempt crashes, hangs or corrupts its reply \
+           with probability $(docv), at points seeded by \
+           $(b,QDP_CHAOS_SEED) — results must stay byte-identical.")
+
 let progress_json_arg =
   Arg.(
     value & flag
@@ -92,6 +126,9 @@ let progress_json_arg =
    terms stay readable. *)
 type obs_opts = {
   jobs : int option;
+  workers : int option;
+  timeout : float option;
+  chaos : float option;
   metrics : string option;
   trace : string option;
   profile : bool;
@@ -101,18 +138,37 @@ type obs_opts = {
 }
 
 let obs_term =
-  let mk jobs metrics trace profile calib progress progress_json =
-    { jobs; metrics; trace; profile; calib; progress; progress_json }
+  let mk jobs workers timeout chaos metrics trace profile calib progress
+      progress_json =
+    {
+      jobs;
+      workers;
+      timeout;
+      chaos;
+      metrics;
+      trace;
+      profile;
+      calib;
+      progress;
+      progress_json;
+    }
   in
   Term.(
-    const mk $ jobs_arg $ metrics_arg $ trace_arg $ profile_arg $ calib_arg
-    $ progress_arg $ progress_json_arg)
+    const mk $ jobs_arg $ workers_arg $ timeout_arg $ chaos_arg $ metrics_arg
+    $ trace_arg $ profile_arg $ calib_arg $ progress_arg $ progress_json_arg)
 
 (* Run [f] under a root span and profile section named after the
    subcommand; enable the switches the flags ask for and dump the
    requested outputs afterwards (also on exceptions). *)
 let with_obs ~cmd o f =
   Option.iter Qdp_par.set_jobs o.jobs;
+  Option.iter Qdp_dist.set_workers o.workers;
+  Option.iter
+    (fun t ->
+      Qdp_network.Runtime.set_deadline t;
+      Qdp_dist.set_shard_timeout t)
+    o.timeout;
+  Option.iter Qdp_dist.set_chaos o.chaos;
   if o.metrics <> None || o.trace <> None then Qdp_obs.set_enabled true;
   if o.profile || o.calib <> None then begin
     Qdp_obs.Prof.set_enabled true;
@@ -459,6 +515,116 @@ let faults_cmd =
       $ topology_arg $ trials_arg $ points_arg $ max_strength_arg
       $ protocol_arg $ kind_arg $ recovery_arg $ turn_arg $ out_arg $ obs_term)
 
+(* qdp dist chaos — the supervised multi-process path under seeded
+   fault injection, byte-compared against the in-process baseline.
+   The chaos pass runs first: fork is only legal while the Qdp_par
+   domain pool has never started, and the baseline may start it. *)
+let dist_cmd =
+  let open Qdp_faults in
+  let chaos_default = 0.5 in
+  let trials_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "trials" ] ~docv:"TRIALS"
+          ~doc:"Network samples per cross-validation strategy.")
+  in
+  (* Deterministic fingerprint of the full sharded workload: every
+     cross-validation check plus the fault-sweep JSON. *)
+  let digest_workload ~seed ~trials =
+    let spec = { Registry.default_spec with Registry.seed; n = 12; r = 3; t = 3 } in
+    let st = Random.State.make [| seed; 7 |] in
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun entry ->
+        match Registry.cross_validate_demo ~trials ~st spec entry with
+        | None -> ()
+        | Some results ->
+            let id = (Registry.info entry).Registry.info_id in
+            List.iter
+              (fun (label, cs) ->
+                List.iter
+                  (fun c ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "%s %s %s %.17g %.17g %d %.17g %b\n" id
+                         label c.Dqma.check_strategy c.Dqma.analytic
+                         c.Dqma.sampled c.Dqma.trials c.Dqma.tolerance
+                         c.Dqma.agree))
+                  cs)
+              results)
+      (Registry.all ());
+    let cfg =
+      {
+        Sweep.seed;
+        trials = 60;
+        grid = Sweep.default_grid ~points:4 ~max_strength:0.4 ();
+        recovery = Plan.Reject_on_timeout;
+        protocols = None;
+        kinds = None;
+        turn = None;
+        spec;
+      }
+    in
+    Buffer.add_string buf (Sweep.to_json (Sweep.run cfg));
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+  in
+  let counter snap name =
+    match Qdp_obs.Metrics.find snap name with
+    | Some (Qdp_obs.Metrics.Counter_v v) -> v
+    | _ -> 0
+  in
+  let run seed trials obs =
+    with_obs ~cmd:"dist-chaos" obs @@ fun () ->
+    let workers = match obs.workers with Some w when w > 0 -> w | _ -> 4 in
+    let p = match obs.chaos with Some p when p > 0. -> p | _ -> chaos_default in
+    (* tight shard deadline so injected hangs resolve quickly *)
+    if obs.timeout = None then Qdp_dist.set_shard_timeout 2.0;
+    Qdp_obs.with_enabled true @@ fun () ->
+    let before = Qdp_obs.Metrics.snapshot () in
+    Qdp_dist.set_workers workers;
+    Qdp_dist.set_chaos p;
+    Qdp_dist.set_chaos_seed seed;
+    Format.printf "chaos pass: %d workers, p=%g, seed %d ...@." workers p seed;
+    let chaotic = digest_workload ~seed ~trials in
+    let after = Qdp_obs.Metrics.snapshot () in
+    Qdp_dist.set_workers 0;
+    Qdp_dist.set_chaos 0.;
+    Format.printf "baseline pass: in-process ...@.";
+    let baseline = digest_workload ~seed ~trials in
+    let d name = counter after name - counter before name in
+    Format.printf
+      "@[<v>recovery matrix (chaos pass):@,\
+      \  crash   -> detected %4d  (waitpid/EOF)      retried or degraded@,\
+      \  hang    -> detected %4d  (shard deadline)   killed + reassigned@,\
+      \  corrupt -> detected %4d  (CRC/unmarshal)    killed + reassigned@,\
+      \  recovery: %d shard retries, %d workers respawned, %d shards \
+       degraded in-process@,\
+      \  traffic:  %d shards dispatched, %d results accepted, %d duplicates, \
+       %d fallbacks@]@."
+      (d "dist.crashes") (d "dist.hangs") (d "dist.corrupt") (d "dist.retries")
+      (d "dist.respawns") (d "dist.degraded") (d "dist.tasks")
+      (d "dist.results") (d "dist.duplicates") (d "dist.fallbacks");
+    Format.printf "baseline digest %s@,chaos    digest %s@." baseline chaotic;
+    if chaotic <> baseline then begin
+      Format.printf "MISMATCH: chaos run diverged from the baseline@.";
+      exit 1
+    end;
+    Format.printf "byte-identical under chaos@."
+  in
+  let chaos_cmd =
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Run the sharded workloads (cross-validation + fault sweep) on \
+            supervised worker processes with seeded crash/hang/corruption \
+            injection, verify byte-identity against the in-process \
+            baseline, and print the recovery matrix; exit 1 on divergence.")
+      Term.(const run $ seed_arg $ trials_arg $ obs_term)
+  in
+  Cmd.group
+    (Cmd.info "dist"
+       ~doc:"Multi-process execution: supervision and chaos testing.")
+    [ chaos_cmd ]
+
 (* qdp turns — the turn-reduction experiment over the interactive
    equality family: acceptance and certificate size at 3, 2 and 1
    turns, analytic vs sampled, into BENCH_turns.json. *)
@@ -579,6 +745,6 @@ let main =
          "Distributed quantum Merlin-Arthur protocols \
           (Hasegawa-Kundu-Nishimura, PODC 2024).")
     (List.map entry_cmd (Registry.all ())
-    @ [ list_cmd; check_cmd; xval_cmd; faults_cmd; turns_cmd; perf_cmd ])
+    @ [ list_cmd; check_cmd; xval_cmd; faults_cmd; dist_cmd; turns_cmd; perf_cmd ])
 
 let () = exit (Cmd.eval main)

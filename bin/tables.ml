@@ -832,8 +832,9 @@ let all () =
   variants ();
   check ()
 
-(* Split `--metrics FILE` / `--trace FILE` / `--jobs N` / `--profile`
-   out of argv; what remains selects the table as before. *)
+(* Split `--metrics FILE` / `--trace FILE` / `--jobs N` /
+   `--workers N` / `--profile` out of argv; what remains selects the
+   table as before. *)
 let parse_args () =
   let metrics = ref None
   and trace = ref None
@@ -856,6 +857,13 @@ let parse_args () =
         | Some j when j >= 1 -> Qdp_par.set_jobs j
         | Some _ | None ->
             Printf.eprintf "tables: --jobs expects a positive integer\n";
+            exit 2)
+    | "--workers" when !i + 1 < Array.length argv -> (
+        incr i;
+        match int_of_string_opt argv.(!i) with
+        | Some w when w >= 0 -> Qdp_dist.set_workers w
+        | Some _ | None ->
+            Printf.eprintf "tables: --workers expects a non-negative integer\n";
             exit 2)
     | a -> rest := a :: !rest);
     incr i

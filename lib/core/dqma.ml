@@ -372,7 +372,7 @@ let backend_accept ?(trials = 2000) ~st backend p inst prover =
   | Analytic -> p.accept inst prover
   | Network run ->
       let hits =
-        Qdp_par.monte_carlo_hits ~st ~trials (fun st ->
+        Qdp_dist.monte_carlo_hits ~label:"xval" ~st ~trials (fun st ->
             Qdp_obs.Metrics.incr obs_crossval_runs;
             run st inst prover)
       in
@@ -411,8 +411,9 @@ let cross_validate ?(trials = 2000) ?(z = 5.) ~st ~network p inst =
       ("xval/" ^ p.name)
   in
   let checks =
-    Qdp_par.parallel_map_array ~chunk:1
-      (fun (name, prover, pst) ->
+    Qdp_dist.map_shards ~label:("xval/" ^ p.name) ~n:(Array.length tagged)
+      (fun i ->
+         let name, prover, pst = tagged.(i) in
          let analytic = p.accept inst prover in
          let hits =
            Qdp_par.monte_carlo_hits ~st:pst ~trials (fun st ->
@@ -437,7 +438,6 @@ let cross_validate ?(trials = 2000) ?(z = 5.) ~st ~network p inst =
          Qdp_obs.Metrics.incr obs_crossval_checks;
          if not agree then Qdp_obs.Metrics.incr obs_crossval_disagreements;
          { check_strategy = name; analytic; sampled; trials; tolerance; agree })
-      tagged
   in
   Qdp_obs.Progress.finish progress;
   Array.to_list checks

@@ -36,12 +36,12 @@ let best_candidate ~proto ~score candidates =
     Qdp_obs.Progress.start ~total:(Array.length arr) ("attack/" ^ proto)
   in
   let scores =
-    Qdp_par.parallel_map_array ~chunk:1
-      (fun (_, c) ->
+    Qdp_dist.map_shards ~label:("attack/" ^ proto) ~n:(Array.length arr)
+      (fun i ->
+        let _, c = arr.(i) in
         let s = score c in
         Qdp_obs.Progress.step progress;
         s)
-      arr
   in
   Qdp_obs.Progress.finish progress;
   let best = ref 0. and best_name = ref "none" in

@@ -1,0 +1,63 @@
+(* Shared retry discipline: see backoff.mli.  The delay math draws
+   jitter from a caller-supplied RNG state so experiment streams are
+   never consumed; zero-delay policies draw nothing at all, which the
+   fault-plan recovery loop relies on for byte-identical sweeps. *)
+
+type policy = {
+  base_s : float;
+  factor : float;
+  max_delay_s : float;
+  jitter : float;
+  max_attempts : int;
+}
+
+let default =
+  { base_s = 0.025; factor = 2.0; max_delay_s = 0.5; jitter = 0.5;
+    max_attempts = 4 }
+
+let immediate ~max_attempts =
+  if max_attempts < 1 then
+    invalid_arg "Backoff.immediate: need at least one attempt";
+  { base_s = 0.0; factor = 1.0; max_delay_s = 0.0; jitter = 0.0;
+    max_attempts }
+
+let delay p ~st ~attempt =
+  let a = max 1 attempt in
+  let d =
+    min p.max_delay_s (p.base_s *. (p.factor ** float_of_int (a - 1)))
+  in
+  if d <= 0.0 then 0.0
+  else if p.jitter <= 0.0 then d
+  else begin
+    (* uniform in [d * (1 - jitter), d * (1 + jitter)] *)
+    let spread = d *. p.jitter in
+    let lo = d -. spread in
+    lo +. Random.State.float st (2.0 *. spread)
+  end
+
+let no_jitter_delay p ~attempt =
+  let a = max 1 attempt in
+  min p.max_delay_s (p.base_s *. (p.factor ** float_of_int (a - 1)))
+
+let run ?st ?(sleep = Unix.sleepf) ?(on_retry = fun ~attempt:_ ~delay_s:_ -> ())
+    p ~retry_if f =
+  let rec go attempt =
+    let r = f ~attempt in
+    if attempt >= p.max_attempts || not (retry_if r) then r
+    else begin
+      let d =
+        match st with
+        | Some st -> delay p ~st ~attempt
+        | None ->
+            let d = no_jitter_delay p ~attempt in
+            if d > 0.0 && p.jitter > 0.0 then
+              invalid_arg
+                "Backoff.run: policy has jittered delays but no ~st";
+            d
+      in
+      on_retry ~attempt ~delay_s:d;
+      if d > 0.0 then sleep d;
+      go (attempt + 1)
+    end
+  in
+  go 1

@@ -1,0 +1,54 @@
+(** Seeded exponential backoff with jitter and a capped attempt budget.
+
+    One retry discipline shared by every layer that re-runs failed
+    work: the fault-plan recovery loop ([Qdp_faults.Plan], which
+    retries in-process with zero delay) and the multi-process
+    coordinator ([Qdp_dist], which delays shard reassignment after a
+    worker crash so a flapping worker pool is not hammered).  Keeping
+    one policy type means the two loops cannot drift on attempt
+    accounting or delay math.
+
+    Delays never touch the caller's experiment RNG: jitter draws come
+    from whatever [Random.State.t] the caller dedicates to the policy,
+    and a policy with [jitter = 0.] (or zero delays) draws nothing at
+    all, so retry behaviour cannot perturb sampled results. *)
+
+type policy = {
+  base_s : float;  (** delay after the first failed attempt, seconds *)
+  factor : float;  (** multiplier applied per further failure *)
+  max_delay_s : float;  (** cap on any single delay *)
+  jitter : float;
+      (** relative jitter in [0, 1]: a computed delay [d] becomes
+          uniform in [d * (1 - jitter), d * (1 + jitter)] *)
+  max_attempts : int;  (** total attempts, including the first *)
+}
+
+(** 25 ms base, doubling to a 500 ms cap, 50% jitter, 4 attempts —
+    the coordinator's shard-reassignment policy. *)
+val default : policy
+
+(** [immediate ~max_attempts] retries [max_attempts - 1] times with no
+    delay and no RNG consumption: the in-process recovery policy.
+    @raise Invalid_argument on [max_attempts < 1]. *)
+val immediate : max_attempts:int -> policy
+
+(** [delay p ~st ~attempt] is the delay (seconds) to wait after failed
+    attempt number [attempt] (1-based).  Draws from [st] only when the
+    computed delay is positive and [p.jitter > 0.]. *)
+val delay : policy -> st:Random.State.t -> attempt:int -> float
+
+(** [run ?st ?sleep ?on_retry p ~retry_if f] calls [f ~attempt] with
+    [attempt = 1, 2, ...] while [retry_if] accepts the result and the
+    attempt budget is not exhausted; returns the last result.  Before
+    each re-attempt it reports [on_retry ~attempt ~delay_s] (attempt =
+    the one that just failed) and then [sleep delay_s] (default
+    [Unix.sleepf]; pass [ignore] to busy-retry).  [st] is required
+    only when the policy can produce a jittered positive delay. *)
+val run :
+  ?st:Random.State.t ->
+  ?sleep:(float -> unit) ->
+  ?on_retry:(attempt:int -> delay_s:float -> unit) ->
+  policy ->
+  retry_if:('a -> bool) ->
+  (attempt:int -> 'a) ->
+  'a

@@ -1,0 +1,158 @@
+(* Wire framing for the multi-process coordinator: see frame.mli. *)
+
+type msg =
+  | Task of { shard : int; attempt : int }
+  | Ack of { shard : int; attempt : int }
+  | Result of { shard : int; attempt : int; payload : string }
+  | Failed of { shard : int; attempt : int; reason : string }
+  | Stop
+
+(* -- CRC-32 (IEEE, reflected), table-based -------------------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32_sub s pos len =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let crc32 s = crc32_sub s 0 (String.length s)
+
+(* -- encoding ------------------------------------------------------- *)
+
+let magic = "QDF1"
+
+(* Payloads are marshalled shard results; 256 MiB is far beyond any
+   legitimate frame and bounds what a corrupt length field can make the
+   reader buffer. *)
+let max_payload = 1 lsl 28
+
+let kind_byte = function
+  | Task _ -> '\001'
+  | Ack _ -> '\002'
+  | Result _ -> '\003'
+  | Failed _ -> '\004'
+  | Stop -> '\005'
+
+let fields = function
+  | Task { shard; attempt } | Ack { shard; attempt } -> (shard, attempt, "")
+  | Result { shard; attempt; payload } -> (shard, attempt, payload)
+  | Failed { shard; attempt; reason } -> (shard, attempt, reason)
+  | Stop -> (0, 0, "")
+
+let encode msg =
+  let shard, attempt, payload = fields msg in
+  let plen = String.length payload in
+  let b = Buffer.create (21 + plen) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (kind_byte msg);
+  Buffer.add_int32_be b (Int32.of_int shard);
+  Buffer.add_int32_be b (Int32.of_int attempt);
+  Buffer.add_int32_be b (Int32.of_int plen);
+  Buffer.add_string b payload;
+  let body = Buffer.contents b in
+  (* CRC covers kind..payload (everything after the magic). *)
+  let crc = crc32_sub body 4 (String.length body - 4) in
+  let out = Buffer.create (String.length body + 4) in
+  Buffer.add_string out body;
+  Buffer.add_int32_be out crc;
+  Buffer.contents out
+
+let write fd msg =
+  let s = Bytes.unsafe_of_string (encode msg) in
+  let len = Bytes.length s in
+  let pos = ref 0 in
+  while !pos < len do
+    match Unix.write fd s !pos (len - !pos) with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* -- incremental decoding ------------------------------------------- *)
+
+type reader = { mutable buf : Buffer.t }
+
+let reader () = { buf = Buffer.create 4096 }
+
+let feed r bytes len = Buffer.add_subbytes r.buf bytes 0 len
+
+(* Drops the first [n] bytes of the reader's buffer. *)
+let consume r n =
+  let s = Buffer.contents r.buf in
+  let rest = String.sub s n (String.length s - n) in
+  r.buf <- Buffer.create (max 4096 (String.length rest));
+  Buffer.add_string r.buf rest
+
+let get_i32 s pos =
+  Int32.to_int (String.get_int32_be s pos)
+
+let decode_kind c shard attempt payload =
+  match c with
+  | '\001' -> Some (Task { shard; attempt })
+  | '\002' -> Some (Ack { shard; attempt })
+  | '\003' -> Some (Result { shard; attempt; payload })
+  | '\004' -> Some (Failed { shard; attempt; reason = payload })
+  | '\005' -> Some Stop
+  | _ -> None
+
+let next r =
+  let s = Buffer.contents r.buf in
+  let have = String.length s in
+  if have < 17 then
+    (* Shorter than any header: corrupt only if the prefix already
+       contradicts the magic. *)
+    if have > 0 && not (String.sub s 0 (min have 4) = String.sub magic 0 (min have 4))
+    then begin
+      consume r have;
+      `Corrupt
+    end
+    else `More
+  else if String.sub s 0 4 <> magic then begin
+    consume r have;
+    `Corrupt
+  end
+  else begin
+    let plen = get_i32 s 13 in
+    if plen < 0 || plen > max_payload then begin
+      consume r have;
+      `Corrupt
+    end
+    else if have < 17 + plen + 4 then `More
+    else begin
+      let total = 17 + plen + 4 in
+      let stored = String.get_int32_be s (17 + plen) in
+      let computed = crc32_sub s 4 (13 + plen) in
+      if stored <> computed then begin
+        consume r have;
+        `Corrupt
+      end
+      else begin
+        let shard = get_i32 s 5 in
+        let attempt = get_i32 s 9 in
+        let payload = String.sub s 17 plen in
+        match decode_kind s.[4] shard attempt payload with
+        | Some msg ->
+            consume r total;
+            `Msg msg
+        | None ->
+            consume r have;
+            `Corrupt
+      end
+    end
+  end

@@ -1,0 +1,54 @@
+(** Length-prefixed binary framing for coordinator <-> worker pipes.
+
+    Every message is one frame:
+
+    {v
+    "QDF1" (4B) | kind (1B) | shard (4B BE) | attempt (4B BE)
+                | len (4B BE) | payload (len B) | crc32 (4B BE)
+    v}
+
+    The CRC-32 (IEEE, reflected, same polynomial as zlib) covers the
+    bytes from [kind] through the payload, so a flipped bit anywhere in
+    the framed message — header fields included — surfaces as
+    [`Corrupt] rather than a wrong result.  The magic lets a reader
+    resynchronize detection after garbage: anything not starting with
+    ["QDF1"] is corrupt by definition. *)
+
+type msg =
+  | Task of { shard : int; attempt : int }
+      (** coordinator -> worker: compute this shard *)
+  | Ack of { shard : int; attempt : int }
+      (** worker -> coordinator: shard accepted, computation started *)
+  | Result of { shard : int; attempt : int; payload : string }
+      (** worker -> coordinator: marshalled result bytes *)
+  | Failed of { shard : int; attempt : int; reason : string }
+      (** worker -> coordinator: the shard closure raised *)
+  | Stop  (** coordinator -> worker: exit cleanly *)
+
+(** [crc32 s] is the IEEE CRC-32 of [s]
+    ([crc32 "123456789" = 0xCBF43926]). *)
+val crc32 : string -> int32
+
+(** [encode msg] is the complete frame for [msg]. *)
+val encode : msg -> string
+
+(** [write fd msg] writes the frame, retrying on [EINTR] and partial
+    writes.  Raises [Unix.Unix_error] (e.g. [EPIPE]) on a dead peer. *)
+val write : Unix.file_descr -> msg -> unit
+
+(** Incremental decoder over a byte stream.  One reader per pipe. *)
+type reader
+
+val reader : unit -> reader
+
+(** [feed r bytes len] appends the first [len] bytes of [bytes] to the
+    reader's buffer. *)
+val feed : reader -> bytes -> int -> unit
+
+(** [next r] extracts the next complete frame, if any.  [`More] means
+    the buffer holds only a frame prefix; [`Corrupt] means the buffer
+    head failed validation (bad magic, unknown kind, oversized length,
+    or CRC mismatch) — the reader discards the broken frame's bytes,
+    but the stream framing is lost, so callers should treat the peer
+    as compromised and kill it rather than keep reading. *)
+val next : reader -> [ `Msg of msg | `More | `Corrupt ]

@@ -1,0 +1,133 @@
+(** Fault-tolerant multi-process sharding for the parallel grids.
+
+    {!map_shards} fans a pure indexed computation out over forked
+    worker processes: the coordinator forks [workers ()] children
+    (which inherit the shard closure — nothing but results crosses the
+    pipe), hands out shards over length-prefixed CRC-checked frames
+    ({!Frame}), and supervises them with per-shard deadlines, bounded
+    retries with exponential backoff + jitter ({!Backoff}), and
+    deterministic reassignment.  A worker that crashes, hangs past the
+    shard deadline, or returns a corrupt frame is killed and replaced;
+    a shard that exhausts its attempt budget is computed in-process.
+    When the process pool cannot be used at all — [workers () = 0],
+    the [Qdp_par] domain pool already started (OCaml 5 forbids [fork]
+    after a domain spawn), nested inside another region, or every
+    respawn budget spent — the call degrades to
+    [Qdp_par.parallel_map_array] over the same indices.
+
+    {2 Determinism contract}
+
+    Shard [i] must be a self-seeded pure function of [i] (every wired
+    call site derives per-shard RNG state from the shard index, PR 4's
+    seed-splitting).  The coordinator stores results by shard index,
+    so the output array — and, through it, every downstream artifact —
+    is byte-identical to the [--jobs 1 --workers 0] run no matter
+    which workers die, in what order shards are retried, or what the
+    chaos mode injects.  Chaos events are keyed on
+    [(chaos seed, shard, attempt)], never on worker identity or time,
+    so event {e counts} are reproducible too.
+
+    Every transition is visible when observability is on: [dist.*]
+    counters (tasks, results, retries, crashes, hangs, corrupt frames,
+    duplicates, respawns, degraded shards, in-process fallbacks), a
+    span per region, and [Progress] heartbeats per completed shard. *)
+
+module Backoff = Backoff
+module Frame = Frame
+
+(** {2 Configuration}
+
+    Each knob resolves lazily from its environment variable on first
+    read; the setters (the CLI flags) win over the environment. *)
+
+(** Worker-process budget.  [QDP_WORKERS]; default [0] = disabled
+    (in-process execution). *)
+val workers : unit -> int
+
+(** @raise Invalid_argument on [n < 0]. *)
+val set_workers : int -> unit
+
+(** Per-shard deadline in seconds before a busy worker is declared
+    hung and killed.  [QDP_DIST_TIMEOUT]; default [30.]; [<= 0]
+    disables hang detection. *)
+val shard_timeout : unit -> float
+
+val set_shard_timeout : float -> unit
+
+(** Attempt budget per shard (including the first try) before the
+    shard degrades to in-process computation.  [QDP_DIST_RETRIES];
+    default [4]. *)
+val max_attempts : unit -> int
+
+(** @raise Invalid_argument on [n < 1]. *)
+val set_max_attempts : int -> unit
+
+(** Worker-respawn budget per region: [-1] (default) = unbounded —
+    safe, since total work is already bounded by
+    [shards * max_attempts] — or a cap after which the region runs
+    with the surviving workers (possibly none: full degradation).
+    [QDP_DIST_RESPAWNS]. *)
+val respawn_budget : unit -> int
+
+val set_respawn_budget : int -> unit
+
+(** Chaos injection probability in [0, 1].  [QDP_CHAOS]; default [0.].
+    With probability [p] {e per shard attempt} (decided from
+    [(chaos_seed, shard, attempt)]) the worker crashes before
+    acknowledging, hangs after acknowledging, or replies with a
+    corrupt frame — exercising every recovery path while the final
+    output stays byte-identical. *)
+val chaos : unit -> float
+
+(** @raise Invalid_argument unless [0. <= p <= 1.]. *)
+val set_chaos : float -> unit
+
+(** Seed for the chaos schedule.  [QDP_CHAOS_SEED]; default [42]. *)
+val chaos_seed : unit -> int
+
+val set_chaos_seed : int -> unit
+
+(** {2 Execution} *)
+
+(** Shard accounting for the most recent {!map_shards} region. *)
+type report = {
+  rp_label : string;
+  rp_workers : int;  (** workers actually forked (0 = in-process) *)
+  rp_shards : int;
+  rp_from_workers : int;  (** shards answered over the pipe *)
+  rp_in_process : int;  (** shards computed by the coordinator *)
+  rp_retries : int;  (** shard reassignments after a failure *)
+  rp_crashes : int;  (** workers that died mid-shard *)
+  rp_hangs : int;  (** workers killed for missing a deadline *)
+  rp_corrupt : int;  (** corrupt frames detected (CRC/decode) *)
+  rp_duplicates : int;  (** late results for already-done shards *)
+  rp_respawns : int;  (** replacement workers forked *)
+  rp_degraded : int;  (** shards past their attempt budget *)
+  rp_fallback : bool;  (** whole region ran in-process *)
+}
+
+(** Report for the last completed {!map_shards} call on this domain,
+    if any — a test/diagnostics hook. *)
+val last_report : unit -> report option
+
+(** [map_shards ?label ~n f] is [Array.init n f] computed under the
+    supervision scheme above.  [f] must be pure, self-seeded per
+    index, and its results marshalable plain data (no closures).
+    Exceptions raised by [f] keep sequential semantics: the failing
+    shard is re-run in-process so the original exception propagates.
+    In-process execution (fallback or [workers () = 0]) delegates to
+    [Qdp_par.parallel_map_array ~chunk:1], byte-identical to the
+    pre-dist call sites. *)
+val map_shards : ?label:string -> n:int -> (int -> 'r) -> 'r array
+
+(** Drop-in for [Qdp_par.monte_carlo_hits]: same chunking, same
+    in-chunk-order state splitting off [st] (so [st] advances
+    identically), with the chunk evaluations sharded over worker
+    processes.  Byte-identical results — and caller state — at every
+    [--jobs]/[--workers] combination. *)
+val monte_carlo_hits :
+  ?label:string ->
+  st:Random.State.t ->
+  trials:int ->
+  (Random.State.t -> bool) ->
+  int

@@ -101,6 +101,7 @@ let obs_runs = Qdp_obs.Metrics.counter "faults.runs"
 let obs_injected = Qdp_obs.Metrics.counter "faults.injected"
 let obs_errors = Qdp_obs.Metrics.counter "faults.protocol_errors"
 let obs_retries = Qdp_obs.Metrics.counter "faults.retries"
+let obs_timeouts = Qdp_obs.Metrics.counter "faults.timeouts"
 
 let strict_accept verdicts (stats : Runtime.stats) =
   stats.down = []
@@ -133,6 +134,11 @@ let attempt ~accept_of run =
          report, count, reject — never abort the sweep *)
       Qdp_obs.Metrics.incr obs_errors;
       (false, 0, 1, [])
+  | exception Runtime.Deadline_exceeded _ ->
+      (* timeout-as-reject: an overrun execution is a detected error —
+         reject it, count it, and let a [Retry] plan re-run it *)
+      Qdp_obs.Metrics.incr obs_timeouts;
+      (false, 0, 1, [])
 
 let execute recovery run =
   match recovery with
@@ -150,25 +156,35 @@ let execute recovery run =
       (* Soundness-preserving retry: an attempt is re-run only when a
          fault was *detected* (injected events or a protocol error) —
          the verdict itself never triggers a retry, so the decision
-         rule composes with any prover strategy. *)
-      let rec go attempts_left acc_attempts acc_injected acc_errors =
-        let accepted, injected, errors, down =
-          attempt ~accept_of:strict_accept run
-        in
-        let acc_attempts = acc_attempts + 1 in
-        let acc_injected = acc_injected + injected in
-        let acc_errors = acc_errors + errors in
-        if (injected > 0 || errors > 0) && attempts_left > 0 then begin
-          Qdp_obs.Metrics.incr obs_retries;
-          go (attempts_left - 1) acc_attempts acc_injected acc_errors
-        end
-        else
-          {
-            accepted;
-            attempts = acc_attempts;
-            protocol_errors = acc_errors;
-            injected = acc_injected;
-            down;
-          }
+         rule composes with any prover strategy.  The loop is the
+         shared [Qdp_dist.Backoff] discipline with the [immediate]
+         policy: same attempt accounting as the coordinator's shard
+         retries, zero delay and zero RNG consumption, so sweep
+         results stay byte-identical. *)
+      let acc_attempts = ref 0 in
+      let acc_injected = ref 0 in
+      let acc_errors = ref 0 in
+      let policy = Qdp_dist.Backoff.immediate ~max_attempts:(max 0 budget + 1) in
+      let accepted, _, _, down =
+        Qdp_dist.Backoff.run ~sleep:(fun _ -> ())
+          ~on_retry:(fun ~attempt:_ ~delay_s:_ ->
+            Qdp_obs.Metrics.incr obs_retries)
+          policy
+          ~retry_if:(fun (_, injected, errors, _) ->
+            injected > 0 || errors > 0)
+          (fun ~attempt:_ ->
+            let ((_, injected, errors, _) as r) =
+              attempt ~accept_of:strict_accept run
+            in
+            incr acc_attempts;
+            acc_injected := !acc_injected + injected;
+            acc_errors := !acc_errors + errors;
+            r)
       in
-      go (max 0 budget) 0 0 0
+      {
+        accepted;
+        attempts = !acc_attempts;
+        protocol_errors = !acc_errors;
+        injected = !acc_injected;
+        down;
+      }

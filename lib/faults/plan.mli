@@ -60,9 +60,13 @@ type recovery =
       (** the surviving nodes decide; down nodes are excluded *)
   | Retry of int
       (** re-run (up to the budget) while faults are *detected* —
-          injected events or a protocol error — never based on the
+          injected events, a protocol error, or a
+          [Runtime.Deadline_exceeded] overrun — never based on the
           verdict, so soundness composes; the final attempt decides
-          with {!Reject_on_timeout} semantics *)
+          with {!Reject_on_timeout} semantics.  The loop is the
+          shared [Qdp_dist.Backoff] discipline at its zero-delay
+          [immediate] policy, the same attempt accounting the
+          multi-process coordinator uses for shard reassignment *)
 
 val recovery_name : recovery -> string
 

@@ -200,12 +200,14 @@ let sweep_entry cfg ~pi entry =
           ("faults/" ^ suite.fs_id)
       in
       let measured =
-        Qdp_par.parallel_map_array ~chunk:1
-          (fun (kind, ki, xi, p) ->
+        Qdp_dist.map_shards
+          ~label:("faults/" ^ suite.fs_id)
+          ~n:(Array.length flat)
+          (fun i ->
+            let kind, ki, xi, p = flat.(i) in
             let pt = sweep_point cfg ~ids:(pi, ki, xi) kind p suite ~bound in
             Qdp_obs.Progress.step progress;
             pt)
-          flat
       in
       Qdp_obs.Progress.finish progress;
       let npoints = List.length cfg.grid in

@@ -5,6 +5,8 @@ let global_verdict vs =
 
 exception Protocol_error of { node : int; round : int; turn : int; target : int }
 
+exception Deadline_exceeded of { elapsed_s : float; limit_s : float }
+
 let () =
   Printexc.register_printer (function
     | Protocol_error { node; round; turn; target } ->
@@ -13,7 +15,38 @@ let () =
              "Runtime.Protocol_error: node %d sent to non-neighbour %d in \
               round %d of turn %d"
              node target round turn)
+    | Deadline_exceeded { elapsed_s; limit_s } ->
+        Some
+          (Printf.sprintf
+             "Runtime.Deadline_exceeded: execution ran %.3fs against a %.3fs \
+              deadline"
+             elapsed_s limit_s)
     | _ -> None)
+
+(* -- execution deadline -------------------------------------------- *)
+
+let default_deadline = 300.
+
+(* None = unresolved; [set_deadline] (the [--timeout] flag) wins over
+   the [QDP_TIMEOUT] environment variable. *)
+let deadline_cfg : float option ref = ref None
+
+let deadline () =
+  match !deadline_cfg with
+  | Some d -> d
+  | None ->
+      let d =
+        match Sys.getenv_opt "QDP_TIMEOUT" with
+        | Some s -> (
+            match float_of_string_opt (String.trim s) with
+            | Some v -> v
+            | None -> default_deadline)
+        | None -> default_deadline
+      in
+      deadline_cfg := Some d;
+      d
+
+let set_deadline d = deadline_cfg := Some d
 
 module Turn = struct
   type t =
@@ -110,9 +143,26 @@ let obs_edges_active = Qdp_obs.Metrics.gauge "runtime.edges_active"
 let obs_payload_words = Qdp_obs.Metrics.gauge "runtime.max_payload_words"
 let obs_prover_messages = Qdp_obs.Metrics.counter "runtime.prover_messages"
 
-let run_turns ?faults ?st g ~schedule ~prover program =
+let run_turns ?faults ?st ?deadline:deadline_opt g ~schedule ~prover program =
   let n = Graph.size g in
   let schedule_rounds = Turn.total_rounds schedule in
+  (* Wall-clock guard: checked at turn and round boundaries, so a
+     wedged or pathological execution surfaces as [Deadline_exceeded]
+     instead of hanging the harness.  [limit <= 0] disables it; the
+     default is generous enough that no legitimate run ever trips. *)
+  let limit =
+    match deadline_opt with Some d -> d | None -> deadline ()
+  in
+  let check_deadline =
+    if limit > 0. then begin
+      let t0 = Unix.gettimeofday () in
+      fun () ->
+        let elapsed_s = Unix.gettimeofday () -. t0 in
+        if elapsed_s > limit then
+          raise (Deadline_exceeded { elapsed_s; limit_s = limit })
+    end
+    else fun () -> ()
+  in
   Qdp_obs.Metrics.incr obs_runs;
   Qdp_obs.Trace.with_span "runtime.run"
     ~attrs:(fun () -> [ ("nodes", Qdp_obs.Trace.Int n);
@@ -143,6 +193,7 @@ let run_turns ?faults ?st g ~schedule ~prover program =
     | Some _ | None -> None
   in
   let run_round ~turn ~inj ~coins r =
+    check_deadline ();
     let before = !total in
     Qdp_obs.Trace.with_span "runtime.round"
       ~attrs:(fun () -> [ ("round", Qdp_obs.Trace.Int r);
@@ -201,6 +252,7 @@ let run_turns ?faults ?st g ~schedule ~prover program =
   List.iteri
     (fun i entry ->
       let turn = i + 1 in
+      check_deadline ();
       match entry with
       | Turn.Prover ->
           let writes = prover ~turn !transcript in
@@ -309,7 +361,7 @@ let run_accepts g ~rounds program =
 
 let estimate_acceptance ~st ~trials f =
   Qdp_obs.Prof.section "estimate_acceptance" @@ fun () ->
-  let hits = Qdp_par.monte_carlo_hits ~st ~trials f in
+  let hits = Qdp_dist.monte_carlo_hits ~label:"accept" ~st ~trials f in
   float_of_int hits /. float_of_int trials
 
 (* ------------------------------------------------------------------ *)
@@ -345,5 +397,5 @@ let wilson ?(z = 5.) ~hits ~trials () =
 
 let estimate_acceptance_ci ?z ~st ~trials f =
   Qdp_obs.Prof.section "estimate_acceptance" @@ fun () ->
-  let hits = Qdp_par.monte_carlo_hits ~st ~trials f in
+  let hits = Qdp_dist.monte_carlo_hits ~label:"accept" ~st ~trials f in
   wilson ?z ~hits ~trials ()

@@ -44,6 +44,31 @@ val global_verdict : verdict array -> verdict
     sweep.  [node] is [-1] when the offender is the prover. *)
 exception Protocol_error of { node : int; round : int; turn : int; target : int }
 
+(** Raised by {!run_turns} when an execution overruns its wall-clock
+    deadline (checked at turn and round boundaries).  The fault
+    harness treats it like a detected error — reject the run, count
+    it, retry under a [Retry] recovery plan — which is the
+    timeout-as-reject discipline of the replicated-data line
+    (arXiv:2002.10018) applied to the control plane. *)
+exception Deadline_exceeded of { elapsed_s : float; limit_s : float }
+
+(** The default execution deadline, in seconds: [300.].  Generous on
+    purpose — it exists to catch wedged executions, not to race
+    legitimate ones — and overridable per process via [QDP_TIMEOUT],
+    {!set_deadline} (the [--timeout] flag), or per call via
+    [?deadline] on {!run_turns}.  A value [<= 0] disables the check.
+    Note that a finite deadline makes rejection timing-dependent:
+    keep it far above any legitimate run when byte-reproducibility
+    matters. *)
+val default_deadline : float
+
+(** [deadline ()] is the current process-wide deadline; the first
+    read resolves [QDP_TIMEOUT] when set. *)
+val deadline : unit -> float
+
+(** [set_deadline d] overrides it (wins over the environment). *)
+val set_deadline : float -> unit
+
 (** {2 Turn schedules} *)
 
 module Turn : sig
@@ -167,13 +192,17 @@ type stats = {
     pass through the injector as in {!run}, prover writes pass through
     the default link model, and both are bypassed on turns outside the
     plan's [turn] target (crash-stop remains global: a crashed node
-    does not come back between turns).
+    does not come back between turns).  [deadline] bounds the
+    execution's wall-clock time (default: {!deadline}[ ()]; [<= 0]
+    disables).
     @raise Protocol_error if a node addresses a non-neighbour or the
     prover addresses a node outside the graph.
+    @raise Deadline_exceeded if the execution overruns its deadline.
     @raise Invalid_argument if coins are needed and [st] is missing. *)
 val run_turns :
   ?faults:'m Fault.t ->
   ?st:Random.State.t ->
+  ?deadline:float ->
   Graph.t ->
   schedule:Turn.t list ->
   prover:(turn:int -> 'm Transcript.t -> (int * 'm) list) ->

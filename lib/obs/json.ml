@@ -69,10 +69,22 @@ let parse (s : string) : t =
     else parse_error !pos (Printf.sprintf "expected %s" word)
   in
   let parse_hex4 () =
+    (* Strict: exactly four [0-9a-fA-F] digits.  [int_of_string "0x…"]
+       would also accept underscores and signs. *)
     if !pos + 4 > n then parse_error !pos "truncated \\u escape";
-    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> parse_error !pos (Printf.sprintf "bad hex digit %C" c)
+    in
+    let v = ref 0 in
+    for i = 0 to 3 do
+      v := (!v lsl 4) lor digit s.[!pos + i]
+    done;
     pos := !pos + 4;
-    v
+    !v
   in
   let utf8_add buf cp =
     (* Minimal UTF-8 encoder for decoded \u escapes. *)
@@ -81,11 +93,39 @@ let parse (s : string) : t =
       Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
     end
-    else begin
+    else if cp < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
       Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
       Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
     end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  in
+  let parse_unicode_escape buf =
+    (* Called just past "\u".  A high surrogate must be followed by a
+       "\uXXXX" low surrogate; the pair decodes to one supplementary
+       code point.  Lone or inverted surrogates are rejected. *)
+    let hi = parse_hex4 () in
+    if hi >= 0xd800 && hi <= 0xdbff then begin
+      if
+        not
+          (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u')
+      then parse_error !pos "high surrogate not followed by \\u escape";
+      pos := !pos + 2;
+      let lo = parse_hex4 () in
+      if not (lo >= 0xdc00 && lo <= 0xdfff) then
+        parse_error (!pos - 4)
+          (Printf.sprintf "invalid low surrogate \\u%04x" lo);
+      utf8_add buf
+        (0x10000 + (((hi - 0xd800) lsl 10) lor (lo - 0xdc00)))
+    end
+    else if hi >= 0xdc00 && hi <= 0xdfff then
+      parse_error (!pos - 4) (Printf.sprintf "lone low surrogate \\u%04x" hi)
+    else utf8_add buf hi
   in
   let parse_string () =
     expect '"';
@@ -108,7 +148,7 @@ let parse (s : string) : t =
           | 't' -> Buffer.add_char buf '\t'; incr pos
           | 'u' ->
               incr pos;
-              utf8_add buf (parse_hex4 ())
+              parse_unicode_escape buf
           | c -> parse_error !pos (Printf.sprintf "bad escape \\%c" c));
           loop ()
       | c ->
@@ -134,8 +174,13 @@ let parse (s : string) : t =
     | Some f -> f
     | None -> parse_error start (Printf.sprintf "bad number %S" lit)
   in
-  let rec parse_value () =
+  (* Nesting bound: the parser recurses per container level, so a
+     hostile input like 100k '['s would otherwise blow the OCaml
+     stack rather than raise a catchable [Parse_error]. *)
+  let max_depth = 512 in
+  let rec parse_value depth =
     skip_ws ();
+    if depth > max_depth then parse_error !pos "nesting too deep";
     match peek () with
     | None -> parse_error !pos "unexpected end of input"
     | Some 'n' -> literal "null" Null
@@ -151,7 +196,7 @@ let parse (s : string) : t =
         end
         else begin
           let rec items acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -177,7 +222,7 @@ let parse (s : string) : t =
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             (k, v)
           in
           let rec members acc =
@@ -196,7 +241,7 @@ let parse (s : string) : t =
         end
     | Some _ -> Num (parse_number ())
   in
-  let v = parse_value () in
+  let v = parse_value 0 in
   skip_ws ();
   if !pos <> n then parse_error !pos "trailing garbage after value";
   v

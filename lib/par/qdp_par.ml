@@ -72,6 +72,11 @@ let ensure_workers target =
     spawned := Domain.spawn worker :: !spawned
   done
 
+(* Racy read on purpose: callers (the multi-process coordinator) only
+   use it as a fork-safety hint and handle a lost race by catching the
+   [Unix.fork] failure itself. *)
+let pool_started () = !spawned <> []
+
 let () =
   at_exit (fun () ->
       Mutex.lock lock;

@@ -35,6 +35,15 @@ val jobs : unit -> int
     @raise Invalid_argument on [n < 1]. *)
 val set_jobs : int -> unit
 
+(** [pool_started ()] is [true] once the pool has ever spawned a
+    worker domain.  OCaml 5 forbids [Unix.fork] after any domain has
+    been created, so the multi-process coordinator ([Qdp_dist]) checks
+    this before forking and degrades to the in-process path when the
+    pool is already live.  The read is unsynchronized: a false
+    negative only means the subsequent fork attempt fails and is
+    handled there. *)
+val pool_started : unit -> bool
+
 (** [parallel_for ?chunk lo hi body] runs [body i] for every
     [lo <= i < hi], split into blocks of [chunk] indices (default: a
     block count of about 4x the job count).  Iterations must be

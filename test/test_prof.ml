@@ -321,6 +321,88 @@ let test_json_parse () =
   Alcotest.(check bool) "trailing garbage rejected" true (fails "{} x");
   Alcotest.(check bool) "bare words rejected" true (fails "nope")
 
+let test_json_unicode () =
+  let parsed s =
+    match Json.parse s with Json.String v -> v | _ -> Alcotest.fail "string"
+  in
+  Alcotest.(check string) "2-byte utf8" "\xc3\xa9" (parsed "\"\\u00e9\"");
+  Alcotest.(check string) "3-byte utf8" "\xe2\x82\xac" (parsed "\"\\u20aC\"");
+  Alcotest.(check string) "surrogate pair decodes to 4-byte utf8"
+    "\xf0\x9d\x84\x9e"
+    (parsed "\"\\ud834\\udd1e\"");
+  let fails s =
+    match Json.parse s with
+    | _ -> false
+    | exception Json.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "lone high surrogate rejected" true
+    (fails "\"\\ud834\"");
+  Alcotest.(check bool) "high surrogate + non-escape rejected" true
+    (fails "\"\\ud834x\"");
+  Alcotest.(check bool) "inverted surrogate pair rejected" true
+    (fails "\"\\udd1e\\ud834\"");
+  Alcotest.(check bool) "high surrogate twice rejected" true
+    (fails "\"\\ud834\\ud834\"");
+  (* int_of_string would take all of these *)
+  Alcotest.(check bool) "underscore in hex rejected" true (fails "\"\\u1_23\"");
+  Alcotest.(check bool) "sign in hex rejected" true (fails "\"\\u+123\"");
+  Alcotest.(check bool) "space in hex rejected" true (fails "\"\\u 123\"");
+  Alcotest.(check bool) "truncated hex rejected" true (fails "\"\\u12\"")
+
+let test_json_depth () =
+  (* 512 levels parse; hostile nesting raises Parse_error instead of
+     blowing the stack. *)
+  let nest k = String.make k '[' ^ "1" ^ String.make k ']' in
+  (match Json.parse (nest 512) with
+  | Json.Arr _ -> ()
+  | _ -> Alcotest.fail "expected array");
+  let deep = String.make 100_000 '[' in
+  Alcotest.check_raises "nesting too deep"
+    (Json.Parse_error "offset 513: nesting too deep") (fun () ->
+      ignore (Json.parse (nest 600)));
+  (match Json.parse deep with
+  | _ -> Alcotest.fail "unclosed deep nest accepted"
+  | exception Json.Parse_error _ -> ());
+  match Json.parse (String.concat "" (List.init 1000 (fun _ -> "{\"k\":")))
+  with
+  | _ -> Alcotest.fail "deep object accepted"
+  | exception Json.Parse_error _ -> ()
+
+(* Fuzz: [escape] output must always reparse to the original string,
+   for arbitrary bytes (including control chars and quotes). *)
+let prop_json_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"json escape/parse roundtrip"
+    QCheck.(string_gen_of_size Gen.(0 -- 64) Gen.char)
+    (fun s ->
+      match Json.parse (Json.str s) with
+      | Json.String s' -> String.equal s s'
+      | _ -> false)
+
+(* Fuzz: the parser must never escape with anything but Parse_error on
+   arbitrary junk — no Failure from int_of_string, no Stack_overflow. *)
+let prop_json_no_crash =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          string_size ~gen:char (0 -- 80);
+          (* bias toward almost-JSON inputs: mutate one byte of a valid
+             document *)
+          map2
+            (fun i c ->
+              let doc = "{\"a\":[1,\"\\ud834\\udd1e\",null],\"b\":-2.5e3}" in
+              let b = Bytes.of_string doc in
+              Bytes.set b (i mod Bytes.length b) c;
+              Bytes.to_string b)
+            (0 -- 100) char;
+        ])
+  in
+  QCheck.Test.make ~count:1000 ~name:"json parser total on junk"
+    (QCheck.make gen) (fun s ->
+      match Json.parse s with
+      | _ -> true
+      | exception Json.Parse_error _ -> true)
+
 (* --- Perf_diff --- *)
 
 let metric ?(group = "g") ?seconds key value =
@@ -482,7 +564,14 @@ let () =
           Alcotest.test_case "disabled" `Quick test_progress_disabled;
           Alcotest.test_case "bad interval" `Quick test_progress_bad_interval;
         ] );
-      ("json", [ Alcotest.test_case "parser" `Quick test_json_parse ]);
+      ( "json",
+        [
+          Alcotest.test_case "parser" `Quick test_json_parse;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode;
+          Alcotest.test_case "nesting depth" `Quick test_json_depth;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_no_crash;
+        ] );
       ( "perf_diff",
         [
           Alcotest.test_case "verdicts" `Quick test_diff_verdicts;

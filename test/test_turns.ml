@@ -310,6 +310,49 @@ let test_turns_experiment_shape () =
         (one.Turns_exp.tr_cert_bits > 10 * three.Turns_exp.tr_cert_bits)
   | _ -> Alcotest.fail "expected three variants"
 
+(* The wall-clock deadline: a program whose rounds sleep must abort
+   with [Deadline_exceeded] under a tight limit, run to completion
+   when the check is disabled, and pick up the configured default
+   when no [~deadline] is passed. *)
+let test_deadline () =
+  let g = Graph.path 2 in
+  let slow =
+    {
+      Runtime.tp_init = (fun _ -> ());
+      tp_deliver = (fun ~turn:_ ~id:_ () _ -> ());
+      tp_round =
+        (fun ~turn:_ ~round:_ ~coin:_ ~id:_ () ~inbox:_ ->
+          Unix.sleepf 0.005;
+          ((), []));
+      tp_finish = (fun ~transcript:_ ~id:_ () -> Runtime.Accept);
+    }
+  in
+  let run ?deadline () =
+    Runtime.run_turns ?deadline g
+      ~schedule:(Runtime.Turn.one_shot ~rounds:3)
+      ~prover:(fun ~turn:_ _ -> [])
+      slow
+  in
+  (match run ~deadline:0.01 () with
+  | _ -> Alcotest.fail "expected Deadline_exceeded"
+  | exception Runtime.Deadline_exceeded { elapsed_s; limit_s } ->
+      Alcotest.(check (float 0.)) "limit echoed" 0.01 limit_s;
+      Alcotest.(check bool) "elapsed past limit" true (elapsed_s > limit_s));
+  (match run ~deadline:0. () with
+  | vs, _, _ ->
+      Alcotest.(check bool) "deadline 0 disables the check" true
+        (Array.for_all (fun v -> v = Runtime.Accept) vs)
+  | exception Runtime.Deadline_exceeded _ ->
+      Alcotest.fail "deadline 0 must disable the check");
+  let saved = Runtime.deadline () in
+  Fun.protect
+    ~finally:(fun () -> Runtime.set_deadline saved)
+    (fun () ->
+      Runtime.set_deadline 0.01;
+      match run () with
+      | _ -> Alcotest.fail "expected Deadline_exceeded from default"
+      | exception Runtime.Deadline_exceeded _ -> ())
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -331,6 +374,7 @@ let () =
           Alcotest.test_case "message turns" `Quick test_message_turns;
           Alcotest.test_case "determinism" `Quick test_transcript_determinism;
         ] );
+      ("deadline", [ Alcotest.test_case "wall-clock limit" `Quick test_deadline ]);
       ( "experiment",
         [
           Alcotest.test_case "jobs byte-identity" `Slow
