@@ -1,4 +1,4 @@
-.PHONY: all build test check tables bench perf profile perf-diff faults turns dist chaos fmt clean
+.PHONY: all build test check tables bench perf profile perf-diff faults turns dist chaos serve load fmt clean
 
 all: build
 
@@ -57,6 +57,17 @@ dist:
 # byte-identical to the sequential baseline.  Exits 1 on divergence.
 chaos:
 	dune exec bin/qdp.exe -- dist chaos --trials 120
+
+# Always-on verification daemon on a Unix-domain socket
+# (/tmp/qdp-serve.sock); SIGTERM/Ctrl-C drains gracefully.
+serve:
+	dune exec bin/qdp.exe -- serve
+
+# Paced load against a running daemon (`make serve` in another
+# terminal): writes BENCH_serve.json and prints the verdict digest,
+# which must equal `qdp load --direct`'s for the same seed.
+load:
+	dune exec bin/qdp.exe -- load --out BENCH_serve.json
 
 # Requires the ocamlformat binary (not vendored); version pinned in
 # .ocamlformat so results are reproducible wherever it is installed.

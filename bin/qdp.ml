@@ -716,9 +716,26 @@ let perf_cmd =
         in
         let r = Qdp_obs.Perf_diff.diff cfg ~old_ ~new_ in
         Format.printf "%a@?" Qdp_obs.Perf_diff.pp_report r;
+        (* No-slowdown self-check on the candidate: a parallel path
+           losing to its own sequential baseline is a dispatch bug
+           even when it is no worse than the OLD artifact. *)
+        let slow = Qdp_obs.Perf_diff.slowdowns_of_file cfg new_file in
+        List.iter
+          (fun s ->
+            Printf.printf
+              "%-44s parallel %.6gs vs sequential %.6gs (%.3fx)  SLOWDOWN\n"
+              s.Qdp_obs.Perf_diff.s_group s.Qdp_obs.Perf_diff.s_parallel
+              s.Qdp_obs.Perf_diff.s_sequential s.Qdp_obs.Perf_diff.s_ratio)
+          slow;
         let n = Qdp_obs.Perf_diff.regressions r in
-        if n > 0 then begin
-          Printf.eprintf "qdp perf diff: %d regression(s) over threshold\n" n;
+        let ns = List.length slow in
+        if n > 0 || ns > 0 then begin
+          if n > 0 then
+            Printf.eprintf "qdp perf diff: %d regression(s) over threshold\n" n;
+          if ns > 0 then
+            Printf.eprintf
+              "qdp perf diff: %d group(s) where parallel loses to sequential\n"
+              ns;
           exit 1
         end
   in
@@ -734,9 +751,218 @@ let perf_cmd =
         const run $ old_arg $ new_arg $ threshold_arg $ group_threshold_arg
         $ min_seconds_arg)
   in
+  (* qdp perf shape FILE — print the key-path skeleton of a JSON
+     artifact (sorted, values elided).  CI diffs the skeletons of two
+     runs to pin an artifact's shape without pinning its measured
+     values. *)
+  let shape_cmd =
+    let file_arg =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"FILE" ~doc:"JSON artifact.")
+    in
+    let run file =
+      let contents =
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Qdp_obs.Json.parse contents with
+      | exception Qdp_obs.Json.Parse_error msg ->
+          Printf.eprintf "qdp perf shape: %s\n" msg;
+          exit 2
+      | j ->
+          let tag = function
+            | Qdp_obs.Json.Null -> "null"
+            | Qdp_obs.Json.Bool _ -> "bool"
+            | Qdp_obs.Json.Num _ -> "number"
+            | Qdp_obs.Json.String _ -> "string"
+            | Qdp_obs.Json.Arr _ -> "array"
+            | Qdp_obs.Json.Obj _ -> "object"
+          in
+          let rec walk prefix j acc =
+            match j with
+            | Qdp_obs.Json.Obj kvs ->
+                List.fold_left
+                  (fun acc (k, v) -> walk (prefix ^ "." ^ k) v acc)
+                  acc kvs
+            | Qdp_obs.Json.Arr xs ->
+                List.fold_left (fun acc v -> walk (prefix ^ "[]") v acc) acc xs
+            | leaf -> (prefix ^ ": " ^ tag leaf) :: acc
+          in
+          List.iter print_endline (List.sort_uniq compare (walk "$" j []))
+    in
+    Cmd.v
+      (Cmd.info "shape"
+         ~doc:
+           "Print the sorted key-path skeleton of a JSON artifact (values \
+            elided) — diff two skeletons to check an artifact's shape is \
+            stable across runs.")
+      Term.(const run $ file_arg)
+  in
   Cmd.group
     (Cmd.info "perf" ~doc:"Performance comparison and regression gating.")
-    [ diff_cmd ]
+    [ diff_cmd; shape_cmd ]
+
+(* qdp serve — the always-on verification daemon. *)
+let serve_default = Qdp_serve.Server.default_config
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string serve_default.Qdp_serve.Server.socket_path
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_cmd =
+  let queue_arg =
+    Arg.(
+      value
+      & opt int serve_default.Qdp_serve.Server.queue_limit
+      & info [ "queue-limit" ] ~docv:"N"
+          ~doc:
+            "Admission control: requests queued beyond $(docv) get an \
+             immediate structured overload reject.")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt int serve_default.Qdp_serve.Server.cache_capacity
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Shared LRU response cache capacity (entries).")
+  in
+  let batch_arg =
+    Arg.(
+      value
+      & opt int serve_default.Qdp_serve.Server.batch_max
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Max requests evaluated per event-loop iteration (duplicates \
+             within a batch evaluate once).")
+  in
+  let sessions_arg =
+    Arg.(
+      value
+      & opt int serve_default.Qdp_serve.Server.max_sessions
+      & info [ "max-sessions" ] ~docv:"N" ~doc:"Max concurrent sessions.")
+  in
+  let run socket queue_limit cache batch sessions o =
+    setup_logs false;
+    with_obs ~cmd:"serve" o @@ fun () ->
+    let config =
+      {
+        Qdp_serve.Server.socket_path = socket;
+        queue_limit;
+        cache_capacity = cache;
+        batch_max = batch;
+        max_sessions = sessions;
+      }
+    in
+    Printf.eprintf "qdp serve: listening on %s (pid %d)\n%!" socket
+      (Unix.getpid ());
+    Qdp_serve.Server.run ~config ();
+    Printf.eprintf "qdp serve: drained\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the always-on verification daemon: concurrent \
+          evaluate-protocol requests over a Unix-domain socket, with a \
+          shared LRU verdict cache, request batching, bounded-queue \
+          admission control and graceful drain on SIGTERM.")
+    Term.(
+      const run $ socket_arg $ queue_arg $ cache_arg $ batch_arg
+      $ sessions_arg $ obs_term)
+
+(* qdp load — the load generator / determinism checker. *)
+let load_cmd =
+  let clients_arg =
+    Arg.(
+      value
+      & opt int Qdp_serve.Load.default_config.Qdp_serve.Load.clients
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Concurrent client sessions (one in-flight request each).")
+  in
+  let rps_arg =
+    Arg.(
+      value
+      & opt float Qdp_serve.Load.default_config.Qdp_serve.Load.rps
+      & info [ "rps" ] ~docv:"R" ~doc:"Aggregate target request rate.")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt float Qdp_serve.Load.default_config.Qdp_serve.Load.duration
+      & info [ "duration" ] ~docv:"S" ~doc:"Seconds of paced sending.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the BENCH_serve.json report to $(docv).")
+  in
+  let direct_arg =
+    Arg.(
+      value & flag
+      & info [ "direct" ]
+          ~doc:
+            "Skip the server: evaluate the same request mix in-process and \
+             print its verdict digest.  A live run's digest must match — \
+             the end-to-end determinism check.")
+  in
+  let run socket clients rps duration seed out direct o =
+    setup_logs false;
+    with_obs ~cmd:"load" o @@ fun () ->
+    let config =
+      { Qdp_serve.Load.socket; clients; rps; duration; seed }
+    in
+    if direct then
+      Printf.printf "verdict_digest %s\n"
+        (Qdp_serve.Load.direct_digest ~config ())
+    else begin
+      match Qdp_serve.Load.run ~config () with
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "qdp load: cannot reach %s: %s\n" socket
+            (Unix.error_message e);
+          exit 2
+      | r ->
+          let json = Qdp_serve.Load.to_json r in
+          (match out with
+          | Some file ->
+              let oc = open_out file in
+              Fun.protect
+                ~finally:(fun () -> close_out oc)
+                (fun () -> output_string oc json)
+          | None -> ());
+          Printf.printf
+            "sent %d  replies %d  overload_rejects %d  errors %d\n"
+            r.Qdp_serve.Load.lr_sent r.Qdp_serve.Load.lr_replies
+            r.Qdp_serve.Load.lr_overloads r.Qdp_serve.Load.lr_errors;
+          Printf.printf "throughput %.1f req/s  p50 %.4fs  p99 %.4fs\n"
+            r.Qdp_serve.Load.lr_throughput_rps r.Qdp_serve.Load.lr_p50_s
+            r.Qdp_serve.Load.lr_p99_s;
+          Printf.printf "verdict_digest %s\n" r.Qdp_serve.Load.lr_digest;
+          if r.Qdp_serve.Load.lr_replies + r.Qdp_serve.Load.lr_errors
+             < r.Qdp_serve.Load.lr_sent - r.Qdp_serve.Load.lr_overloads
+          then begin
+            Printf.eprintf "qdp load: some requests never got a response\n";
+            exit 1
+          end
+    end
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive a running $(b,qdp serve) daemon with paced concurrent \
+          requests; report throughput, p50/p99 latency and a \
+          scheduling-insensitive verdict digest (compare with \
+          $(b,--direct) to check server determinism end to end).")
+    Term.(
+      const run $ socket_arg $ clients_arg $ rps_arg $ duration_arg
+      $ seed_arg $ out_arg $ direct_arg $ obs_term)
 
 let main =
   Cmd.group
@@ -745,6 +971,16 @@ let main =
          "Distributed quantum Merlin-Arthur protocols \
           (Hasegawa-Kundu-Nishimura, PODC 2024).")
     (List.map entry_cmd (Registry.all ())
-    @ [ list_cmd; check_cmd; xval_cmd; faults_cmd; dist_cmd; turns_cmd; perf_cmd ])
+    @ [
+        list_cmd;
+        check_cmd;
+        xval_cmd;
+        faults_cmd;
+        dist_cmd;
+        turns_cmd;
+        perf_cmd;
+        serve_cmd;
+        load_cmd;
+      ])
 
 let () = exit (Cmd.eval main)

@@ -6,6 +6,9 @@ type msg =
   | Result of { shard : int; attempt : int; payload : string }
   | Failed of { shard : int; attempt : int; reason : string }
   | Stop
+  | Request of { id : int; payload : string }
+  | Reply of { id : int; payload : string }
+  | Reject of { id : int; reason : string }
 
 (* -- CRC-32 (IEEE, reflected), table-based -------------------------- *)
 
@@ -49,12 +52,17 @@ let kind_byte = function
   | Result _ -> '\003'
   | Failed _ -> '\004'
   | Stop -> '\005'
+  | Request _ -> '\006'
+  | Reply _ -> '\007'
+  | Reject _ -> '\008'
 
 let fields = function
   | Task { shard; attempt } | Ack { shard; attempt } -> (shard, attempt, "")
   | Result { shard; attempt; payload } -> (shard, attempt, payload)
   | Failed { shard; attempt; reason } -> (shard, attempt, reason)
   | Stop -> (0, 0, "")
+  | Request { id; payload } | Reply { id; payload } -> (id, 0, payload)
+  | Reject { id; reason } -> (id, 0, reason)
 
 let encode msg =
   let shard, attempt, payload = fields msg in
@@ -109,6 +117,9 @@ let decode_kind c shard attempt payload =
   | '\003' -> Some (Result { shard; attempt; payload })
   | '\004' -> Some (Failed { shard; attempt; reason = payload })
   | '\005' -> Some Stop
+  | '\006' -> Some (Request { id = shard; payload })
+  | '\007' -> Some (Reply { id = shard; payload })
+  | '\008' -> Some (Reject { id = shard; reason = payload })
   | _ -> None
 
 let next r =

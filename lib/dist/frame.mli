@@ -24,6 +24,15 @@ type msg =
   | Failed of { shard : int; attempt : int; reason : string }
       (** worker -> coordinator: the shard closure raised *)
   | Stop  (** coordinator -> worker: exit cleanly *)
+  | Request of { id : int; payload : string }
+      (** client -> server ([Qdp_serve]): evaluate the JSON-encoded
+          request; [id] is a client-chosen correlation id echoed on
+          the response (carried in the shard field) *)
+  | Reply of { id : int; payload : string }
+      (** server -> client: JSON-encoded evaluation result *)
+  | Reject of { id : int; reason : string }
+      (** server -> client: JSON-encoded structured rejection
+          (overload, malformed request, evaluation error) *)
 
 (** [crc32 s] is the IEEE CRC-32 of [s]
     ([crc32 "123456789" = 0xCBF43926]). *)

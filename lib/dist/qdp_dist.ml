@@ -235,7 +235,10 @@ let worker_main ~f ~task_r ~res_w =
      let rec loop () =
        match read_msg () with
        | None | Some Frame.Stop -> ()
-       | Some (Frame.Ack _ | Frame.Result _ | Frame.Failed _) -> loop ()
+       | Some
+           (Frame.Ack _ | Frame.Result _ | Frame.Failed _ | Frame.Request _
+           | Frame.Reply _ | Frame.Reject _) ->
+           loop ()
        | Some (Frame.Task { shard; attempt }) -> (
            match chaos_event ~seed ~shard ~attempt ~p with
            | Some Crash ->
@@ -405,7 +408,7 @@ let coordinator ~label ~n ~(f : int -> 'r) nworkers : 'r array =
       stats.s_retries <- stats.s_retries + 1;
       Metrics.incr c_retries;
       let d = Backoff.delay policy ~st:brng ~attempt:attempts.(shard) in
-      delayed := (Unix.gettimeofday () +. d, shard) :: !delayed
+      delayed := (Qdp_obs.Clock.now () +. d, shard) :: !delayed
     end
   in
   (* Kills a worker, failing its in-flight shard.  All three failure
@@ -465,7 +468,9 @@ let coordinator ~label ~n ~(f : int -> 'r) nworkers : 'r array =
     maybe_respawn ()
   in
   let on_msg w = function
-    | Frame.Ack _ | Frame.Stop | Frame.Task _ -> ()
+    | Frame.Ack _ | Frame.Stop | Frame.Task _ | Frame.Request _
+    | Frame.Reply _ | Frame.Reject _ ->
+        ()
     | Frame.Result { shard; attempt = _; payload } -> (
         if shard < 0 || shard >= n then on_corrupt w
         else
@@ -525,12 +530,12 @@ let coordinator ~label ~n ~(f : int -> 'r) nworkers : 'r array =
     let att = attempts.(shard) in
     match Frame.write w.w_to (Frame.Task { shard; attempt = att }) with
     | () ->
-        w.w_busy <- Some (shard, att, Unix.gettimeofday ());
+        w.w_busy <- Some (shard, att, Qdp_obs.Clock.now ());
         Metrics.incr c_tasks
     | exception Unix.Unix_error (_, _, _) ->
         (* Dead before the task arrived: charge a crash, retry the
            shard elsewhere. *)
-        w.w_busy <- Some (shard, att, Unix.gettimeofday ());
+        w.w_busy <- Some (shard, att, Qdp_obs.Clock.now ());
         stats.s_crashes <- stats.s_crashes + 1;
         Metrics.incr c_crashes;
         kill_worker w;
@@ -563,7 +568,9 @@ let coordinator ~label ~n ~(f : int -> 'r) nworkers : 'r array =
         ignore (spawn ())
       done;
       while !outstanding > 0 && alive () <> [] do
-        let now = Unix.gettimeofday () in
+        (* Monotonic-clamped: a backwards NTP step must not revive an
+           expired backoff entry or stretch a shard deadline. *)
+        let now = Qdp_obs.Clock.now () in
         (* promote delayed shards whose backoff has elapsed *)
         let due, still = List.partition (fun (t, _) -> t <= now) !delayed in
         delayed := still;

@@ -172,7 +172,7 @@ let gram a =
         done
       done
   in
-  if d * n * n >= Mat.par_mac_cutoff then Qdp_par.parallel_for 0 tiles tile
+  if Mat.par_profitable ~macs:(d * n * n) then Qdp_par.parallel_for 0 tiles tile
   else
     for t = 0 to tiles - 1 do
       tile t

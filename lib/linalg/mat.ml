@@ -59,6 +59,9 @@ let scale z a =
 
 let par_mac_cutoff = 1 lsl 16
 
+let par_profitable ~macs =
+  macs >= par_mac_cutoff * Qdp_par.effective_jobs ()
+
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: shape mismatch";
   Qdp_obs.Calib.sample ~kernel:"mat.mul"
@@ -78,7 +81,7 @@ let mul a b =
         done
     done
   in
-  if a.rows * a.cols * b.cols >= par_mac_cutoff then
+  if par_profitable ~macs:(a.rows * a.cols * b.cols) then
     Qdp_par.parallel_for 0 a.rows row
   else
     for i = 0 to a.rows - 1 do
@@ -138,7 +141,7 @@ let tensor a b =
         done
     done
   in
-  if a.rows * a.cols * b.rows * b.cols >= par_mac_cutoff then
+  if par_profitable ~macs:(a.rows * a.cols * b.rows * b.cols) then
     Qdp_par.parallel_for 0 a.rows row_block
   else
     for ia = 0 to a.rows - 1 do

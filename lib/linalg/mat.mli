@@ -48,6 +48,14 @@ val scale : Cx.t -> t -> t
     any job count either side of the cutoff. *)
 val par_mac_cutoff : int
 
+(** [par_profitable ~macs] decides whether a dense kernel of [macs]
+    multiply-accumulates should dispatch to the pool: true when every
+    {e effective} worker ([Qdp_par.effective_jobs]) would get at least
+    {!par_mac_cutoff} MACs of arithmetic.  A grid too small to
+    amortize fan-out over the actual pool stays sequential — same
+    floats either way. *)
+val par_profitable : macs:int -> bool
+
 (** [mul a b] is the matrix product. *)
 val mul : t -> t -> t
 

@@ -155,9 +155,14 @@ let run_turns ?faults ?st ?deadline:deadline_opt g ~schedule ~prover program =
   in
   let check_deadline =
     if limit > 0. then begin
-      let t0 = Unix.gettimeofday () in
+      (* [Qdp_obs.Clock.now], not raw [gettimeofday]: with the raw
+         clock a backwards NTP step makes [elapsed_s] negative (the
+         deadline silently stops firing), and a forwards step right
+         after [t0] fires it spuriously.  The clamped clock keeps
+         elapsed time non-negative and non-decreasing. *)
+      let t0 = Qdp_obs.Clock.now () in
       fun () ->
-        let elapsed_s = Unix.gettimeofday () -. t0 in
+        let elapsed_s = Qdp_obs.Clock.now () -. t0 in
         if elapsed_s > limit then
           raise (Deadline_exceeded { elapsed_s; limit_s = limit })
     end

@@ -1,14 +1,25 @@
 (* Wall clock in seconds with a monotonic clamp: [Unix.gettimeofday]
    can step backwards under NTP adjustment, which would produce
-   negative span durations, so [now] never returns a value smaller
-   than a previously observed one.  The clamp is a CAS loop over an
-   atomic so concurrent domains can neither tear the stored maximum
-   nor pin another domain's reading backwards. *)
+   negative span durations and misfired (or never-firing) deadlines,
+   so [now] never returns a value smaller than a previously observed
+   one.  The clamp is a CAS loop over an atomic so concurrent domains
+   can neither tear the stored maximum nor pin another domain's
+   reading backwards.
+
+   Everything that measures elapsed wall time in this codebase —
+   spans, profiles, progress heartbeats, shard deadlines, backoff
+   wakeups, [Runtime.run_turns] execution deadlines — must read the
+   clock through [now], never through raw [Unix.gettimeofday]. *)
 
 let last = Atomic.make neg_infinity
 
+(* The time source is swappable so tests can drive the clamp (and the
+   deadline logic built on it) with a stepped fake clock.  Plain
+   [ref]: the only writer is the test harness, before concurrency. *)
+let source : (unit -> float) ref = ref Unix.gettimeofday
+
 let now () =
-  let t = Unix.gettimeofday () in
+  let t = !source () in
   let rec clamp () =
     let prev = Atomic.get last in
     if t <= prev then prev
@@ -16,3 +27,12 @@ let now () =
     else clamp ()
   in
   clamp ()
+
+let set_source f =
+  (match f with
+  | Some f -> source := f
+  | None -> source := Unix.gettimeofday);
+  (* Reset the clamp so a fake clock far in the future cannot pin the
+     restored system clock (and vice versa).  Test-only hook: the
+     monotonic guarantee holds within one source, not across a swap. *)
+  Atomic.set last neg_infinity

@@ -43,7 +43,8 @@ let parse_error pos msg =
 
 (* Recursive-descent parser over the whole input string.  Covers the
    JSON subset our exporters emit (and standard escapes, so files we
-   did not write still load); numbers go through [float_of_string]. *)
+   did not write still load); numbers are lexed against the RFC 8259
+   grammar and only then converted with [float_of_string]. *)
 let parse (s : string) : t =
   let n = String.length s in
   let pos = ref 0 in
@@ -160,15 +161,38 @@ let parse (s : string) : t =
     Buffer.contents buf
   in
   let parse_number () =
+    (* Lexed against the RFC 8259 grammar — an optional minus, then
+       "0" or a nonzero digit followed by digits, an optional
+       ".digits" fraction and an optional signed exponent — rather
+       than delegated to [float_of_string_opt], which also accepts
+       OCaml float literals that are not JSON: leading [+], leading
+       zeros, a bare trailing or leading dot ([+1], [01], [1.],
+       [.5]), hex floats and [_] separators. *)
     let start = !pos in
-    let num_char c =
-      match c with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
+    let is_digit c = c >= '0' && c <= '9' in
+    let digits1 what =
+      if not (!pos < n && is_digit s.[!pos]) then
+        parse_error !pos (Printf.sprintf "expected digit in %s" what);
+      while !pos < n && is_digit s.[!pos] do
+        incr pos
+      done
     in
-    while !pos < n && num_char s.[!pos] do
-      incr pos
-    done;
+    if !pos < n && s.[!pos] = '-' then incr pos;
+    (* int part: 0, or a nonzero digit followed by digits — 01 is two
+       tokens and surfaces as trailing garbage / a container error *)
+    (match if !pos < n then Some s.[!pos] else None with
+    | Some '0' -> incr pos
+    | Some c when is_digit c -> digits1 "number"
+    | _ -> parse_error start "bad number");
+    if !pos < n && s.[!pos] = '.' then begin
+      incr pos;
+      digits1 "fraction"
+    end;
+    if !pos < n && (s.[!pos] = 'e' || s.[!pos] = 'E') then begin
+      incr pos;
+      if !pos < n && (s.[!pos] = '+' || s.[!pos] = '-') then incr pos;
+      digits1 "exponent"
+    end;
     let lit = String.sub s start (!pos - start) in
     match float_of_string_opt lit with
     | Some f -> f

@@ -164,14 +164,13 @@ let metrics_of_string s =
   | j -> metrics_of_json j
   | exception Json.Parse_error msg -> failwith ("JSON parse error at " ^ msg)
 
-let load path =
+let read_file path =
   let ic = open_in_bin path in
-  let contents =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  in
-  metrics_of_string contents
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path = metrics_of_string (read_file path)
 
 (* --- comparison --- *)
 
@@ -238,6 +237,55 @@ let diff config ~old_ ~new_ =
 
 let regressions r =
   List.length (List.filter (fun c -> c.c_verdict = Regression) r.compared)
+
+(* --- parallel no-slowdown self-check --- *)
+
+(* A BENCH_perf group where the parallel path measurably loses to the
+   sequential one is a dispatch bug, not noise: with the
+   effective-jobs clamp, oversubscribed or unprofitable grids must
+   degrade to the sequential path, so [parallel_s] can never sit above
+   [sequential_s] by more than the noise band.  This is a property of
+   a single artifact (the NEW one), unlike [diff] which needs a
+   baseline. *)
+
+type slowdown = {
+  s_group : string;
+  s_sequential : float;
+  s_parallel : float;
+  s_ratio : float;
+}
+
+let slowdowns config j =
+  let groups =
+    match Json.member "groups" j with Some v -> Json.to_list v | None -> []
+  in
+  List.filter_map
+    (fun item ->
+      match
+        ( str_field item "group",
+          num_field item "sequential_s",
+          num_field item "parallel_s" )
+      with
+      | Some g, Some seq, Some par ->
+          if
+            (seq >= config.min_seconds || par >= config.min_seconds)
+            && par > seq *. (1. +. threshold_for config g)
+          then
+            Some
+              {
+                s_group = g;
+                s_sequential = seq;
+                s_parallel = par;
+                s_ratio = (if seq > 0. then par /. seq else infinity);
+              }
+          else None
+      | _ -> None)
+    groups
+
+let slowdowns_of_file config path =
+  match Json.parse (read_file path) with
+  | j -> slowdowns config j
+  | exception Json.Parse_error msg -> failwith ("JSON parse error at " ^ msg)
 
 let verdict_label = function
   | Regression -> "REGRESSION"

@@ -67,3 +67,23 @@ val diff : config -> old_:metric list -> new_:metric list -> result
 val regressions : result -> int
 
 val pp_report : Format.formatter -> result -> unit
+
+(** A BENCH_perf group whose parallel path measurably lost to its own
+    sequential baseline — a dispatch bug (the effective-jobs clamp
+    should have degraded it to the sequential path), not noise. *)
+type slowdown = {
+  s_group : string;
+  s_sequential : float;
+  s_parallel : float;
+  s_ratio : float;  (** [parallel_s / sequential_s] *)
+}
+
+(** [slowdowns config j] checks a single BENCH_perf-shaped artifact:
+    every group where [parallel_s > sequential_s * (1 + t)] (the
+    group's threshold) and at least one side clears the [min_seconds]
+    floor.  Returns [[]] on artifacts without a [groups] array. *)
+val slowdowns : config -> Json.t -> slowdown list
+
+(** [slowdowns_of_file config path] reads, parses and checks.
+    @raise Failure on malformed JSON, [Sys_error] on IO. *)
+val slowdowns_of_file : config -> string -> slowdown list

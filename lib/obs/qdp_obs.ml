@@ -5,6 +5,7 @@
    single branch, and attribute/label closures are only evaluated
    while the switch is on. *)
 
+module Clock = Clock
 module Metrics = Metrics
 module Trace = Trace
 module Prof = Prof

@@ -17,6 +17,26 @@
     worker is a root span of that worker, not a child of whatever the
     submitting domain had open. *)
 
+(** The one wall clock every elapsed-time measurement must read.
+    {!Clock.now} is [Unix.gettimeofday] behind a monotonic clamp: a
+    backwards NTP step can never produce a negative duration, a
+    misfired deadline, or a deadline that hangs because its reference
+    point lies in the future.  Spans, profiles, shard supervision
+    ([Qdp_dist]) and execution deadlines
+    ([Qdp_network.Runtime.run_turns]) all go through it. *)
+module Clock : sig
+  (** Seconds since the epoch, clamped to be non-decreasing across
+      every domain of the process. *)
+  val now : unit -> float
+
+  (** [set_source (Some f)] swaps the underlying time source — a test
+      hook for driving deadline logic with a stepped fake clock;
+      [set_source None] restores [Unix.gettimeofday].  Either call
+      resets the monotonic clamp, so the non-decreasing guarantee
+      holds within one source, not across a swap. *)
+  val set_source : (unit -> float) option -> unit
+end
+
 module Metrics = Metrics
 module Trace = Trace
 

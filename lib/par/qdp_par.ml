@@ -33,6 +33,41 @@ let set_jobs n =
   if n < 1 then invalid_arg "Qdp_par.set_jobs: need at least one job";
   Atomic.set configured n
 
+(* -- effective parallelism ------------------------------------------ *)
+
+(* BENCH_perf showed the parallel paths losing up to 7x on a 1-core
+   host at --jobs 4: every domain beyond the core count is pure
+   scheduling overhead, yet dispatch decisions honoured the requested
+   job count unconditionally.  [effective_jobs] clamps the budget to
+   the hardware so oversubscribed configurations degrade to the
+   sequential path — byte-identical outputs, none of the domain
+   machinery.  Tests that exercise pool semantics on small hosts opt
+   back in via [set_oversubscribe] / QDP_OVERSUBSCRIBE=1. *)
+
+let cores = lazy (Domain.recommended_domain_count ())
+
+(* 0 = unresolved, 1 = clamp (default), 2 = oversubscribe allowed. *)
+let oversub = Atomic.make 0
+
+let oversubscribe () =
+  match Atomic.get oversub with
+  | 1 -> false
+  | 2 -> true
+  | _ ->
+      let v =
+        match Sys.getenv_opt "QDP_OVERSUBSCRIBE" with
+        | Some ("1" | "true" | "yes") -> 2
+        | Some _ | None -> 1
+      in
+      ignore (Atomic.compare_and_set oversub 0 v);
+      Atomic.get oversub = 2
+
+let set_oversubscribe b = Atomic.set oversub (if b then 2 else 1)
+
+let effective_jobs () =
+  let j = jobs () in
+  if oversubscribe () then j else min j (Lazy.force cores)
+
 (* -- pool ---------------------------------------------------------- *)
 
 let lock = Mutex.create ()
@@ -93,7 +128,7 @@ let () =
 let run_tasks (tasks : (unit -> unit) array) =
   let n = Array.length tasks in
   if n = 0 then ()
-  else if n = 1 || jobs () = 1 then Array.iter (fun t -> t ()) tasks
+  else if n = 1 || effective_jobs () = 1 then Array.iter (fun t -> t ()) tasks
   else begin
     Qdp_obs.Prof.region @@ fun () ->
     let remaining = Atomic.make n in
@@ -112,7 +147,7 @@ let run_tasks (tasks : (unit -> unit) array) =
       Mutex.unlock lock
     in
     Mutex.lock lock;
-    ensure_workers (min (jobs ()) n - 1);
+    ensure_workers (min (effective_jobs ()) n - 1);
     for i = 1 to n - 1 do
       Queue.push (wrap i) queue
     done;
@@ -149,12 +184,14 @@ let chunk_size ?chunk n =
   match chunk with
   | Some c when c >= 1 -> c
   | Some _ -> invalid_arg "Qdp_par: chunk must be >= 1"
-  | None -> max 1 ((n + (4 * jobs ()) - 1) / (4 * jobs ()))
+  | None ->
+      let j = effective_jobs () in
+      max 1 ((n + (4 * j) - 1) / (4 * j))
 
 let parallel_for ?chunk lo hi body =
   let n = hi - lo in
   if n <= 0 then ()
-  else if jobs () = 1 then
+  else if effective_jobs () = 1 then
     for i = lo to hi - 1 do
       body i
     done
@@ -178,7 +215,7 @@ let parallel_for ?chunk lo hi body =
 let parallel_map_array ?chunk f arr =
   let n = Array.length arr in
   if n = 0 then [||]
-  else if jobs () = 1 || n = 1 then Array.map f arr
+  else if effective_jobs () = 1 || n = 1 then Array.map f arr
   else begin
     let out = Array.make n None in
     parallel_for ?chunk 0 n (fun i -> out.(i) <- Some (f arr.(i)));
@@ -188,7 +225,7 @@ let parallel_map_array ?chunk f arr =
 let parallel_reduce ?chunk ~neutral ~combine lo hi f =
   let n = hi - lo in
   if n <= 0 then neutral
-  else if jobs () = 1 then begin
+  else if effective_jobs () = 1 then begin
     let acc = ref neutral in
     for i = lo to hi - 1 do
       acc := combine !acc (f i)

@@ -35,6 +35,27 @@ val jobs : unit -> int
     @raise Invalid_argument on [n < 1]. *)
 val set_jobs : int -> unit
 
+(** [effective_jobs ()] is the parallelism every dispatch decision in
+    this module actually uses: [jobs ()] clamped to
+    [Domain.recommended_domain_count ()].  Requesting more domains
+    than the host has cores is pure scheduling overhead (BENCH_perf
+    measured up to 7x slowdowns at [--jobs 4] on a 1-core host), so an
+    oversubscribed budget degrades to the sequential path instead.
+    The clamp affects dispatch only, never results: the determinism
+    contract already makes every [--jobs] value byte-identical. *)
+val effective_jobs : unit -> int
+
+(** [oversubscribe ()] reports whether the clamp in
+    {!effective_jobs} is disabled.  Resolved on first use from the
+    [QDP_OVERSUBSCRIBE] environment variable ([1]/[true]/[yes]);
+    default [false]. *)
+val oversubscribe : unit -> bool
+
+(** [set_oversubscribe true] lets [effective_jobs] exceed the core
+    count — for tests that must exercise real pool semantics
+    (spawning, helping, nesting) on small hosts. *)
+val set_oversubscribe : bool -> unit
+
 (** [pool_started ()] is [true] once the pool has ever spawned a
     worker domain.  OCaml 5 forbids [Unix.fork] after any domain has
     been created, so the multi-process coordinator ([Qdp_dist]) checks

@@ -1,0 +1,73 @@
+(* Minimal blocking client for the verification service: connect,
+   send Request frames, read Reply/Reject frames.  Used by `qdp load`
+   and the serve test suite; a session holds one socket and one
+   incremental frame reader. *)
+
+module Frame = Qdp_dist.Frame
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Frame.reader;
+  mutable closed : bool;
+}
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; reader = Frame.reader (); closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let fd t = t.fd
+
+let send t ~id payload = Frame.write t.fd (Frame.Request { id; payload })
+
+(* Sends raw bytes — the test suite's malformed-frame injector. *)
+let send_raw t bytes =
+  let b = Bytes.unsafe_of_string bytes in
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    match Unix.write t.fd b !pos (len - !pos) with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+type event =
+  [ `Reply of int * string  (* id, response JSON *)
+  | `Reject of int * string  (* id, reason JSON *)
+  | `Eof ]
+
+let scratch = Bytes.create 65536
+
+(* Blocks until one whole Reply/Reject frame (or EOF) arrives.  Other
+   frame kinds from the server would be a protocol violation and are
+   skipped. *)
+let rec next_event t : event =
+  match Frame.next t.reader with
+  | `Msg (Frame.Reply { id; payload }) -> `Reply (id, payload)
+  | `Msg (Frame.Reject { id; reason }) -> `Reject (id, reason)
+  | `Msg _ -> next_event t
+  | `Corrupt -> next_event t
+  | `More -> (
+      match Unix.read t.fd scratch 0 (Bytes.length scratch) with
+      | 0 -> `Eof
+      | n ->
+          Frame.feed t.reader scratch n;
+          next_event t
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> next_event t
+      | exception
+          Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          `Eof)
+
+(* One synchronous round-trip. *)
+let rpc t ~id payload =
+  send t ~id payload;
+  next_event t

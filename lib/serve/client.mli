@@ -1,0 +1,34 @@
+(** Blocking client for the verification service — the counterpart of
+    {!Server}, used by [qdp load] and the tests. *)
+
+type t
+
+(** [connect path] opens a session to the daemon's Unix-domain
+    socket.  Raises [Unix.Unix_error] when the daemon is not up. *)
+val connect : string -> t
+
+val close : t -> unit
+
+(** The underlying socket, for callers multiplexing with [select]. *)
+val fd : t -> Unix.file_descr
+
+(** [send t ~id payload] frames and writes one request; [id] is
+    echoed on the matching response. *)
+val send : t -> id:int -> string -> unit
+
+(** [send_raw t bytes] writes arbitrary bytes — the test suite's
+    malformed-frame injector. *)
+val send_raw : t -> string -> unit
+
+type event =
+  [ `Reply of int * string  (** id, response JSON *)
+  | `Reject of int * string  (** id, reason JSON *)
+  | `Eof ]
+
+(** [next_event t] blocks until one whole response frame (or EOF)
+    arrives. *)
+val next_event : t -> event
+
+(** [rpc t ~id payload] is [send] then [next_event] — one synchronous
+    round-trip. *)
+val rpc : t -> id:int -> string -> event

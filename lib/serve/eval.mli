@@ -1,0 +1,26 @@
+(** Deterministic request evaluation — the single code path behind
+    both the server and the load generator's [--direct] mode.
+
+    Every random stream derives from the request's own [seed] (never
+    from server state, arrival order or the wall clock), so a request
+    maps to exactly one response byte string.  That property is what
+    the end-to-end determinism check rides on: the verdict digest of a
+    [qdp load] run against a live server must equal the digest of
+    evaluating the same requests directly.
+
+    Plain requests run {!Qdp_core.Registry.evaluate_demo} (exact
+    analytic evaluation of the entry's yes and no demo instances).
+    Faulted requests run the entry's
+    {!Qdp_core.Registry.fault_suite} cases for the requested number of
+    Monte-Carlo trials under the requested
+    {!Qdp_faults.Plan.kind}/strength, with the sweep's RNG discipline
+    and [Reject_on_timeout] recovery. *)
+
+(** [run r] is [Ok response_json] or [Error reason] (unknown protocol,
+    no fault-aware realization, or an evaluation exception — the
+    server maps [Error] to a [Reject] frame without dying). *)
+val run : Request.t -> (string, string) result
+
+(** [run_string s] parses [s] as a request first; parse and validation
+    failures come back as [Error]. *)
+val run_string : string -> (string, string) result

@@ -1,0 +1,299 @@
+(* The load generator behind `qdp load`: N client sessions against a
+   running daemon, paced at a target aggregate request rate, with
+   latency percentiles, throughput and a determinism digest at the
+   end.
+
+   Determinism discipline: the request mix is a pure function of the
+   seed, overload rejects are retried until every request in the mix
+   has a real response, and the digest folds over the *sorted set* of
+   (canonical key, response) pairs — so scheduling, interleaving and
+   transient overload never change it.  The same digest computed by
+   [direct] (no server, straight through Eval) must match: that is the
+   end-to-end determinism check CI runs. *)
+
+module Json = Qdp_obs.Json
+module Registry = Qdp_core.Registry
+
+type config = {
+  socket : string;
+  clients : int;
+  rps : float;  (* aggregate target request rate *)
+  duration : float;  (* seconds of paced sending *)
+  seed : int;  (* selects the request mix *)
+}
+
+let default_config =
+  {
+    socket = Server.default_config.Server.socket_path;
+    clients = 4;
+    rps = 50.;
+    duration = 5.;
+    seed = 42;
+  }
+
+type result = {
+  lr_clients : int;
+  lr_rps_target : float;
+  lr_duration_s : float;
+  lr_sent : int;
+  lr_replies : int;
+  lr_overloads : int;  (* overload rejects; each one was retried *)
+  lr_errors : int;  (* structured non-overload rejects *)
+  lr_throughput_rps : float;
+  lr_p50_s : float;
+  lr_p99_s : float;
+  lr_mean_s : float;
+  lr_max_s : float;
+  lr_cache_keys : int;  (* distinct canonical keys exercised *)
+  lr_digest : string;
+}
+
+(* --- request mix --- *)
+
+(* A deterministic function of the seed and the registry: every
+   conformance entry as a plain request (two parameter points each),
+   plus a faulted request for every entry with a fault-aware
+   realization.  Small trial counts keep single evaluations fast
+   enough that the loop, not the evaluator, sets the pace. *)
+let mix ?(seed = 42) () =
+  let spec = { Registry.default_spec with Registry.seed } in
+  let plain =
+    List.concat_map
+      (fun id ->
+        [
+          Request.make ~spec id;
+          Request.make ~spec:{ spec with Registry.n = spec.Registry.n / 2 } id;
+        ])
+      (Registry.ids ())
+  in
+  let faulted =
+    List.filter_map
+      (fun e ->
+        match Registry.fault_suite spec e with
+        | None -> None
+        | Some suite ->
+            Some
+              (Request.make
+                 ~fault:
+                   {
+                     Request.f_kind = "drop";
+                     f_strength = 0.1;
+                     f_turn = None;
+                     f_trials = 5;
+                   }
+                 ~spec suite.Registry.fs_id))
+      (Registry.all ())
+  in
+  plain @ faulted
+
+(* --- digest --- *)
+
+(* CRC-32 over the sorted set of "key\n=>response\n" lines: insensitive
+   to arrival order and to how many times a key was served. *)
+let digest pairs =
+  let lines =
+    List.sort_uniq compare
+      (List.map (fun (k, v) -> k ^ "\n=>" ^ v ^ "\n") pairs)
+  in
+  let crc = Qdp_dist.Frame.crc32 (String.concat "" lines) in
+  Printf.sprintf "%08lx" crc
+
+(* [direct cfg] evaluates the mix straight through Eval — the digest
+   reference the server run is compared against. *)
+let direct ?(config = default_config) () =
+  List.map
+    (fun r ->
+      let response =
+        match Eval.run r with
+        | Ok s -> s
+        | Error msg ->
+            Printf.sprintf "{\"error\":\"eval_error\",\"detail\":%s}"
+              (Json.str msg)
+      in
+      (Request.key r, response))
+    (mix ~seed:config.seed ())
+
+let direct_digest ?config () = digest (direct ?config ())
+
+(* --- the paced loop --- *)
+
+type slot = {
+  client : Client.t;
+  mutable busy : (int * Request.t * float) option; (* id, request, send time *)
+}
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+
+let is_overload reason =
+  match Json.parse reason with
+  | j -> (
+      match Json.member "error" j with
+      | Some (Json.String "overload") -> true
+      | _ -> false)
+  | exception Json.Parse_error _ -> false
+
+let run ?(config = default_config) () =
+  if config.clients < 1 then invalid_arg "Load.run: clients must be >= 1";
+  if config.rps <= 0. then invalid_arg "Load.run: rps must be positive";
+  let requests = mix ~seed:config.seed () in
+  let n_mix = List.length requests in
+  let mix_arr = Array.of_list requests in
+  let total = max n_mix (int_of_float (config.rps *. config.duration)) in
+  (* Work list: every request index that still needs a real response.
+     Overload rejects push their request back here. *)
+  let work = Queue.create () in
+  for i = 0 to total - 1 do
+    Queue.push mix_arr.(i mod n_mix) work
+  done;
+  let slots =
+    Array.init config.clients (fun _ ->
+        { client = Client.connect config.socket; busy = None })
+  in
+  Fun.protect
+    ~finally:(fun () -> Array.iter (fun s -> Client.close s.client) slots)
+  @@ fun () ->
+  let t_start = Qdp_obs.Clock.now () in
+  let latencies = ref [] in
+  let pairs = ref [] in
+  let sent = ref 0 and replies = ref 0 and overloads = ref 0 and errors = ref 0 in
+  let next_id = ref 1 in
+  let in_flight () =
+    Array.exists (fun s -> s.busy <> None) slots
+  in
+  let deadline = t_start +. config.duration in
+  (* Hard stop: even if the server wedges, the loop ends. *)
+  let grace = deadline +. 30. in
+  let finished = ref false in
+  while not !finished do
+    let now = Qdp_obs.Clock.now () in
+    (* Pace: the k-th request may leave at t_start + k/rps. *)
+    let due = now >= t_start +. (float_of_int !sent /. config.rps) in
+    (if due && now < deadline && not (Queue.is_empty work) then
+       match
+         Array.find_opt (fun s -> s.busy = None) slots
+       with
+       | None -> () (* every client busy: backpressure, wait for replies *)
+       | Some slot ->
+           let r = Queue.pop work in
+           let id = !next_id in
+           incr next_id;
+           incr sent;
+           Client.send slot.client ~id (Request.to_json r);
+           slot.busy <- Some (id, r, Qdp_obs.Clock.now ()));
+    (* Reap whatever is readable. *)
+    let busy_fds =
+      Array.to_list slots
+      |> List.filter_map (fun s ->
+             if s.busy <> None then Some (Client.fd s.client) else None)
+    in
+    (if busy_fds <> [] then
+       let timeout =
+         if Queue.is_empty work then 0.05
+         else max 0. (t_start +. (float_of_int !sent /. config.rps) -. now)
+       in
+       match Unix.select busy_fds [] [] (Float.min timeout 0.05) with
+       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+       | readable, _, _ ->
+           Array.iter
+             (fun slot ->
+               match slot.busy with
+               | Some (id, r, t_send) when List.memq (Client.fd slot.client) readable
+                 -> (
+                   match Client.next_event slot.client with
+                   | `Reply (rid, response) when rid = id ->
+                       slot.busy <- None;
+                       incr replies;
+                       latencies := (Qdp_obs.Clock.now () -. t_send) :: !latencies;
+                       pairs := (Request.key r, response) :: !pairs
+                   | `Reject (rid, reason) when rid = id && is_overload reason ->
+                       (* structured backpressure: retry the request *)
+                       slot.busy <- None;
+                       incr overloads;
+                       Queue.push r work
+                   | `Reject (rid, reason) when rid = id ->
+                       slot.busy <- None;
+                       incr errors;
+                       latencies := (Qdp_obs.Clock.now () -. t_send) :: !latencies;
+                       pairs := (Request.key r, reason) :: !pairs
+                   | `Reply _ | `Reject _ ->
+                       (* stale correlation id: session out of sync *)
+                       slot.busy <- None;
+                       incr errors
+                   | `Eof ->
+                       slot.busy <- None;
+                       incr errors)
+               | _ -> ())
+             slots);
+    let now = Qdp_obs.Clock.now () in
+    if now >= grace then finished := true
+    else if now >= deadline then
+      if Queue.is_empty work && not (in_flight ()) then finished := true
+      else
+        (* After the send window closes, still-queued work (requeued
+           overloads) must get its response for the digest to be
+           complete — drain it without pacing. *)
+        match Array.find_opt (fun s -> s.busy = None) slots with
+        | Some slot when not (Queue.is_empty work) ->
+            let r = Queue.pop work in
+            let id = !next_id in
+            incr next_id;
+            incr sent;
+            Client.send slot.client ~id (Request.to_json r);
+            slot.busy <- Some (id, r, Qdp_obs.Clock.now ())
+        | Some _ | None -> ()
+  done;
+  let duration_s = Qdp_obs.Clock.now () -. t_start in
+  let lat = Array.of_list !latencies in
+  Array.sort compare lat;
+  let n_lat = Array.length lat in
+  let mean =
+    if n_lat = 0 then 0.
+    else Array.fold_left ( +. ) 0. lat /. float_of_int n_lat
+  in
+  let keys = List.sort_uniq compare (List.map fst !pairs) in
+  {
+    lr_clients = config.clients;
+    lr_rps_target = config.rps;
+    lr_duration_s = duration_s;
+    lr_sent = !sent;
+    lr_replies = !replies;
+    lr_overloads = !overloads;
+    lr_errors = !errors;
+    lr_throughput_rps =
+      (if duration_s > 0. then float_of_int !replies /. duration_s else 0.);
+    lr_p50_s = percentile lat 0.50;
+    lr_p99_s = percentile lat 0.99;
+    lr_mean_s = mean;
+    lr_max_s = (if n_lat = 0 then 0. else lat.(n_lat - 1));
+    lr_cache_keys = List.length keys;
+    lr_digest = digest !pairs;
+  }
+
+(* --- BENCH_serve.json --- *)
+
+(* Fixed key set and order: the CI shape check diffs the key skeleton
+   of two runs, so only the measured values may vary. *)
+let to_json r =
+  String.concat ""
+    [
+      "{\n";
+      Printf.sprintf "  \"clients\": %d,\n" r.lr_clients;
+      Printf.sprintf "  \"rps_target\": %s,\n" (Json.float r.lr_rps_target);
+      Printf.sprintf "  \"duration_s\": %s,\n" (Json.float r.lr_duration_s);
+      Printf.sprintf "  \"sent\": %d,\n" r.lr_sent;
+      Printf.sprintf "  \"replies\": %d,\n" r.lr_replies;
+      Printf.sprintf "  \"overload_rejects\": %d,\n" r.lr_overloads;
+      Printf.sprintf "  \"errors\": %d,\n" r.lr_errors;
+      Printf.sprintf "  \"throughput_rps\": %s,\n" (Json.float r.lr_throughput_rps);
+      "  \"latency_s\": {";
+      Printf.sprintf "\"p50\": %s, " (Json.float r.lr_p50_s);
+      Printf.sprintf "\"p99\": %s, " (Json.float r.lr_p99_s);
+      Printf.sprintf "\"mean\": %s, " (Json.float r.lr_mean_s);
+      Printf.sprintf "\"max\": %s},\n" (Json.float r.lr_max_s);
+      Printf.sprintf "  \"distinct_keys\": %d,\n" r.lr_cache_keys;
+      Printf.sprintf "  \"verdict_digest\": %s\n" (Json.str r.lr_digest);
+      "}\n";
+    ]

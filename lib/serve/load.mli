@@ -1,0 +1,61 @@
+(** The load generator behind [qdp load]: paced concurrent requests
+    against a running daemon, latency percentiles, throughput, and a
+    scheduling-insensitive verdict digest.
+
+    The digest folds CRC-32 over the {e sorted set} of (canonical
+    request key, response) pairs; overload rejects are retried until
+    every request in the mix has a real response.  Because evaluation
+    is deterministic (see {!Eval}), the digest of a server run equals
+    {!direct_digest} of the same seed — the end-to-end determinism
+    check CI enforces. *)
+
+type config = {
+  socket : string;
+  clients : int;  (** concurrent sessions, one in-flight request each *)
+  rps : float;  (** aggregate target request rate *)
+  duration : float;  (** seconds of paced sending *)
+  seed : int;  (** selects the request mix *)
+}
+
+(** Server's default socket, 4 clients, 50 rps, 5 s, seed 42. *)
+val default_config : config
+
+type result = {
+  lr_clients : int;
+  lr_rps_target : float;
+  lr_duration_s : float;
+  lr_sent : int;
+  lr_replies : int;
+  lr_overloads : int;  (** overload rejects; each one was retried *)
+  lr_errors : int;  (** structured non-overload rejects *)
+  lr_throughput_rps : float;
+  lr_p50_s : float;
+  lr_p99_s : float;
+  lr_mean_s : float;
+  lr_max_s : float;
+  lr_cache_keys : int;  (** distinct canonical keys exercised *)
+  lr_digest : string;
+}
+
+(** [mix ~seed ()] is the deterministic request mix: every registry
+    entry at two parameter points, plus a faulted request per
+    fault-capable entry. *)
+val mix : ?seed:int -> unit -> Request.t list
+
+(** Digest of (key, response) pairs — sorted, deduplicated, CRC-32,
+    rendered as 8 hex digits. *)
+val digest : (string * string) list -> string
+
+(** [direct ()] evaluates the mix without a server. *)
+val direct : ?config:config -> unit -> (string * string) list
+
+val direct_digest : ?config:config -> unit -> string
+
+(** [run ()] drives a live daemon.  Raises [Unix.Unix_error] when the
+    socket is not accepting, [Invalid_argument] on a nonsensical
+    config. *)
+val run : ?config:config -> unit -> result
+
+(** Fixed-shape JSON for [BENCH_serve.json]: the key skeleton is
+    byte-stable across runs, only measured values vary. *)
+val to_json : result -> string

@@ -1,0 +1,98 @@
+(* Bounded LRU map: Hashtbl for O(1) lookup plus an intrusive doubly
+   linked recency list, most-recent at the head.  Generalizes the
+   Fingerprint verdict memo (which evicts an arbitrary binding at
+   capacity) into the shared request cache of the verification
+   service: eviction order matters there, because a load generator
+   cycling a working set larger than the capacity would otherwise
+   thrash on arbitrary evictions.
+
+   Single-domain use only (the serve event loop); no internal lock. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+
+let is_head t n = match t.head with Some h -> h == n | None -> false
+
+(* Detach [n] from the recency list (it must be in it). *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+  | Some n ->
+      t.hits <- t.hits + 1;
+      if not (is_head t n) then begin
+        unlink t n;
+        push_front t n
+      end;
+      Some n.value
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.key
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      n.value <- v;
+      if not (is_head t n) then begin
+        unlink t n;
+        push_front t n
+      end
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k n;
+      push_front t n
+
+(* Recency order, most recent first — test/debug introspection. *)
+let keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some n -> go (n.key :: acc) n.next
+  in
+  go [] t.head

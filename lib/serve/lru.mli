@@ -1,0 +1,32 @@
+(** Bounded LRU map behind the verification service's shared
+    request/verdict cache — the Fingerprint memo's bounded-Hashtbl
+    idea with a real recency order, so a working set larger than the
+    capacity evicts oldest-first instead of thrashing on arbitrary
+    bindings.
+
+    Single-domain use only (the serve event loop owns it); there is no
+    internal lock. *)
+
+type ('k, 'v) t
+
+(** @raise Invalid_argument on capacity < 1. *)
+val create : int -> ('k, 'v) t
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+
+(** Cache-effectiveness counters, bumped by {!find}. *)
+val hits : ('k, 'v) t -> int
+
+val misses : ('k, 'v) t -> int
+
+(** [find t k] returns the cached value and marks it most recently
+    used. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [add t k v] inserts or overwrites; a new binding at capacity
+    evicts the least recently used one. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** Keys in recency order, most recent first. *)
+val keys : ('k, 'v) t -> 'k list

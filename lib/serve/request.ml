@@ -1,0 +1,181 @@
+(* The verification service's wire model: a JSON-encoded request to
+   evaluate one registered protocol on its demo instances, optionally
+   under a fault plan, plus the canonical key the shared cache and the
+   load generator's verdict digest are keyed on.  See request.mli. *)
+
+module Json = Qdp_obs.Json
+module Registry = Qdp_core.Registry
+
+type fault = {
+  f_kind : string; (* Qdp_faults.Plan.kind name *)
+  f_strength : float;
+  f_turn : int option; (* 1-based schedule entry, None = all turns *)
+  f_trials : int;
+}
+
+type t = {
+  rq_protocol : string; (* registry id *)
+  rq_spec : Registry.spec;
+  rq_fault : fault option;
+}
+
+let topology_name = function
+  | Registry.Star -> "star"
+  | Registry.Path -> "path"
+  | Registry.Cycle -> "cycle"
+  | Registry.Grid -> "grid"
+
+let topology_of_name = function
+  | "star" -> Some Registry.Star
+  | "path" -> Some Registry.Path
+  | "cycle" -> Some Registry.Cycle
+  | "grid" -> Some Registry.Grid
+  | _ -> None
+
+let make ?fault ?(spec = Registry.default_spec) protocol =
+  { rq_protocol = protocol; rq_spec = spec; rq_fault = fault }
+
+(* --- canonical key --- *)
+
+(* One line, fixed field order, every spec field spelled out: equal
+   keys iff the evaluations are interchangeable.  This is what the
+   cache deduplicates on and what the load digest folds over. *)
+let key r =
+  let s = r.rq_spec in
+  let base =
+    Printf.sprintf "%s seed=%d n=%d r=%d t=%d d=%d reps=%s topo=%s"
+      r.rq_protocol s.Registry.seed s.Registry.n s.Registry.r s.Registry.t
+      s.Registry.d
+      (match s.Registry.repetitions with
+      | None -> "default"
+      | Some k -> string_of_int k)
+      (topology_name s.Registry.topology)
+  in
+  match r.rq_fault with
+  | None -> base
+  | Some f ->
+      Printf.sprintf "%s fault=%s p=%.6g turn=%s trials=%d" base f.f_kind
+        f.f_strength
+        (match f.f_turn with None -> "all" | Some t -> string_of_int t)
+        f.f_trials
+
+(* --- JSON encoding --- *)
+
+let to_json r =
+  let s = r.rq_spec in
+  let b = Buffer.create 160 in
+  Buffer.add_string b "{";
+  Buffer.add_string b (Printf.sprintf "\"protocol\":%s" (Json.str r.rq_protocol));
+  Buffer.add_string b
+    (Printf.sprintf ",\"seed\":%d,\"n\":%d,\"r\":%d,\"t\":%d,\"d\":%d"
+       s.Registry.seed s.Registry.n s.Registry.r s.Registry.t s.Registry.d);
+  (match s.Registry.repetitions with
+  | None -> ()
+  | Some k -> Buffer.add_string b (Printf.sprintf ",\"repetitions\":%d" k));
+  Buffer.add_string b
+    (Printf.sprintf ",\"topology\":%s"
+       (Json.str (topology_name s.Registry.topology)));
+  (match r.rq_fault with
+  | None -> ()
+  | Some f ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",\"fault\":{\"kind\":%s,\"strength\":%s,\"trials\":%d"
+           (Json.str f.f_kind) (Json.float f.f_strength) f.f_trials);
+      (match f.f_turn with
+      | None -> ()
+      | Some t -> Buffer.add_string b (Printf.sprintf ",\"turn\":%d" t));
+      Buffer.add_string b "}");
+  Buffer.add_string b "}";
+  Buffer.contents b
+
+(* --- JSON decoding --- *)
+
+let int_field ?default obj name =
+  match Json.member name obj with
+  | Some (Json.Num f) when Float.is_integer f -> Ok (int_of_float f)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" name)
+  | None -> (
+      match default with
+      | Some d -> Ok d
+      | None -> Error (Printf.sprintf "missing field %S" name))
+
+let ( let* ) = Result.bind
+
+let fault_of_json j =
+  match Json.member "fault" j with
+  | None -> Ok None
+  | Some fj ->
+      let* kind =
+        match Json.member "kind" fj with
+        | Some (Json.String k) -> (
+            match Qdp_faults.Plan.of_name k with
+            | Some _ -> Ok k
+            | None -> Error (Printf.sprintf "unknown fault kind %S" k))
+        | _ -> Error "fault needs a string \"kind\""
+      in
+      let* strength =
+        match Json.member "strength" fj with
+        | Some (Json.Num p) when p >= 0. && p <= 1. -> Ok p
+        | Some _ -> Error "fault \"strength\" must be a number in [0,1]"
+        | None -> Error "missing fault \"strength\""
+      in
+      let* trials = int_field ~default:20 fj "trials" in
+      let* () =
+        if trials >= 1 && trials <= 10_000 then Ok ()
+        else Error "fault \"trials\" must be in [1,10000]"
+      in
+      let* turn =
+        match Json.member "turn" fj with
+        | None -> Ok None
+        | Some (Json.Num f) when Float.is_integer f && f >= 1. ->
+            Ok (Some (int_of_float f))
+        | Some _ -> Error "fault \"turn\" must be a positive integer"
+      in
+      Ok (Some { f_kind = kind; f_strength = strength; f_turn = turn; f_trials = trials })
+
+let of_json j =
+  let d = Registry.default_spec in
+  let* protocol =
+    match Json.member "protocol" j with
+    | Some (Json.String p) -> Ok p
+    | Some _ -> Error "field \"protocol\" must be a string"
+    | None -> Error "missing field \"protocol\""
+  in
+  let* seed = int_field ~default:d.Registry.seed j "seed" in
+  let* n = int_field ~default:d.Registry.n j "n" in
+  let* r = int_field ~default:d.Registry.r j "r" in
+  let* t = int_field ~default:d.Registry.t j "t" in
+  let* dd = int_field ~default:d.Registry.d j "d" in
+  let* () =
+    if n >= 1 && n <= 4096 && r >= 1 && t >= 1 && dd >= 0 then Ok ()
+    else Error "spec fields out of range"
+  in
+  let* repetitions =
+    match Json.member "repetitions" j with
+    | None -> Ok None
+    | Some (Json.Num f) when Float.is_integer f && f >= 1. ->
+        Ok (Some (int_of_float f))
+    | Some _ -> Error "field \"repetitions\" must be a positive integer"
+  in
+  let* topology =
+    match Json.member "topology" j with
+    | None -> Ok d.Registry.topology
+    | Some (Json.String s) -> (
+        match topology_of_name s with
+        | Some topo -> Ok topo
+        | None -> Error (Printf.sprintf "unknown topology %S" s))
+    | Some _ -> Error "field \"topology\" must be a string"
+  in
+  let* fault = fault_of_json j in
+  Ok
+    {
+      rq_protocol = protocol;
+      rq_spec = { Registry.seed; n; r; t; d = dd; repetitions; topology };
+      rq_fault = fault;
+    }
+
+let of_string s =
+  match Json.parse s with
+  | j -> of_json j
+  | exception Json.Parse_error msg -> Error ("malformed JSON: " ^ msg)

@@ -1,0 +1,41 @@
+(** Wire model of one verification request: which registered protocol
+    to evaluate, at which {!Qdp_core.Registry.spec} parameters, and
+    optionally under which fault plan.  Requests travel as JSON
+    payloads inside [Qdp_dist.Frame.Request] frames; {!key} is the
+    canonical identity the server's shared cache deduplicates on and
+    the load generator's verdict digest folds over. *)
+
+type fault = {
+  f_kind : string;  (** a {!Qdp_faults.Plan.kind} name *)
+  f_strength : float;  (** in [0, 1] *)
+  f_turn : int option;
+      (** 1-based turn-schedule target; [None] = every turn *)
+  f_trials : int;  (** Monte-Carlo executions per strategy *)
+}
+
+type t = {
+  rq_protocol : string;  (** registry id, e.g. ["eq"] *)
+  rq_spec : Qdp_core.Registry.spec;
+  rq_fault : fault option;
+}
+
+(** [make ?fault ?spec id] (spec defaults to
+    {!Qdp_core.Registry.default_spec}). *)
+val make : ?fault:fault -> ?spec:Qdp_core.Registry.spec -> string -> t
+
+(** Canonical one-line key: equal keys iff the evaluations are
+    interchangeable. *)
+val key : t -> string
+
+val topology_name : Qdp_core.Registry.topology -> string
+val topology_of_name : string -> Qdp_core.Registry.topology option
+
+(** Round-trip JSON codec.  {!of_json} validates: unknown fault kinds,
+    out-of-range spec fields and wrong field types are [Error]s, and
+    absent optional fields take the registry defaults. *)
+val to_json : t -> string
+
+val of_json : Qdp_obs.Json.t -> (t, string) result
+
+(** @return [Error] on malformed JSON as well. *)
+val of_string : string -> (t, string) result

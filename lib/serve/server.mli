@@ -1,0 +1,40 @@
+(** The always-on verification daemon behind [qdp serve]: a
+    single-domain [select] event loop over a Unix-domain socket
+    speaking [Qdp_dist.Frame] ([Request]/[Reply]/[Reject]).
+
+    Behaviors, in the order a request meets them:
+
+    - {b Admission control}: at most [queue_limit] requests queue;
+      beyond that the server answers immediately with a structured
+      [{"error":"overload",...}] Reject instead of building unbounded
+      backlog.  Session count is bounded by [max_sessions] the same
+      way.
+    - {b Batching}: each loop iteration evaluates up to [batch_max]
+      queued requests, deduplicated by canonical {!Request.key} — one
+      evaluation fans out to every waiter with the same key.
+    - {b Shared cache}: a bounded {!Lru} maps request keys to response
+      bytes across sessions (the Fingerprint memo generalized).
+    - {b Session isolation}: a malformed or truncated frame, an
+      unparsable request or a mid-request disconnect affects only its
+      own session; the loop answers with a structured Reject (or frees
+      the session) and keeps serving everyone else.
+    - {b Graceful drain}: SIGTERM/SIGINT stop accept and reads, finish
+      every queued evaluation, flush every output buffer, then return.
+      Previous signal dispositions are restored on exit. *)
+
+type config = {
+  socket_path : string;
+  queue_limit : int;  (** admission control: max queued requests *)
+  cache_capacity : int;  (** shared LRU response cache entries *)
+  batch_max : int;  (** max requests evaluated per loop iteration *)
+  max_sessions : int;
+}
+
+(** [/tmp/qdp-serve.sock], queue 64, cache 512, batch 16,
+    sessions 64. *)
+val default_config : config
+
+(** [run ()] binds the socket (unlinking a stale one) and serves until
+    a drain signal; blocks the calling domain.  Instrumented with
+    [serve.*] metrics and [Prof] sections throughout. *)
+val run : ?config:config -> unit -> unit

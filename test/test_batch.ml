@@ -12,6 +12,10 @@ module Exact = Qdp_core.Exact
 module States = Qdp_core.States
 module Par = Qdp_par
 
+(* jobs=1 vs jobs=4 byte-identity tests must actually take the
+   parallel path on small hosts. *)
+let () = Par.set_oversubscribe true
+
 let with_jobs n f =
   let old = Par.jobs () in
   Par.set_jobs n;

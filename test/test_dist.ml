@@ -17,8 +17,12 @@ module Frame = Qdp_dist.Frame
 let () = Qdp_core.Protocols.init ()
 
 (* Keep the pool cold: the sequential baseline for every identity
-   check below, and the precondition for forking at all. *)
+   check below, and the precondition for forking at all.  The
+   oversubscription clamp is disabled so that when [domains interplay]
+   finally raises the budget, the pool genuinely starts even on a
+   1-core host. *)
 let () = Qdp_par.set_jobs 1
+let () = Qdp_par.set_oversubscribe true
 
 let with_dist ~workers ?(chaos = 0.0) ?(chaos_seed = 42) ?(timeout = 5.0)
     ?(retries = 4) ?(respawns = -1) f =

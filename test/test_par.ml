@@ -9,6 +9,11 @@ module Par = Qdp_par
 
 let () = Qdp_core.Protocols.init ()
 
+(* These tests exercise real pool semantics (spawning, helping,
+   nesting) at jobs=4 regardless of host core count, so disable the
+   effective-jobs oversubscription clamp. *)
+let () = Par.set_oversubscribe true
+
 let with_jobs n f =
   let old = Par.jobs () in
   Par.set_jobs n;

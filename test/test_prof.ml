@@ -10,6 +10,10 @@ module Progress = Qdp_obs.Progress
 module Perf_diff = Qdp_obs.Perf_diff
 module Json = Qdp_obs.Json
 
+(* Busy/idle accounting and jobs-invariance tests need the pool to
+   really spawn at jobs > 1, even on a 1-core host. *)
+let () = Qdp_par.set_oversubscribe true
+
 let contains ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
@@ -349,6 +353,68 @@ let test_json_unicode () =
   Alcotest.(check bool) "space in hex rejected" true (fails "\"\\u 123\"");
   Alcotest.(check bool) "truncated hex rejected" true (fails "\"\\u12\"")
 
+(* Numbers must be lexed against the RFC 8259 grammar, not handed to
+   [float_of_string]: OCaml float syntax is a strict superset and used
+   to let non-JSON like [+1], [01], [1.], [.5], hex floats and [_]
+   separators through silently. *)
+let test_json_strict_numbers () =
+  let num s =
+    match Json.parse s with
+    | Json.Num f -> f
+    | _ -> Alcotest.failf "expected number for %s" s
+  in
+  List.iter
+    (fun (s, v) -> Alcotest.(check (float 0.)) s v (num s))
+    [
+      ("0", 0.);
+      ("-0", 0.);
+      ("10", 10.);
+      ("2.5", 2.5);
+      ("0.5", 0.5);
+      ("-3e2", -300.);
+      ("1e+2", 100.);
+      ("1E-2", 0.01);
+      ("123.456e2", 12345.6);
+    ];
+  let fails s =
+    match Json.parse s with
+    | _ -> false
+    | exception Json.Parse_error _ -> true
+  in
+  List.iter
+    (fun s -> Alcotest.(check bool) (s ^ " rejected") true (fails s))
+    [
+      "+1" (* leading plus *);
+      "01" (* leading zero *);
+      "-01";
+      "1." (* bare trailing dot *);
+      ".5" (* bare leading dot *);
+      "-.5";
+      "-" (* sign alone *);
+      "1e" (* empty exponent *);
+      "1e+";
+      "1.e2" (* empty fraction *);
+      "0x10" (* OCaml hex float syntax *);
+      "1_000" (* OCaml separators *);
+      "nan";
+      "infinity";
+      "1.5.2" (* trailing garbage *);
+      "[1.]" (* inside containers too *);
+      "{\"a\":+1}";
+    ]
+
+(* Fuzz: everything the emitter prints must reparse to the same float
+   — strictness must not reject our own output.  [Json.float] maps
+   non-finite values to null, so only finite floats round-trip as
+   numbers. *)
+let prop_json_number_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"json number emit/parse roundtrip"
+    QCheck.float (fun f ->
+      match Json.parse (Json.float f) with
+      | Json.Num f' -> Float.is_finite f && Float.equal f f'
+      | Json.Null -> not (Float.is_finite f)
+      | _ -> false)
+
 let test_json_depth () =
   (* 512 levels parse; hostile nesting raises Parse_error instead of
      blowing the stack. *)
@@ -402,6 +468,44 @@ let prop_json_no_crash =
       match Json.parse s with
       | _ -> true
       | exception Json.Parse_error _ -> true)
+
+(* --- Clock --- *)
+
+(* The monotonic clamp behind every elapsed-time measurement: a
+   backwards step of the underlying source (NTP correction) must never
+   surface as time going backwards, and swapping sources resets the
+   clamp so a fake clock can start anywhere. *)
+let test_clock_monotonic_clamp () =
+  let t = ref 100. in
+  Qdp_obs.Clock.set_source (Some (fun () -> !t));
+  Fun.protect ~finally:(fun () -> Qdp_obs.Clock.set_source None)
+  @@ fun () ->
+  Alcotest.(check (float 0.)) "first read" 100. (Qdp_obs.Clock.now ());
+  t := 50.;
+  Alcotest.(check (float 0.)) "backwards step clamped" 100.
+    (Qdp_obs.Clock.now ());
+  t := 150.;
+  Alcotest.(check (float 0.)) "forward step passes through" 150.
+    (Qdp_obs.Clock.now ());
+  t := 149.999;
+  Alcotest.(check (float 0.)) "small backwards step clamped" 150.
+    (Qdp_obs.Clock.now ());
+  t := 150.;
+  Alcotest.(check (float 0.)) "equal reading holds" 150.
+    (Qdp_obs.Clock.now ());
+  (* a swap resets the clamp: the fake 150 does not pin a new source
+     that starts lower *)
+  Qdp_obs.Clock.set_source (Some (fun () -> 10.));
+  Alcotest.(check (float 0.)) "swap resets the clamp" 10.
+    (Qdp_obs.Clock.now ())
+
+let test_clock_real_source () =
+  (* after [set_source None] the real clock is live again and
+     non-decreasing *)
+  let a = Qdp_obs.Clock.now () in
+  let b = Qdp_obs.Clock.now () in
+  Alcotest.(check bool) "real clock non-decreasing" true (b >= a);
+  Alcotest.(check bool) "real clock plausible epoch" true (a > 1e9)
 
 (* --- Perf_diff --- *)
 
@@ -531,6 +635,35 @@ let test_diff_extract_obs () =
         m.Perf_diff.m_group
   | ms -> Alcotest.failf "expected one metric, got %d" (List.length ms)
 
+(* The no-slowdown self-check: a group whose parallel path loses to
+   its own sequential baseline beyond the noise band is flagged from a
+   single artifact; tiny measurements and non-perf shapes are not. *)
+let test_diff_slowdowns () =
+  let cfg = Perf_diff.default_config in
+  let check ~seq ~par =
+    Perf_diff.slowdowns cfg (Json.parse (perf_fixture ~seq ~par))
+  in
+  Alcotest.(check int) "healthy speedup: clean" 0
+    (List.length (check ~seq:1.0 ~par:0.5));
+  Alcotest.(check int) "parity within noise band: clean" 0
+    (List.length (check ~seq:1.0 ~par:1.2));
+  (match check ~seq:0.1 ~par:0.5 with
+  | [ s ] ->
+      Alcotest.(check string) "group named" "gram_batch"
+        s.Perf_diff.s_group;
+      Alcotest.(check (float 1e-9)) "ratio" 5.0 s.Perf_diff.s_ratio
+  | l -> Alcotest.failf "expected one slowdown, got %d" (List.length l));
+  Alcotest.(check int) "below the min-seconds floor: never flagged" 0
+    (List.length (check ~seq:0.001 ~par:0.004));
+  Alcotest.(check int) "non-perf shape: vacuously clean" 0
+    (List.length
+       (Perf_diff.slowdowns cfg (Json.parse "{\"calibration\":[]}")));
+  (* per-group threshold overrides apply *)
+  let lax = { cfg with group_thresholds = [ ("gram_batch", 10.) ] } in
+  Alcotest.(check int) "group override widens the band" 0
+    (List.length
+       (Perf_diff.slowdowns lax (Json.parse (perf_fixture ~seq:0.1 ~par:0.5))))
+
 let test_diff_malformed () =
   let fails s =
     match Perf_diff.metrics_of_string s with
@@ -568,9 +701,16 @@ let () =
         [
           Alcotest.test_case "parser" `Quick test_json_parse;
           Alcotest.test_case "unicode escapes" `Quick test_json_unicode;
+          Alcotest.test_case "strict numbers" `Quick test_json_strict_numbers;
           Alcotest.test_case "nesting depth" `Quick test_json_depth;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
+          QCheck_alcotest.to_alcotest prop_json_number_roundtrip;
           QCheck_alcotest.to_alcotest prop_json_no_crash;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic clamp" `Quick test_clock_monotonic_clamp;
+          Alcotest.test_case "real source" `Quick test_clock_real_source;
         ] );
       ( "perf_diff",
         [
@@ -578,6 +718,7 @@ let () =
           Alcotest.test_case "extract perf" `Quick test_diff_extract_perf;
           Alcotest.test_case "extract calib" `Quick test_diff_extract_calib;
           Alcotest.test_case "extract obs" `Quick test_diff_extract_obs;
+          Alcotest.test_case "slowdown self-check" `Quick test_diff_slowdowns;
           Alcotest.test_case "malformed input" `Quick test_diff_malformed;
         ] );
     ]

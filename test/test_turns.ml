@@ -10,6 +10,10 @@ open Qdp_core
 
 let () = Protocols.init ()
 
+(* The jobs 1 vs 4 byte-identity check must really take the parallel
+   path, even on a 1-core host. *)
+let () = Qdp_par.set_oversubscribe true
+
 (* --- a small parameterized node program for differential runs --- *)
 
 (* Gossip-sum: every node starts with [weight * id], forwards its
@@ -353,6 +357,46 @@ let test_deadline () =
       | _ -> Alcotest.fail "expected Deadline_exceeded from default"
       | exception Runtime.Deadline_exceeded _ -> ())
 
+(* Regression test for the NTP-step bug: the deadline must be driven
+   by [Qdp_obs.Clock.now] (swappable, monotonically clamped), not raw
+   [Unix.gettimeofday].  A fake clock steps backwards mid-run — with
+   the raw clock that would make elapsed time negative and silence the
+   deadline — then jumps far past the limit without any real time
+   passing.  The run must still raise, with the elapsed time taken
+   from the clamped fake clock. *)
+let test_deadline_stepped_clock () =
+  let t = ref 1000. in
+  Qdp_obs.Clock.set_source (Some (fun () -> !t));
+  Fun.protect ~finally:(fun () -> Qdp_obs.Clock.set_source None)
+  @@ fun () ->
+  let g = Graph.path 2 in
+  (* round 0: NTP-style backwards step; round 1: modest forward tick;
+     round 2: jump far past the 50 s limit *)
+  let steps = [| 900.; 1002.; 1100. |] in
+  let stepping =
+    {
+      Runtime.tp_init = (fun _ -> ());
+      tp_deliver = (fun ~turn:_ ~id:_ () _ -> ());
+      tp_round =
+        (fun ~turn:_ ~round ~coin:_ ~id () ~inbox:_ ->
+          if id = 0 && round < Array.length steps then t := steps.(round);
+          ((), []));
+      tp_finish = (fun ~transcript:_ ~id:_ () -> Runtime.Accept);
+    }
+  in
+  match
+    Runtime.run_turns ~deadline:50. g
+      ~schedule:(Runtime.Turn.one_shot ~rounds:10)
+      ~prover:(fun ~turn:_ _ -> [])
+      stepping
+  with
+  | _ -> Alcotest.fail "expected Deadline_exceeded from the fake clock"
+  | exception Runtime.Deadline_exceeded { elapsed_s; limit_s } ->
+      Alcotest.(check (float 0.)) "limit echoed" 50. limit_s;
+      Alcotest.(check bool) "elapsed never negative" true (elapsed_s >= 0.);
+      Alcotest.(check (float 0.))
+        "elapsed read off the clamped fake clock" 100. elapsed_s
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -374,7 +418,12 @@ let () =
           Alcotest.test_case "message turns" `Quick test_message_turns;
           Alcotest.test_case "determinism" `Quick test_transcript_determinism;
         ] );
-      ("deadline", [ Alcotest.test_case "wall-clock limit" `Quick test_deadline ]);
+      ( "deadline",
+        [
+          Alcotest.test_case "wall-clock limit" `Quick test_deadline;
+          Alcotest.test_case "stepped fake clock" `Quick
+            test_deadline_stepped_clock;
+        ] );
       ( "experiment",
         [
           Alcotest.test_case "jobs byte-identity" `Slow
