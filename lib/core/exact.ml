@@ -70,8 +70,8 @@ let basis_proof_batch ~pre ~pdim ~coin_dim =
   for a = 0 to predim - 1 do
     for p = 0 to pdim - 1 do
       let row = ((a * pdim) + p) * coin_dim in
-      bre.((row * pdim) + p) <- pr.(a);
-      bim.((row * pdim) + p) <- pi.(a)
+      bre.{(row * pdim) + p} <- pr.(a);
+      bim.{(row * pdim) + p} <- pi.(a)
     done
   done;
   b

@@ -35,13 +35,25 @@ let best_candidate ~proto ~score candidates =
   let progress =
     Qdp_obs.Progress.start ~total:(Array.length arr) ("attack/" ^ proto)
   in
+  let eval i =
+    let _, c = arr.(i) in
+    let s = score c in
+    Qdp_obs.Progress.step progress;
+    s
+  in
+  (* Candidate count is the work axis of the attack grid; the model
+     gate only bypasses the in-process fan-out (worker-process
+     sharding keeps its own policy). *)
+  let par =
+    Qdp_model.decide ~kernel:"grid.attack"
+      ~macs:(float_of_int (Array.length arr))
+      ~default:true
+  in
   let scores =
-    Qdp_dist.map_shards ~label:("attack/" ^ proto) ~n:(Array.length arr)
-      (fun i ->
-        let _, c = arr.(i) in
-        let s = score c in
-        Qdp_obs.Progress.step progress;
-        s)
+    if (not par) && Qdp_dist.workers () = 0 then
+      Array.init (Array.length arr) eval
+    else
+      Qdp_dist.map_shards ~label:("attack/" ^ proto) ~n:(Array.length arr) eval
   in
   Qdp_obs.Progress.finish progress;
   let best = ref 0. and best_name = ref "none" in

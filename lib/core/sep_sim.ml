@@ -38,17 +38,17 @@ let pi_contract d pi e =
         let row = ((((a * d) + k) * dd) + k') in
         for a' = 0 to d - 1 do
           let p = row + (a' * d) in
-          let pre = pr.(p) and pim = pi_.(p) in
+          let pre = pr.{p} and pim = pi_.{p} in
           if pre <> 0. || pim <> 0. then begin
             let q = (a' * d) + a in
-            let ere = er.(q) and eim = ei.(q) in
+            let ere = er.{q} and eim = ei.{q} in
             accr := !accr +. ((pre *. ere) -. (pim *. eim));
             acci := !acci +. ((pre *. eim) +. (pim *. ere))
           end
         done
       done;
-      cr.((k * d) + k') <- !accr;
-      ci.((k * d) + k') <- !acci
+      cr.{(k * d) + k'} <- !accr;
+      ci.{(k * d) + k'} <- !acci
     done
   done;
   c
@@ -70,17 +70,17 @@ let forward_step d pi e rho =
       let accr = ref 0. and acci = ref 0. in
       for k = 0 to d - 1 do
         for k' = 0 to d - 1 do
-          let cre = cr.((k * d) + k') and cim = ci.((k * d) + k') in
+          let cre = cr.{(k * d) + k'} and cim = ci.{(k * d) + k'} in
           if cre <> 0. || cim <> 0. then begin
             let q = ((((k' * d) + s) * dd) + (k * d)) + s'' in
-            let rre = rr.(q) and rim = ri.(q) in
+            let rre = rr.{q} and rim = ri.{q} in
             accr := !accr +. ((cre *. rre) -. (cim *. rim));
             acci := !acci +. ((cre *. rim) +. (cim *. rre))
           end
         done
       done;
-      outr.((s * d) + s'') <- !accr;
-      outi.((s * d) + s'') <- !acci
+      outr.{(s * d) + s''} <- !accr;
+      outi.{(s * d) + s''} <- !acci
     done
   done;
   out
@@ -102,17 +102,17 @@ let backward_step d pi b rho =
       for s = 0 to d - 1 do
         for s' = 0 to d - 1 do
           let p = (s * d) + s' in
-          let bre = br.(p) and bim = bi.(p) in
+          let bre = br.{p} and bim = bi.{p} in
           if bre <> 0. || bim <> 0. then begin
             let q = ((((k' * d) + s') * dd) + (k * d)) + s in
-            let rre = rr.(q) and rim = ri.(q) in
+            let rre = rr.{q} and rim = ri.{q} in
             accr := !accr +. ((bre *. rre) -. (bim *. rim));
             acci := !acci +. ((bre *. rim) +. (bim *. rre))
           end
         done
       done;
-      dr.((k * d) + k') <- !accr;
-      di.((k * d) + k') <- !acci
+      dr.{(k * d) + k'} <- !accr;
+      di.{(k * d) + k'} <- !acci
     done
   done;
   let pr = Mat.raw_re pi and pi_ = Mat.raw_im pi in
@@ -125,17 +125,17 @@ let backward_step d pi b rho =
         let row = ((((a * d) + k) * dd) + (a' * d)) in
         for k' = 0 to d - 1 do
           let p = row + k' in
-          let pre = pr.(p) and pim = pi_.(p) in
+          let pre = pr.{p} and pim = pi_.{p} in
           if pre <> 0. || pim <> 0. then begin
             let q = (k * d) + k' in
-            let dre = dr.(q) and dim = di.(q) in
+            let dre = dr.{q} and dim = di.{q} in
             accr := !accr +. ((pre *. dre) -. (pim *. dim));
             acci := !acci +. ((pre *. dim) +. (pim *. dre))
           end
         done
       done;
-      outr.((a * d) + a') <- !accr;
-      outi.((a * d) + a') <- !acci
+      outr.{(a * d) + a'} <- !accr;
+      outi.{(a * d) + a'} <- !acci
     done
   done;
   out

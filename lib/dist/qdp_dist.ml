@@ -734,17 +734,28 @@ let monte_carlo_hits ?label ~st ~trials f =
     for k = 0 to nchunks - 1 do
       states.(k) <- Random.State.split st
     done;
-    let label = match label with Some l -> l ^ "/mc" | None -> "mc" in
+    let chunk k =
+      let b = k * mc in
+      let e = min trials (b + mc) in
+      let s = states.(k) in
+      let h = ref 0 in
+      for _ = b + 1 to e do
+        if f s then incr h
+      done;
+      !h
+    in
+    (* The cost model only gates the in-process path: with worker
+       processes configured, sharding policy belongs to [map_shards]
+       (fork guards, chaos, degradation) and stays as-is. *)
+    let par =
+      Qdp_model.decide ~kernel:"grid.monte_carlo" ~macs:(float_of_int trials)
+        ~default:true
+    in
     let hits =
-      map_shards ~label ~n:nchunks (fun k ->
-          let b = k * mc in
-          let e = min trials (b + mc) in
-          let s = states.(k) in
-          let h = ref 0 in
-          for _ = b + 1 to e do
-            if f s then incr h
-          done;
-          !h)
+      if (not par) && workers () = 0 then Array.init nchunks chunk
+      else
+        let label = match label with Some l -> l ^ "/mc" | None -> "mc" in
+        map_shards ~label ~n:nchunks chunk
     in
     Array.fold_left ( + ) 0 hits
   end

@@ -199,15 +199,24 @@ let sweep_entry cfg ~pi entry =
         Qdp_obs.Progress.start ~total:(Array.length flat)
           ("faults/" ^ suite.fs_id)
       in
+      let eval i =
+        let kind, ki, xi, p = flat.(i) in
+        let pt = sweep_point cfg ~ids:(pi, ki, xi) kind p suite ~bound in
+        Qdp_obs.Progress.step progress;
+        pt
+      in
+      let par =
+        Qdp_model.decide ~kernel:"grid.sweep"
+          ~macs:(float_of_int (Array.length flat))
+          ~default:true
+      in
       let measured =
-        Qdp_dist.map_shards
-          ~label:("faults/" ^ suite.fs_id)
-          ~n:(Array.length flat)
-          (fun i ->
-            let kind, ki, xi, p = flat.(i) in
-            let pt = sweep_point cfg ~ids:(pi, ki, xi) kind p suite ~bound in
-            Qdp_obs.Progress.step progress;
-            pt)
+        if (not par) && Qdp_dist.workers () = 0 then
+          Array.init (Array.length flat) eval
+        else
+          Qdp_dist.map_shards
+            ~label:("faults/" ^ suite.fs_id)
+            ~n:(Array.length flat) eval
       in
       Qdp_obs.Progress.finish progress;
       let npoints = List.length cfg.grid in

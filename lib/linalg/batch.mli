@@ -51,10 +51,22 @@ val scale_real_inplace : float -> t -> unit
     [eps] (default [1e-9]). *)
 val equal : ?eps:float -> t -> t -> bool
 
+(** [blit_row src g dst g'] copies row [g] of [src] (entry [g] of
+    every column) over row [g'] of [dst]; [accumulate_row] adds it
+    instead.  The allocation-free primitives behind the batched
+    simulator's index remaps and fused symmetrizer.
+    @raise Invalid_argument on column-count mismatch. *)
+val blit_row : t -> int -> t -> int -> unit
+
+val accumulate_row : t -> int -> t -> int -> unit
+
 (** [apply_into m ~src ~dst] overwrites [dst] with [m] applied to every
     column of [src] — a GEMM over the batch that allocates nothing, so
     pipelines can ping-pong between two reusable buffers.  [src] and
-    [dst] must be distinct batches.
+    [dst] must be distinct batches.  Dispatches sequential or
+    row-parallel via the {!Qdp_model} cost model (static cutoff
+    fallback); each output row has a single writer and a fixed
+    accumulation order, so the floats are identical either way.
     @raise Invalid_argument on shape or column-count mismatch. *)
 val apply_into : Mat.t -> src:t -> dst:t -> unit
 
@@ -68,12 +80,13 @@ val is_real : t -> bool
     accumulated (half the multiply-accumulates) and mirrored; the
     accumulation per entry runs over the vector index in ascending
     order, and parallel tiles own disjoint output rows, so the result
-    is bit-identical at every [--jobs] value.  Small batches (below a
-    [Mat.par_mac_cutoff] threshold) stay on the calling domain. *)
+    is bit-identical at every [--jobs] value.  Dispatch is decided by
+    the {!Qdp_model} cost model when one is installed, else by the
+    static [Mat.par_mac_cutoff] fallback. *)
 val gram : t -> Mat.t
 
 (** Direct access to the underlying storage (entry [(g, c)] at
     [g * count + c]).  Mutating these mutates the batch. *)
-val raw_re : t -> float array
+val raw_re : t -> Mat.farr
 
-val raw_im : t -> float array
+val raw_im : t -> Mat.farr

@@ -1,7 +1,30 @@
-type t = { rows : int; cols : int; re : float array; im : float array }
+(* Dense complex matrices on unboxed Bigarray storage (float64,
+   C layout): one contiguous buffer per component, no per-element
+   boxing and no bounds checks in the GEMM-shaped kernels (the loop
+   bounds below are derived from the dimensions that size the
+   buffers).  Every kernel keeps the per-cell accumulation order of
+   the original float-array implementation — ascending contraction
+   index, zero-skip per entry — so results are bit-identical to the
+   pre-Bigarray code and across every dispatch path. *)
+
+type farr = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* Monomorphic redeclarations of the Bigarray access primitives: an
+   alias of the polymorphic external would go through a generic
+   closure and box every float, an order of magnitude per load.
+   Pinned to [farr] these compile to direct unboxed moves. *)
+external uget : farr -> int -> float = "%caml_ba_unsafe_ref_1"
+external uset : farr -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+
+let fcreate n : farr =
+  let a = Bigarray.Array1.create Bigarray.Float64 Bigarray.C_layout n in
+  Bigarray.Array1.fill a 0.;
+  a
+
+type t = { rows : int; cols : int; re : farr; im : farr }
 
 let create rows cols =
-  { rows; cols; re = Array.make (rows * cols) 0.; im = Array.make (rows * cols) 0. }
+  { rows; cols; re = fcreate (rows * cols); im = fcreate (rows * cols) }
 
 let rows m = m.rows
 let cols m = m.cols
@@ -9,15 +32,15 @@ let cols m = m.cols
 let identity n =
   let m = create n n in
   for i = 0 to n - 1 do
-    m.re.((i * n) + i) <- 1.
+    m.re.{(i * n) + i} <- 1.
   done;
   m
 
-let get m i j = { Complex.re = m.re.((i * m.cols) + j); im = m.im.((i * m.cols) + j) }
+let get m i j = { Complex.re = m.re.{(i * m.cols) + j}; im = m.im.{(i * m.cols) + j} }
 
 let set m i j z =
-  m.re.((i * m.cols) + j) <- z.Complex.re;
-  m.im.((i * m.cols) + j) <- z.Complex.im
+  m.re.{(i * m.cols) + j} <- z.Complex.re;
+  m.im.{(i * m.cols) + j} <- z.Complex.im
 
 let init rows cols f =
   let m = create rows cols in
@@ -28,61 +51,74 @@ let init rows cols f =
   done;
   m
 
-let copy m = { m with re = Array.copy m.re; im = Array.copy m.im }
+let copy m =
+  let c = create m.rows m.cols in
+  Bigarray.Array1.blit m.re c.re;
+  Bigarray.Array1.blit m.im c.im;
+  c
 
 let add a b =
   if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.add: shape mismatch";
   let m = create a.rows a.cols in
-  for k = 0 to Array.length a.re - 1 do
-    m.re.(k) <- a.re.(k) +. b.re.(k);
-    m.im.(k) <- a.im.(k) +. b.im.(k)
+  for k = 0 to (a.rows * a.cols) - 1 do
+    uset m.re k (uget a.re k +. uget b.re k);
+    uset m.im k (uget a.im k +. uget b.im k)
   done;
   m
 
 let sub a b =
   if a.rows <> b.rows || a.cols <> b.cols then invalid_arg "Mat.sub: shape mismatch";
   let m = create a.rows a.cols in
-  for k = 0 to Array.length a.re - 1 do
-    m.re.(k) <- a.re.(k) -. b.re.(k);
-    m.im.(k) <- a.im.(k) -. b.im.(k)
+  for k = 0 to (a.rows * a.cols) - 1 do
+    uset m.re k (uget a.re k -. uget b.re k);
+    uset m.im k (uget a.im k -. uget b.im k)
   done;
   m
 
 let scale z a =
   let zr = z.Complex.re and zi = z.Complex.im in
   let m = create a.rows a.cols in
-  for k = 0 to Array.length a.re - 1 do
-    m.re.(k) <- (zr *. a.re.(k)) -. (zi *. a.im.(k));
-    m.im.(k) <- (zr *. a.im.(k)) +. (zi *. a.re.(k))
+  for k = 0 to (a.rows * a.cols) - 1 do
+    let ar = uget a.re k and ai = uget a.im k in
+    uset m.re k ((zr *. ar) -. (zi *. ai));
+    uset m.im k ((zr *. ai) +. (zi *. ar))
   done;
   m
 
 let par_mac_cutoff = 1 lsl 16
 
 let par_profitable ~macs =
-  macs >= par_mac_cutoff * Qdp_par.effective_jobs ()
+  macs >= float_of_int (par_mac_cutoff * Qdp_par.effective_jobs ())
+
+(* The Calib path tag records what actually executes: a parallel
+   decision on a one-core clamp still runs sequentially. *)
+let path_tag par = if par && Qdp_par.effective_jobs () > 1 then "par" else "seq"
 
 let mul a b =
   if a.cols <> b.rows then invalid_arg "Mat.mul: shape mismatch";
-  Qdp_obs.Calib.sample ~kernel:"mat.mul"
-    ~macs:
-      (float_of_int a.rows *. float_of_int a.cols *. float_of_int b.cols)
-  @@ fun () ->
+  let macs = Qdp_model.macs3 a.rows a.cols b.cols in
+  let par = Qdp_model.decide ~kernel:"mat.mul" ~macs ~default:(par_profitable ~macs) in
+  Qdp_obs.Calib.sample ~kernel:"mat.mul" ~macs ~path:(path_tag par) @@ fun () ->
   let m = create a.rows b.cols in
+  let are = a.re and aim = a.im and bre = b.re and bim = b.im in
+  let mre = m.re and mim = m.im in
+  let acols = a.cols and bcols = b.cols in
   let row i =
-    for k = 0 to a.cols - 1 do
-      let ar = a.re.((i * a.cols) + k) and ai = a.im.((i * a.cols) + k) in
-      if ar <> 0. || ai <> 0. then
-        for j = 0 to b.cols - 1 do
-          let br = b.re.((k * b.cols) + j) and bi = b.im.((k * b.cols) + j) in
-          let idx = (i * b.cols) + j in
-          m.re.(idx) <- m.re.(idx) +. (ar *. br) -. (ai *. bi);
-          m.im.(idx) <- m.im.(idx) +. (ar *. bi) +. (ai *. br)
+    let abase = i * acols and obase = i * bcols in
+    for k = 0 to acols - 1 do
+      let ar = uget are (abase + k) and ai = uget aim (abase + k) in
+      if ar <> 0. || ai <> 0. then begin
+        let bbase = k * bcols in
+        for j = 0 to bcols - 1 do
+          let br = uget bre (bbase + j) and bi = uget bim (bbase + j) in
+          let idx = obase + j in
+          uset mre idx (uget mre idx +. (ar *. br) -. (ai *. bi));
+          uset mim idx (uget mim idx +. (ar *. bi) +. (ai *. br))
         done
+      end
     done
   in
-  if par_profitable ~macs:(a.rows * a.cols * b.cols) then
-    Qdp_par.parallel_for 0 a.rows row
+  if par then Qdp_par.parallel_for 0 a.rows row
   else
     for i = 0 to a.rows - 1 do
       row i
@@ -94,13 +130,14 @@ let apply_into m v ~dst =
   if m.rows <> Vec.dim dst then invalid_arg "Mat.apply_into: dst dimension";
   let vr = Vec.raw_re v and vi = Vec.raw_im v in
   let outr = Vec.raw_re dst and outi = Vec.raw_im dst in
+  let mre = m.re and mim = m.im in
   for i = 0 to m.rows - 1 do
     let sr = ref 0. and si = ref 0. in
     let base = i * m.cols in
     for j = 0 to m.cols - 1 do
-      let ar = m.re.(base + j) and ai = m.im.(base + j) in
-      sr := !sr +. (ar *. vr.(j)) -. (ai *. vi.(j));
-      si := !si +. (ar *. vi.(j)) +. (ai *. vr.(j))
+      let ar = uget mre (base + j) and ai = uget mim (base + j) in
+      sr := !sr +. (ar *. Array.unsafe_get vr j) -. (ai *. Array.unsafe_get vi j);
+      si := !si +. (ar *. Array.unsafe_get vi j) +. (ai *. Array.unsafe_get vr j)
     done;
     outr.(i) <- !sr;
     outi.(i) <- !si
@@ -119,30 +156,40 @@ let trace m =
   if m.rows <> m.cols then invalid_arg "Mat.trace: not square";
   let sr = ref 0. and si = ref 0. in
   for i = 0 to m.rows - 1 do
-    sr := !sr +. m.re.((i * m.cols) + i);
-    si := !si +. m.im.((i * m.cols) + i)
+    sr := !sr +. m.re.{(i * m.cols) + i};
+    si := !si +. m.im.{(i * m.cols) + i}
   done;
   { Complex.re = !sr; im = !si }
 
 let tensor a b =
+  (* Float MACs: four dimensions multiplied in native ints can wrap
+     negative for huge requests and silently defeat the guard. *)
+  let macs = Qdp_model.macs4 a.rows a.cols b.rows b.cols in
+  let par =
+    Qdp_model.decide ~kernel:"mat.tensor" ~macs ~default:(par_profitable ~macs)
+  in
+  Qdp_obs.Calib.sample ~kernel:"mat.tensor" ~macs ~path:(path_tag par)
+  @@ fun () ->
   let m = create (a.rows * b.rows) (a.cols * b.cols) in
+  let are = a.re and aim = a.im and bre = b.re and bim = b.im in
+  let mre = m.re and mim = m.im in
+  let mcols = m.cols in
   let row_block ia =
     for ja = 0 to a.cols - 1 do
-      let ar = a.re.((ia * a.cols) + ja) and ai = a.im.((ia * a.cols) + ja) in
+      let ar = uget are ((ia * a.cols) + ja) and ai = uget aim ((ia * a.cols) + ja) in
       if ar <> 0. || ai <> 0. then
         for ib = 0 to b.rows - 1 do
           for jb = 0 to b.cols - 1 do
-            let br = b.re.((ib * b.cols) + jb) and bi = b.im.((ib * b.cols) + jb) in
+            let br = uget bre ((ib * b.cols) + jb) and bi = uget bim ((ib * b.cols) + jb) in
             let i = (ia * b.rows) + ib and j = (ja * b.cols) + jb in
-            let idx = (i * m.cols) + j in
-            m.re.(idx) <- (ar *. br) -. (ai *. bi);
-            m.im.(idx) <- (ar *. bi) +. (ai *. br)
+            let idx = (i * mcols) + j in
+            uset mre idx ((ar *. br) -. (ai *. bi));
+            uset mim idx ((ar *. bi) +. (ai *. br))
           done
         done
     done
   in
-  if par_profitable ~macs:(a.rows * a.cols * b.rows * b.cols) then
-    Qdp_par.parallel_for 0 a.rows row_block
+  if par then Qdp_par.parallel_for 0 a.rows row_block
   else
     for ia = 0 to a.rows - 1 do
       row_block ia
@@ -162,8 +209,10 @@ let equal ?(eps = 1e-9) a b =
   a.rows = b.rows && a.cols = b.cols
   &&
   let ok = ref true in
-  for k = 0 to Array.length a.re - 1 do
-    if Float.abs (a.re.(k) -. b.re.(k)) > eps || Float.abs (a.im.(k) -. b.im.(k)) > eps
+  for k = 0 to (a.rows * a.cols) - 1 do
+    if
+      Float.abs (uget a.re k -. uget b.re k) > eps
+      || Float.abs (uget a.im k -. uget b.im k) > eps
     then ok := false
   done;
   !ok
@@ -175,8 +224,9 @@ let is_unitary ?(eps = 1e-9) m =
 
 let frobenius_norm m =
   let s = ref 0. in
-  for k = 0 to Array.length m.re - 1 do
-    s := !s +. (m.re.(k) *. m.re.(k)) +. (m.im.(k) *. m.im.(k))
+  for k = 0 to (m.rows * m.cols) - 1 do
+    let re = uget m.re k and im = uget m.im k in
+    s := !s +. (re *. re) +. (im *. im)
   done;
   Float.sqrt !s
 
@@ -193,7 +243,7 @@ let pp fmt m =
 (* Partial quadratic forms on one tensor factor of a bilinear form
    G on C^{big * sub}: both run as two GEMM-shaped passes (contract the
    right index with v, then the left index with conj v) over the raw
-   float arrays, so they cost O(n^2 * f) instead of the naive
+   storage, so they cost O(n^2 * f) instead of the naive
    O(n^2 * f^2) boxed-complex quadruple loop (n = rows, f = the
    contracted factor's dimension). *)
 
@@ -205,6 +255,7 @@ let quad_minor g v =
   if sub <= 0 || n mod sub <> 0 then invalid_arg "Mat.quad_minor: bad factor";
   let big = n / sub in
   let vr = Vec.raw_re v and vi = Vec.raw_im v in
+  let gre = g.re and gim = g.im in
   (* t[r, i'] = sum_j' G[r, i' sub + j'] * v_j' *)
   let tre = Array.make (n * big) 0. and tim = Array.make (n * big) 0. in
   for r = 0 to n - 1 do
@@ -213,7 +264,7 @@ let quad_minor g v =
       let base = grow + (i' * sub) in
       let sr = ref 0. and si = ref 0. in
       for j' = 0 to sub - 1 do
-        let ar = g.re.(base + j') and ai = g.im.(base + j') in
+        let ar = uget gre (base + j') and ai = uget gim (base + j') in
         sr := !sr +. (ar *. vr.(j')) -. (ai *. vi.(j'));
         si := !si +. (ar *. vi.(j')) +. (ai *. vr.(j'))
       done;
@@ -232,8 +283,8 @@ let quad_minor g v =
         sr := !sr +. (vr.(j) *. br) +. (vi.(j) *. bi);
         si := !si +. (vr.(j) *. bi) -. (vi.(j) *. br)
       done;
-      out.re.((i * big) + i') <- !sr;
-      out.im.((i * big) + i') <- !si
+      out.re.{(i * big) + i'} <- !sr;
+      out.im.{(i * big) + i'} <- !si
     done
   done;
   out
@@ -246,6 +297,7 @@ let quad_major g u =
   if big <= 0 || n mod big <> 0 then invalid_arg "Mat.quad_major: bad factor";
   let sub = n / big in
   let ur = Vec.raw_re u and ui = Vec.raw_im u in
+  let gre = g.re and gim = g.im in
   (* t[r, j'] = sum_i' G[r, i' sub + j'] * u_i' *)
   let tre = Array.make (n * sub) 0. and tim = Array.make (n * sub) 0. in
   for r = 0 to n - 1 do
@@ -254,7 +306,7 @@ let quad_major g u =
       let sr = ref 0. and si = ref 0. in
       for i' = 0 to big - 1 do
         let k = grow + (i' * sub) + j' in
-        let ar = g.re.(k) and ai = g.im.(k) in
+        let ar = uget gre k and ai = uget gim k in
         sr := !sr +. (ar *. ur.(i')) -. (ai *. ui.(i'));
         si := !si +. (ar *. ui.(i')) +. (ai *. ur.(i'))
       done;
@@ -273,8 +325,8 @@ let quad_major g u =
         sr := !sr +. (ur.(i) *. br) +. (ui.(i) *. bi);
         si := !si +. (ur.(i) *. bi) -. (ui.(i) *. br)
       done;
-      out.re.((j * sub) + j') <- !sr;
-      out.im.((j * sub) + j') <- !si
+      out.re.{(j * sub) + j'} <- !sr;
+      out.im.{(j * sub) + j'} <- !si
     done
   done;
   out

@@ -1,18 +1,22 @@
 (* Kernel calibration sampling: per-call (MAC-count, seconds,
-   allocated-words) observations for the dense kernels, exported to
-   BENCH_calib.json as the raw data behind the ROADMAP item-5 cost
-   model.  Shares the profiler switch discipline: its own atomic
-   on/off flag, one branch per call while disabled.
+   allocated-words, dispatch-path) observations for the dense kernels,
+   exported to BENCH_calib.json as the raw data behind the ROADMAP
+   item-5 cost model.  Shares the profiler switch discipline: its own
+   atomic on/off flag, one branch per call while disabled.
 
-   Per-kernel totals are unbounded; the per-sample list is capped so a
-   long run cannot grow memory without bound — totals keep
-   accumulating after the cap, only the raw samples stop. *)
+   Per-kernel totals are unbounded; raw samples live in a fixed-size
+   ring so a long run cannot grow memory without bound.  The ring
+   keeps the *last* [max_samples] observations — a tail window — so a
+   fitted model sees steady-state calls, not the cold-start prefix
+   (JIT-warm caches, first-touch page faults, lazy pool spawn all land
+   in the first calls). *)
 
 type sample = {
   s_macs : float;
   s_seconds : float;
   s_minor_words : float;
   s_major_words : float;
+  s_path : string;  (* "seq" | "par": the dispatch path that actually ran *)
 }
 
 type kernel_view = {
@@ -31,11 +35,15 @@ type kstat = {
   mutable seconds : float;
   mutable minor_words : float;
   mutable major_words : float;
-  mutable samples : sample list;  (* newest first *)
+  ring : sample array;  (* tail window, written at [next] *)
+  mutable next : int;
   mutable kept : int;
 }
 
 let max_samples = 512
+
+let dummy_sample =
+  { s_macs = 0.; s_seconds = 0.; s_minor_words = 0.; s_major_words = 0.; s_path = "seq" }
 
 let enabled_flag = Atomic.make false
 let on () = Atomic.get enabled_flag
@@ -62,7 +70,7 @@ let reset () =
   Hashtbl.reset table;
   order := []
 
-let sample ~kernel ~macs f =
+let sample ~kernel ~macs ?(path = "seq") f =
   if not (on ()) then f ()
   else begin
     let g0 = Gc.quick_stat () in
@@ -84,7 +92,8 @@ let sample ~kernel ~macs f =
                 seconds = 0.;
                 minor_words = 0.;
                 major_words = 0.;
-                samples = [];
+                ring = Array.make max_samples dummy_sample;
+                next = 0;
                 kept = 0;
               }
             in
@@ -97,17 +106,16 @@ let sample ~kernel ~macs f =
       k.seconds <- k.seconds +. dt;
       k.minor_words <- k.minor_words +. minor;
       k.major_words <- k.major_words +. major;
-      if k.kept < max_samples then begin
-        k.samples <-
-          {
-            s_macs = macs;
-            s_seconds = dt;
-            s_minor_words = minor;
-            s_major_words = major;
-          }
-          :: k.samples;
-        k.kept <- k.kept + 1
-      end
+      k.ring.(k.next) <-
+        {
+          s_macs = macs;
+          s_seconds = dt;
+          s_minor_words = minor;
+          s_major_words = major;
+          s_path = path;
+        };
+      k.next <- (k.next + 1) mod max_samples;
+      if k.kept < max_samples then k.kept <- k.kept + 1
     in
     match f () with
     | v ->
@@ -117,6 +125,13 @@ let sample ~kernel ~macs f =
         finish ();
         raise e
   end
+
+(* Oldest-first window: before the ring wraps the window starts at 0,
+   after it wraps the oldest surviving sample sits at the write
+   cursor. *)
+let window k =
+  let start = if k.kept < max_samples then 0 else k.next in
+  List.init k.kept (fun i -> k.ring.((start + i) mod max_samples))
 
 let kernels () =
   locked @@ fun () ->
@@ -130,16 +145,17 @@ let kernels () =
         k_seconds = k.seconds;
         k_minor_words = k.minor_words;
         k_major_words = k.major_words;
-        k_samples = List.rev k.samples;
+        k_samples = window k;
       })
     !order
 
 let json_of_sample s =
   Printf.sprintf
-    "{\"macs\":%s,\"seconds\":%s,\"minor_words\":%s,\"major_words\":%s}"
+    "{\"macs\":%s,\"seconds\":%s,\"minor_words\":%s,\"major_words\":%s,\"path\":%s}"
     (Json.float s.s_macs) (Json.float s.s_seconds)
     (Json.float s.s_minor_words)
     (Json.float s.s_major_words)
+    (Json.str s.s_path)
 
 let to_json () =
   let buf = Buffer.create 1024 in

@@ -1,11 +1,14 @@
 (** Kernel calibration sampling for the cost model.
 
-    {!sample} wraps one kernel invocation and records its nominal
-    MAC count together with measured wall seconds and GC-allocation
-    words (minor/major, calling domain only).  Per-kernel totals and
-    the most recent {!max_samples} raw samples are exported by
+    {!sample} wraps one kernel invocation and records its nominal MAC
+    count together with measured wall seconds, GC-allocation words
+    (minor/major, calling domain only) and the dispatch path that ran
+    (["seq"] or ["par"]).  Per-kernel totals and a tail window of the
+    {e most recent} {!max_samples} raw samples are exported by
     {!to_json}/{!write_json} as [BENCH_calib.json], the input data for
-    the ROADMAP item-5 kernel cost model.
+    the {!Qdp_model} kernel cost model — a tail window rather than a
+    head capture, so fits see steady-state calls instead of the
+    cold-start prefix.
 
     Own switch, same zero-cost discipline as {!Prof}: one atomic-load
     branch per call while disabled. *)
@@ -15,6 +18,7 @@ type sample = {
   s_seconds : float;
   s_minor_words : float;
   s_major_words : float;
+  s_path : string;  (** ["seq"] or ["par"] — the path that actually ran *)
 }
 
 type kernel_view = {
@@ -27,18 +31,20 @@ type kernel_view = {
   k_samples : sample list;  (** oldest first *)
 }
 
-(** Raw samples kept per kernel; totals keep accumulating after the
-    cap. *)
+(** Raw samples kept per kernel (the tail window size); totals keep
+    accumulating past it. *)
 val max_samples : int
 
 val on : unit -> bool
 val set_enabled : bool -> unit
 
-(** [sample ~kernel ~macs f] runs [f] and records one observation for
-    [kernel].  [macs] is the nominal multiply-accumulate count of the
-    call (complex MACs for the dense kernels).  Exception-safe; when
-    the switch is off this is exactly [f ()]. *)
-val sample : kernel:string -> macs:float -> (unit -> 'a) -> 'a
+(** [sample ~kernel ~macs ?path f] runs [f] and records one
+    observation for [kernel].  [macs] is the nominal
+    multiply-accumulate count of the call (complex MACs for the dense
+    kernels); [path] (default ["seq"]) tags which dispatch path
+    executed, so the cost model can fit the two paths separately.
+    Exception-safe; when the switch is off this is exactly [f ()]. *)
+val sample : kernel:string -> macs:float -> ?path:string -> (unit -> 'a) -> 'a
 
 (** Per-kernel views in first-seen order. *)
 val kernels : unit -> kernel_view list

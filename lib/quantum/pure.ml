@@ -346,12 +346,8 @@ let remap_batch b map =
   let count = Batch.count b.data in
   let dim = Batch.dim b.data in
   let out = Batch.create dim count in
-  let vr = Batch.raw_re b.data and vi = Batch.raw_im b.data in
-  let outr = Batch.raw_re out and outi = Batch.raw_im out in
   for g = 0 to dim - 1 do
-    let g' = map g in
-    Array.blit vr (g * count) outr (g' * count) count;
-    Array.blit vi (g * count) outi (g' * count) count
+    Batch.blit_row b.data g out (map g)
   done;
   { b with data = out }
 
@@ -365,22 +361,14 @@ let apply_on_batch b names m =
   let dim = Batch.dim b.data in
   let out = Batch.create dim count in
   let sub = Batch.create subdim count and res = Batch.create subdim count in
-  let vr = Batch.raw_re b.data and vi = Batch.raw_im b.data in
-  let outr = Batch.raw_re out and outi = Batch.raw_im out in
-  let subr = Batch.raw_re sub and subi = Batch.raw_im sub in
-  let resr = Batch.raw_re res and resi = Batch.raw_im res in
   for rv = 0 to restdim - 1 do
     let base = rest_scatter rv in
     for a = 0 to subdim - 1 do
-      let g = base lor sel_index.(a) in
-      Array.blit vr (g * count) subr (a * count) count;
-      Array.blit vi (g * count) subi (a * count) count
+      Batch.blit_row b.data (base lor sel_index.(a)) sub a
     done;
     Batch.apply_into m ~src:sub ~dst:res;
     for a = 0 to subdim - 1 do
-      let g = base lor sel_index.(a) in
-      Array.blit resr (a * count) outr (g * count) count;
-      Array.blit resi (a * count) outi (g * count) count
+      Batch.blit_row res a out (base lor sel_index.(a))
     done
   done;
   { b with data = out }
@@ -401,17 +389,11 @@ let project_sym_batch b names =
   let count = Batch.count b.data in
   let dim = Batch.dim b.data in
   let acc = Batch.create dim count in
-  let vr = Batch.raw_re b.data and vi = Batch.raw_im b.data in
-  let accr = Batch.raw_re acc and acci = Batch.raw_im acc in
   List.iter
     (fun pi ->
       let map = perm_index_map ms pi in
       for g = 0 to dim - 1 do
-        let src = g * count and dst = map g * count in
-        for c = 0 to count - 1 do
-          accr.(dst + c) <- accr.(dst + c) +. vr.(src + c);
-          acci.(dst + c) <- acci.(dst + c) +. vi.(src + c)
-        done
+        Batch.accumulate_row b.data g acc (map g)
       done)
     perms;
   Batch.scale_real_inplace (1. /. fact) acc;

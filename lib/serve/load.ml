@@ -115,6 +115,21 @@ let direct ?(config = default_config) () =
 
 let direct_digest ?config () = digest (direct ?config ())
 
+(* --- pacing --- *)
+
+(* Pure pacing schedule, shared by the send gate and the select
+   timeout so the two can never disagree (the old inline copies
+   drifted once, pinning select to a zero timeout and busy-spinning
+   the loop).  The k-th request may leave at [t_start + k/rps]. *)
+let next_send_at ~t_start ~rps ~sent =
+  t_start +. (float_of_int sent /. rps)
+
+let send_due ~t_start ~rps ~sent ~now =
+  now >= next_send_at ~t_start ~rps ~sent
+
+let pace_timeout ~t_start ~rps ~sent ~now =
+  max 0. (next_send_at ~t_start ~rps ~sent -. now)
+
 (* --- the paced loop --- *)
 
 type slot = {
@@ -169,8 +184,7 @@ let run ?(config = default_config) () =
   let finished = ref false in
   while not !finished do
     let now = Qdp_obs.Clock.now () in
-    (* Pace: the k-th request may leave at t_start + k/rps. *)
-    let due = now >= t_start +. (float_of_int !sent /. config.rps) in
+    let due = send_due ~t_start ~rps:config.rps ~sent:!sent ~now in
     (if due && now < deadline && not (Queue.is_empty work) then
        match
          Array.find_opt (fun s -> s.busy = None) slots
@@ -192,7 +206,7 @@ let run ?(config = default_config) () =
     (if busy_fds <> [] then
        let timeout =
          if Queue.is_empty work then 0.05
-         else max 0. (t_start +. (float_of_int !sent /. config.rps) -. now)
+         else pace_timeout ~t_start ~rps:config.rps ~sent:!sent ~now
        in
        match Unix.select busy_fds [] [] (Float.min timeout 0.05) with
        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()

@@ -46,6 +46,17 @@ val mix : ?seed:int -> unit -> Request.t list
     rendered as 8 hex digits. *)
 val digest : (string * string) list -> string
 
+(** Pure pacing schedule: the [sent]-th request may leave at
+    [t_start + sent/rps].  Shared by the send gate and the select
+    timeout; pure in [now] so tests drive it with a stepped fake
+    clock ({!Qdp_obs.Clock.set_source}). *)
+val next_send_at : t_start:float -> rps:float -> sent:int -> float
+
+val send_due : t_start:float -> rps:float -> sent:int -> now:float -> bool
+
+(** Seconds until the next send slot, clamped at [0.]. *)
+val pace_timeout : t_start:float -> rps:float -> sent:int -> now:float -> float
+
 (** [direct ()] evaluates the mix without a server. *)
 val direct : ?config:config -> unit -> (string * string) list
 

@@ -185,6 +185,47 @@ let test_calib_sampling () =
   Alcotest.(check int) "disabled sample records nothing" 0
     (List.length (Calib.kernels ()))
 
+(* Regression test for the sample-retention bug: the capped raw-sample
+   list used to keep the FIRST max_samples calls (cold-start prefix,
+   first-write-wins), so long runs exported only startup noise to the
+   cost model.  The ring must keep the most recent window instead. *)
+let test_calib_tail_window () =
+  Calib.reset ();
+  Calib.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Calib.set_enabled false;
+      Calib.reset ())
+    (fun () ->
+      let total = Calib.max_samples + 88 in
+      for i = 1 to total do
+        let path = if i mod 2 = 0 then "par" else "seq" in
+        Calib.sample ~kernel:"w" ~macs:(float_of_int i) ~path noop
+      done;
+      match Calib.kernels () with
+      | [ k ] ->
+          let samples = Array.of_list k.Calib.k_samples in
+          Alcotest.(check int) "window holds max_samples" Calib.max_samples
+            (Array.length samples);
+          Alcotest.(check (float 0.)) "window starts past the evicted prefix"
+            (float_of_int (total - Calib.max_samples + 1))
+            samples.(0).Calib.s_macs;
+          Alcotest.(check (float 0.)) "latest sample is present"
+            (float_of_int total)
+            samples.(Array.length samples - 1).Calib.s_macs;
+          Array.iteri
+            (fun j s ->
+              let i = total - Calib.max_samples + 1 + j in
+              if s.Calib.s_macs <> float_of_int i then
+                Alcotest.failf "slot %d: expected macs %d, got %g" j i
+                  s.Calib.s_macs;
+              let expect = if i mod 2 = 0 then "par" else "seq" in
+              if s.Calib.s_path <> expect then
+                Alcotest.failf "slot %d: expected path %s, got %s" j expect
+                  s.Calib.s_path)
+            samples
+      | ks -> Alcotest.failf "expected one kernel, got %d" (List.length ks))
+
 (* The perf-diff inputs must be jobs-invariant: the same workload at
    jobs = 1 and jobs = 4 records identical kernel names, call counts
    and MAC totals, and computes bit-identical results. *)
@@ -635,6 +676,39 @@ let test_diff_extract_obs () =
         m.Perf_diff.m_group
   | ms -> Alcotest.failf "expected one metric, got %d" (List.length ms)
 
+let test_diff_extract_model () =
+  let fixture =
+    "{\"jobs\":4,\n\
+     \"cost_model\":[{\"kernel\":\"mat.mul\",\n\
+     \"seq\":{\"samples\":8,\"a_s\":1e-6,\"b_s_per_mac\":2e-9,\"alloc_w_per_mac\":0,\"r2\":0.99,\"total_s\":0.25},\n\
+     \"par\":{\"samples\":8,\"a_s\":5e-5,\"b_s_per_mac\":5e-10,\"alloc_w_per_mac\":0,\"r2\":0.98,\"total_s\":0.125},\n\
+     \"crossover_macs\":32666.0,\"par_speedup_at_1e6_macs\":3.6},\n\
+     {\"kernel\":\"grid.sweep\",\n\
+     \"seq\":{\"samples\":4,\"a_s\":0,\"b_s_per_mac\":1e-7,\"alloc_w_per_mac\":0,\"r2\":1,\"total_s\":0.5},\n\
+     \"par\":{\"samples\":0,\"a_s\":0,\"b_s_per_mac\":0,\"alloc_w_per_mac\":0,\"r2\":0,\"total_s\":0},\n\
+     \"crossover_macs\":-1,\"par_speedup_at_1e6_macs\":0}]}"
+  in
+  let ms = Perf_diff.metrics_of_string fixture in
+  let find key =
+    match List.find_opt (fun m -> m.Perf_diff.m_key = key) ms with
+    | Some m -> m
+    | None -> Alcotest.failf "metric %s missing" key
+  in
+  Alcotest.(check int) "three fitted paths extracted" 3 (List.length ms);
+  let m = find "mat.mul.seq.ns_per_mac" in
+  Alcotest.(check (float 1e-9)) "slope in ns/MAC" 2.0 m.Perf_diff.m_value;
+  Alcotest.(check (float 0.)) "floored on the fit's total seconds" 0.25
+    m.Perf_diff.m_seconds;
+  Alcotest.(check string) "grouped per kernel" "mat.mul" m.Perf_diff.m_group;
+  Alcotest.(check (float 1e-9)) "par slope extracted" 0.5
+    (find "mat.mul.par.ns_per_mac").Perf_diff.m_value;
+  (* the empty par fit (b = 0) must not become a divide-by-zero metric *)
+  Alcotest.(check bool) "unfitted path skipped" true
+    (not
+       (List.exists
+          (fun m -> m.Perf_diff.m_key = "grid.sweep.par.ns_per_mac")
+          ms))
+
 (* The no-slowdown self-check: a group whose parallel path loses to
    its own sequential baseline beyond the noise band is flagged from a
    single artifact; tiny measurements and non-perf shapes are not. *)
@@ -688,6 +762,8 @@ let () =
       ( "calib",
         [
           Alcotest.test_case "sampling + cap" `Quick test_calib_sampling;
+          Alcotest.test_case "tail window keeps latest" `Quick
+            test_calib_tail_window;
           Alcotest.test_case "jobs invariance" `Quick test_calib_jobs_invariance;
         ] );
       ( "progress",
@@ -718,6 +794,7 @@ let () =
           Alcotest.test_case "extract perf" `Quick test_diff_extract_perf;
           Alcotest.test_case "extract calib" `Quick test_diff_extract_calib;
           Alcotest.test_case "extract obs" `Quick test_diff_extract_obs;
+          Alcotest.test_case "extract model" `Quick test_diff_extract_model;
           Alcotest.test_case "slowdown self-check" `Quick test_diff_slowdowns;
           Alcotest.test_case "malformed input" `Quick test_diff_malformed;
         ] );

@@ -405,6 +405,47 @@ let test_load_digest_matches_direct () =
   | Some (Qdp_obs.Json.String d) -> check Alcotest.string "json digest" r.Load.lr_digest d
   | _ -> Alcotest.fail "verdict_digest missing from report"
 
+(* Pacing schedule under a stepped fake clock: the k-th request is
+   admitted exactly when the clock reaches t_start + k/rps, the select
+   timeout counts down to that same instant, and a stalled clock never
+   admits a burst. *)
+let test_load_pacing_stepped_clock () =
+  let t = ref 1000. in
+  Qdp_obs.Clock.set_source (Some (fun () -> !t));
+  Fun.protect ~finally:(fun () -> Qdp_obs.Clock.set_source None)
+  @@ fun () ->
+  let t_start = Qdp_obs.Clock.now () in
+  let rps = 8. in
+  (* replay the paced loop's gate: step the clock 125 ms at a time
+     (exactly representable, so slot times are exact) for one
+     simulated second and count admissions *)
+  let sent = ref 0 in
+  for i = 0 to 8 do
+    t := t_start +. (0.125 *. float_of_int i);
+    while Load.send_due ~t_start ~rps ~sent:!sent ~now:(Qdp_obs.Clock.now ()) do
+      incr sent
+    done
+  done;
+  (* clock advanced 1 s past t_start: requests 0..8 are due (the k-th
+     leaves at k/rps), the 9th is not *)
+  checki "admissions track the schedule" 9 !sent;
+  checkb "next send not yet due" false
+    (Load.send_due ~t_start ~rps ~sent:!sent ~now:(Qdp_obs.Clock.now ()));
+  (* the select timeout is the gap to that same slot *)
+  check (Alcotest.float 1e-9) "timeout counts down to the next slot"
+    (Load.next_send_at ~t_start ~rps ~sent:!sent -. Qdp_obs.Clock.now ())
+    (Load.pace_timeout ~t_start ~rps ~sent:!sent ~now:(Qdp_obs.Clock.now ()));
+  (* past-due slot clamps to zero rather than going negative *)
+  check (Alcotest.float 0.) "overdue timeout clamps at zero" 0.
+    (Load.pace_timeout ~t_start ~rps ~sent:0 ~now:(Qdp_obs.Clock.now ()));
+  (* a stalled clock admits nothing further *)
+  let before = !sent in
+  for _ = 1 to 5 do
+    if Load.send_due ~t_start ~rps ~sent:!sent ~now:(Qdp_obs.Clock.now ())
+    then incr sent
+  done;
+  checki "stalled clock, no burst" before !sent
+
 let test_load_digest_order_insensitive () =
   let pairs = [ ("k1", "v1"); ("k2", "v2"); ("k3", "v3") ] in
   let shuffled = [ ("k3", "v3"); ("k1", "v1"); ("k2", "v2"); ("k1", "v1") ] in
@@ -456,5 +497,7 @@ let () =
             test_load_digest_matches_direct;
           Alcotest.test_case "digest order-insensitive" `Quick
             test_load_digest_order_insensitive;
+          Alcotest.test_case "pacing under stepped clock" `Quick
+            test_load_pacing_stepped_clock;
         ] );
     ]
